@@ -1,0 +1,580 @@
+// Benchmarks for the experiment index in DESIGN.md §4 (E1–E12), one family
+// per experiment. These testing.B benches measure the steady-state cost of
+// each mechanism; one-shot measurements (first-call chain walks, reaction
+// times) are reported as b.ReportMetric values or by cmd/fargo-bench, whose
+// output EXPERIMENTS.md records.
+package fargo_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fargo"
+	"fargo/internal/demo"
+	"fargo/internal/wire"
+)
+
+// benchUniverse builds a universe with the demo types and the given cores.
+func benchUniverse(b *testing.B, names ...string) *fargo.Universe {
+	b.Helper()
+	u, err := fargo.NewUniverse(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := demo.Register(u.RegistryHandle()); err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range names {
+		if _, err := u.NewCore(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Cleanup(u.Close)
+	return u
+}
+
+func benchCore(b *testing.B, u *fargo.Universe, name string) *fargo.Core {
+	b.Helper()
+	c, ok := u.Core(name)
+	if !ok {
+		b.Fatalf("no core %q", name)
+	}
+	return c
+}
+
+// --- E1: invocation indirection ----------------------------------------------
+
+func BenchmarkE1_InvocationDirect(b *testing.B) {
+	anchor := &demo.Echo{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		anchor.Nop()
+	}
+}
+
+func BenchmarkE1_InvocationRefColocated(b *testing.B) {
+	u := benchUniverse(b, "a")
+	a := benchCore(b, u, "a")
+	r, err := a.NewComplet("Echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Invoke("Nop"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1_InvocationRefRemote(b *testing.B) {
+	u := benchUniverse(b, "a", "b")
+	a := benchCore(b, u, "a")
+	r, err := a.NewCompletAt("b", "Echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Invoke("Nop"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1_InvocationRefRemoteTCP measures the remote invocation path over
+// real loopback TCP (the paper's system ran on RMI over real sockets; the
+// other E1 benches use the simulated network).
+func BenchmarkE1_InvocationRefRemoteTCP(b *testing.B) {
+	regA, regB := fargo.NewRegistry(), fargo.NewRegistry()
+	if err := demo.Register(regA); err != nil {
+		b.Fatal(err)
+	}
+	if err := demo.Register(regB); err != nil {
+		b.Fatal(err)
+	}
+	a, addrA, err := fargo.ListenTCP("bench-tcp-a", "127.0.0.1:0", nil, regA, fargo.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = a.Shutdown(0) })
+	peer, _, err := fargo.ListenTCP("bench-tcp-b", "127.0.0.1:0", map[string]string{"bench-tcp-a": addrA}, regB, fargo.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = peer.Shutdown(0) })
+
+	r, err := peer.NewCompletAt("bench-tcp-a", "Echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Invoke("Nop"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E2: tracker chains --------------------------------------------------------
+
+func BenchmarkE2_TrackerChain(b *testing.B) {
+	for _, k := range []int{0, 2, 4, 8} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			names := make([]string, k+2)
+			for i := range names {
+				names[i] = fmt.Sprintf("c%d", i)
+			}
+			u := benchUniverse(b, names...)
+			origin := benchCore(b, u, names[0])
+			r, err := origin.NewComplet("Echo")
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 1; i <= k; i++ {
+				if err := benchCore(b, u, names[i-1]).Move(r, fargo.CoreID(names[i])); err != nil {
+					b.Fatal(err)
+				}
+			}
+			stale := origin.NewRefTo(r.Target(), "Echo", fargo.CoreID(names[0]))
+			// One-shot: the chain walk, reported as a metric.
+			start := time.Now()
+			if _, err := stale.Invoke("Nop"); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(time.Since(start).Microseconds()), "first-call-us")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ { // shortened path
+				if _, err := stale.Invoke("Nop"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E3: single-message group movement ------------------------------------------
+
+func BenchmarkE3_GroupMove(b *testing.B) {
+	for _, k := range []int{0, 4, 16} {
+		b.Run(fmt.Sprintf("pulls=%d", k), func(b *testing.B) {
+			u := benchUniverse(b, "x", "y")
+			x := benchCore(b, u, "x")
+			root, err := x.NewComplet("Hub")
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < k; i++ {
+				child, err := x.NewComplet("Counter")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := root.Invoke("Attach", child, "pull"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cores := []fargo.CoreID{"y", "x"}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				from := benchCore(b, u, cores[(i+1)%2].String())
+				if err := from.Move(root, cores[i%2]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			u.Network().ResetStats()
+			if err := benchCore(b, u, cores[(b.N+1)%2].String()).Move(root, cores[b.N%2]); err != nil {
+				b.Fatal(err)
+			}
+			from, to := cores[(b.N+1)%2].String(), cores[b.N%2].String()
+			stats := u.Network().Stats(from, to)
+			b.ReportMetric(float64(stats.Messages), "msgs/move")
+			b.ReportMetric(float64(stats.Bytes), "bytes/move")
+		})
+	}
+}
+
+// --- E4: relocator marshal cost --------------------------------------------------
+
+func BenchmarkE4_RelocatorMove(b *testing.B) {
+	for _, kind := range []string{"link", "pull", "stamp"} {
+		b.Run(kind, func(b *testing.B) {
+			u := benchUniverse(b, "x", "y")
+			x, y := benchCore(b, u, "x"), benchCore(b, u, "y")
+			// Equivalent-typed complets on both sides for stamp.
+			if _, err := x.NewComplet("Blob", 16); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := y.NewComplet("Blob", 16); err != nil {
+				b.Fatal(err)
+			}
+			target, err := x.NewComplet("Blob", 64<<10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			source, err := x.NewComplet("Hub")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := source.Invoke("Attach", target, kind); err != nil {
+				b.Fatal(err)
+			}
+			cores := []fargo.CoreID{"y", "x"}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				from := benchCore(b, u, cores[(i+1)%2].String())
+				if err := from.Move(source, cores[i%2]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E5: profiling overhead ------------------------------------------------------
+
+func BenchmarkE5_ProfilingOverhead(b *testing.B) {
+	run := func(b *testing.B, services bool) {
+		u := benchUniverse(b, "a", "b")
+		a := benchCore(b, u, "a")
+		r, err := a.NewCompletAt("b", "Echo")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if services {
+			mon := benchCore(b, u, "b").Monitor()
+			if err := mon.Start(20*time.Millisecond, fargo.ServiceInvocationRate, r.Target().String()); err != nil {
+				b.Fatal(err)
+			}
+			if err := mon.Start(20*time.Millisecond, fargo.ServiceCompletLoad); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Invoke("Nop"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}
+
+func BenchmarkE5_InstantCached(b *testing.B) {
+	u := benchUniverse(b, "a")
+	a := benchCore(b, u, "a")
+	blob, err := a.NewComplet("Blob", 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := a.Monitor().Instant(fargo.ServiceCompletSize, blob.Target().String()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Monitor().Instant(fargo.ServiceCompletSize, blob.Target().String()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E6: event fan-out -------------------------------------------------------------
+
+func BenchmarkE6_EventFanout(b *testing.B) {
+	for _, n := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("listeners=%d", n), func(b *testing.B) {
+			u := benchUniverse(b, "a")
+			a := benchCore(b, u, "a")
+			var mu sync.Mutex
+			var wg *sync.WaitGroup
+			for i := 0; i < n; i++ {
+				if _, err := a.Monitor().SubscribeBuiltin(fargo.EventCompletArrived, func(fargo.Event) {
+					mu.Lock()
+					w := wg
+					mu.Unlock()
+					if w != nil {
+						w.Done()
+					}
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Fire by moving a probe in from another core each op.
+			if _, err := u.NewCore("feeder"); err != nil {
+				b.Fatal(err)
+			}
+			feeder := benchCore(b, u, "feeder")
+			probe, err := feeder.NewComplet("Counter")
+			if err != nil {
+				b.Fatal(err)
+			}
+			homes := []fargo.CoreID{"a", "feeder"}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := &sync.WaitGroup{}
+				if i%2 == 0 {
+					w.Add(n) // arrival at "a" notifies n listeners
+				}
+				mu.Lock()
+				wg = w
+				mu.Unlock()
+				from := benchCore(b, u, homes[(i+1)%2].String())
+				if err := from.Move(probe, homes[i%2]); err != nil {
+					b.Fatal(err)
+				}
+				if i%2 == 0 {
+					w.Wait()
+				}
+			}
+		})
+	}
+}
+
+// --- E7: script machinery -----------------------------------------------------------
+
+const benchScript = `
+$coreList = %1
+$targetCore = %2
+$comps = %3
+on shutdown firedby $core listenAt $coreList do
+  move completsIn $core to $targetCore
+end
+on methodInvokeRate(3) from $comps[0] to $comps[1] do
+  move $comps[0] to coreOf $comps[1]
+end`
+
+func BenchmarkE7_ScriptParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := fargo.ParseScript(benchScript); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7_ScriptArm(b *testing.B) {
+	u := benchUniverse(b, "a", "safe")
+	a := benchCore(b, u, "a")
+	target, err := a.NewComplet("Echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	caller, err := a.NewComplet("Echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst, err := fargo.RunScript(a, benchScript, nil,
+			[]fargo.ScriptValue{"a"}, "safe",
+			[]fargo.ScriptValue{caller.Target().String(), target.Target().String()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst.Close()
+	}
+}
+
+// --- E8: by-value parameter copying ---------------------------------------------------
+
+func BenchmarkE8_ParamCopy(b *testing.B) {
+	u := benchUniverse(b, "a")
+	a := benchCore(b, u, "a")
+	sink, err := a.NewComplet("Echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{16, 1024, 65536} {
+		b.Run(fmt.Sprintf("bytes=%d", size), func(b *testing.B) {
+			payload := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sink.Invoke("EchoBytes", payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE8_RefDegradeRoundtrip(b *testing.B) {
+	u := benchUniverse(b, "a")
+	a := benchCore(b, u, "a")
+	sink, err := a.NewComplet("Echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := a.NewRefTo(sink.Target(), "Echo", "a")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, _, err := wire.EncodeArgs([]any{r})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := wire.DecodeArgs(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E9: tracking ablation --------------------------------------------------------------
+
+func BenchmarkE9_Tracking(b *testing.B) {
+	setup := func(b *testing.B, home bool) (*fargo.Core, *fargo.Ref) {
+		u := benchUniverse(b, "h0", "h1", "h2", "obs")
+		if home {
+			for _, n := range []string{"h0", "h1", "h2", "obs"} {
+				benchCore(b, u, n).EnableHomeTracking()
+			}
+		}
+		origin := benchCore(b, u, "h0")
+		r, err := origin.NewComplet("Echo")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := origin.Move(r, "h1"); err != nil {
+			b.Fatal(err)
+		}
+		if err := benchCore(b, u, "h1").Move(r, "h2"); err != nil {
+			b.Fatal(err)
+		}
+		return benchCore(b, u, "obs"), r
+	}
+	b.Run("chain-hot", func(b *testing.B) {
+		obs, r := setup(b, false)
+		stale := obs.NewRefTo(r.Target(), "Echo", "h0")
+		if _, err := stale.Invoke("Nop"); err != nil { // shorten once
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := stale.Invoke("Nop"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("home", func(b *testing.B) {
+		obs, r := setup(b, true)
+		// Wait for async home updates to land.
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			if loc, err := obs.LocateViaHome(r.Target()); err == nil && loc == "h2" {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatal("home record did not land")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := obs.InvokeViaHome(r.Target(), "Nop"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E10: layout-view freshness -------------------------------------------------------
+
+func BenchmarkE10_ViewUpdate(b *testing.B) {
+	u := benchUniverse(b, "a", "b", "viewer")
+	viewer := benchCore(b, u, "viewer")
+	view, err := fargo.NewLayoutView(viewer, []fargo.CoreID{"a", "b"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer view.Close()
+	r, err := viewer.NewCompletAt("a", "Counter")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dests := []fargo.CoreID{"b", "a"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dest := dests[i%2]
+		if err := viewer.Move(r, dest); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if where, ok := view.Where(r.Target()); ok && where == dest {
+				break
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// --- E11: adaptive layout steady states --------------------------------------------------
+
+func BenchmarkE11_DegradedStatic(b *testing.B) {
+	u := benchUniverse(b, "edge", "dc")
+	if err := u.SetLink("edge", "dc", fargo.LinkProfile{Latency: 5 * time.Millisecond, Bandwidth: 1 << 20}); err != nil {
+		b.Fatal(err)
+	}
+	edge := benchCore(b, u, "edge")
+	server, err := edge.NewCompletAt("dc", "KVStore")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := server.Invoke("Put", "k", "v"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := server.Invoke("Get", "k"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11_DegradedAdaptive(b *testing.B) {
+	u := benchUniverse(b, "edge", "dc")
+	if err := u.SetLink("edge", "dc", fargo.LinkProfile{Latency: 5 * time.Millisecond, Bandwidth: 1 << 20}); err != nil {
+		b.Fatal(err)
+	}
+	edge := benchCore(b, u, "edge")
+	server, err := edge.NewCompletAt("dc", "KVStore")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := server.Invoke("Put", "k", "v"); err != nil {
+		b.Fatal(err)
+	}
+	if err := edge.Move(server, "edge"); err != nil { // the adaptive outcome
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := server.Invoke("Get", "k"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E12: self-movement ---------------------------------------------------------------
+
+func BenchmarkE12_MovePerHop(b *testing.B) {
+	for _, size := range []int{1 << 10, 64 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("closure=%dB", size), func(b *testing.B) {
+			u := benchUniverse(b, "x", "y")
+			x := benchCore(b, u, "x")
+			blob, err := x.NewComplet("Blob", size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cores := []fargo.CoreID{"y", "x"}
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				from := benchCore(b, u, cores[(i+1)%2].String())
+				if err := from.Move(blob, cores[i%2]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,63 @@
+// fargo-bench runs the reproduction experiment harness (DESIGN.md §4,
+// EXPERIMENTS.md): every experiment E1–E12 regenerates one of the paper's
+// mechanism claims as a measured series.
+//
+// Usage:
+//
+//	fargo-bench             # run everything at full scale
+//	fargo-bench -quick      # CI-sized parameters
+//	fargo-bench -run E3,E9  # selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fargo/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fargo-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		quick = flag.Bool("quick", false, "run scaled-down parameters")
+		only  = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+
+	cfg := experiments.Config{Quick: *quick}
+	failures := 0
+	for _, exp := range experiments.All() {
+		if len(want) > 0 && !want[exp.ID] {
+			continue
+		}
+		start := time.Now()
+		res, err := exp.Run(cfg)
+		if err != nil {
+			failures++
+			fmt.Printf("%s FAILED: %v\n\n", exp.ID, err)
+			continue
+		}
+		fmt.Print(experiments.Format(res))
+		fmt.Printf("  (%.1fs)\n\n", time.Since(start).Seconds())
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failures)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+// fargo-core runs a FarGo core daemon on real TCP: the stationary runtime
+// that hosts complets for a deployment (§3 of the paper).
+//
+// Usage:
+//
+//	fargo-core -name accadia -listen :7101 \
+//	    -peer lehavim=host1:7102 -peer shell=host2:7103
+//
+// The daemon registers the demo complet type set (Go binaries cannot load
+// classes dynamically; see DESIGN.md substitutions) and serves until
+// interrupted, then shuts down with a grace period so layout policies can
+// evacuate complets (the coreShutdown event, §4.2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fargo"
+	"fargo/internal/cliutil"
+	"fargo/internal/demo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fargo-core:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name   = flag.String("name", "", "core name (required)")
+		listen = flag.String("listen", ":7100", "TCP listen address")
+		grace  = flag.Duration("grace", fargo.DefaultGrace, "shutdown grace period for complet evacuation")
+		peers  = cliutil.PeerFlags{}
+	)
+	flag.Var(peers, "peer", "peer core as name=host:port (repeatable)")
+	flag.Parse()
+	if *name == "" {
+		return fmt.Errorf("-name is required")
+	}
+
+	reg := fargo.NewRegistry()
+	if err := demo.Register(reg); err != nil {
+		return err
+	}
+	c, addr, err := fargo.ListenTCP(*name, *listen, peers, reg, fargo.Options{})
+	if err != nil {
+		return err
+	}
+	log.Printf("fargo-core %s listening on %s (%d peers seeded)", *name, addr, len(peers))
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("fargo-core %s: shutting down (grace %v)", *name, *grace)
+	start := time.Now()
+	if err := c.Shutdown(*grace); err != nil {
+		return err
+	}
+	log.Printf("fargo-core %s: stopped after %v", *name, time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,108 @@
+// fargo-monitor is the terminal counterpart of the paper's graphical monitor
+// (Figure 4): it connects to multiple cores, shows in real time which
+// complets reside in which cores, and keeps the view current by listening to
+// layout events at the inspected cores.
+//
+// Usage:
+//
+//	fargo-monitor -name mon -peer accadia=host1:7101 -peer lehavim=host2:7102 \
+//	    -watch accadia,lehavim [-once] [-interval 2s]
+//
+// With -once the monitor prints a single snapshot and exits; otherwise it
+// re-renders on every event (and on a periodic refresh) until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"fargo"
+	"fargo/internal/cliutil"
+	"fargo/internal/demo"
+	"fargo/internal/ids"
+	"fargo/internal/layoutview"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fargo-monitor:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name     = flag.String("name", "monitor", "monitor core name")
+		listen   = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		watch    = flag.String("watch", "", "comma-separated cores to inspect (default: all peers)")
+		once     = flag.Bool("once", false, "print one snapshot and exit")
+		interval = flag.Duration("interval", 5*time.Second, "periodic full refresh")
+		peers    = cliutil.PeerFlags{}
+	)
+	flag.Var(peers, "peer", "peer core as name=host:port (repeatable)")
+	flag.Parse()
+
+	reg := fargo.NewRegistry()
+	if err := demo.Register(reg); err != nil {
+		return err
+	}
+	c, _, err := fargo.ListenTCP(*name, *listen, peers, reg, fargo.Options{})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = c.Shutdown(0) }()
+
+	var cores []ids.CoreID
+	if *watch != "" {
+		for _, w := range strings.Split(*watch, ",") {
+			cores = append(cores, ids.CoreID(strings.TrimSpace(w)))
+		}
+	} else {
+		for p := range peers {
+			cores = append(cores, ids.CoreID(p))
+		}
+	}
+	if len(cores) == 0 {
+		return fmt.Errorf("nothing to watch: give -watch or -peer flags")
+	}
+
+	view := layoutview.New(c, cores)
+	if *once {
+		if err := view.Refresh(); err != nil {
+			return err
+		}
+		fmt.Print(view.Render())
+		return nil
+	}
+
+	render := func() {
+		// Clear screen + home, then the table (plain ANSI).
+		fmt.Print("\033[2J\033[H" + view.Render())
+	}
+	view.OnChange = render
+	if err := view.Start(); err != nil {
+		return err
+	}
+	defer view.Close()
+	render()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if err := view.Refresh(); err != nil {
+				fmt.Fprintf(os.Stderr, "refresh: %v\n", err)
+			}
+		case <-stop:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// fargo-script attaches a layout script (§4.3 of the paper) to a running
+// deployment: the administrator's tool for controlling component layout
+// separately from application code.
+//
+// Usage:
+//
+//	fargo-script -name scriptd -peer accadia=host1:7101 -peer safe=host2:7102 \
+//	    policy.fgs arg1 arg2 ...
+//
+// Script arguments after the file are passed as %1, %2, …; a comma-separated
+// word becomes a list (so `north,south` arrives as a list of two strings).
+// The script's rules stay armed until the process is interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"fargo"
+	"fargo/internal/cliutil"
+	"fargo/internal/demo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fargo-script:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name   = flag.String("name", "scriptd", "script daemon core name")
+		listen = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		peers  = cliutil.PeerFlags{}
+	)
+	flag.Var(peers, "peer", "peer core as name=host:port (repeatable)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		return fmt.Errorf("usage: fargo-script [flags] <script-file> [args...]")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	args := make([]fargo.ScriptValue, 0, flag.NArg()-1)
+	for _, a := range flag.Args()[1:] {
+		args = append(args, cliutil.SplitListArg(a))
+	}
+
+	reg := fargo.NewRegistry()
+	if err := demo.Register(reg); err != nil {
+		return err
+	}
+	c, addr, err := fargo.ListenTCP(*name, *listen, peers, reg, fargo.Options{})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = c.Shutdown(0) }()
+
+	inst, err := fargo.RunScript(c, string(src), log.Printf, args...)
+	if err != nil {
+		return err
+	}
+	defer inst.Close()
+	log.Printf("fargo-script %s on %s: %s armed with %d argument(s)", *name, addr, flag.Arg(0), len(args))
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("fargo-script: %d rule firing(s); exiting", inst.Fired())
+	return nil
+}

@@ -1,0 +1,69 @@
+// fargo-shell is the command-line administration shell (§3 of the paper
+// lists a shell complet among the system components): it joins a deployment
+// as its own core and lets an administrator inspect and manipulate the
+// layout interactively. Command semantics live in internal/shell; type
+// `help` at the prompt for the list.
+//
+// Usage:
+//
+//	fargo-shell -name shell -peer accadia=host1:7101 -peer lehavim=host2:7102
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fargo"
+	"fargo/internal/cliutil"
+	"fargo/internal/demo"
+	"fargo/internal/shell"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fargo-shell:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name   = flag.String("name", "shell", "shell core name")
+		listen = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		peers  = cliutil.PeerFlags{}
+	)
+	flag.Var(peers, "peer", "peer core as name=host:port (repeatable)")
+	flag.Parse()
+
+	reg := fargo.NewRegistry()
+	if err := demo.Register(reg); err != nil {
+		return err
+	}
+	c, addr, err := fargo.ListenTCP(*name, *listen, peers, reg, fargo.Options{})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = c.Shutdown(0) }()
+	fmt.Printf("fargo shell %s on %s; %d peer(s) seeded. Type 'help'.\n", *name, addr, len(peers))
+
+	sh, err := shell.New(c, os.Stdout)
+	if err != nil {
+		return err
+	}
+	scanner := bufio.NewScanner(os.Stdin)
+	fmt.Print("fargo> ")
+	for scanner.Scan() {
+		if err := sh.Exec(scanner.Text()); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			fmt.Printf("error: %v\n", err)
+		}
+		fmt.Print("fargo> ")
+	}
+	return scanner.Err()
+}

@@ -1,0 +1,105 @@
+// fargo-stubgen generates typed stub wrappers from anchor source — the Go
+// counterpart of the FarGo Compiler (§3.1, §5 of the paper), which accepts
+// the anchor class as input and emits a stub with identical method
+// signatures.
+//
+// Usage:
+//
+//	fargo-stubgen -type Message -out message_stub.go pkgdir/
+//	fargo-stubgen -type Message file1.go file2.go        # explicit files
+//
+// The generated file belongs to the anchor's package; each exported anchor
+// method becomes a typed stub method returning the anchor's results plus an
+// error (every invocation may cross the network).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fargo/internal/stubgen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fargo-stubgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		typeName  = flag.String("type", "", "anchor type name (required)")
+		out       = flag.String("out", "", "output file (default: <type>_stub.go next to the input)")
+		refImport = flag.String("ref-import", "fargo/internal/ref", "import path of the ref package")
+	)
+	flag.Parse()
+	if *typeName == "" {
+		return fmt.Errorf("-type is required")
+	}
+	if flag.NArg() == 0 {
+		return fmt.Errorf("give a package directory or .go files")
+	}
+
+	files := map[string][]byte{}
+	var baseDir string
+	for _, arg := range flag.Args() {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			baseDir = arg
+			entries, err := os.ReadDir(arg)
+			if err != nil {
+				return err
+			}
+			for _, e := range entries {
+				name := e.Name()
+				if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+					strings.HasSuffix(name, "_stub.go") {
+					continue
+				}
+				data, err := os.ReadFile(filepath.Join(arg, name))
+				if err != nil {
+					return err
+				}
+				files[name] = data
+			}
+			continue
+		}
+		if baseDir == "" {
+			baseDir = filepath.Dir(arg)
+		}
+		data, err := os.ReadFile(arg)
+		if err != nil {
+			return err
+		}
+		files[filepath.Base(arg)] = data
+	}
+
+	anchor, err := stubgen.Parse(files, *typeName)
+	if err != nil {
+		return err
+	}
+	code, err := stubgen.Generate(anchor, *refImport)
+	if err != nil {
+		return err
+	}
+	dest := *out
+	if dest == "" {
+		dest = filepath.Join(baseDir, strings.ToLower(*typeName)+"_stub.go")
+	}
+	if err := os.WriteFile(dest, code, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d methods", dest, len(anchor.Methods))
+	if len(anchor.Skipped) > 0 {
+		fmt.Printf(", %d skipped: %s", len(anchor.Skipped), strings.Join(anchor.Skipped, "; "))
+	}
+	fmt.Println(")")
+	return nil
+}

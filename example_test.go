@@ -1,0 +1,82 @@
+package fargo_test
+
+import (
+	"fmt"
+
+	"fargo"
+)
+
+// Note is a minimal anchor type for the examples below.
+type Note struct {
+	Text string
+}
+
+// Init is the constructor invoked by NewComplet.
+func (n *Note) Init(text string) { n.Text = text }
+
+// Read returns the note's text.
+func (n *Note) Read() string { return n.Text }
+
+// Example reproduces the paper's Figure 3 flow: instantiate a complet,
+// move it, and keep invoking through the same reference.
+func Example() {
+	u, _ := fargo.NewUniverse(1)
+	defer u.Close()
+	_ = u.Register("Note", (*Note)(nil))
+	home, _ := u.NewCore("home")
+	_, _ = u.NewCore("accadia")
+
+	note, _ := home.NewComplet("Note", "Hello World")
+	out, _ := note.Invoke("Read")
+	fmt.Println(out[0])
+
+	_ = home.Move(note, "accadia")
+	out, _ = note.Invoke("Read")
+	loc, _ := note.Meta().Location()
+	fmt.Println(out[0], "from", loc)
+	// Output:
+	// Hello World
+	// Hello World from accadia
+}
+
+// ExampleMetaRef shows reference reflection (§3.2): inspecting and replacing
+// a reference's relocation semantics at runtime.
+func ExampleMetaRef() {
+	u, _ := fargo.NewUniverse(1)
+	defer u.Close()
+	_ = u.Register("Note", (*Note)(nil))
+	c, _ := u.NewCore("solo")
+	note, _ := c.NewComplet("Note", "x")
+
+	meta := note.Meta()
+	fmt.Println(meta.Relocator().Kind())
+	if _, isLink := meta.Relocator().(fargo.Link); isLink {
+		_ = meta.SetRelocator(fargo.Pull{})
+	}
+	fmt.Println(meta.Relocator().Kind())
+	// Output:
+	// link
+	// pull
+}
+
+// ExampleCore_Name shows the naming service: logical names keep resolving as
+// their targets migrate.
+func ExampleCore_Name() {
+	u, _ := fargo.NewUniverse(1)
+	defer u.Close()
+	_ = u.Register("Note", (*Note)(nil))
+	a, _ := u.NewCore("a")
+	_, _ = u.NewCore("b")
+
+	note, _ := a.NewComplet("Note", "named note")
+	_ = a.Name("todo", note)
+	_ = a.Move(note, "b")
+
+	if found, ok := a.Lookup("todo"); ok {
+		out, _ := found.Invoke("Read")
+		loc, _ := found.Meta().Location()
+		fmt.Println(out[0], "at", loc)
+	}
+	// Output:
+	// named note at b
+}

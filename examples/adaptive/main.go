@@ -1,0 +1,130 @@
+// Adaptive demonstrates monitoring-driven relocation (§4 of the paper, and
+// experiment E11): a client at an edge site invokes a server complet at a
+// datacenter. Mid-run, the WAN link between them degrades. A relocation
+// policy — expressed with the monitoring API, no changes to client or server
+// code — watches the invocation rate and the link bandwidth, and moves the
+// server next to the client when remote interaction becomes expensive.
+//
+// The program prints the mean invocation latency per phase: healthy link,
+// degraded link (static layout), and degraded link after the adaptive move.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fargo"
+)
+
+// KVServer is a small key-value store complet.
+type KVServer struct {
+	Data map[string]string
+}
+
+// Init prepares the store.
+func (s *KVServer) Init() {
+	s.Data = map[string]string{}
+}
+
+// Put stores a value.
+func (s *KVServer) Put(k, v string) { s.Data[k] = v }
+
+// Get loads a value.
+func (s *KVServer) Get(k string) string { return s.Data[k] }
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	u, err := fargo.NewUniverse(1)
+	if err != nil {
+		return err
+	}
+	defer u.Close()
+	if err := u.Register("KVServer", (*KVServer)(nil)); err != nil {
+		return err
+	}
+	edge, err := u.NewCore("edge")
+	if err != nil {
+		return err
+	}
+	if _, err := u.NewCore("dc"); err != nil {
+		return err
+	}
+
+	// Healthy WAN: 5ms, plenty of bandwidth.
+	healthy := fargo.LinkProfile{Latency: 5 * time.Millisecond, Bandwidth: 64 << 20}
+	degraded := fargo.LinkProfile{Latency: 60 * time.Millisecond, Bandwidth: 1 << 20}
+	if err := u.SetLink("edge", "dc", healthy); err != nil {
+		return err
+	}
+
+	server, err := edge.NewCompletAt("dc", "KVServer")
+	if err != nil {
+		return err
+	}
+	if _, err := server.Invoke("Put", "greeting", "hello"); err != nil {
+		return err
+	}
+
+	measure := func(label string, n int) (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := server.Invoke("Get", "greeting"); err != nil {
+				return 0, err
+			}
+		}
+		mean := time.Since(start) / time.Duration(n)
+		fmt.Printf("%-34s mean latency %8v\n", label, mean.Round(time.Microsecond))
+		return mean, nil
+	}
+
+	if _, err := measure("phase 1: healthy link", 30); err != nil {
+		return err
+	}
+
+	// The WAN degrades.
+	if err := u.SetLink("edge", "dc", degraded); err != nil {
+		return err
+	}
+	static, err := measure("phase 2: degraded link, static", 10)
+	if err != nil {
+		return err
+	}
+
+	// Relocation policy (runs at the edge, no application changes): when
+	// the server is still being called often while the link to its core
+	// is slow, co-locate it with the client.
+	mon := edge.Monitor()
+	rate, err := mon.InstantAt("dc", fargo.ServiceInvocationRate, server.Target().String())
+	if err != nil {
+		return err
+	}
+	lat, err := mon.Instant(fargo.ServiceLatency, "dc")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("policy: rate=%.1f/s latency=%.1fms -> ", rate, lat)
+	if rate > 1 && lat > 20 {
+		fmt.Println("relocating server to edge")
+		if err := edge.Move(server, "edge"); err != nil {
+			return err
+		}
+	} else {
+		fmt.Println("keeping layout")
+	}
+
+	adaptive, err := measure("phase 3: degraded link, adaptive", 30)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("adaptive layout is %.0fx faster than static on the degraded link\n",
+		float64(static)/float64(adaptive))
+	return nil
+}

@@ -1,0 +1,170 @@
+// Agent demonstrates weak mobility with continuations and stamp references
+// (§2 and §3.3 of the paper): an inventory agent visits every site of a
+// deployment. At each site it re-binds — through a stamp reference — to the
+// LOCAL SiteInfo service (the paper's "reconnect to a local printer"
+// example), collects a report line, and moves itself onward by passing its
+// own anchor to the movement primitive with a continuation method.
+//
+//	go run ./examples/agent
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fargo"
+)
+
+// SiteInfo is a stationary per-site service complet.
+type SiteInfo struct {
+	Site  string
+	Load  int
+	Notes string
+}
+
+// Init configures the service.
+func (s *SiteInfo) Init(site string, load int, notes string) {
+	s.Site, s.Load, s.Notes = site, load, notes
+}
+
+// Report describes the site.
+func (s *SiteInfo) Report() string {
+	return fmt.Sprintf("site=%-10s load=%2d (%s)", s.Site, s.Load, s.Notes)
+}
+
+// Agent is the self-moving complet. The Info reference carries stamp
+// semantics, so after every hop it points at the destination's own SiteInfo.
+// The unexported core field is not serialized; the runtime re-injects it at
+// each site through the CoreAware interface.
+type Agent struct {
+	Itinerary []string
+	Report    []string
+	Done      bool
+	Info      *fargo.Ref
+
+	core *fargo.Core
+}
+
+var _ fargo.CoreAware = (*Agent)(nil)
+
+// SetCore implements fargo.CoreAware.
+func (a *Agent) SetCore(c *fargo.Core) { a.core = c }
+
+// Begin installs the stamp reference and starts the journey.
+func (a *Agent) Begin(itinerary []string, info *fargo.Ref) error {
+	if err := info.Meta().SetRelocator(fargo.Stamp{}); err != nil {
+		return err
+	}
+	a.Info = info
+	a.Itinerary = itinerary
+	return a.Visit()
+}
+
+// Visit is the continuation method (§3.3): it runs after each arrival,
+// inspects the local site, and moves the agent to its next stop.
+func (a *Agent) Visit() error {
+	res, err := a.Info.Invoke("Report")
+	if err != nil {
+		a.Report = append(a.Report, "error: "+err.Error())
+	} else {
+		line, _ := res[0].(string)
+		a.Report = append(a.Report, line)
+	}
+	if len(a.Itinerary) == 0 {
+		a.Done = true
+		return nil
+	}
+	next := a.Itinerary[0]
+	a.Itinerary = a.Itinerary[1:]
+	// Self-movement: pass our own anchor to the movement primitive with
+	// Visit as the continuation. MoveSelf defers the move until this
+	// method returns (weak mobility: the running stack never travels).
+	return a.core.MoveSelf(a, fargo.CoreID(next), "Visit", nil)
+}
+
+// Finished reports whether the journey is complete.
+func (a *Agent) Finished() bool { return a.Done }
+
+// Trail returns the collected report.
+func (a *Agent) Trail() []string { return a.Report }
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	u, err := fargo.NewUniverse(1)
+	if err != nil {
+		return err
+	}
+	defer u.Close()
+	if err := u.Register("SiteInfo", (*SiteInfo)(nil)); err != nil {
+		return err
+	}
+	if err := u.Register("Agent", (*Agent)(nil)); err != nil {
+		return err
+	}
+
+	sites := []struct {
+		name  string
+		load  int
+		notes string
+	}{
+		{"haifa", 3, "lab cluster"},
+		{"telaviv", 17, "production"},
+		{"jerusalem", 8, "archive"},
+	}
+	infoRefs := map[string]*fargo.Ref{}
+	for _, s := range sites {
+		c, err := u.NewCore(s.name)
+		if err != nil {
+			return err
+		}
+		info, err := c.NewComplet("SiteInfo", s.name, s.load, s.notes)
+		if err != nil {
+			return err
+		}
+		infoRefs[s.name] = info
+	}
+	home, _ := u.Core("haifa")
+
+	agent, err := home.NewComplet("Agent")
+	if err != nil {
+		return err
+	}
+	// Start the journey: visit telaviv and jerusalem after haifa.
+	if _, err := agent.Invoke("Begin", []string{"telaviv", "jerusalem"}, infoRefs["haifa"]); err != nil {
+		return err
+	}
+
+	// The agent hops asynchronously (continuations run on arrival); poll
+	// its Finished flag through the tracking reference.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		res, err := agent.Invoke("Finished")
+		if err == nil && res[0] == true {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("agent did not finish in time")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	loc, err := agent.Meta().Location()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("agent finished at %s; inventory:\n", loc)
+	res, err := agent.Invoke("Trail")
+	if err != nil {
+		return err
+	}
+	for _, line := range res[0].([]string) {
+		fmt.Println("  " + line)
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+// Failover combines two of this reproduction's future-work features (§7 of
+// the paper: persistence; plus crash detection): a primary core hosting a
+// stateful service is periodically checkpointed; a watchdog core probes it
+// with heartbeats; when the primary crashes — no shutdown protocol, it just
+// goes silent — the watchdog restores the checkpoint into a replacement core
+// of the same name and clients keep going, state intact.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"fargo"
+	"fargo/internal/demo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	u, err := fargo.NewUniverse(1)
+	if err != nil {
+		return err
+	}
+	defer u.Close()
+	if err := demo.Register(u.RegistryHandle()); err != nil {
+		return err
+	}
+	primary, err := u.NewCore("primary")
+	if err != nil {
+		return err
+	}
+	watchdog, err := u.NewCore("watchdog")
+	if err != nil {
+		return err
+	}
+
+	// A stateful service on the primary, with some writes.
+	svc, err := watchdog.NewCompletAt("primary", "KVStore")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := svc.Invoke("Put", fmt.Sprintf("key%d", i), fmt.Sprintf("value%d", i)); err != nil {
+			return err
+		}
+	}
+	if err := primary.Name("the-service", svc); err != nil {
+		return err
+	}
+
+	// Periodic checkpointing (here: once, to a buffer; a daemon would use
+	// CheckpointFile on a schedule).
+	var checkpoint bytes.Buffer
+	if err := primary.Checkpoint(&checkpoint); err != nil {
+		return err
+	}
+	fmt.Printf("checkpointed primary: %d bytes\n", checkpoint.Len())
+
+	// The watchdog probes the primary and recovers on silence.
+	recovered := make(chan error, 1)
+	if _, err := watchdog.Monitor().SubscribeBuiltin(fargo.EventCoreUnreachable, func(ev fargo.Event) {
+		if ev.Source != "primary" {
+			return
+		}
+		fmt.Printf("watchdog: %s unreachable — restoring from checkpoint\n", ev.Source)
+		replacement, err := u.NewCore("primary") // same name: identities resolve again
+		if err != nil {
+			recovered <- err
+			return
+		}
+		n, err := replacement.Restore(bytes.NewReader(checkpoint.Bytes()))
+		if err != nil {
+			recovered <- err
+			return
+		}
+		fmt.Printf("watchdog: restored %d complet(s)\n", n)
+		recovered <- nil
+	}); err != nil {
+		return err
+	}
+	hb, err := watchdog.Monitor().StartHeartbeat([]fargo.CoreID{"primary"}, 50*time.Millisecond, 3)
+	if err != nil {
+		return err
+	}
+	defer hb.Stop()
+
+	// Crash the primary: the process vanishes, nothing is announced.
+	fmt.Println("crashing primary...")
+	if err := primary.ShutdownAbrupt(); err != nil {
+		return err
+	}
+	select {
+	case err := <-recovered:
+		if err != nil {
+			return fmt.Errorf("recovery failed: %w", err)
+		}
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("watchdog never recovered the primary")
+	}
+
+	// Clients resume against the same identities — state intact.
+	svc2, ok := watchdogLookup(u, "the-service")
+	if !ok {
+		return fmt.Errorf("service name lost after failover")
+	}
+	for i := 0; i < 5; i++ {
+		res, err := svc2.Invoke("Get", fmt.Sprintf("key%d", i))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("after failover: key%d = %v\n", i, res[0])
+	}
+	return nil
+}
+
+// watchdogLookup resolves the service name at the restored primary.
+func watchdogLookup(u *fargo.Universe, name string) (*fargo.Ref, bool) {
+	replacement, ok := u.Core("primary")
+	if !ok {
+		return nil, false
+	}
+	return replacement.Lookup(name)
+}

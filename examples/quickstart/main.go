@@ -1,0 +1,96 @@
+// Quickstart reproduces Figure 3 of the paper: define a Message complet,
+// instantiate it, move it to another core ("accadia"), and keep invoking it
+// through the same reference — location-transparently.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fargo"
+)
+
+// Message is the complet anchor from Figure 3. Any exported method is
+// remotely invocable; Init is the constructor.
+type Message struct {
+	Msg string
+}
+
+// Init is invoked with the instantiation arguments (Figure 3's constructor).
+func (m *Message) Init(msg string) { m.Msg = msg }
+
+// Print returns the message (the paper's print method).
+func (m *Message) Print() string { return m.Msg }
+
+// Set replaces the message.
+func (m *Message) Set(msg string) { m.Msg = msg }
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A simulated two-core deployment; swap for fargo.ListenTCP to run
+	// across real machines.
+	u, err := fargo.NewUniverse(1)
+	if err != nil {
+		return err
+	}
+	defer u.Close()
+	if err := u.Register("Message", (*Message)(nil)); err != nil {
+		return err
+	}
+	local, err := u.NewCore("local")
+	if err != nil {
+		return err
+	}
+	if _, err := u.NewCore("accadia"); err != nil {
+		return err
+	}
+
+	// Message msg = new Message_("Hello World");
+	msg, err := local.NewComplet("Message", "Hello World")
+	if err != nil {
+		return err
+	}
+	out, err := msg.Invoke("Print")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("before move: %v (at %v)\n", out[0], must(msg.Meta().Location()))
+
+	// Carrier.move(msg, "accadia");
+	if err := local.Move(msg, "accadia"); err != nil {
+		return err
+	}
+
+	// msg.print(); — the same reference, now transparently remote.
+	out, err = msg.Invoke("Print")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after move:  %v (at %v)\n", out[0], must(msg.Meta().Location()))
+
+	// The reference's relocation semantics are reifiable (§3.2): inspect
+	// and change the relocator through the meta-reference.
+	meta := msg.Meta()
+	fmt.Printf("relocator:   %s\n", meta.Relocator().Kind())
+	if _, ok := meta.Relocator().(fargo.Link); ok {
+		if err := meta.SetRelocator(fargo.Pull{}); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("relocator:   %s (after setRelocator)\n", meta.Relocator().Kind())
+	return nil
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}

@@ -1,0 +1,40 @@
+package fargo_test
+
+import (
+	"context"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example program end to end: each must exit
+// zero within its deadline. This keeps the examples honest as the API
+// evolves. Skipped with -short (each run compiles a binary).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run skipped in -short mode")
+	}
+	examples := []string{
+		"./examples/quickstart",
+		"./examples/pipeline",
+		"./examples/adaptive",
+		"./examples/agent",
+		"./examples/failover",
+	}
+	for _, dir := range examples {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", dir)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", dir)
+			}
+		})
+	}
+}

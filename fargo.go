@@ -1,0 +1,304 @@
+// Package fargo is a Go reproduction of the FarGo system (Holder, Ben-Shaul,
+// Gazit: "System Support for Dynamic Layout of Distributed Applications",
+// ICDCS 1999): a distributed component runtime in which the layout of an
+// application — which core each component lives on — is programmed separately
+// from its logic, can change while the application runs, and can be driven
+// automatically by monitoring data.
+//
+// # Concepts
+//
+// A complet is a component: a registered Go type whose instance (the anchor)
+// is hosted by exactly one Core at a time and addressed through complet
+// references (Ref). References stay valid as complets migrate; their
+// relocation semantics (link, pull, duplicate, stamp) are reified by a
+// meta-reference and govern what happens to the target when the referring
+// complet moves. Cores are stationary runtimes connected by a transport —
+// real TCP or a simulated network with configurable latency and bandwidth.
+//
+// # Quick start
+//
+//	u, _ := fargo.NewUniverse(1)
+//	defer u.Close()
+//	u.Register("Message", (*Message)(nil))
+//	north, _ := u.NewCore("north")
+//	south, _ := u.NewCore("south")
+//	_ = south
+//
+//	msg, _ := north.NewComplet("Message", "hello")
+//	out, _ := msg.Invoke("Print")            // invoke like a local object
+//	_ = north.Move(msg, "south")             // relocate at runtime
+//	out, _ = msg.Invoke("Print")             // same reference still works
+//	_ = out
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// paper-to-module mapping.
+package fargo
+
+import (
+	"fmt"
+	"time"
+
+	"fargo/internal/core"
+	"fargo/internal/ids"
+	"fargo/internal/layoutview"
+	"fargo/internal/netsim"
+	"fargo/internal/ref"
+	"fargo/internal/registry"
+	"fargo/internal/script"
+	"fargo/internal/transport"
+)
+
+// Core is a FarGo runtime instance hosting complets. See the methods of
+// internal/core.Core: NewComplet, Move, Name, Monitor, …
+type Core = core.Core
+
+// Ref is a complet reference — the stub application code holds and invokes
+// through.
+type Ref = ref.Ref
+
+// MetaRef reifies a reference's relocation semantics (Ref.Meta).
+type MetaRef = ref.MetaRef
+
+// Relocator governs a reference's behaviour when its complet moves.
+type Relocator = ref.Relocator
+
+// The predefined relocators (§2 of the paper).
+type (
+	// Link keeps a tracked remote reference (the default).
+	Link = ref.Link
+	// Pull moves the target along with the source.
+	Pull = ref.Pull
+	// Duplicate ships a copy of the target along with the source.
+	Duplicate = ref.Duplicate
+	// Stamp re-binds to an equivalent-typed complet at the destination.
+	Stamp = ref.Stamp
+)
+
+// CompletID identifies a complet instance; CoreID names a core.
+type (
+	CompletID = ids.CompletID
+	CoreID    = ids.CoreID
+)
+
+// Event is a monitoring event; Listener consumes events.
+type (
+	Event    = core.Event
+	Listener = core.Listener
+)
+
+// SubscribeOptions parameterizes threshold-event subscriptions.
+type SubscribeOptions = core.SubscribeOptions
+
+// Registry holds the anchor types a core can instantiate and receive.
+type Registry = registry.Registry
+
+// LinkProfile configures a simulated network link.
+type LinkProfile = netsim.LinkProfile
+
+// Options configures a core.
+type Options = core.Options
+
+// Built-in profiling services and events (see §4 of the paper).
+const (
+	ServiceCompletLoad     = core.ServiceCompletLoad
+	ServiceMemory          = core.ServiceMemory
+	ServiceLatency         = core.ServiceLatency
+	ServiceBandwidth       = core.ServiceBandwidth
+	ServiceInvocationRate  = core.ServiceInvocationRate
+	ServiceInvocationCount = core.ServiceInvocationCount
+	ServiceCompletSize     = core.ServiceCompletSize
+	ServiceCapacityFree    = core.ServiceCapacityFree
+
+	EventCompletArrived  = core.EventCompletArrived
+	EventCompletDeparted = core.EventCompletDeparted
+	EventCoreShutdown    = core.EventCoreShutdown
+	EventCoreUnreachable = core.EventCoreUnreachable
+)
+
+// MoveContext gives user-defined relocators the facts of an ongoing move.
+type MoveContext = ref.MoveContext
+
+// Action is the movement behaviour a relocator selects.
+type Action = ref.Action
+
+// Relocator actions (§2).
+const (
+	ActionLink      = ref.ActionLink
+	ActionPull      = ref.ActionPull
+	ActionDuplicate = ref.ActionDuplicate
+	ActionStamp     = ref.ActionStamp
+)
+
+// RegisterRelocator registers a user-defined relocator kind (see
+// ref.RegisterRelocator).
+func RegisterRelocator(kind string, decode func(data []byte) (Relocator, error)) error {
+	return ref.RegisterRelocator(kind, decode)
+}
+
+// NewRegistry returns an empty anchor type registry.
+func NewRegistry() *Registry { return registry.New() }
+
+// Universe is a simulated deployment: a set of cores over an in-process
+// network with configurable latency, bandwidth and failures. It is the
+// substrate for examples, tests and experiments (see DESIGN.md
+// substitutions); production deployments use ListenTCP instead.
+type Universe struct {
+	net   *netsim.Network
+	reg   *registry.Registry
+	cores map[ids.CoreID]*core.Core
+}
+
+// NewUniverse creates an empty simulated deployment. The seed drives link
+// jitter, making runs reproducible.
+func NewUniverse(seed int64) (*Universe, error) {
+	return &Universe{
+		net:   netsim.NewNetwork(seed),
+		reg:   registry.New(),
+		cores: make(map[ids.CoreID]*core.Core),
+	}, nil
+}
+
+// Register adds an anchor type, shared by all cores of the universe.
+// The prototype is a nil pointer of the anchor type: ("Message",
+// (*Message)(nil)).
+func (u *Universe) Register(name string, prototype any) error {
+	return u.reg.Register(name, prototype)
+}
+
+// NewCore starts a core on the simulated network.
+func (u *Universe) NewCore(name string, opts ...Options) (*Core, error) {
+	var o Options
+	if len(opts) > 1 {
+		return nil, fmt.Errorf("fargo: at most one Options value")
+	}
+	if len(opts) == 1 {
+		o = opts[0]
+	}
+	tr, err := transport.NewSim(u.net, ids.CoreID(name))
+	if err != nil {
+		return nil, err
+	}
+	c, err := core.New(tr, u.reg, o)
+	if err != nil {
+		return nil, err
+	}
+	u.cores[ids.CoreID(name)] = c
+	return c, nil
+}
+
+// Core returns a previously created core by name.
+func (u *Universe) Core(name string) (*Core, bool) {
+	c, ok := u.cores[ids.CoreID(name)]
+	return c, ok
+}
+
+// SetLink configures both directions of the link between two cores.
+func (u *Universe) SetLink(a, b string, p LinkProfile) error {
+	return u.net.SetLink(a, b, p)
+}
+
+// Partition cuts (or heals) the link between two cores.
+func (u *Universe) Partition(a, b string, cut bool) error {
+	return u.net.SetPartition(a, b, cut)
+}
+
+// Network exposes the underlying simulator (experiment harness support:
+// per-link message statistics, host failures).
+func (u *Universe) Network() *netsim.Network { return u.net }
+
+// RegistryHandle exposes the universe's shared type registry (for callers
+// that register types through helper packages).
+func (u *Universe) RegistryHandle() *Registry { return u.reg }
+
+// Close shuts down every core, then the network.
+func (u *Universe) Close() {
+	for _, c := range u.cores {
+		_ = c.Shutdown(0)
+	}
+	u.net.Close()
+}
+
+// ListenTCP starts a core listening on a real TCP address. peers seeds the
+// address book (core name -> host:port); more peers are learned dynamically
+// from connection handshakes. The returned address is the bound listen
+// address (useful with ":0").
+func ListenTCP(name, listenAddr string, peers map[string]string, reg *Registry, opts Options) (*Core, string, error) {
+	seed := make(map[ids.CoreID]string, len(peers))
+	for k, v := range peers {
+		seed[ids.CoreID(k)] = v
+	}
+	tr, err := transport.NewTCP(ids.CoreID(name), listenAddr, transport.NewAddrBook(seed))
+	if err != nil {
+		return nil, "", err
+	}
+	c, err := core.New(tr, reg, opts)
+	if err != nil {
+		_ = tr.Close()
+		return nil, "", err
+	}
+	return c, tr.Addr(), nil
+}
+
+// ScriptValue is a positional argument for layout scripts: string, float64
+// or a list of values.
+type ScriptValue = script.Value
+
+// ScriptInstance is a running layout script; Close disarms its rules.
+type ScriptInstance = script.Instance
+
+// RunScript parses and activates a layout script (§4.3) on the given core.
+// logf receives `log` action output and rule diagnostics (nil discards).
+func RunScript(c *Core, src string, logf func(format string, args ...any), args ...ScriptValue) (*ScriptInstance, error) {
+	rt, err := script.NewCoreRuntime(c, logf)
+	if err != nil {
+		return nil, err
+	}
+	return script.Run(src, rt, args...)
+}
+
+// ParseScript parses layout-script source without activating it (syntax
+// checking, tooling).
+func ParseScript(src string) (*script.Script, error) { return script.Parse(src) }
+
+// LayoutView is a live model of which complets reside on which cores — the
+// monitor's (Figure 4) data model.
+type LayoutView = layoutview.View
+
+// NewLayoutView builds and starts a layout view that watches the given cores
+// through the observer core.
+func NewLayoutView(observer *Core, cores []CoreID) (*LayoutView, error) {
+	v := layoutview.New(observer, cores)
+	if err := v.Start(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// RegisterScriptAction registers an extension action callable from layout
+// scripts as name(args...).
+func RegisterScriptAction(name string, fn func(args []ScriptValue) error) error {
+	return script.RegisterAction(name, func(_ script.Runtime, args []script.Value) error {
+		return fn(args)
+	})
+}
+
+// Movement callbacks (§3.3): anchors implement any subset.
+type (
+	// PreDeparture is invoked before movement at the sending core.
+	PreDeparture = core.PreDeparture
+	// PreArrival is invoked after decoding, before reference linking.
+	PreArrival = core.PreArrival
+	// PostArrival is invoked once the complet is fully installed.
+	PostArrival = core.PostArrival
+	// PostDeparture is invoked before the old copy is released.
+	PostDeparture = core.PostDeparture
+)
+
+// CoreAware is implemented by anchors that need their hosting core (e.g. to
+// move themselves). The runtime injects it at installation and after every
+// migration.
+type CoreAware = core.CoreAware
+
+// DefaultGrace is a reasonable shutdown grace period allowing layout
+// policies to evacuate complets.
+const DefaultGrace = 2 * time.Second

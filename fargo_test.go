@@ -1,0 +1,284 @@
+package fargo_test
+
+import (
+	"testing"
+	"time"
+
+	"fargo"
+	"fargo/internal/demo"
+)
+
+// greeter is a minimal anchor used by public-API tests.
+type greeter struct {
+	Who string
+}
+
+func (g *greeter) Init(who string) { g.Who = who }
+func (g *greeter) Greet() string   { return "hello " + g.Who }
+
+func newTestUniverse(t *testing.T, cores ...string) *fargo.Universe {
+	t.Helper()
+	u, err := fargo.NewUniverse(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Register("Greeter", (*greeter)(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := demo.Register(u.RegistryHandle()); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cores {
+		if _, err := u.NewCore(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(u.Close)
+	return u
+}
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	u := newTestUniverse(t, "north", "south")
+	north, _ := u.Core("north")
+
+	msg, err := north.NewComplet("Greeter", "world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := msg.Invoke("Greet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != "hello world" {
+		t.Fatalf("Greet = %v", out[0])
+	}
+	if err := north.Move(msg, "south"); err != nil {
+		t.Fatal(err)
+	}
+	out, err = msg.Invoke("Greet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != "hello world" {
+		t.Fatalf("Greet after move = %v", out[0])
+	}
+	loc, err := msg.Meta().Location()
+	if err != nil || loc != "south" {
+		t.Fatalf("Location = %v, %v", loc, err)
+	}
+}
+
+func TestPublicAPIRelocatorChange(t *testing.T) {
+	u := newTestUniverse(t, "a")
+	a, _ := u.Core("a")
+	r, err := a.NewComplet("Greeter", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Meta().Relocator().(fargo.Link); !ok {
+		t.Fatalf("default relocator %T", r.Meta().Relocator())
+	}
+	if err := r.Meta().SetRelocator(fargo.Pull{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Meta().Relocator().(fargo.Pull); !ok {
+		t.Fatalf("relocator after set %T", r.Meta().Relocator())
+	}
+}
+
+func TestPublicAPIMonitoring(t *testing.T) {
+	u := newTestUniverse(t, "a", "b")
+	a, _ := u.Core("a")
+	if _, err := a.NewComplet("Greeter", "x"); err != nil {
+		t.Fatal(err)
+	}
+	load, err := a.Monitor().Instant(fargo.ServiceCompletLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load != 1 {
+		t.Fatalf("completLoad = %v", load)
+	}
+	got := make(chan fargo.Event, 1)
+	if _, err := a.Monitor().SubscribeAt("b", fargo.SubscribeOptions{Service: fargo.EventCompletArrived}, func(ev fargo.Event) {
+		select {
+		case got <- ev:
+		default:
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.NewComplet("Greeter", "mover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Move(r, "b"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-got:
+		if ev.Complet != r.Target() {
+			t.Fatalf("event = %+v", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("arrival event not delivered")
+	}
+}
+
+func TestPublicAPIScript(t *testing.T) {
+	u := newTestUniverse(t, "a", "safe")
+	a, _ := u.Core("a")
+	r, err := a.NewComplet("Greeter", "evacuee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := fargo.RunScript(a, `
+on shutdown firedby $c listenAt %1 do
+  move completsIn $c to safe
+end`, t.Logf, []fargo.ScriptValue{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	_ = r
+	if _, err := fargo.ParseScript("on shutdown do"); err == nil {
+		t.Fatal("ParseScript should reject bad source")
+	}
+}
+
+func TestPublicAPILayoutView(t *testing.T) {
+	u := newTestUniverse(t, "a", "b", "viewer")
+	viewer, _ := u.Core("viewer")
+	view, err := fargo.NewLayoutView(viewer, []fargo.CoreID{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer view.Close()
+	r, err := viewer.NewCompletAt("a", "Greeter", "tracked")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := view.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if where, ok := view.Where(r.Target()); !ok || where != "a" {
+		t.Fatalf("view shows %v, %v", where, ok)
+	}
+	if err := viewer.Move(r, "b"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if where, ok := view.Where(r.Target()); ok && where == "b" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("view never tracked the move")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if view.Render() == "" {
+		t.Fatal("Render returned nothing")
+	}
+}
+
+// tetherReloc is a user-defined relocator registered through the public API:
+// pull the target while it is co-located, otherwise keep a link (§3.3's
+// extensible Relocator hierarchy).
+type tetherReloc struct{}
+
+func (tetherReloc) Kind() string { return "tether-public" }
+func (tetherReloc) Action(ctx fargo.MoveContext) fargo.Action {
+	if ctx.TargetLocal {
+		return fargo.ActionPull
+	}
+	return fargo.ActionLink
+}
+
+func TestPublicAPICustomRelocator(t *testing.T) {
+	if err := fargo.RegisterRelocator("tether-public", func([]byte) (fargo.Relocator, error) {
+		return tetherReloc{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	u := newTestUniverse(t, "x", "y")
+	x, _ := u.Core("x")
+	target, err := x.NewComplet("Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := x.NewComplet("Hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.Invoke("Attach", target, "tether-public"); err != nil {
+		t.Fatal(err)
+	}
+	// Co-located: the tether pulls the target along.
+	if err := x.Move(hub, "y"); err != nil {
+		t.Fatal(err)
+	}
+	y, _ := u.Core("y")
+	if y.CompletCount() != 2 {
+		t.Fatalf("y hosts %d complets, want 2 (tether pulled)", y.CompletCount())
+	}
+	// Now separate them: move only the target back to x; then moving the
+	// hub again must NOT drag the (now remote) target.
+	if err := y.MoveByID(target.Target(), "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := y.Move(hub, "x"); err != nil {
+		t.Fatal(err)
+	}
+	// Hub and target both on x now; tether pulled again? They were
+	// remote at encode time, so the hub moved alone — both are on x only
+	// because the target was moved explicitly first.
+	x2, _ := u.Core("x")
+	if x2.CompletCount() != 2 {
+		t.Fatalf("x hosts %d, want 2", x2.CompletCount())
+	}
+}
+
+func TestPublicAPITCPDeployment(t *testing.T) {
+	reg := fargo.NewRegistry()
+	if err := reg.Register("Greeter", (*greeter)(nil)); err != nil {
+		t.Fatal(err)
+	}
+	a, addrA, err := fargo.ListenTCP("tcp-a", "127.0.0.1:0", nil, reg, fargo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Shutdown(0) }()
+	regB := fargo.NewRegistry()
+	if err := regB.Register("Greeter", (*greeter)(nil)); err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := fargo.ListenTCP("tcp-b", "127.0.0.1:0", map[string]string{"tcp-a": addrA}, regB, fargo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Shutdown(0) }()
+
+	r, err := b.NewCompletAt("tcp-a", "Greeter", "over tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Invoke("Greet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != "hello over tcp" {
+		t.Fatalf("Greet = %v", out[0])
+	}
+	// Move across real TCP and invoke again.
+	if err := b.Move(r, "tcp-b"); err != nil {
+		t.Fatal(err)
+	}
+	out, err = r.Invoke("Greet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != "hello over tcp" {
+		t.Fatalf("Greet after TCP move = %v", out[0])
+	}
+}

@@ -1,0 +1,3 @@
+module fargo
+
+go 1.22

@@ -1,0 +1,176 @@
+package fargo_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"fargo"
+	"fargo/internal/demo"
+)
+
+// TestIntegrationRegionalService runs one application through the whole
+// system: deployment across regions, live traffic, script-driven relocation
+// with a compound guard, capacity-aware placement, crash recovery from a
+// checkpoint, and a final layout audit via the monitor's view model.
+func TestIntegrationRegionalService(t *testing.T) {
+	u, err := fargo.NewUniverse(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	if err := demo.Register(u.RegistryHandle()); err != nil {
+		t.Fatal(err)
+	}
+	for _, region := range []string{"us", "eu", "asia", "admin"} {
+		if _, err := u.NewCore(region); err != nil {
+			t.Fatal(err)
+		}
+	}
+	admin, _ := u.Core("admin")
+
+	// --- Phase 1: deploy and generate traffic --------------------------------
+	store, err := admin.NewCompletAt("us", "KVStore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frontend, err := admin.NewCompletAt("eu", "Hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.NameAt("us", "store", store); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := frontend.Invoke("Attach", store, "link"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := store.Invoke("Put", fmt.Sprintf("doc%d", i), "body"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// --- Phase 2: script-driven co-location with a compound guard ------------
+	// The EU frontend hammers the US store; the rule co-locates them, but
+	// only while the USTORE side still has headroom (capacityFree guard —
+	// §4.1's compound-policy style).
+	script := `
+$comps = %1
+on methodInvokeRate(3) from $comps[0] to $comps[1] every 50
+  when capacityFree() >= 1
+do
+  move $comps[1] to coreOf $comps[0]
+end`
+	inst, err := fargo.RunScript(admin, script, t.Logf,
+		[]fargo.ScriptValue{frontend.Target().String(), store.Target().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	store.SetOwner(frontend.Target())
+	stopTraffic := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(5 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				_, _ = store.Invoke("Get", "doc1")
+			case <-stopTraffic:
+				return
+			}
+		}
+	}()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		loc, err := admin.LocateComplet(store.Target())
+		if err == nil && loc == "eu" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("script never co-located the store with the frontend (at %v, %v)", loc, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stopTraffic)
+
+	// The name bound at "us" still resolves post-move.
+	named, ok, err := admin.LookupAt("us", "store")
+	if err != nil || !ok {
+		t.Fatalf("name lookup after move: %v %v", ok, err)
+	}
+	if v, err := named.Invoke("Get", "doc1"); err != nil || v[0] != "body" {
+		t.Fatalf("named access: %v %v", v, err)
+	}
+
+	// --- Phase 3: capacity-aware placement ------------------------------------
+	asia, _ := u.Core("asia")
+	asia.SetCapacity(1)
+	if _, err := admin.NewCompletAt("asia", "Counter"); err != nil {
+		t.Fatal(err)
+	}
+	// asia is now full; negotiation must place the analytics complet on
+	// the least-loaded remaining region instead.
+	analytics, err := admin.NewComplet("Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chosen, err := admin.MoveToBest(analytics, []fargo.CoreID{"asia", "us"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen != "us" {
+		t.Fatalf("negotiated placement = %v, want us (asia is full)", chosen)
+	}
+
+	// --- Phase 4: crash recovery from a checkpoint -----------------------------
+	eu, _ := u.Core("eu")
+	var ckpt bytes.Buffer
+	if err := eu.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if err := eu.ShutdownAbrupt(); err != nil {
+		t.Fatal(err)
+	}
+	eu2, err := u.NewCore("eu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := eu2.Restore(bytes.NewReader(ckpt.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored < 2 { // frontend + store moved there in phase 2
+		t.Fatalf("restored %d complets, want >= 2", restored)
+	}
+	if v, err := store.Invoke("Get", "doc19"); err != nil || v[0] != "body" {
+		t.Fatalf("store state after crash recovery: %v %v", v, err)
+	}
+
+	// --- Phase 5: layout audit via the monitor's view --------------------------
+	view, err := fargo.NewLayoutView(admin, []fargo.CoreID{"us", "eu", "asia"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer view.Close()
+	for _, check := range []struct {
+		id   fargo.CompletID
+		want fargo.CoreID
+	}{
+		{store.Target(), "eu"},
+		{frontend.Target(), "eu"},
+		{analytics.Target(), "us"},
+	} {
+		where, ok := view.Where(check.id)
+		if !ok || where != check.want {
+			t.Errorf("view: %s at %v (%v), want %v", check.id, where, ok, check.want)
+		}
+		// Cross-check the view against the tracker machinery.
+		loc, err := admin.LocateComplet(check.id)
+		if err != nil || loc != check.want {
+			t.Errorf("locate: %s at %v (%v), want %v", check.id, loc, err, check.want)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Package cliutil holds small helpers shared by the fargo command-line
+// binaries: repeatable -peer name=addr flags and script-argument parsing.
+package cliutil
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PeerFlags accumulates repeated `-peer name=host:port` flags. It implements
+// flag.Value.
+type PeerFlags map[string]string
+
+// String implements flag.Value.
+func (p PeerFlags) String() string {
+	parts := make([]string, 0, len(p))
+	for k, v := range p {
+		parts = append(parts, k+"="+v)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// Set implements flag.Value.
+func (p PeerFlags) Set(v string) error {
+	name, addr, ok := strings.Cut(v, "=")
+	if !ok || name == "" || addr == "" {
+		return fmt.Errorf("peer must be name=host:port, got %q", v)
+	}
+	p[name] = addr
+	return nil
+}
+
+// SplitListArg turns a comma-separated CLI word into a script value: a
+// single string, or a list of trimmed strings when commas are present.
+func SplitListArg(arg string) any {
+	if !strings.Contains(arg, ",") {
+		return arg
+	}
+	parts := strings.Split(arg, ",")
+	out := make([]any, len(parts))
+	for i, p := range parts {
+		out[i] = strings.TrimSpace(p)
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+package cliutil
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPeerFlags(t *testing.T) {
+	p := PeerFlags{}
+	if err := p.Set("a=host1:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set("b=host2:2"); err != nil {
+		t.Fatal(err)
+	}
+	if p["a"] != "host1:1" || p["b"] != "host2:2" {
+		t.Fatalf("peers = %v", p)
+	}
+	if got := p.String(); got != "a=host1:1,b=host2:2" {
+		t.Fatalf("String = %q", got)
+	}
+	for _, bad := range []string{"", "x", "=addr", "name="} {
+		if err := p.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSplitListArg(t *testing.T) {
+	if got := SplitListArg("solo"); got != "solo" {
+		t.Fatalf("solo = %v", got)
+	}
+	got, ok := SplitListArg("a, b,c").([]any)
+	if !ok || fmt.Sprint(got) != "[a b c]" {
+		t.Fatalf("list = %v", got)
+	}
+}

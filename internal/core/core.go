@@ -1,0 +1,495 @@
+// Package core implements the FarGo Core (§3, Figure 1): the stationary
+// runtime that hosts complets and realizes complet references, invocation,
+// movement, naming and monitoring. One Core runs per (real or simulated)
+// process; complets migrate between Cores while the Cores themselves stay
+// put.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"fargo/internal/ids"
+	"fargo/internal/ref"
+	"fargo/internal/registry"
+	"fargo/internal/transport"
+	"fargo/internal/wire"
+)
+
+var (
+	// ErrClosed is returned when using a core after Shutdown.
+	ErrClosed = errors.New("core: shut down")
+	// ErrUnknownComplet is returned when a complet cannot be located:
+	// neither hosted here nor known to any tracker.
+	ErrUnknownComplet = errors.New("core: unknown complet")
+	// ErrTrackingLoop is returned when a tracker chain exceeds the hop
+	// budget (a cycle or a very stale topology).
+	ErrTrackingLoop = errors.New("core: tracking loop or chain too long")
+)
+
+// maxHops bounds tracker-chain traversal.
+const maxHops = 64
+
+// defaultRequestTimeout bounds inter-core requests issued on behalf of
+// application calls.
+const defaultRequestTimeout = 30 * time.Second
+
+// complet is the repository entry for one hosted complet instance.
+type complet struct {
+	id       ids.CompletID
+	typeName string
+	anchor   any
+	// moveMu orders invocation against movement: invocations hold R for
+	// their whole execution, movement holds W. An invocation therefore
+	// never observes a half-moved complet.
+	moveMu sync.RWMutex
+	// gone is set (under W) once the complet has moved away; readers that
+	// were blocked on moveMu re-route through the tracker.
+	gone bool
+}
+
+// tracker is the per-core tracking record for one complet (§3.1). At most one
+// tracker per complet exists per core, no matter how many references point to
+// it — the scalability property of the stub/tracker split.
+type tracker struct {
+	mu    sync.Mutex
+	local bool
+	next  ids.CoreID // valid when !local
+}
+
+func (t *tracker) point() (local bool, next ids.CoreID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.local, t.next
+}
+
+func (t *tracker) setLocal() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.local, t.next = true, ""
+}
+
+func (t *tracker) setForward(next ids.CoreID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.local, t.next = false, next
+}
+
+// shorten repoints a forwarding tracker at loc (chain shortening, §3.1). It
+// deliberately never downgrades a local tracker: "local" is authoritative
+// repository state (set by install, cleared only by remove), while shorten
+// carries possibly stale information from an invocation reply — overwriting
+// local state with it can weave a cycle between two cores that are moving a
+// complet back and forth.
+func (t *tracker) shorten(loc, self ids.CoreID) {
+	if loc == self {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.local {
+		return
+	}
+	t.next = loc
+}
+
+// Options configures a Core.
+type Options struct {
+	// RequestTimeout bounds individual inter-core requests (not whole
+	// chains). Zero means a 30s default.
+	RequestTimeout time.Duration
+	// Logf receives diagnostic output; nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Core is a FarGo runtime instance.
+type Core struct {
+	id   ids.CoreID
+	tr   transport.Transport
+	reg  *registry.Registry
+	mint *ids.CompletIDs
+	opts Options
+
+	mu       sync.Mutex
+	complets map[ids.CompletID]*complet
+	trackers map[ids.CompletID]*tracker
+	byAnchor map[any]ids.CompletID
+	names    map[string]*ref.Ref
+	peers    map[ids.CoreID]struct{} // cores seen on the wire
+	closed   bool
+	// homeTracking enables the home-based location service (§7 future
+	// work; E9 ablation).
+	homeTracking bool
+	// capacity is the admission-control complet budget (0 = unlimited;
+	// see capacity.go).
+	capacity int
+
+	// moveOpMu serializes outgoing movement operations on this core,
+	// which keeps multi-complet lock acquisition deadlock-free.
+	moveOpMu sync.Mutex
+
+	mon   *Monitor
+	homes homeTable
+
+	wg sync.WaitGroup
+}
+
+// New constructs a core on the given transport. The registry holds the anchor
+// types this core can instantiate and receive.
+func New(tr transport.Transport, reg *registry.Registry, opts Options) (*Core, error) {
+	if tr == nil || reg == nil {
+		return nil, fmt.Errorf("core: transport and registry are required")
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = defaultRequestTimeout
+	}
+	if opts.Logf == nil {
+		opts.Logf = log.Printf
+	}
+	wire.RegisterWireTypes()
+	c := &Core{
+		id:       tr.Self(),
+		tr:       tr,
+		reg:      reg,
+		mint:     ids.NewCompletIDs(tr.Self()),
+		opts:     opts,
+		complets: make(map[ids.CompletID]*complet),
+		trackers: make(map[ids.CompletID]*tracker),
+		byAnchor: make(map[any]ids.CompletID),
+		names:    make(map[string]*ref.Ref),
+		peers:    make(map[ids.CoreID]struct{}),
+	}
+	c.mon = newMonitor(c)
+	tr.SetHandler(c.handle)
+	return c, nil
+}
+
+// ID returns the core's identity.
+func (c *Core) ID() ids.CoreID { return c.id }
+
+// Registry returns the core's anchor type registry.
+func (c *Core) Registry() *registry.Registry { return c.reg }
+
+// Monitor returns the core's monitoring facility (profiling and events).
+func (c *Core) Monitor() *Monitor { return c.mon }
+
+// Shutdown announces the shutdown to peers (firing the coreShutdown event so
+// relocation policies can evacuate complets), waits grace time for resulting
+// movement, then stops the core and its transport.
+func (c *Core) Shutdown(grace time.Duration) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	peers := make([]ids.CoreID, 0, len(c.peers))
+	for p := range c.peers {
+		peers = append(peers, p)
+	}
+	c.mu.Unlock()
+
+	// Fire the local built-in event and notify peers, so listeners (e.g.
+	// the reliability rule of the example script) can evacuate complets
+	// during the grace period. Notices are best-effort: peers that are
+	// already gone themselves simply miss the news.
+	c.mon.fireBuiltin(EventCoreShutdown, ids.CompletID{}, "")
+	for _, p := range peers {
+		_ = c.tr.Notify(p, wire.KindShutdownNotice, nil)
+	}
+	if grace > 0 {
+		time.Sleep(grace)
+	}
+
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+
+	c.mon.close()
+	err := c.tr.Close()
+	c.wg.Wait()
+	return err
+}
+
+// ShutdownAbrupt stops the core immediately — no shutdown event, no notices,
+// no grace. It simulates a crash for failure-detection tests and experiments
+// (peers find out through heartbeats, not announcements).
+func (c *Core) ShutdownAbrupt() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.mon.close()
+	err := c.tr.Close()
+	c.wg.Wait()
+	return err
+}
+
+// isClosed reports whether the core has shut down.
+func (c *Core) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// notePeer records a core seen on the wire (for shutdown notices and the
+// monitor's peer list).
+func (c *Core) notePeer(p ids.CoreID) {
+	if p == c.id || p.Nil() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.peers[p] = struct{}{}
+}
+
+// Peers lists cores this core has communicated with.
+func (c *Core) Peers() []ids.CoreID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ids.CoreID, 0, len(c.peers))
+	for p := range c.peers {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CoreAware is implemented by anchors that need access to their hosting
+// core — e.g. to move themselves (§3.3) or to use the monitoring API. The
+// runtime calls SetCore when the complet is installed, and again on every
+// core it migrates to. SetCore must only store the pointer.
+type CoreAware interface {
+	SetCore(c *Core)
+}
+
+// --- repository ------------------------------------------------------------
+
+// install registers a complet hosted by this core and marks its tracker
+// local.
+func (c *Core) install(id ids.CompletID, typeName string, anchor any) *complet {
+	if ca, ok := anchor.(CoreAware); ok {
+		ca.SetCore(c)
+	}
+	entry := &complet{id: id, typeName: typeName, anchor: anchor}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.complets[id] = entry
+	c.byAnchor[anchor] = id
+	t, ok := c.trackers[id]
+	if !ok {
+		t = &tracker{}
+		c.trackers[id] = t
+	}
+	t.setLocal()
+	return entry
+}
+
+// lookup returns the repository entry for a locally hosted complet.
+func (c *Core) lookup(id ids.CompletID) (*complet, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entry, ok := c.complets[id]
+	return entry, ok
+}
+
+// remove unregisters a complet after it moved away, pointing its tracker at
+// the destination.
+func (c *Core) remove(id ids.CompletID, movedTo ids.CoreID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if entry, ok := c.complets[id]; ok {
+		delete(c.byAnchor, entry.anchor)
+		delete(c.complets, id)
+	}
+	t, ok := c.trackers[id]
+	if !ok {
+		t = &tracker{}
+		c.trackers[id] = t
+	}
+	t.setForward(movedTo)
+}
+
+// trackerFor returns the core's tracker for the complet, creating one that
+// points at hint when absent. There is at most one tracker per complet per
+// core (§3.1).
+func (c *Core) trackerFor(id ids.CompletID, hint ids.CoreID) *tracker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.trackers[id]
+	if !ok {
+		t = &tracker{}
+		if hint == c.id || hint.Nil() {
+			// No better information: fall back to the birth core,
+			// which keeps a tracker for every complet born there.
+			t.setForward(id.Birth)
+		} else {
+			t.setForward(hint)
+		}
+		c.trackers[id] = t
+	}
+	return t
+}
+
+// TrackerCount returns the number of trackers in this core (test and
+// experiment support: verifies tracker sharing per target).
+func (c *Core) TrackerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.trackers)
+}
+
+// TrackerTarget reports where this core's tracker for the complet points:
+// this core itself (local) or the next core in the chain.
+func (c *Core) TrackerTarget(id ids.CompletID) (ids.CoreID, bool) {
+	c.mu.Lock()
+	t, ok := c.trackers[id]
+	c.mu.Unlock()
+	if !ok {
+		return "", false
+	}
+	local, next := t.point()
+	if local {
+		return c.id, true
+	}
+	return next, true
+}
+
+// CompletCount returns the number of complets hosted by this core (the
+// completLoad profiling measure, §4.1).
+func (c *Core) CompletCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.complets)
+}
+
+// Complets lists the complets hosted by this core.
+func (c *Core) Complets() []wire.CompletInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]wire.CompletInfo, 0, len(c.complets))
+	for id, entry := range c.complets {
+		info := wire.CompletInfo{ID: id, TypeName: entry.typeName}
+		for name, r := range c.names {
+			if r.Target() == id {
+				info.Names = append(info.Names, name)
+			}
+		}
+		sort.Strings(info.Names)
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.String() < out[j].ID.String() })
+	return out
+}
+
+// --- instantiation ---------------------------------------------------------
+
+// NewComplet instantiates a complet of a registered type on this core and
+// returns a reference to it. Mirrors Figure 3's `msg = new Message_(...)`.
+func (c *Core) NewComplet(typeName string, args ...any) (*ref.Ref, error) {
+	if c.isClosed() {
+		return nil, ErrClosed
+	}
+	if err := c.admit(1); err != nil {
+		return nil, fmt.Errorf("core: new %s: %w", typeName, err)
+	}
+	anchor, err := c.reg.Instantiate(typeName, args)
+	if err != nil {
+		return nil, err
+	}
+	id := c.mint.Next()
+	c.install(id, typeName, anchor)
+	return ref.New(id, typeName, c.id, c.binder()), nil
+}
+
+// NewCompletAt instantiates a complet on the named core (remote complet
+// instantiation, §3). Arguments are passed by value, like invocation
+// parameters.
+func (c *Core) NewCompletAt(dest ids.CoreID, typeName string, args ...any) (*ref.Ref, error) {
+	if dest == c.id {
+		return c.NewComplet(typeName, args...)
+	}
+	if c.isClosed() {
+		return nil, ErrClosed
+	}
+	argBytes, _, err := wire.EncodeArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := wire.EncodePayload(wire.NewRequest{TypeName: typeName, Args: argBytes})
+	if err != nil {
+		return nil, err
+	}
+	env, err := c.request(dest, wire.KindNew, payload)
+	if err != nil {
+		return nil, fmt.Errorf("core: new %s at %s: %w", typeName, dest, err)
+	}
+	var reply wire.NewReply
+	if err := wire.DecodePayload(env.Payload, &reply); err != nil {
+		return nil, err
+	}
+	if reply.Err != "" {
+		return nil, fmt.Errorf("core: new %s at %s: %s", typeName, dest, reply.Err)
+	}
+	r, err := ref.FromDescriptor(reply.Desc)
+	if err != nil {
+		return nil, err
+	}
+	r.Bind(c.binder())
+	return r, nil
+}
+
+// RefOf returns a reference to a locally hosted complet given its anchor.
+// Complets use it to refer to themselves — e.g. to pass themselves to Move
+// (§3.3: "a complet can move itself simply by passing its anchor").
+func (c *Core) RefOf(anchor any) (*ref.Ref, error) {
+	c.mu.Lock()
+	id, ok := c.byAnchor[anchor]
+	var typeName string
+	if ok {
+		if entry, have := c.complets[id]; have {
+			typeName = entry.typeName
+		}
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: %w: anchor %T not hosted here", ErrUnknownComplet, anchor)
+	}
+	return ref.New(id, typeName, c.id, c.binder()), nil
+}
+
+// NewRefTo constructs a bound reference to a complet from its identity and a
+// location hint (used by shells, scripts and experiments that hold raw IDs;
+// stale hints are corrected by the tracker machinery on first use).
+func (c *Core) NewRefTo(id ids.CompletID, anchorType string, hint ids.CoreID) *ref.Ref {
+	r := ref.New(id, anchorType, hint, c.binder())
+	c.trackerFor(id, hint)
+	return r
+}
+
+// LocateComplet resolves the core currently hosting a complet, following and
+// shortening tracker chains (the ID-based counterpart of MetaRef.Location).
+func (c *Core) LocateComplet(id ids.CompletID) (ids.CoreID, error) {
+	if c.isClosed() {
+		return "", ErrClosed
+	}
+	return c.locate(id, "")
+}
+
+// request issues a bounded inter-core request and notes the peer.
+func (c *Core) request(to ids.CoreID, kind wire.Kind, payload []byte) (wire.Envelope, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.RequestTimeout)
+	defer cancel()
+	env, err := c.tr.Request(ctx, to, kind, payload)
+	if err == nil {
+		c.notePeer(to)
+	}
+	return env, err
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"fargo/internal/ids"
+	"fargo/internal/wire"
+)
+
+// handle is the transport request handler: it dispatches incoming envelopes
+// to the owning unit. Each request runs on its own goroutine (the transport
+// spawns one per request, mirroring the original's thread-per-invocation
+// model, §5).
+func (c *Core) handle(env wire.Envelope) (wire.Kind, []byte, error) {
+	c.notePeer(env.From)
+	switch env.Kind {
+	case wire.KindInvoke:
+		return c.handleInvoke(env)
+	case wire.KindLocate:
+		return c.handleLocate(env)
+	case wire.KindMove:
+		return c.handleMove(env)
+	case wire.KindMoveCmd:
+		return c.handleMoveCmd(env)
+	case wire.KindClone:
+		return c.handleClone(env)
+	case wire.KindNew:
+		return c.handleNew(env)
+	case wire.KindNameSet:
+		return c.handleNameSet(env)
+	case wire.KindNameLookup:
+		return c.handleNameLookup(env)
+	case wire.KindPing:
+		return c.handlePing(env)
+	case wire.KindCoreInfo:
+		return c.handleCoreInfo(env)
+	case wire.KindSubscribe:
+		return c.mon.handleSubscribe(env)
+	case wire.KindUnsubscribe:
+		return c.mon.handleUnsubscribe(env)
+	case wire.KindEventNotify:
+		c.mon.handleEventNotify(env)
+		return wire.KindEventNotify, nil, nil
+	case wire.KindShutdownNotice:
+		c.mon.handleRemoteShutdown(env.From)
+		return wire.KindShutdownNotice, nil, nil
+	case wire.KindProfileQuery:
+		return c.mon.handleProfileQuery(env)
+	case wire.KindHomeUpdate:
+		return c.handleHomeUpdate(env)
+	case wire.KindHomeQuery:
+		return c.handleHomeQuery(env)
+	case wire.KindCheckpoint:
+		return c.handleCheckpoint(env)
+	default:
+		return 0, nil, fmt.Errorf("core %s: unhandled envelope kind %s", c.id, env.Kind)
+	}
+}
+
+// handleNew serves remote complet instantiation.
+func (c *Core) handleNew(env wire.Envelope) (wire.Kind, []byte, error) {
+	var req wire.NewRequest
+	if err := wire.DecodePayload(env.Payload, &req); err != nil {
+		return 0, nil, err
+	}
+	reply := wire.NewReply{}
+	args, decoded, err := wire.DecodeArgs(req.Args)
+	if err != nil {
+		reply.Err = err.Error()
+	} else {
+		c.bindDecoded(decoded)
+		r, err := c.NewComplet(req.TypeName, args...)
+		if err != nil {
+			reply.Err = err.Error()
+		} else {
+			desc, err := r.Descriptor()
+			if err != nil {
+				reply.Err = err.Error()
+			} else {
+				reply.Desc = desc
+			}
+		}
+	}
+	out, err := wire.EncodePayload(reply)
+	if err != nil {
+		return 0, nil, err
+	}
+	return wire.KindNewReply, out, nil
+}
+
+// handlePing answers liveness and bandwidth probes.
+func (c *Core) handlePing(env wire.Envelope) (wire.Kind, []byte, error) {
+	var req wire.Ping
+	if err := wire.DecodePayload(env.Payload, &req); err != nil {
+		return 0, nil, err
+	}
+	out, err := wire.EncodePayload(wire.Pong{Seq: req.Seq})
+	if err != nil {
+		return 0, nil, err
+	}
+	return wire.KindPong, out, nil
+}
+
+// handleCoreInfo describes this core to the shell/monitor.
+func (c *Core) handleCoreInfo(env wire.Envelope) (wire.Kind, []byte, error) {
+	reply := wire.CoreInfoReply{
+		Core:     c.id,
+		Complets: c.Complets(),
+		Peers:    c.Peers(),
+	}
+	out, err := wire.EncodePayload(reply)
+	if err != nil {
+		return 0, nil, err
+	}
+	return wire.KindCoreInfoReply, out, nil
+}
+
+// CoreInfo fetches a peer core's description (shell and layout monitor
+// support).
+func (c *Core) CoreInfo(dest ids.CoreID) (wire.CoreInfoReply, error) {
+	if dest == c.id {
+		return wire.CoreInfoReply{Core: c.id, Complets: c.Complets(), Peers: c.Peers()}, nil
+	}
+	if c.isClosed() {
+		return wire.CoreInfoReply{}, ErrClosed
+	}
+	env, err := c.request(dest, wire.KindCoreInfo, nil)
+	if err != nil {
+		return wire.CoreInfoReply{}, fmt.Errorf("core: info of %s: %w", dest, err)
+	}
+	var reply wire.CoreInfoReply
+	if err := wire.DecodePayload(env.Payload, &reply); err != nil {
+		return wire.CoreInfoReply{}, err
+	}
+	return reply, nil
+}

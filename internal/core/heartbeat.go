@@ -1,0 +1,120 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"fargo/internal/ids"
+	"fargo/internal/wire"
+)
+
+// EventCoreUnreachable fires when a monitored peer core stops answering
+// pings. The coreShutdown event (§4.2) only covers graceful exits; crash
+// fault detection needs an active prober, which the paper's reliability
+// policies implicitly assume. The event re-arms when the peer answers again
+// (so a flapping link produces one event per outage).
+const EventCoreUnreachable = "coreUnreachable"
+
+// Heartbeat actively probes peer cores and fires EventCoreUnreachable
+// through the monitor's event mechanism. Construct with Monitor.StartHeartbeat;
+// stop with Stop (idempotent).
+type Heartbeat struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartHeartbeat begins probing the given peers every interval, declaring a
+// peer unreachable after `misses` consecutive failed pings. Subscribers use
+// SubscribeBuiltin(EventCoreUnreachable, …); the event's Source names the
+// unreachable peer.
+func (m *Monitor) StartHeartbeat(peers []ids.CoreID, interval time.Duration, misses int) (*Heartbeat, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("monitor: heartbeat needs at least one peer")
+	}
+	if interval <= 0 || misses <= 0 {
+		return nil, fmt.Errorf("monitor: heartbeat interval and misses must be positive")
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	m.mu.Unlock()
+
+	hb := &Heartbeat{
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	peersCopy := append([]ids.CoreID(nil), peers...)
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		defer close(hb.done)
+		m.heartbeatLoop(peersCopy, interval, misses, hb.stop)
+	}()
+	return hb, nil
+}
+
+// Stop terminates the prober and waits for it to exit.
+func (hb *Heartbeat) Stop() {
+	select {
+	case <-hb.stop:
+		// already stopped
+	default:
+		close(hb.stop)
+	}
+	<-hb.done
+}
+
+func (m *Monitor) heartbeatLoop(peers []ids.CoreID, interval time.Duration, misses int, stop <-chan struct{}) {
+	state := make(map[ids.CoreID]*peerState, len(peers))
+	for _, p := range peers {
+		state[p] = &peerState{}
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			for _, p := range peers {
+				s := state[p]
+				if m.pingOnce(p, interval) {
+					if s.down {
+						s.down = false
+					}
+					s.failures = 0
+					continue
+				}
+				s.failures++
+				if s.failures >= misses && !s.down {
+					s.down = true
+					m.fire(Event{
+						Name:   EventCoreUnreachable,
+						Source: p,
+						At:     time.Now(),
+					})
+				}
+			}
+		case <-stop:
+			return
+		}
+	}
+}
+
+type peerState struct {
+	failures int
+	down     bool
+}
+
+// pingOnce sends one bounded ping; false on any failure.
+func (m *Monitor) pingOnce(peer ids.CoreID, timeout time.Duration) bool {
+	payload, err := wire.EncodePayload(wire.Ping{Seq: m.seq.Next()})
+	if err != nil {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	_, err = m.c.tr.Request(ctx, peer, wire.KindPing, payload)
+	return err == nil
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"fargo/internal/ids"
+)
+
+func TestHeartbeatDetectsPartition(t *testing.T) {
+	cl := newCluster(t, "a", "b")
+	a := cl.core("a")
+
+	events := make(chan Event, 4)
+	if _, err := a.Monitor().SubscribeBuiltin(EventCoreUnreachable, func(ev Event) {
+		select {
+		case events <- ev:
+		default:
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hb, err := a.Monitor().StartHeartbeat([]ids.CoreID{"b"}, 10*time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hb.Stop()
+
+	// Healthy: no event.
+	select {
+	case ev := <-events:
+		t.Fatalf("spurious unreachable event: %+v", ev)
+	case <-time.After(80 * time.Millisecond):
+	}
+
+	// Partition a from b.
+	if err := cl.net.SetPartition("a", "b", true); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		if ev.Name != EventCoreUnreachable || ev.Source != "b" {
+			t.Fatalf("event = %+v", ev)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("partition not detected")
+	}
+
+	// No repeat while the outage lasts.
+	select {
+	case ev := <-events:
+		t.Fatalf("duplicate event during one outage: %+v", ev)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// Heal and cut again: the detector re-arms and fires once more.
+	if err := cl.net.SetPartition("a", "b", false); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let pings succeed
+	if err := cl.net.SetPartition("a", "b", true); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		if ev.Source != "b" {
+			t.Fatalf("event = %+v", ev)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("second outage not detected")
+	}
+}
+
+func TestHeartbeatValidation(t *testing.T) {
+	cl := newCluster(t, "a")
+	m := cl.core("a").Monitor()
+	if _, err := m.StartHeartbeat(nil, time.Millisecond, 1); err == nil {
+		t.Error("no peers should fail")
+	}
+	if _, err := m.StartHeartbeat([]ids.CoreID{"b"}, 0, 1); err == nil {
+		t.Error("zero interval should fail")
+	}
+	if _, err := m.StartHeartbeat([]ids.CoreID{"b"}, time.Millisecond, 0); err == nil {
+		t.Error("zero misses should fail")
+	}
+}
+
+func TestHeartbeatStopIdempotent(t *testing.T) {
+	cl := newCluster(t, "a", "b")
+	hb, err := cl.core("a").Monitor().StartHeartbeat([]ids.CoreID{"b"}, 5*time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb.Stop()
+	hb.Stop()
+}
+
+func TestHeartbeatPolicyEvacuation(t *testing.T) {
+	// The reliability use case end-to-end with a CRASH (not a graceful
+	// shutdown): a watchdog core detects the silence of a core hosting a
+	// replica and re-instantiates the service elsewhere. This is what the
+	// coreUnreachable event enables beyond the paper's coreShutdown.
+	cl := newCluster(t, "primary", "standby", "watchdog")
+	w := cl.core("watchdog")
+	if _, err := w.NewCompletAt("primary", "Msg", "service-state"); err != nil {
+		t.Fatal(err)
+	}
+	recovered := make(chan struct{}, 1)
+	if _, err := w.Monitor().SubscribeBuiltin(EventCoreUnreachable, func(ev Event) {
+		if ev.Source != "primary" {
+			return
+		}
+		// Cold recovery: start a fresh instance on the standby.
+		if _, err := w.NewCompletAt("standby", "Msg", "service-state"); err == nil {
+			select {
+			case recovered <- struct{}{}:
+			default:
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hb, err := w.Monitor().StartHeartbeat([]ids.CoreID{"primary"}, 10*time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hb.Stop()
+
+	// Crash the primary (host down, no shutdown protocol).
+	if err := cl.net.StopHost("primary"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-recovered:
+	case <-time.After(3 * time.Second):
+		t.Fatal("watchdog never recovered the service")
+	}
+	if cl.core("standby").CompletCount() != 1 {
+		t.Fatal("standby has no replacement instance")
+	}
+}

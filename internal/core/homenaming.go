@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"fargo/internal/ids"
+	"fargo/internal/wire"
+)
+
+// Home-based, location-independent naming — the alternative to tracker
+// chains that the paper names as future work (§7). Every complet's birth
+// core doubles as its "home": whenever the complet arrives somewhere, the
+// destination reports the new location to the home; anyone can then resolve
+// the complet in exactly two messages (home query + direct access),
+// regardless of how many times it moved.
+//
+// The trade-off against chains (experiment E9): home tracking costs one
+// extra message per MOVE and two messages per cold LOOKUP, while chains cost
+// nothing extra per move but one message per chain hop on the first use of a
+// stale reference (and the chain grows with moves). Chains win when moves
+// vastly outnumber fresh lookups; home naming wins when stale references are
+// exercised often.
+
+// homeTable is the per-core record of last-reported locations for complets
+// born here. It is updated by HomeUpdate messages and by local
+// installs/removes.
+type homeTable struct {
+	mu  sync.Mutex
+	loc map[ids.CompletID]ids.CoreID
+}
+
+func (h *homeTable) set(id ids.CompletID, loc ids.CoreID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.loc == nil {
+		h.loc = make(map[ids.CompletID]ids.CoreID)
+	}
+	h.loc[id] = loc
+}
+
+func (h *homeTable) get(id ids.CompletID) (ids.CoreID, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	loc, ok := h.loc[id]
+	return loc, ok
+}
+
+// EnableHomeTracking turns on the home-based location service on this core:
+// complets arriving here will report their location to their birth cores,
+// and this core will answer location queries for complets born here. All
+// cores participating in an application should enable it together.
+func (c *Core) EnableHomeTracking() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.homeTracking = true
+}
+
+// homeTrackingEnabled reports whether home tracking is on.
+func (c *Core) homeTrackingEnabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.homeTracking
+}
+
+// reportHome tells a complet's home core where it now lives. Failures are
+// logged, not fatal: the tracker chain remains a correct fallback.
+func (c *Core) reportHome(id ids.CompletID) {
+	if id.Birth == c.id {
+		c.homes.set(id, c.id)
+		return
+	}
+	payload, err := wire.EncodePayload(wire.HomeUpdate{Target: id, Location: c.id})
+	if err != nil {
+		return
+	}
+	if err := c.tr.Notify(id.Birth, wire.KindHomeUpdate, payload); err != nil {
+		c.opts.Logf("fargo core %s: home update for %s: %v", c.id, id, err)
+	}
+}
+
+// LocateViaHome resolves a complet's location through its home core in a
+// single round trip, bypassing tracker chains.
+func (c *Core) LocateViaHome(id ids.CompletID) (ids.CoreID, error) {
+	if id.Birth == c.id {
+		if loc, ok := c.homes.get(id); ok {
+			return loc, nil
+		}
+		// Never reported: if it is still here, that is the answer.
+		if _, ok := c.lookup(id); ok {
+			return c.id, nil
+		}
+		return "", fmt.Errorf("%w: %s (no home record)", ErrUnknownComplet, id)
+	}
+	payload, err := wire.EncodePayload(wire.HomeQuery{Target: id})
+	if err != nil {
+		return "", err
+	}
+	env, err := c.request(id.Birth, wire.KindHomeQuery, payload)
+	if err != nil {
+		return "", fmt.Errorf("core: home query for %s: %w", id, err)
+	}
+	var reply wire.HomeQueryReply
+	if err := wire.DecodePayload(env.Payload, &reply); err != nil {
+		return "", err
+	}
+	if reply.Err != "" {
+		return "", fmt.Errorf("core: home query for %s: %s", id, reply.Err)
+	}
+	if !reply.Found {
+		return "", fmt.Errorf("%w: %s (home has no record)", ErrUnknownComplet, id)
+	}
+	return reply.Location, nil
+}
+
+// InvokeViaHome invokes a method resolving the target through its home core
+// instead of tracker chains (E9's alternative invocation path for stale
+// references).
+func (c *Core) InvokeViaHome(target ids.CompletID, method string, args ...any) ([]any, error) {
+	if c.isClosed() {
+		return nil, ErrClosed
+	}
+	loc, err := c.LocateViaHome(target)
+	if err != nil {
+		return nil, err
+	}
+	argBytes, _, err := wire.EncodeArgs(c.anchorsToRefs(args))
+	if err != nil {
+		return nil, err
+	}
+	var resBytes []byte
+	if loc == c.id {
+		resBytes, err = c.invokeLocal(target, method, argBytes)
+	} else {
+		resBytes, _, err = c.forwardInvoke(loc, target, ids.CompletID{}, method, argBytes, 0)
+	}
+	if err != nil {
+		return nil, err
+	}
+	results, decoded, err := wire.DecodeArgs(resBytes)
+	if err != nil {
+		return nil, err
+	}
+	c.bindDecoded(decoded)
+	return results, nil
+}
+
+// handleHomeUpdate records a reported location for a complet born here.
+func (c *Core) handleHomeUpdate(env wire.Envelope) (wire.Kind, []byte, error) {
+	var req wire.HomeUpdate
+	if err := wire.DecodePayload(env.Payload, &req); err != nil {
+		return 0, nil, err
+	}
+	if req.Target.Birth != c.id {
+		return 0, nil, fmt.Errorf("core %s: home update for %s, which was not born here", c.id, req.Target)
+	}
+	c.homes.set(req.Target, req.Location)
+	return wire.KindHomeUpdate, nil, nil
+}
+
+// handleHomeQuery answers a location query for a complet born here.
+func (c *Core) handleHomeQuery(env wire.Envelope) (wire.Kind, []byte, error) {
+	var req wire.HomeQuery
+	if err := wire.DecodePayload(env.Payload, &req); err != nil {
+		return 0, nil, err
+	}
+	reply := wire.HomeQueryReply{}
+	if loc, ok := c.homes.get(req.Target); ok {
+		reply.Location, reply.Found = loc, true
+	} else if _, ok := c.lookup(req.Target); ok {
+		reply.Location, reply.Found = c.id, true
+	}
+	out, err := wire.EncodePayload(reply)
+	if err != nil {
+		return 0, nil, err
+	}
+	return wire.KindHomeQueryReply, out, nil
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"fargo/internal/ids"
+)
+
+func homeCluster(t *testing.T, names ...string) *cluster {
+	t.Helper()
+	cl := newCluster(t, names...)
+	for _, c := range cl.cores {
+		c.EnableHomeTracking()
+	}
+	return cl
+}
+
+func TestHomeTrackingAfterMoves(t *testing.T) {
+	cl := homeCluster(t, "a", "b", "c", "d")
+	a := cl.core("a")
+	r, err := a.NewComplet("Msg", "homey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bounce the complet around.
+	if err := a.Move(r, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.core("b").MoveByID(r.Target(), "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.core("c").MoveByID(r.Target(), "d"); err != nil {
+		t.Fatal(err)
+	}
+	// Home updates are async notifies; wait for the record to land.
+	waitFor(t, 2*time.Second, func() bool {
+		loc, err := a.LocateViaHome(r.Target())
+		return err == nil && loc == "d"
+	})
+	// A third party resolves via the home in one query.
+	loc, err := cl.core("b").LocateViaHome(r.Target())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc != "d" {
+		t.Fatalf("home says %v, want d", loc)
+	}
+}
+
+func TestHomeLocateNeverMoved(t *testing.T) {
+	cl := homeCluster(t, "a", "b")
+	a := cl.core("a")
+	r, err := a.NewComplet("Msg", "stay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := cl.core("b").LocateViaHome(r.Target())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc != "a" {
+		t.Fatalf("loc = %v, want a (birth core)", loc)
+	}
+}
+
+func TestHomeLocateUnknown(t *testing.T) {
+	cl := homeCluster(t, "a", "b")
+	ghost := ids.CompletID{Birth: "a", Seq: 404}
+	if _, err := cl.core("b").LocateViaHome(ghost); err == nil {
+		t.Fatal("unknown complet should fail home lookup")
+	}
+	if _, err := cl.core("a").LocateViaHome(ghost); err == nil {
+		t.Fatal("unknown complet should fail local home lookup")
+	}
+}
+
+func TestInvokeViaHome(t *testing.T) {
+	cl := homeCluster(t, "a", "b", "c")
+	a := cl.core("a")
+	r, err := a.NewComplet("Msg", "via-home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Move(r, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.core("b").MoveByID(r.Target(), "c"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		loc, err := a.LocateViaHome(r.Target())
+		return err == nil && loc == "c"
+	})
+	// A core that never saw the complet invokes through the home — no
+	// chain walk.
+	res, err := cl.core("a").InvokeViaHome(r.Target(), "Print")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != "via-home" {
+		t.Fatalf("Print = %v", res[0])
+	}
+	// Local-path invoke via home (complet at home-queried core itself).
+	res2, err := cl.core("c").InvokeViaHome(r.Target(), "Print")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2[0] != "via-home" {
+		t.Fatalf("local Print = %v", res2[0])
+	}
+}

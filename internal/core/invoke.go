@@ -1,0 +1,330 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+
+	"fargo/internal/ids"
+	"fargo/internal/ref"
+	"fargo/internal/registry"
+	"fargo/internal/wire"
+)
+
+// binderImpl adapts the core to the ref.Binder interface the stubs delegate
+// to. It is a separate type (rather than methods on Core) so the Binder
+// surface stays minimal.
+type binderImpl struct {
+	c *Core
+}
+
+var _ ref.Binder = binderImpl{}
+
+func (c *Core) binder() ref.Binder { return binderImpl{c: c} }
+
+// InvokeRef implements ref.Binder.
+func (b binderImpl) InvokeRef(r *ref.Ref, method string, args []any) ([]any, error) {
+	return b.c.invokeRef(r, method, args)
+}
+
+// Locate implements ref.Binder.
+func (b binderImpl) Locate(r *ref.Ref) (ids.CoreID, error) {
+	loc, err := b.c.locate(r.Target(), r.Hint())
+	if err == nil {
+		r.SetHint(loc)
+	}
+	return loc, err
+}
+
+// BinderCore implements ref.Binder.
+func (b binderImpl) BinderCore() ids.CoreID { return b.c.id }
+
+// bindDecoded attaches freshly decoded references to this core.
+func (c *Core) bindDecoded(refs []*ref.Ref) {
+	for _, r := range refs {
+		r.Bind(c.binder())
+		// Materialize the shared tracker for the target so future
+		// invocations have a starting point.
+		c.trackerFor(r.Target(), r.Hint())
+	}
+}
+
+// invokeRef routes one invocation from a local stub to its target (§3.1).
+// Arguments travel by value; the reply's authoritative location shortens the
+// caller's tracker and refreshes the stub's hint.
+func (c *Core) invokeRef(r *ref.Ref, method string, args []any) ([]any, error) {
+	if c.isClosed() {
+		return nil, ErrClosed
+	}
+	target := r.Target()
+	args = c.anchorsToRefs(args)
+	argBytes, _, err := wire.EncodeArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	resBytes, loc, err := c.routeInvoke(target, r.Hint(), r.Owner(), method, argBytes, 0)
+	if err != nil {
+		return nil, err
+	}
+	r.SetHint(loc)
+	results, decoded, err := wire.DecodeArgs(resBytes)
+	if err != nil {
+		return nil, err
+	}
+	c.bindDecoded(decoded)
+	return results, nil
+}
+
+// routeInvoke delivers an encoded invocation to the complet, executing
+// locally or forwarding along the tracker chain. It returns the encoded
+// results and the authoritative location of the target.
+func (c *Core) routeInvoke(target ids.CompletID, hint ids.CoreID, source ids.CompletID, method string, argBytes []byte, hops int) ([]byte, ids.CoreID, error) {
+	for attempt := 0; ; attempt++ {
+		if hops+attempt > maxHops {
+			return nil, "", fmt.Errorf("%w: invoking %s.%s", ErrTrackingLoop, target, method)
+		}
+		t := c.trackerFor(target, hint)
+		local, next := t.point()
+		if local {
+			resBytes, err := c.invokeLocalFrom(target, source, method, argBytes)
+			if err == errStaleLocal {
+				// The complet moved between the tracker read and
+				// the repository access; retry via the tracker.
+				continue
+			}
+			return resBytes, c.id, err
+		}
+		if next == c.id {
+			// A tracker must never point at its own core; treat as
+			// unknown to avoid a self-loop.
+			return nil, "", fmt.Errorf("%w: %s (self-referential tracker)", ErrUnknownComplet, target)
+		}
+		resBytes, loc, err := c.forwardInvoke(next, target, source, method, argBytes, hops+attempt+1)
+		if err != nil {
+			return nil, "", err
+		}
+		// Chain shortening (§3.1): point our tracker straight at the
+		// core that actually executed the invocation. The tracker
+		// refuses updates that conflict with authoritative local state
+		// (see tracker.shorten).
+		t.shorten(loc, c.id)
+		return resBytes, loc, nil
+	}
+}
+
+// anchorsToRefs replaces top-level arguments that are locally hosted anchors
+// with references to them: complets are always passed by (complet) reference,
+// never by value (§2). Other values pass through untouched.
+func (c *Core) anchorsToRefs(args []any) []any {
+	out := args
+	copied := false
+	for i, arg := range args {
+		if arg == nil {
+			continue
+		}
+		if _, isRef := arg.(*ref.Ref); isRef {
+			continue
+		}
+		if rv := reflect.ValueOf(arg); rv.Kind() != reflect.Pointer {
+			continue
+		}
+		c.mu.Lock()
+		id, isAnchor := c.byAnchor[arg]
+		var typeName string
+		if isAnchor {
+			if e, ok := c.complets[id]; ok {
+				typeName = e.typeName
+			}
+		}
+		c.mu.Unlock()
+		if isAnchor {
+			if !copied {
+				out = append([]any(nil), args...)
+				copied = true
+			}
+			out[i] = ref.New(id, typeName, c.id, c.binder())
+		}
+	}
+	return out
+}
+
+// errStaleLocal signals that a tracker said "local" but the complet had
+// already moved on; the caller retries through the updated tracker.
+var errStaleLocal = fmt.Errorf("core: complet moved during dispatch")
+
+// invokeLocal executes an invocation with no particular source complet.
+func (c *Core) invokeLocal(target ids.CompletID, method string, argBytes []byte) ([]byte, error) {
+	return c.invokeLocalFrom(target, ids.CompletID{}, method, argBytes)
+}
+
+// invokeLocalFrom executes an invocation on a complet hosted by this core.
+// The argument bytes are decoded here, which realizes by-value passing for
+// both remote and co-located callers.
+func (c *Core) invokeLocalFrom(target, source ids.CompletID, method string, argBytes []byte) ([]byte, error) {
+	entry, ok := c.lookup(target)
+	if !ok {
+		return nil, errStaleLocal
+	}
+	entry.moveMu.RLock()
+	defer entry.moveMu.RUnlock()
+	if entry.gone {
+		return nil, errStaleLocal
+	}
+
+	args, decoded, err := wire.DecodeArgs(argBytes)
+	if err != nil {
+		return nil, err
+	}
+	c.bindDecoded(decoded)
+	// Anchors passed as arguments arrive as references already (the
+	// encoder rejects raw anchors; see EncodeArgs callers), so args are
+	// ready for dispatch.
+	results, err := registry.Invoke(entry.anchor, method, args)
+	c.mon.recordInvocation(source, target, entry.typeName, method, len(argBytes))
+	if err != nil {
+		return nil, fmt.Errorf("core: %s.%s: %w", entry.typeName, method, err)
+	}
+	// Replace returned local anchors with references (complets are passed
+	// by reference, §2). Only pointer results can be anchors.
+	for i, res := range results {
+		if res == nil {
+			continue
+		}
+		if _, isRef := res.(*ref.Ref); isRef {
+			continue
+		}
+		if rv := reflect.ValueOf(res); rv.Kind() != reflect.Pointer {
+			continue
+		}
+		c.mu.Lock()
+		id, isAnchor := c.byAnchor[res]
+		var typeName string
+		if isAnchor {
+			if e, ok := c.complets[id]; ok {
+				typeName = e.typeName
+			}
+		}
+		c.mu.Unlock()
+		if isAnchor {
+			results[i] = ref.New(id, typeName, c.id, c.binder())
+		}
+	}
+	resBytes, _, err := wire.EncodeArgs(results)
+	if err != nil {
+		return nil, fmt.Errorf("core: encode results of %s.%s: %w", entry.typeName, method, err)
+	}
+	return resBytes, nil
+}
+
+// forwardInvoke sends the invocation one hop down the tracker chain.
+func (c *Core) forwardInvoke(next ids.CoreID, target, source ids.CompletID, method string, argBytes []byte, hops int) ([]byte, ids.CoreID, error) {
+	payload, err := wire.EncodePayload(wire.InvokeRequest{
+		Target: target,
+		Method: method,
+		Source: source,
+		Args:   argBytes,
+		Hops:   hops,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	env, err := c.request(next, wire.KindInvoke, payload)
+	if err != nil {
+		return nil, "", fmt.Errorf("core: forward %s.%s to %s: %w", target, method, next, err)
+	}
+	var reply wire.InvokeReply
+	if err := wire.DecodePayload(env.Payload, &reply); err != nil {
+		return nil, "", err
+	}
+	if reply.Err != "" {
+		return nil, "", fmt.Errorf("core: %s", reply.Err)
+	}
+	return reply.Results, reply.Location, nil
+}
+
+// handleInvoke serves an invocation arriving from a peer: execute locally or
+// forward further along the chain, then report the authoritative location so
+// every tracker on the path shortens (§3.1).
+func (c *Core) handleInvoke(env wire.Envelope) (wire.Kind, []byte, error) {
+	var req wire.InvokeRequest
+	if err := wire.DecodePayload(env.Payload, &req); err != nil {
+		return 0, nil, err
+	}
+	if req.Hops > maxHops {
+		return 0, nil, fmt.Errorf("%w: %s.%s", ErrTrackingLoop, req.Target, req.Method)
+	}
+	reply := wire.InvokeReply{Hops: req.Hops}
+	resBytes, loc, err := c.routeInvoke(req.Target, "", req.Source, req.Method, req.Args, req.Hops)
+	if err != nil {
+		reply.Err = err.Error()
+		reply.Location = c.id
+	} else {
+		reply.Results = resBytes
+		reply.Location = loc
+	}
+	out, encErr := wire.EncodePayload(reply)
+	if encErr != nil {
+		return 0, nil, encErr
+	}
+	return wire.KindInvokeReply, out, nil
+}
+
+// locate resolves the current location of a complet, following and
+// shortening tracker chains (used by MetaRef.Location and the movement
+// protocol).
+func (c *Core) locate(target ids.CompletID, hint ids.CoreID) (ids.CoreID, error) {
+	return c.locateHops(target, hint, 0)
+}
+
+func (c *Core) locateHops(target ids.CompletID, hint ids.CoreID, hops int) (ids.CoreID, error) {
+	if hops > maxHops {
+		return "", fmt.Errorf("%w: locating %s", ErrTrackingLoop, target)
+	}
+	t := c.trackerFor(target, hint)
+	local, next := t.point()
+	if local {
+		if _, ok := c.lookup(target); ok {
+			return c.id, nil
+		}
+		return "", fmt.Errorf("%w: %s", ErrUnknownComplet, target)
+	}
+	if next == c.id {
+		return "", fmt.Errorf("%w: %s (self-referential tracker)", ErrUnknownComplet, target)
+	}
+	payload, err := wire.EncodePayload(wire.LocateRequest{Target: target, Hops: hops + 1})
+	if err != nil {
+		return "", err
+	}
+	env, err := c.request(next, wire.KindLocate, payload)
+	if err != nil {
+		return "", fmt.Errorf("core: locate %s via %s: %w", target, next, err)
+	}
+	var reply wire.LocateReply
+	if err := wire.DecodePayload(env.Payload, &reply); err != nil {
+		return "", err
+	}
+	if reply.Err != "" {
+		return "", fmt.Errorf("core: locate %s: %s", target, reply.Err)
+	}
+	t.shorten(reply.Location, c.id)
+	return reply.Location, nil
+}
+
+// handleLocate serves a location query from a peer.
+func (c *Core) handleLocate(env wire.Envelope) (wire.Kind, []byte, error) {
+	var req wire.LocateRequest
+	if err := wire.DecodePayload(env.Payload, &req); err != nil {
+		return 0, nil, err
+	}
+	reply := wire.LocateReply{}
+	loc, err := c.locateHops(req.Target, "", req.Hops)
+	if err != nil {
+		reply.Err = err.Error()
+	} else {
+		reply.Location = loc
+	}
+	out, encErr := wire.EncodePayload(reply)
+	if encErr != nil {
+		return 0, nil, encErr
+	}
+	return wire.KindLocateReply, out, nil
+}

@@ -1,0 +1,681 @@
+package core
+
+import (
+	"fmt"
+
+	"fargo/internal/ids"
+	"fargo/internal/ref"
+	"fargo/internal/wire"
+)
+
+// Movement callbacks (§3.3): anchors may implement any subset of these
+// optional interfaces; the movement protocol invokes them at the
+// corresponding phase.
+
+// PreDeparture is invoked before the movement at the sending core.
+type PreDeparture interface {
+	PreDeparture(dest ids.CoreID)
+}
+
+// PreArrival is invoked at the receiving core after the closure is decoded
+// but before its references are re-linked (i.e. "before finishing
+// unmarshaling").
+type PreArrival interface {
+	PreArrival(from ids.CoreID)
+}
+
+// PostArrival is invoked at the receiving core after the complet is fully
+// installed.
+type PostArrival interface {
+	PostArrival(from ids.CoreID)
+}
+
+// PostDeparture is invoked at the sending core right before the old copy of
+// the complet is released for garbage collection.
+type PostDeparture interface {
+	PostDeparture(dest ids.CoreID)
+}
+
+// Move relocates the referenced complet (and, per its outgoing references'
+// relocators, related complets) to the destination core. The reference may
+// point anywhere: if the complet is hosted elsewhere, the command is routed
+// to its owner (Figure 3: Carrier.move semantics without continuation).
+func (c *Core) Move(r *ref.Ref, dest ids.CoreID) error {
+	return c.MoveWithContinuation(r, dest, "", nil)
+}
+
+// MoveWithContinuation relocates the complet and, after arrival, invokes the
+// named continuation method on it with the given arguments (§3.3: weak
+// mobility's "call with continuation" style). An empty method means no
+// continuation.
+func (c *Core) MoveWithContinuation(r *ref.Ref, dest ids.CoreID, method string, args []any) error {
+	if c.isClosed() {
+		return ErrClosed
+	}
+	var contArgs []byte
+	if method != "" {
+		var err error
+		contArgs, _, err = wire.EncodeArgs(c.anchorsToRefs(args))
+		if err != nil {
+			return err
+		}
+	}
+	err := c.moveCommand(r.Target(), r.Hint(), dest, method, contArgs, 0)
+	if err != nil {
+		return err
+	}
+	r.SetHint(dest)
+	return nil
+}
+
+// MoveSelf schedules a complet's own relocation: called from WITHIN one of
+// the complet's methods (weak mobility, §3.3), it returns immediately and
+// performs the move once the current invocation — which holds the complet's
+// invocation lock — has returned. The continuation method (if any) then runs
+// at the destination. Errors are reported to the core's logger (the initiating
+// stack frame is gone by the time they can occur).
+func (c *Core) MoveSelf(anchor any, dest ids.CoreID, contMethod string, args []any) error {
+	if c.isClosed() {
+		return ErrClosed
+	}
+	self, err := c.RefOf(anchor)
+	if err != nil {
+		return err
+	}
+	var contArgs []byte
+	if contMethod != "" {
+		contArgs, _, err = wire.EncodeArgs(c.anchorsToRefs(args))
+		if err != nil {
+			return err
+		}
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		if err := c.moveCommand(self.Target(), self.Hint(), dest, contMethod, contArgs, 0); err != nil {
+			c.opts.Logf("fargo core %s: self-move of %s to %s: %v", c.id, self.Target(), dest, err)
+		}
+	}()
+	return nil
+}
+
+// MoveByID relocates a complet identified by ID (used by the shell, scripts
+// and event-driven policies, which hold IDs rather than stubs).
+func (c *Core) MoveByID(target ids.CompletID, dest ids.CoreID) error {
+	if c.isClosed() {
+		return ErrClosed
+	}
+	return c.moveCommand(target, "", dest, "", nil, 0)
+}
+
+// moveCommand executes the move if the complet is local, or routes the
+// command along the tracker chain to its owner.
+func (c *Core) moveCommand(target ids.CompletID, hint ids.CoreID, dest ids.CoreID, contMethod string, contArgs []byte, hops int) error {
+	for attempt := 0; ; attempt++ {
+		if hops+attempt > maxHops {
+			return fmt.Errorf("%w: moving %s", ErrTrackingLoop, target)
+		}
+		t := c.trackerFor(target, hint)
+		local, next := t.point()
+		if local {
+			err := c.moveLocal(target, dest, contMethod, contArgs)
+			if err == errStaleLocal {
+				continue
+			}
+			return err
+		}
+		if next == c.id {
+			return fmt.Errorf("%w: %s (self-referential tracker)", ErrUnknownComplet, target)
+		}
+		payload, err := wire.EncodePayload(wire.MoveCommand{
+			Target:             target,
+			Dest:               dest,
+			ContinuationMethod: contMethod,
+			ContinuationArgs:   contArgs,
+			Hops:               hops + attempt + 1,
+		})
+		if err != nil {
+			return err
+		}
+		env, err := c.request(next, wire.KindMoveCmd, payload)
+		if err != nil {
+			return fmt.Errorf("core: route move of %s via %s: %w", target, next, err)
+		}
+		var reply wire.MoveCommandReply
+		if err := wire.DecodePayload(env.Payload, &reply); err != nil {
+			return err
+		}
+		if reply.Err != "" {
+			return fmt.Errorf("core: move %s: %s", target, reply.Err)
+		}
+		// Refresh our tracker toward the destination (shorten refuses
+		// conflicting updates: if the complet has already bounced back
+		// here, the local repository state wins).
+		t.shorten(dest, c.id)
+		return nil
+	}
+}
+
+// handleMoveCmd serves a routed movement command.
+func (c *Core) handleMoveCmd(env wire.Envelope) (wire.Kind, []byte, error) {
+	var req wire.MoveCommand
+	if err := wire.DecodePayload(env.Payload, &req); err != nil {
+		return 0, nil, err
+	}
+	reply := wire.MoveCommandReply{}
+	if err := c.moveCommand(req.Target, "", req.Dest, req.ContinuationMethod, req.ContinuationArgs, req.Hops); err != nil {
+		reply.Err = err.Error()
+	}
+	out, err := wire.EncodePayload(reply)
+	if err != nil {
+		return 0, nil, err
+	}
+	return wire.KindMoveCmdReply, out, nil
+}
+
+// moveLocal performs the owner-side movement protocol (§3.3):
+//
+//  1. Serialize against other outgoing moves, then W-lock every complet that
+//     will travel, blocking invocations for the duration.
+//  2. Marshal each closure under a ModeMove collector; relocators schedule
+//     pull targets (which join the bundle) and duplicate targets (copies join
+//     the bundle; remote ones are cloned ahead via their owners).
+//  3. Ship the whole bundle in ONE inter-core message.
+//  4. On acknowledgement, flip local trackers to forwarders, fire callbacks
+//     and events, and release the old copies.
+//
+// Remote pull targets (not hosted here) cannot join this bundle; they are
+// moved to the same destination with follow-up commands (documented deviation
+// — the single-message property holds for co-located closures, the common
+// case the paper describes).
+func (c *Core) moveLocal(rootID ids.CompletID, dest ids.CoreID, contMethod string, contArgs []byte) error {
+	if dest == c.id {
+		// Already here; run the continuation (if any) for uniformity.
+		entry, ok := c.lookup(rootID)
+		if !ok {
+			return errStaleLocal
+		}
+		if contMethod != "" {
+			c.runContinuation(entry, contMethod, contArgs)
+		}
+		return nil
+	}
+	if dest.Nil() {
+		return fmt.Errorf("core: move %s: empty destination", rootID)
+	}
+
+	c.moveOpMu.Lock()
+	defer c.moveOpMu.Unlock()
+
+	var (
+		locked      []*complet
+		entries     []wire.BundleEntry
+		remotePulls []ids.CompletID
+		remoteDups  []ids.CompletID
+		preDup      = map[ids.CompletID]ids.CompletID{}
+		visited     = map[ids.CompletID]bool{rootID: true}
+		dupDone     = map[ids.CompletID]bool{}
+		queue       = []ids.CompletID{rootID}
+	)
+	unlock := func() {
+		for _, e := range locked {
+			e.moveMu.Unlock()
+		}
+	}
+	fail := func(err error) error {
+		unlock()
+		return err
+	}
+
+	targetLocal := func(id ids.CompletID) bool {
+		_, ok := c.lookup(id)
+		return ok
+	}
+
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		entry, ok := c.lookup(id)
+		if !ok {
+			if id == rootID {
+				unlock()
+				return errStaleLocal
+			}
+			// A pull target raced away; it will be chased with a
+			// follow-up command.
+			remotePulls = append(remotePulls, id)
+			continue
+		}
+		entry.moveMu.Lock()
+		if entry.gone {
+			entry.moveMu.Unlock()
+			if id == rootID {
+				unlock()
+				return errStaleLocal
+			}
+			remotePulls = append(remotePulls, id)
+			continue
+		}
+		locked = append(locked, entry)
+
+		if cb, ok := entry.anchor.(PreDeparture); ok {
+			cb.PreDeparture(dest)
+		}
+
+		payload, coll, err := wire.EncodeClosure(entry.anchor, ref.MoveContext{
+			Source: id,
+			From:   c.id,
+			To:     dest,
+		}, targetLocal)
+		if err != nil {
+			return fail(fmt.Errorf("core: marshal %s for move: %w", id, err))
+		}
+		entries = append(entries, wire.BundleEntry{
+			ID:       id,
+			TypeName: entry.typeName,
+			Payload:  payload,
+		})
+
+		for _, p := range coll.Pulls {
+			if visited[p] {
+				continue
+			}
+			visited[p] = true
+			if targetLocal(p) {
+				queue = append(queue, p)
+			} else {
+				remotePulls = append(remotePulls, p)
+			}
+		}
+		for _, d := range coll.Duplicates {
+			if dupDone[d] {
+				continue
+			}
+			dupDone[d] = true
+			if dupEntry, ok := c.lookup(d); ok {
+				dupPayload, err := c.encodeDuplicate(dupEntry)
+				if err != nil {
+					return fail(fmt.Errorf("core: marshal duplicate %s: %w", d, err))
+				}
+				entries = append(entries, wire.BundleEntry{
+					ID:       d,
+					TypeName: dupEntry.typeName,
+					Payload:  dupPayload,
+					Dup:      true,
+				})
+			} else {
+				remoteDups = append(remoteDups, d)
+			}
+		}
+	}
+
+	// Clone remote duplicate targets ahead of the bundle so the receiver
+	// can bind Dup-flagged references to the copies.
+	for _, d := range remoteDups {
+		newID, err := c.cloneCommand(d, dest, 0)
+		if err != nil {
+			c.opts.Logf("fargo core %s: duplicate of remote %s at %s failed (reference degrades to link): %v", c.id, d, dest, err)
+			continue
+		}
+		preDup[d] = newID
+	}
+
+	// Carry naming entries for the moved complets.
+	names := map[string]int{}
+	c.mu.Lock()
+	for name, r := range c.names {
+		for i, e := range entries {
+			if !e.Dup && e.ID == r.Target() {
+				names[name] = i
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	// One inter-core message for the whole bundle (§3.3).
+	payload, err := wire.EncodePayload(wire.MoveRequest{
+		Entries:            entries,
+		ContinuationMethod: contMethod,
+		ContinuationArgs:   contArgs,
+		Names:              names,
+		PreDup:             preDup,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	env, err := c.request(dest, wire.KindMove, payload)
+	if err != nil {
+		return fail(fmt.Errorf("core: move bundle to %s: %w", dest, err))
+	}
+	var reply wire.MoveReply
+	if err := wire.DecodePayload(env.Payload, &reply); err != nil {
+		return fail(err)
+	}
+	if reply.Err != "" {
+		return fail(fmt.Errorf("core: move bundle to %s: %s", dest, reply.Err))
+	}
+
+	// Success: flip trackers, mark entries gone, fire callbacks/events.
+	for _, e := range locked {
+		e.gone = true
+	}
+	unlock()
+	for _, e := range locked {
+		c.remove(e.id, dest)
+		if cb, ok := e.anchor.(PostDeparture); ok {
+			cb.PostDeparture(dest)
+		}
+		c.mon.fireBuiltin(EventCompletDeparted, e.id, dest.String())
+	}
+
+	// Chase pull targets that were not co-located.
+	for _, p := range remotePulls {
+		if err := c.moveCommand(p, "", dest, "", nil, 0); err != nil {
+			c.opts.Logf("fargo core %s: pull of remote %s to %s failed: %v", c.id, p, dest, err)
+		}
+	}
+	return nil
+}
+
+// encodeDuplicate marshals a copy of a complet's closure for a duplicate
+// reference. The copy's own outgoing references are degraded to link
+// (ModeParam): a replica does not drag further complets around.
+func (c *Core) encodeDuplicate(entry *complet) ([]byte, error) {
+	entry.moveMu.RLock()
+	defer entry.moveMu.RUnlock()
+	if entry.gone {
+		return nil, errStaleLocal
+	}
+	data, _, err := wire.EncodeArgs([]any{entry.anchor})
+	return data, err
+}
+
+// cloneCommand asks the owner of target to install a copy at dest.
+func (c *Core) cloneCommand(target ids.CompletID, dest ids.CoreID, hops int) (ids.CompletID, error) {
+	for attempt := 0; ; attempt++ {
+		if hops+attempt > maxHops {
+			return ids.CompletID{}, fmt.Errorf("%w: cloning %s", ErrTrackingLoop, target)
+		}
+		t := c.trackerFor(target, "")
+		local, next := t.point()
+		if local {
+			newID, err := c.cloneLocal(target, dest)
+			if err == errStaleLocal {
+				continue
+			}
+			return newID, err
+		}
+		if next == c.id {
+			return ids.CompletID{}, fmt.Errorf("%w: %s (self-referential tracker)", ErrUnknownComplet, target)
+		}
+		payload, err := wire.EncodePayload(wire.CloneCommand{Target: target, Dest: dest, Hops: hops + attempt + 1})
+		if err != nil {
+			return ids.CompletID{}, err
+		}
+		env, err := c.request(next, wire.KindClone, payload)
+		if err != nil {
+			return ids.CompletID{}, fmt.Errorf("core: route clone of %s via %s: %w", target, next, err)
+		}
+		var reply wire.CloneCommandReply
+		if err := wire.DecodePayload(env.Payload, &reply); err != nil {
+			return ids.CompletID{}, err
+		}
+		if reply.Err != "" {
+			return ids.CompletID{}, fmt.Errorf("core: clone %s: %s", target, reply.Err)
+		}
+		return reply.NewID, nil
+	}
+}
+
+// cloneLocal ships a copy of a locally hosted complet to dest as a
+// single-entry Dup bundle and returns the copy's identity.
+func (c *Core) cloneLocal(target ids.CompletID, dest ids.CoreID) (ids.CompletID, error) {
+	entry, ok := c.lookup(target)
+	if !ok {
+		return ids.CompletID{}, errStaleLocal
+	}
+	data, err := c.encodeDuplicate(entry)
+	if err != nil {
+		return ids.CompletID{}, err
+	}
+	if dest == c.id {
+		// Local clone: install directly.
+		return c.installDuplicate(entry.typeName, data)
+	}
+	payload, err := wire.EncodePayload(wire.MoveRequest{
+		Entries: []wire.BundleEntry{{
+			ID:       target,
+			TypeName: entry.typeName,
+			Payload:  data,
+			Dup:      true,
+		}},
+	})
+	if err != nil {
+		return ids.CompletID{}, err
+	}
+	env, err := c.request(dest, wire.KindMove, payload)
+	if err != nil {
+		return ids.CompletID{}, fmt.Errorf("core: clone bundle to %s: %w", dest, err)
+	}
+	var reply wire.MoveReply
+	if err := wire.DecodePayload(env.Payload, &reply); err != nil {
+		return ids.CompletID{}, err
+	}
+	if reply.Err != "" {
+		return ids.CompletID{}, fmt.Errorf("core: clone to %s: %s", dest, reply.Err)
+	}
+	newID, ok := reply.DupMap[target]
+	if !ok {
+		return ids.CompletID{}, fmt.Errorf("core: clone to %s: no copy identity returned", dest)
+	}
+	return newID, nil
+}
+
+// handleClone serves a routed clone command.
+func (c *Core) handleClone(env wire.Envelope) (wire.Kind, []byte, error) {
+	var req wire.CloneCommand
+	if err := wire.DecodePayload(env.Payload, &req); err != nil {
+		return 0, nil, err
+	}
+	reply := wire.CloneCommandReply{}
+	newID, err := c.cloneCommand(req.Target, req.Dest, req.Hops)
+	if err != nil {
+		reply.Err = err.Error()
+	} else {
+		reply.NewID = newID
+	}
+	out, err := wire.EncodePayload(reply)
+	if err != nil {
+		return 0, nil, err
+	}
+	return wire.KindCloneReply, out, nil
+}
+
+// installDuplicate decodes a duplicate payload (encoded by encodeDuplicate)
+// and installs it under a fresh identity.
+func (c *Core) installDuplicate(typeName string, data []byte) (ids.CompletID, error) {
+	vals, decoded, err := wire.DecodeArgs(data)
+	if err != nil {
+		return ids.CompletID{}, err
+	}
+	if len(vals) != 1 {
+		return ids.CompletID{}, fmt.Errorf("core: duplicate payload holds %d values", len(vals))
+	}
+	c.bindDecoded(decoded)
+	newID := c.mint.Next()
+	c.install(newID, typeName, vals[0])
+	c.mon.fireBuiltin(EventCompletArrived, newID, "duplicate")
+	return newID, nil
+}
+
+// arrivedComplet is the receiver-side record of one bundle entry during
+// installation.
+type arrivedComplet struct {
+	id       ids.CompletID
+	typeName string
+	anchor   any
+	refs     []*ref.Ref
+	dup      bool
+}
+
+// handleMove installs an arriving movement bundle (§3.3, receiver side):
+// decode every closure, assign fresh identities to duplicates, re-bind
+// references (dup → copies, stamp → equivalent local complets), install
+// complets and trackers, fire callbacks/events, then run the continuation.
+func (c *Core) handleMove(env wire.Envelope) (wire.Kind, []byte, error) {
+	var req wire.MoveRequest
+	if err := wire.DecodePayload(env.Payload, &req); err != nil {
+		return 0, nil, err
+	}
+	reply := c.installBundle(env.From, req)
+	out, err := wire.EncodePayload(reply)
+	if err != nil {
+		return 0, nil, err
+	}
+	return wire.KindMoveReply, out, nil
+}
+
+func (c *Core) installBundle(from ids.CoreID, req wire.MoveRequest) wire.MoveReply {
+	// Admission control (resource allocation, §7 future work): refuse the
+	// whole bundle when it does not fit; the sender keeps the complets.
+	if err := c.admit(len(req.Entries)); err != nil {
+		return wire.MoveReply{Err: err.Error()}
+	}
+	dupMap := make(map[ids.CompletID]ids.CompletID, len(req.PreDup))
+	for old, copyID := range req.PreDup {
+		dupMap[old] = copyID
+	}
+
+	arrived := make([]arrivedComplet, 0, len(req.Entries))
+	for _, e := range req.Entries {
+		var (
+			a    arrivedComplet
+			err  error
+			vals []any
+		)
+		a.id, a.typeName, a.dup = e.ID, e.TypeName, e.Dup
+		if e.Dup {
+			vals, a.refs, err = wire.DecodeArgs(e.Payload)
+			if err == nil && len(vals) == 1 {
+				a.anchor = vals[0]
+			} else if err == nil {
+				err = fmt.Errorf("duplicate payload holds %d values", len(vals))
+			}
+			if err == nil {
+				a.id = c.mint.Next()
+				dupMap[e.ID] = a.id
+			}
+		} else {
+			a.anchor, a.refs, err = wire.DecodeClosure(e.Payload)
+		}
+		if err != nil {
+			return wire.MoveReply{Err: fmt.Sprintf("decode %s (%s): %v", e.ID, e.TypeName, err)}
+		}
+		// preArrival runs after decoding but before reference linking
+		// ("before finishing unmarshaling").
+		if cb, ok := a.anchor.(PreArrival); ok {
+			cb.PreArrival(from)
+		}
+		arrived = append(arrived, a)
+	}
+
+	// Re-bind references: duplicates to their copies, stamps to local
+	// equivalents; everything gets attached to this core. References in a
+	// complet's closure are owned by that complet (per-reference
+	// invocation profiling keys on this).
+	for i := range arrived {
+		for _, r := range arrived[i].refs {
+			r.SetOwner(arrived[i].id)
+			switch {
+			case r.DecodedDup():
+				if copyID, ok := dupMap[r.Target()]; ok {
+					r.Retarget(copyID, r.AnchorType(), c.id)
+				}
+				// No copy (clone failed): the reference keeps
+				// tracking the original, degraded to a plain
+				// link in behaviour.
+			case r.DecodedStamp():
+				if localID, ok := c.findLocalByType(r.AnchorType()); ok {
+					r.Retarget(localID, r.AnchorType(), c.id)
+				} else {
+					c.opts.Logf("fargo core %s: stamp re-binding: no local complet of type %q; reference keeps tracking the original", c.id, r.AnchorType())
+				}
+			}
+		}
+		c.bindDecoded(arrived[i].refs)
+	}
+
+	// Install complets and trackers.
+	installed := make([]ids.CompletID, 0, len(arrived))
+	homeTracking := c.homeTrackingEnabled()
+	for _, a := range arrived {
+		c.install(a.id, a.typeName, a.anchor)
+		installed = append(installed, a.id)
+		if homeTracking {
+			c.reportHome(a.id)
+		}
+	}
+
+	// Register carried names against the (tracking) references.
+	for name, idx := range req.Names {
+		if idx >= 0 && idx < len(arrived) {
+			a := arrived[idx]
+			c.setLocalName(name, ref.New(a.id, a.typeName, c.id, c.binder()))
+		}
+	}
+
+	// postArrival + events once everything is linked.
+	for _, a := range arrived {
+		if cb, ok := a.anchor.(PostArrival); ok {
+			cb.PostArrival(from)
+		}
+		c.mon.fireBuiltin(EventCompletArrived, a.id, from.String())
+	}
+
+	// Continuation: resume the computation on the first entry's anchor.
+	if req.ContinuationMethod != "" && len(arrived) > 0 {
+		root, ok := c.lookup(arrived[0].id)
+		if ok {
+			c.runContinuation(root, req.ContinuationMethod, req.ContinuationArgs)
+		}
+	}
+	c.notePeer(from)
+	return wire.MoveReply{Installed: installed, DupMap: dupMap}
+}
+
+// findLocalByType returns some locally hosted complet of the given type
+// (stamp re-binding, §3.3).
+func (c *Core) findLocalByType(typeName string) (ids.CompletID, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var (
+		best  ids.CompletID
+		found bool
+	)
+	for id, entry := range c.complets {
+		if entry.typeName != typeName {
+			continue
+		}
+		// Deterministic choice: smallest ID string.
+		if !found || id.String() < best.String() {
+			best, found = id, true
+		}
+	}
+	return best, found
+}
+
+// runContinuation invokes the continuation method on a freshly arrived
+// complet on its own goroutine (the movement reply must not wait for it).
+func (c *Core) runContinuation(entry *complet, method string, argBytes []byte) {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		resBytes := argBytes
+		if resBytes == nil {
+			resBytes, _, _ = wire.EncodeArgs(nil)
+		}
+		if _, err := c.invokeLocal(entry.id, method, resBytes); err != nil {
+			c.opts.Logf("fargo core %s: continuation %s.%s: %v", c.id, entry.typeName, method, err)
+		}
+	}()
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestNameLookupLocal(t *testing.T) {
+	cl := newCluster(t, "a")
+	a := cl.core("a")
+	r, err := a.NewComplet("Msg", "named")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Name("msg", r); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := a.Lookup("msg")
+	if !ok {
+		t.Fatal("name not found")
+	}
+	if v := invoke1(t, got, "Print"); v != "named" {
+		t.Fatalf("Print via name = %v", v)
+	}
+	if _, ok := a.Lookup("ghost"); ok {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+func TestNameValidation(t *testing.T) {
+	cl := newCluster(t, "a")
+	a := cl.core("a")
+	r, err := a.NewComplet("Msg", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Name("", r); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	if err := a.Name("n", nil); err == nil {
+		t.Fatal("nil ref should fail")
+	}
+}
+
+func TestNameRebindAndUnname(t *testing.T) {
+	cl := newCluster(t, "a")
+	a := cl.core("a")
+	r1, err := a.NewComplet("Msg", "one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.NewComplet("Msg", "two")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Name("n", r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Name("n", r2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := a.Lookup("n")
+	if v := invoke1(t, got, "Print"); v != "two" {
+		t.Fatalf("rebound name resolves to %v", v)
+	}
+	a.Unname("n")
+	if _, ok := a.Lookup("n"); ok {
+		t.Fatal("name survived Unname")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	cl := newCluster(t, "a")
+	a := cl.core("a")
+	r, err := a.NewComplet("Msg", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := a.Name(n, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := a.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestRemoteNaming(t *testing.T) {
+	cl := newCluster(t, "a", "b")
+	a := cl.core("a")
+	r, err := a.NewComplet("Msg", "remote-named")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.NameAt("b", "svc", r); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := a.LookupAt("b", "svc")
+	if err != nil || !ok {
+		t.Fatalf("LookupAt: %v, %v", ok, err)
+	}
+	if v := invoke1(t, got, "Print"); v != "remote-named" {
+		t.Fatalf("Print via remote name = %v", v)
+	}
+	_, ok, err = a.LookupAt("b", "ghost")
+	if err != nil || ok {
+		t.Fatalf("ghost lookup: %v, %v", ok, err)
+	}
+}
+
+func TestNameTracksMovement(t *testing.T) {
+	// A name bound at core a keeps resolving after its target moves away.
+	cl := newCluster(t, "a", "b", "c")
+	a := cl.core("a")
+	r, err := a.NewComplet("Msg", "wanderer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Name("w", r); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Move(r, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.core("b").MoveByID(r.Target(), "c"); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := a.Lookup("w")
+	if !ok {
+		t.Fatal("name lost")
+	}
+	if v := invoke1(t, got, "Print"); v != "wanderer" {
+		t.Fatalf("Print = %v", v)
+	}
+	if loc, err := got.Meta().Location(); err != nil || loc != "c" {
+		t.Fatalf("location via name = %v, %v", loc, err)
+	}
+}

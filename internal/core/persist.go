@@ -1,0 +1,262 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"fargo/internal/ids"
+	"fargo/internal/ref"
+	"fargo/internal/wire"
+)
+
+// Checkpoint/Restore implement core persistence — the first of the paper's
+// future-work directions ("we plan to develop persistence and mobility-aware
+// transactional models", §7). A checkpoint captures every complet hosted by
+// this core — closures with their outgoing references' relocation semantics
+// preserved — plus the core's name bindings. Restoring into a fresh core of
+// the SAME name brings the complets back under their original identities, so
+// references held elsewhere keep resolving (their trackers still point at
+// this core's name).
+
+// checkpointMagic guards against restoring garbage.
+const checkpointMagic = "fargo-checkpoint-v1"
+
+// checkpointEntry is one persisted complet.
+type checkpointEntry struct {
+	ID       ids.CompletID
+	TypeName string
+	Payload  []byte // closure encoded under ModeSnapshot
+}
+
+// checkpointFile is the on-disk format.
+type checkpointFile struct {
+	Magic string
+	Core  ids.CoreID
+	// MaxSeq is the highest complet sequence number minted by this core,
+	// so a restored core never re-issues an ID.
+	MaxSeq  uint64
+	Entries []checkpointEntry
+	Names   map[string]ref.Descriptor
+}
+
+// Checkpoint serializes all hosted complets and name bindings to w. Each
+// complet is briefly read-locked, so a checkpoint taken during live traffic
+// is internally consistent per complet (not globally transactional — the
+// transactional model remains future work here too).
+func (c *Core) Checkpoint(w io.Writer) error {
+	if c.isClosed() {
+		return ErrClosed
+	}
+	c.mu.Lock()
+	entries := make([]*complet, 0, len(c.complets))
+	for _, e := range c.complets {
+		entries = append(entries, e)
+	}
+	names := make(map[string]ref.Descriptor, len(c.names))
+	for name, r := range c.names {
+		desc, err := r.Descriptor()
+		if err != nil {
+			c.mu.Unlock()
+			return fmt.Errorf("core: checkpoint name %q: %w", name, err)
+		}
+		names[name] = desc
+	}
+	c.mu.Unlock()
+
+	file := checkpointFile{
+		Magic: checkpointMagic,
+		Core:  c.id,
+		Names: names,
+	}
+	for _, e := range entries {
+		payload, err := c.snapshotComplet(e)
+		if err != nil {
+			return fmt.Errorf("core: checkpoint %s: %w", e.id, err)
+		}
+		if payload == nil {
+			continue // moved away mid-checkpoint
+		}
+		file.Entries = append(file.Entries, checkpointEntry{
+			ID:       e.id,
+			TypeName: e.typeName,
+			Payload:  payload,
+		})
+		if e.id.Birth == c.id && e.id.Seq > file.MaxSeq {
+			file.MaxSeq = e.id.Seq
+		}
+	}
+	c.mu.Lock()
+	if minted := c.mint.Current(); minted > file.MaxSeq {
+		file.MaxSeq = minted
+	}
+	c.mu.Unlock()
+
+	if err := gob.NewEncoder(w).Encode(file); err != nil {
+		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// snapshotComplet encodes one complet's closure under ModeSnapshot.
+func (c *Core) snapshotComplet(e *complet) ([]byte, error) {
+	e.moveMu.RLock()
+	defer e.moveMu.RUnlock()
+	if e.gone {
+		return nil, nil
+	}
+	wire.RegisterWireTypes()
+	coll := &ref.Collector{Mode: ref.ModeSnapshot}
+	var buf bytes.Buffer
+	err := ref.WithCollector(coll, func() error {
+		return gob.NewEncoder(&buf).Encode(snapshotBox{Anchor: e.anchor})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// snapshotBox wraps the anchor so gob records its dynamic type.
+type snapshotBox struct {
+	Anchor any
+}
+
+// CheckpointFile checkpoints to a file path.
+func (c *Core) CheckpointFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint file: %w", err)
+	}
+	defer f.Close()
+	if err := c.Checkpoint(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Restore installs the complets and names of a checkpoint into this core.
+// The core must have the same name the checkpoint was taken on (identities
+// embed the birth core) and must not already host complets with the same
+// IDs. Returns the number of complets restored.
+func (c *Core) Restore(r io.Reader) (int, error) {
+	if c.isClosed() {
+		return 0, ErrClosed
+	}
+	var file checkpointFile
+	if err := gob.NewDecoder(r).Decode(&file); err != nil {
+		return 0, fmt.Errorf("core: read checkpoint: %w", err)
+	}
+	if file.Magic != checkpointMagic {
+		return 0, fmt.Errorf("core: not a fargo checkpoint")
+	}
+	if file.Core != c.id {
+		return 0, fmt.Errorf("core: checkpoint belongs to core %q, this core is %q", file.Core, c.id)
+	}
+	// Never mint an ID the checkpointed core may have issued.
+	c.mint.Advance(file.MaxSeq)
+
+	restored := 0
+	for _, entry := range file.Entries {
+		if _, exists := c.lookup(entry.ID); exists {
+			return restored, fmt.Errorf("core: restore: complet %s already hosted", entry.ID)
+		}
+		anchor, decoded, err := decodeSnapshot(entry.Payload)
+		if err != nil {
+			return restored, fmt.Errorf("core: restore %s: %w", entry.ID, err)
+		}
+		for _, dr := range decoded {
+			dr.SetOwner(entry.ID)
+		}
+		c.bindDecoded(decoded)
+		c.install(entry.ID, entry.TypeName, anchor)
+		c.mon.fireBuiltin(EventCompletArrived, entry.ID, "restore")
+		restored++
+	}
+	for name, desc := range file.Names {
+		nr, err := ref.FromDescriptor(desc)
+		if err != nil {
+			return restored, fmt.Errorf("core: restore name %q: %w", name, err)
+		}
+		nr.Bind(c.binder())
+		c.setLocalName(name, nr)
+	}
+	return restored, nil
+}
+
+// RestoreFile restores from a file path.
+func (c *Core) RestoreFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("core: restore file: %w", err)
+	}
+	defer f.Close()
+	return c.Restore(f)
+}
+
+// CheckpointRemote asks a peer core to checkpoint itself to a file path on
+// ITS host, returning the number of complets captured.
+func (c *Core) CheckpointRemote(dest ids.CoreID, path string) (int, error) {
+	if dest == c.id {
+		if err := c.CheckpointFile(path); err != nil {
+			return 0, err
+		}
+		return c.CompletCount(), nil
+	}
+	if c.isClosed() {
+		return 0, ErrClosed
+	}
+	payload, err := wire.EncodePayload(wire.CheckpointRequest{Path: path})
+	if err != nil {
+		return 0, err
+	}
+	env, err := c.request(dest, wire.KindCheckpoint, payload)
+	if err != nil {
+		return 0, fmt.Errorf("core: checkpoint %s: %w", dest, err)
+	}
+	var reply wire.CheckpointReply
+	if err := wire.DecodePayload(env.Payload, &reply); err != nil {
+		return 0, err
+	}
+	if reply.Err != "" {
+		return 0, fmt.Errorf("core: checkpoint %s: %s", dest, reply.Err)
+	}
+	return reply.Complets, nil
+}
+
+// handleCheckpoint serves a routed checkpoint command.
+func (c *Core) handleCheckpoint(env wire.Envelope) (wire.Kind, []byte, error) {
+	var req wire.CheckpointRequest
+	if err := wire.DecodePayload(env.Payload, &req); err != nil {
+		return 0, nil, err
+	}
+	reply := wire.CheckpointReply{}
+	if req.Path == "" {
+		reply.Err = "empty checkpoint path"
+	} else if err := c.CheckpointFile(req.Path); err != nil {
+		reply.Err = err.Error()
+	} else {
+		reply.Complets = c.CompletCount()
+	}
+	out, err := wire.EncodePayload(reply)
+	if err != nil {
+		return 0, nil, err
+	}
+	return wire.KindCheckpointReply, out, nil
+}
+
+// decodeSnapshot decodes a ModeSnapshot closure.
+func decodeSnapshot(data []byte) (any, []*ref.Ref, error) {
+	wire.RegisterWireTypes()
+	coll := &ref.Collector{Mode: ref.ModeSnapshot}
+	var box snapshotBox
+	err := ref.WithCollector(coll, func() error {
+		return gob.NewDecoder(bytes.NewReader(data)).Decode(&box)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return box.Anchor, coll.Decoded, nil
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fargo/internal/ref"
+	"fargo/internal/registry"
+	"fargo/internal/transport"
+)
+
+// restartCore simulates a crash/restart: shut the core down and bring up a
+// fresh one with the same name on the same simulated network.
+func restartCore(t *testing.T, cl *cluster, name string) *Core {
+	t.Helper()
+	old := cl.core(name)
+	if err := old.Shutdown(0); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := transport.NewSim(cl.net, old.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New()
+	registerTestTypes(t, reg)
+	fresh, err := New(tr, reg, Options{RequestTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.cores[old.ID()] = fresh // cluster cleanup shuts it down
+	return fresh
+}
+
+func TestCheckpointRestoreRoundtrip(t *testing.T) {
+	cl := newCluster(t, "a", "b")
+	a := cl.core("a")
+
+	// State: a message (invoked once), a holder with a PULL reference to
+	// it, and a name binding.
+	msgRef, err := a.NewComplet("Msg", "persisted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	invoke1(t, msgRef, "Print") // Count = 1
+	h, err := a.NewComplet("Holder", "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Invoke("SetOut", msgRef); err != nil {
+		t.Fatal(err)
+	}
+	entry, _ := a.lookup(h.Target())
+	if err := entry.anchor.(*holder).Out.Meta().SetRelocator(ref.Pull{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Name("the-msg", msgRef); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := a.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	a2 := restartCore(t, cl, "a")
+	n, err := a2.Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("restored %d complets, want 2", n)
+	}
+
+	// State survived: counter continues from 1.
+	restored, ok := a2.Lookup("the-msg")
+	if !ok {
+		t.Fatal("name binding lost")
+	}
+	if got := invoke1(t, restored, "Calls"); got != 1 {
+		t.Fatalf("Calls = %v, want 1 (state lost)", got)
+	}
+	// Identity survived: the old stub (rebuilt against the new core via
+	// ID) reaches the same complet.
+	viaID := a2.NewRefTo(msgRef.Target(), "Msg", "a")
+	if got := invoke1(t, viaID, "Print"); got != "persisted" {
+		t.Fatalf("Print = %v", got)
+	}
+	// Relocator semantics survived: moving the holder pulls the message.
+	h2 := a2.NewRefTo(h.Target(), "Holder", "a")
+	if err := a2.Move(h2, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.core("b").CompletCount(); got != 2 {
+		t.Fatalf("b hosts %d complets, want 2 (pull preserved across restore)", got)
+	}
+	// Fresh IDs don't collide with restored ones.
+	fresh, err := a2.NewComplet("Msg", "fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Target() == msgRef.Target() || fresh.Target() == h.Target() {
+		t.Fatalf("fresh ID %v collides with a restored identity", fresh.Target())
+	}
+}
+
+func TestCheckpointFileRoundtrip(t *testing.T) {
+	cl := newCluster(t, "a")
+	a := cl.core("a")
+	if _, err := a.NewComplet("Msg", "on-disk"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "core-a.ckpt")
+	if err := a.CheckpointFile(path); err != nil {
+		t.Fatal(err)
+	}
+	a2 := restartCore(t, cl, "a")
+	n, err := a2.RestoreFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || a2.CompletCount() != 1 {
+		t.Fatalf("restored %d, hosting %d", n, a2.CompletCount())
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	cl := newCluster(t, "a", "b")
+	a, b := cl.core("a"), cl.core("b")
+	if _, err := a.NewComplet("Msg", "x"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong core name.
+	if _, err := b.Restore(bytes.NewReader(buf.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "belongs to core") {
+		t.Fatalf("cross-core restore: %v", err)
+	}
+	// Garbage.
+	if _, err := a.Restore(strings.NewReader("junk")); err == nil {
+		t.Fatal("garbage restore should fail")
+	}
+	// Duplicate restore into the SAME live core (complets still hosted).
+	if _, err := a.Restore(bytes.NewReader(buf.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "already hosted") {
+		t.Fatalf("duplicate restore: %v", err)
+	}
+}
+
+func TestCheckpointRemote(t *testing.T) {
+	cl := newCluster(t, "admin", "worker")
+	admin := cl.core("admin")
+	if _, err := admin.NewCompletAt("worker", "Msg", "remote-persisted"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "worker.ckpt")
+	n, err := admin.CheckpointRemote("worker", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("checkpointed %d complets, want 1", n)
+	}
+	// The file is readable and restores into a restarted worker.
+	w2 := restartCore(t, cl, "worker")
+	restored, err := w2.RestoreFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 1 {
+		t.Fatalf("restored %d", restored)
+	}
+	// Self-targeted remote checkpoint takes the local path.
+	path2 := filepath.Join(t.TempDir(), "self.ckpt")
+	if _, err := admin.CheckpointRemote("admin", path2); err != nil {
+		t.Fatal(err)
+	}
+	// Error path: bad remote path.
+	if _, err := admin.CheckpointRemote("worker", ""); err == nil {
+		t.Fatal("empty remote path should fail")
+	}
+}
+
+func TestRestoredRefsAreOwnedAndBound(t *testing.T) {
+	cl := newCluster(t, "a")
+	a := cl.core("a")
+	target, err := a.NewComplet("Msg", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := a.NewComplet("Holder", "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Invoke("SetOut", target); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a2 := restartCore(t, cl, "a")
+	if _, err := a2.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The holder's restored outgoing ref must be bound: CallOut works.
+	h2 := a2.NewRefTo(h.Target(), "Holder", "a")
+	if got := invoke1(t, h2, "CallOut"); got != "t" {
+		t.Fatalf("CallOut after restore = %v", got)
+	}
+	// And owned by the holder (per-reference profiling key).
+	entry, okE := a2.lookup(h.Target())
+	if !okE {
+		t.Fatal("holder not restored")
+	}
+	if owner := entry.anchor.(*holder).Out.Owner(); owner != h.Target() {
+		t.Fatalf("restored ref owner = %v, want %v", owner, h.Target())
+	}
+}

@@ -1,0 +1,206 @@
+// Package demo provides a standard set of complet types shared by the
+// command-line tools, the examples and the experiment harness.
+//
+// The original FarGo loads complet classes dynamically into a running Core;
+// Go binaries cannot load code at runtime, so every daemon compiles in this
+// demo type set plus whatever application types it links (see DESIGN.md
+// substitutions).
+package demo
+
+import (
+	"fmt"
+	"strings"
+
+	"fargo/internal/ref"
+	"fargo/internal/registry"
+)
+
+// Message is the Figure 3 complet: a relocatable string holder.
+type Message struct {
+	Msg   string
+	Calls int
+}
+
+// Init sets the message (constructor).
+func (m *Message) Init(msg string) { m.Msg = msg }
+
+// Print returns the message and counts the call.
+func (m *Message) Print() string { m.Calls++; return m.Msg }
+
+// Set replaces the message.
+func (m *Message) Set(msg string) { m.Msg = msg }
+
+// CallCount returns how many times Print ran.
+func (m *Message) CallCount() int { return m.Calls }
+
+// Counter is a complet with an integer register.
+type Counter struct {
+	N int64
+}
+
+// Add increments by delta and returns the new value.
+func (c *Counter) Add(delta int64) int64 { c.N += delta; return c.N }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.N }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.N = 0 }
+
+// KVStore is a small in-memory key-value store complet.
+type KVStore struct {
+	Data map[string]string
+}
+
+// Init prepares the store.
+func (s *KVStore) Init() { s.Data = map[string]string{} }
+
+// Put stores a value.
+func (s *KVStore) Put(k, v string) {
+	if s.Data == nil {
+		s.Data = map[string]string{}
+	}
+	s.Data[k] = v
+}
+
+// Get loads a value ("" when absent).
+func (s *KVStore) Get(k string) string { return s.Data[k] }
+
+// Len returns the number of keys.
+func (s *KVStore) Len() int { return len(s.Data) }
+
+// Keys lists the stored keys.
+func (s *KVStore) Keys() []string {
+	out := make([]string, 0, len(s.Data))
+	for k := range s.Data {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Printer is a per-site device complet (the paper's stamp-reference
+// example).
+type Printer struct {
+	Site    string
+	Printed []string
+}
+
+// Init names the printer's site.
+func (p *Printer) Init(site string) { p.Site = site }
+
+// PrintDoc "prints" a document at this site and returns a receipt.
+func (p *Printer) PrintDoc(doc string) string {
+	p.Printed = append(p.Printed, doc)
+	return fmt.Sprintf("printed %q at %s", doc, p.Site)
+}
+
+// Where returns the printer's site.
+func (p *Printer) Where() string { return p.Site }
+
+// Blob is a complet with a payload of configurable size (movement-cost
+// experiments).
+type Blob struct {
+	Payload []byte
+}
+
+// Init allocates the payload.
+func (b *Blob) Init(size int) { b.Payload = make([]byte, size) }
+
+// Size returns the payload size.
+func (b *Blob) Size() int { return len(b.Payload) }
+
+// Touch reads the payload (a minimal method for invocation benches).
+func (b *Blob) Touch() int {
+	if len(b.Payload) == 0 {
+		return 0
+	}
+	return int(b.Payload[0])
+}
+
+// Echo is a complet whose methods bounce values back (invocation
+// experiments).
+type Echo struct{}
+
+// Nop does nothing.
+func (e *Echo) Nop() {}
+
+// EchoInt returns its argument.
+func (e *Echo) EchoInt(v int) int { return v }
+
+// EchoString returns its argument.
+func (e *Echo) EchoString(s string) string { return s }
+
+// EchoBytes returns the length of its argument (payload-size benches pass
+// big slices one way).
+func (e *Echo) EchoBytes(b []byte) int { return len(b) }
+
+// Join concatenates arguments (multi-arg dispatch coverage).
+func (e *Echo) Join(parts []string, sep string) string { return strings.Join(parts, sep) }
+
+// Hub is a complet that holds outgoing references with chosen relocation
+// semantics — the wiring workhorse of the experiment harness and shell
+// demos.
+type Hub struct {
+	Refs []*ref.Ref
+}
+
+// Attach stores a reference after installing the relocator of the given
+// kind ("link", "pull", "duplicate", "stamp", or a registered custom kind).
+func (h *Hub) Attach(r *ref.Ref, kind string) error {
+	if r == nil {
+		return fmt.Errorf("hub: nil reference")
+	}
+	reloc, err := ref.DecodeRelocator(ref.RelocDescriptor{Kind: kind})
+	if err != nil {
+		return err
+	}
+	if err := r.Meta().SetRelocator(reloc); err != nil {
+		return err
+	}
+	h.Refs = append(h.Refs, r)
+	return nil
+}
+
+// CallAll invokes a no-argument method through every attached reference and
+// returns how many calls succeeded.
+func (h *Hub) CallAll(method string) (int, error) {
+	okCount := 0
+	var firstErr error
+	for _, r := range h.Refs {
+		if _, err := r.Invoke(method); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		okCount++
+	}
+	return okCount, firstErr
+}
+
+// Targets lists the attached reference targets (ID strings).
+func (h *Hub) Targets() []string {
+	out := make([]string, len(h.Refs))
+	for i, r := range h.Refs {
+		out[i] = r.Target().String()
+	}
+	return out
+}
+
+// Register installs the demo types into a registry.
+func Register(reg *registry.Registry) error {
+	for name, proto := range map[string]any{
+		"Message": (*Message)(nil),
+		"Counter": (*Counter)(nil),
+		"KVStore": (*KVStore)(nil),
+		"Printer": (*Printer)(nil),
+		"Blob":    (*Blob)(nil),
+		"Echo":    (*Echo)(nil),
+		"Hub":     (*Hub)(nil),
+	} {
+		if err := reg.Register(name, proto); err != nil {
+			return fmt.Errorf("demo: %w", err)
+		}
+	}
+	return nil
+}

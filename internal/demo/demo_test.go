@@ -1,0 +1,97 @@
+package demo
+
+import (
+	"testing"
+
+	"fargo/internal/registry"
+)
+
+func TestRegisterAll(t *testing.T) {
+	reg := registry.New()
+	if err := Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Message", "Counter", "KVStore", "Printer", "Blob", "Echo", "Hub"} {
+		if _, ok := reg.Lookup(name); !ok {
+			t.Errorf("type %q not registered", name)
+		}
+	}
+	// Registering twice must be harmless.
+	if err := Register(registry.New()); err != nil {
+		t.Fatalf("second registry: %v", err)
+	}
+}
+
+func TestMessage(t *testing.T) {
+	m := &Message{}
+	m.Init("hi")
+	if m.Print() != "hi" || m.CallCount() != 1 {
+		t.Fatalf("message misbehaves: %+v", m)
+	}
+	m.Set("bye")
+	if m.Print() != "bye" {
+		t.Fatal("Set failed")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := &Counter{}
+	if c.Add(5) != 5 || c.Add(-2) != 3 || c.Value() != 3 {
+		t.Fatalf("counter = %+v", c)
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestKVStore(t *testing.T) {
+	s := &KVStore{}
+	s.Init()
+	s.Put("a", "1")
+	s.Put("b", "2")
+	if s.Get("a") != "1" || s.Get("nope") != "" || s.Len() != 2 {
+		t.Fatalf("kvstore = %+v", s)
+	}
+	if len(s.Keys()) != 2 {
+		t.Fatalf("keys = %v", s.Keys())
+	}
+	// Put on a zero-valued store (post-gob) must not panic.
+	var zero KVStore
+	zero.Put("x", "y")
+	if zero.Get("x") != "y" {
+		t.Fatal("zero-value Put failed")
+	}
+}
+
+func TestPrinter(t *testing.T) {
+	p := &Printer{}
+	p.Init("haifa")
+	receipt := p.PrintDoc("doc1")
+	if p.Where() != "haifa" || len(p.Printed) != 1 || receipt == "" {
+		t.Fatalf("printer = %+v", p)
+	}
+}
+
+func TestBlobAndEcho(t *testing.T) {
+	b := &Blob{}
+	b.Init(128)
+	if b.Size() != 128 || b.Touch() != 0 {
+		t.Fatalf("blob = %d", b.Size())
+	}
+	e := &Echo{}
+	e.Nop()
+	if e.EchoInt(7) != 7 || e.EchoString("x") != "x" || e.EchoBytes([]byte{1, 2}) != 2 {
+		t.Fatal("echo misbehaves")
+	}
+	if e.Join([]string{"a", "b"}, "-") != "a-b" {
+		t.Fatal("join misbehaves")
+	}
+}
+
+func TestHubAttachValidation(t *testing.T) {
+	h := &Hub{}
+	if err := h.Attach(nil, "link"); err == nil {
+		t.Fatal("nil ref should fail")
+	}
+}

@@ -1,0 +1,72 @@
+package demo_test
+
+import (
+	"testing"
+	"time"
+
+	"fargo/internal/core"
+	"fargo/internal/demo"
+	"fargo/internal/ids"
+	"fargo/internal/netsim"
+	"fargo/internal/registry"
+	"fargo/internal/transport"
+)
+
+// TestGeneratedStubEndToEnd exercises the fargo-stubgen output (the FarGo
+// Compiler substitute): typed calls through MessageStub behave like the
+// dynamic Invoke path, across cores and across movement.
+func TestGeneratedStubEndToEnd(t *testing.T) {
+	net := netsim.NewNetwork(9)
+	defer net.Close()
+	cores := map[string]*core.Core{}
+	for _, name := range []string{"a", "b"} {
+		tr, err := transport.NewSim(net, ids.CoreID(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := registry.New()
+		if err := demo.Register(reg); err != nil {
+			t.Fatal(err)
+		}
+		c, err := core.New(tr, reg, core.Options{RequestTimeout: 10 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cores[name] = c
+		defer func() { _ = c.Shutdown(0) }()
+	}
+
+	r, err := cores["a"].NewComplet("Message", "typed hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := demo.AsMessage(r)
+
+	got, err := stub.Print()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "typed hello" {
+		t.Fatalf("Print = %q", got)
+	}
+	if err := stub.Set("updated"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cores["a"].Move(r, "b"); err != nil {
+		t.Fatal(err)
+	}
+	got, err = stub.Print()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "updated" {
+		t.Fatalf("Print after move = %q", got)
+	}
+	n, err := stub.CallCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("CallCount = %d, want 2", n)
+	}
+}

@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"fargo/internal/demo"
+	"fargo/internal/ids"
+	"fargo/internal/netsim"
+	"fargo/internal/ref"
+)
+
+// E1InvocationIndirection measures the cost ladder of the stub/tracker split
+// (Fig 2, §3.1): raw Go call, co-located invocation through a complet
+// reference (deep-copied parameters + one tracker hop), and remote
+// invocation over the simulated network at two latencies.
+func E1InvocationIndirection(cfg Config) (Result, error) {
+	res := Result{
+		ID:    "E1",
+		Title: "Invocation indirection: direct vs. reference vs. remote",
+		PaperClaim: "stub→tracker adds 'a small price of an extra local method " +
+			"invocation'; remote invocations are dominated by the network",
+	}
+	cl, err := newCluster(1, "a", "b")
+	if err != nil {
+		return res, err
+	}
+	defer cl.close()
+	a := cl.core("a")
+
+	iters := pick(cfg, 2_000, 50_000)
+
+	// Baseline: raw Go method call on the anchor.
+	anchor := &demo.Echo{}
+	ns, err := nsPerOp(iters*100, func() error { anchor.Nop(); return nil })
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, Row{Series: "invoke/go-direct", Value: ns, Unit: "ns/op"})
+
+	// Co-located complet reference.
+	localRef, err := a.NewComplet("Echo")
+	if err != nil {
+		return res, err
+	}
+	ns, err = nsPerOp(iters, func() error { _, err := localRef.Invoke("Nop"); return err })
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, Row{Series: "invoke/ref-colocated", Value: ns, Unit: "ns/op",
+		Note: "includes mandatory by-value parameter semantics"})
+
+	// Remote over a fast link.
+	remoteRef, err := a.NewCompletAt("b", "Echo")
+	if err != nil {
+		return res, err
+	}
+	ns, err = nsPerOp(iters/4+1, func() error { _, err := remoteRef.Invoke("Nop"); return err })
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, Row{Series: "invoke/ref-remote", Param: "lat=1ms", Value: ns, Unit: "ns/op"})
+
+	// Remote over a slow WAN link.
+	if err := cl.net.SetLink("a", "b", netsim.LinkProfile{Latency: 10 * time.Millisecond}); err != nil {
+		return res, err
+	}
+	ns, err = nsPerOp(pick(cfg, 5, 50), func() error { _, err := remoteRef.Invoke("Nop"); return err })
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, Row{Series: "invoke/ref-remote", Param: "lat=10ms", Value: ns, Unit: "ns/op"})
+	return res, nil
+}
+
+// E2TrackerChain measures tracker chains (§3.1): a stale reference's first
+// invocation walks the whole chain; the return shortens every tracker, so
+// the second invocation takes one hop.
+func E2TrackerChain(cfg Config) (Result, error) {
+	res := Result{
+		ID:    "E2",
+		Title: "Tracker chains and shortening",
+		PaperClaim: "after k hops a chain of trackers forwards invocations; on " +
+			"return all trackers point directly at the target",
+	}
+	hops := []int{0, 1, 2, 4, 8}
+	if cfg.Quick {
+		hops = []int{0, 2, 4}
+	}
+	const linkLat = 2 * time.Millisecond
+	for _, k := range hops {
+		names := make([]string, k+2)
+		for i := range names {
+			names[i] = fmt.Sprintf("c%d", i)
+		}
+		cl, err := newCluster(1, names...)
+		if err != nil {
+			return res, err
+		}
+		for i := 0; i < len(names); i++ {
+			for j := i + 1; j < len(names); j++ {
+				if err := cl.net.SetLink(names[i], names[j], netsim.LinkProfile{Latency: linkLat}); err != nil {
+					cl.close()
+					return res, err
+				}
+			}
+		}
+		origin := cl.core(names[0])
+		r, err := origin.NewComplet("Echo")
+		if err != nil {
+			cl.close()
+			return res, err
+		}
+		// A stale referrer that only knows the birth core.
+		stale := origin.NewRefTo(r.Target(), "Echo", ids.CoreID(names[0]))
+
+		mover := r
+		for i := 1; i <= k; i++ {
+			if err := cl.core(names[i-1]).Move(mover, ids.CoreID(names[i])); err != nil {
+				cl.close()
+				return res, err
+			}
+		}
+
+		start := time.Now()
+		if _, err := stale.Invoke("Nop"); err != nil {
+			cl.close()
+			return res, err
+		}
+		first := time.Since(start)
+		start = time.Now()
+		if _, err := stale.Invoke("Nop"); err != nil {
+			cl.close()
+			return res, err
+		}
+		second := time.Since(start)
+		cl.close()
+
+		param := fmt.Sprintf("k=%d", k)
+		res.Rows = append(res.Rows,
+			Row{Series: "chain/first-call", Param: param, Value: float64(first.Microseconds()) / 1000, Unit: "ms"},
+			Row{Series: "chain/after-shorten", Param: param, Value: float64(second.Microseconds()) / 1000, Unit: "ms"},
+		)
+	}
+	return res, nil
+}
+
+// E3GroupMove verifies and measures the single-message group move (§3.3):
+// moving a complet with k pull-referenced complets uses one inter-core
+// message, versus k+1 for naive per-complet movement.
+func E3GroupMove(cfg Config) (Result, error) {
+	res := Result{
+		ID:    "E3",
+		Title: "Group movement in a single inter-core message",
+		PaperClaim: "all complets that should move as a result of the same " +
+			"movement request are part of the same stream — a single inter-Core message",
+	}
+	sizes := []int{0, 1, 4, 16, 64}
+	if cfg.Quick {
+		sizes = []int{0, 4, 16}
+	}
+	for _, k := range sizes {
+		cl, err := newCluster(1, "src", "dst")
+		if err != nil {
+			return res, err
+		}
+		src := cl.core("src")
+
+		// A root Hub pulls k Counter complets.
+		root, err := src.NewComplet("Hub")
+		if err != nil {
+			cl.close()
+			return res, err
+		}
+		for i := 0; i < k; i++ {
+			child, err := src.NewComplet("Counter")
+			if err != nil {
+				cl.close()
+				return res, err
+			}
+			if _, err := root.Invoke("Attach", child, "pull"); err != nil {
+				cl.close()
+				return res, err
+			}
+		}
+
+		cl.net.ResetStats()
+		start := time.Now()
+		if err := src.Move(root, "dst"); err != nil {
+			cl.close()
+			return res, err
+		}
+		elapsed := time.Since(start)
+		stats := cl.net.Stats("src", "dst")
+		cl.close()
+
+		param := fmt.Sprintf("k=%d", k)
+		res.Rows = append(res.Rows,
+			Row{Series: "groupmove/messages", Param: param, Value: float64(stats.Messages), Unit: "msgs",
+				Note: fmt.Sprintf("naive per-complet would use %d", k+1)},
+			Row{Series: "groupmove/bytes", Param: param, Value: float64(stats.Bytes), Unit: "bytes"},
+			Row{Series: "groupmove/time", Param: param, Value: float64(elapsed.Microseconds()) / 1000, Unit: "ms"},
+		)
+	}
+	return res, nil
+}
+
+// E4RelocatorMarshal measures movement cost and outcome per relocator type
+// (§2, §3.3): the same source complet moving with one outgoing reference of
+// each kind.
+func E4RelocatorMarshal(cfg Config) (Result, error) {
+	res := Result{
+		ID:    "E4",
+		Title: "Relocator semantics: marshal cost and outcome per reference type",
+		PaperClaim: "the relocator object governs (un)marshaling: pull recurses " +
+			"into the target, duplicate ships a copy, stamp marshals only the type",
+	}
+	const payload = 64 << 10 // 64 KiB target complet
+	cases := []struct {
+		kind  string
+		reloc ref.Relocator
+		note  string
+	}{
+		{"link", ref.Link{}, "target stays, tracked"},
+		{"pull", ref.Pull{}, "target travels in-bundle"},
+		{"duplicate", ref.Duplicate{}, "copy travels, original stays"},
+		{"stamp", ref.Stamp{}, "type-only; re-binds at destination"},
+	}
+	for _, tc := range cases {
+		cl, err := newCluster(1, "src", "dst")
+		if err != nil {
+			return res, err
+		}
+		src, dst := cl.core("src"), cl.core("dst")
+
+		// For stamp: an equivalent-typed complet at the destination.
+		if _, err := dst.NewComplet("Blob", 16); err != nil {
+			cl.close()
+			return res, err
+		}
+		target, err := src.NewComplet("Blob", payload)
+		if err != nil {
+			cl.close()
+			return res, err
+		}
+		source, err := src.NewComplet("Hub")
+		if err != nil {
+			cl.close()
+			return res, err
+		}
+		if _, err := source.Invoke("Attach", target, tc.reloc.Kind()); err != nil {
+			cl.close()
+			return res, err
+		}
+
+		cl.net.ResetStats()
+		start := time.Now()
+		if err := src.Move(source, "dst"); err != nil {
+			cl.close()
+			return res, err
+		}
+		elapsed := time.Since(start)
+		stats := cl.net.Stats("src", "dst")
+		srcCount := src.CompletCount()
+		dstCount := dst.CompletCount()
+		cl.close()
+
+		res.Rows = append(res.Rows,
+			Row{Series: "relocator/bundle-bytes", Param: tc.kind, Value: float64(stats.Bytes), Unit: "bytes", Note: tc.note},
+			Row{Series: "relocator/move-time", Param: tc.kind, Value: float64(elapsed.Microseconds()) / 1000, Unit: "ms"},
+			Row{Series: "relocator/src-complets", Param: tc.kind, Value: float64(srcCount), Unit: "count"},
+			Row{Series: "relocator/dst-complets", Param: tc.kind, Value: float64(dstCount), Unit: "count"},
+		)
+	}
+	_ = cfg
+	return res, nil
+}

@@ -1,0 +1,351 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fargo/internal/core"
+	"fargo/internal/ids"
+	"fargo/internal/script"
+	"fargo/internal/wire"
+)
+
+// E5ProfilingOverhead measures the cost of the monitoring layer on the
+// invocation hot path (§4.1): throughput with no continuous profiling, with
+// the invocation rate profiled, and with several services profiled at once —
+// plus the instant-interface cache.
+func E5ProfilingOverhead(cfg Config) (Result, error) {
+	res := Result{
+		ID:    "E5",
+		Title: "Profiling overhead and instant-result caching",
+		PaperClaim: "the Core monitors only resources some application has " +
+			"interest in, minimizing overhead; cached instant results are served " +
+			"without re-evaluation",
+	}
+	cl, err := newCluster(1, "a", "b")
+	if err != nil {
+		return res, err
+	}
+	defer cl.close()
+	a := cl.core("a")
+	target, err := a.NewCompletAt("b", "Echo")
+	if err != nil {
+		return res, err
+	}
+	iters := pick(cfg, 300, 3_000)
+
+	throughput := func() (float64, error) {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := target.Invoke("Nop"); err != nil {
+				return 0, err
+			}
+		}
+		return float64(iters) / time.Since(start).Seconds(), nil
+	}
+
+	ops, err := throughput()
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, Row{Series: "profiling/off", Value: ops, Unit: "ops/s"})
+
+	mb := cl.core("b").Monitor()
+	if err := mb.Start(50*time.Millisecond, core.ServiceInvocationRate, target.Target().String()); err != nil {
+		return res, err
+	}
+	ops, err = throughput()
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, Row{Series: "profiling/invocationRate", Value: ops, Unit: "ops/s"})
+
+	for _, svc := range []string{core.ServiceCompletLoad, core.ServiceMemory} {
+		if err := mb.Start(50*time.Millisecond, svc); err != nil {
+			return res, err
+		}
+	}
+	if err := mb.Start(50*time.Millisecond, core.ServiceInvocationCount, target.Target().String()); err != nil {
+		return res, err
+	}
+	ops, err = throughput()
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, Row{Series: "profiling/4-services", Value: ops, Unit: "ops/s"})
+
+	// Instant cache: cold evaluation vs. cached reads of completSize (the
+	// paper's canonical expensive instant service).
+	big, err := a.NewComplet("Blob", 1<<20)
+	if err != nil {
+		return res, err
+	}
+	start := time.Now()
+	if _, err := a.Monitor().Instant(core.ServiceCompletSize, big.Target().String()); err != nil {
+		return res, err
+	}
+	cold := time.Since(start)
+	ns, err := nsPerOp(pick(cfg, 100, 10_000), func() error {
+		_, err := a.Monitor().Instant(core.ServiceCompletSize, big.Target().String())
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows,
+		Row{Series: "instant/cold", Param: "completSize(1MiB)", Value: float64(cold.Nanoseconds()), Unit: "ns"},
+		Row{Series: "instant/cached", Param: "completSize(1MiB)", Value: ns, Unit: "ns/op"},
+	)
+	return res, nil
+}
+
+// E6EventFanout measures threshold-event scalability (§4.2): n listeners
+// with distinct thresholds share ONE measurement stream, so the sampler
+// count stays 1 and per-event delivery stays cheap as n grows.
+func E6EventFanout(cfg Config) (Result, error) {
+	res := Result{
+		ID:    "E6",
+		Title: "Threshold-event fan-out",
+		PaperClaim: "the threshold is kept with the listener, filtering results — " +
+			"many listeners without overloading the measurement unit",
+	}
+	fanouts := []int{1, 10, 100, 1000}
+	if cfg.Quick {
+		fanouts = []int{1, 10, 50}
+	}
+	for _, n := range fanouts {
+		cl, err := newCluster(1, "a")
+		if err != nil {
+			return res, err
+		}
+		a := cl.core("a")
+		mon := a.Monitor()
+
+		var (
+			wg      sync.WaitGroup
+			tokens  []string
+			deliver = make(chan time.Time, n)
+		)
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			// Distinct thresholds, all of which the load will cross.
+			th := 1 + float64(i%7)
+			token, err := mon.Subscribe(core.SubscribeOptions{
+				Service:   core.ServiceCompletLoad,
+				Threshold: th,
+				Above:     true,
+				Interval:  5 * time.Millisecond,
+			}, func(core.Event) {
+				deliver <- time.Now()
+				wg.Done()
+			})
+			if err != nil {
+				cl.close()
+				return res, err
+			}
+			tokens = append(tokens, token)
+		}
+		samplers := mon.ProfiledCount()
+
+		// Cross every threshold at once.
+		crossAt := time.Now()
+		for i := 0; i < 8; i++ {
+			if _, err := a.NewComplet("Counter"); err != nil {
+				cl.close()
+				return res, err
+			}
+		}
+		wg.Wait()
+		var last time.Time
+		for i := 0; i < n; i++ {
+			at := <-deliver
+			if at.After(last) {
+				last = at
+			}
+		}
+		for _, tok := range tokens {
+			mon.Unsubscribe(tok)
+		}
+		cl.close()
+
+		param := fmt.Sprintf("n=%d", n)
+		res.Rows = append(res.Rows,
+			Row{Series: "fanout/samplers", Param: param, Value: float64(samplers), Unit: "count",
+				Note: "one shared measurement stream"},
+			Row{Series: "fanout/all-notified", Param: param,
+				Value: float64(last.Sub(crossAt).Microseconds()) / 1000, Unit: "ms"},
+		)
+	}
+	return res, nil
+}
+
+// E7ScriptReaction runs the paper's example script (§4.3) end to end and
+// measures how quickly each rule reacts: the performance rule's time from
+// rate-threshold crossing to relocation, and the reliability rule's time
+// from shutdown notice to evacuation.
+func E7ScriptReaction(cfg Config) (Result, error) {
+	res := Result{
+		ID:    "E7",
+		Title: "The paper's example script: reaction times",
+		PaperClaim: "rules move complets when a core shuts down and when the " +
+			"method invocation rate between two complets exceeds 3/s",
+	}
+	cl, err := newCluster(1, "north", "south", "safe", "admin")
+	if err != nil {
+		return res, err
+	}
+	defer cl.close()
+	admin := cl.core("admin")
+
+	caller, err := admin.NewCompletAt("north", "Echo")
+	if err != nil {
+		return res, err
+	}
+	target, err := admin.NewCompletAt("south", "Echo")
+	if err != nil {
+		return res, err
+	}
+	bystander, err := admin.NewCompletAt("north", "Counter")
+	if err != nil {
+		return res, err
+	}
+
+	const src = `
+$coreList = %1
+$targetCore = %2
+$comps = %3
+on shutdown firedby $core listenAt $coreList do
+  move completsIn $core to $targetCore
+end
+on methodInvokeRate(3) from $comps[0] to $comps[1] every 50 do
+  move $comps[0] to coreOf $comps[1]
+end`
+	rt, err := script.NewCoreRuntime(admin, nil)
+	if err != nil {
+		return res, err
+	}
+	inst, err := script.Run(src, rt,
+		[]script.Value{"north", "south"},
+		"safe",
+		[]script.Value{caller.Target().String(), target.Target().String()})
+	if err != nil {
+		return res, err
+	}
+	defer inst.Close()
+
+	// Performance rule: drive >3 invocations/s attributed to caller.
+	target.SetOwner(caller.Target())
+	stop := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(5 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				_, _ = target.Invoke("Nop")
+			case <-stop:
+				return
+			}
+		}
+	}()
+	burstStart := time.Now()
+	reacted, err := waitLocated(admin, caller.Target(), "south", 30*time.Second)
+	close(stop)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, Row{
+		Series: "script/perf-rule-reaction", Value: float64(reacted.Sub(burstStart).Microseconds()) / 1000,
+		Unit: "ms", Note: "burst start -> caller co-located with target",
+	})
+
+	// Reliability rule: shut north down; the bystander must reach "safe".
+	shutStart := time.Now()
+	go func() { _ = cl.core("north").Shutdown(5 * time.Second) }()
+	reacted, err = waitLocated(admin, bystander.Target(), "safe", 30*time.Second)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, Row{
+		Series: "script/reliability-rule-reaction", Value: float64(reacted.Sub(shutStart).Microseconds()) / 1000,
+		Unit: "ms", Note: "shutdown notice -> complets evacuated",
+	})
+	_ = cfg
+	return res, nil
+}
+
+// waitLocated polls until the complet reports the wanted location.
+func waitLocated(c *core.Core, id ids.CompletID, want ids.CoreID, timeout time.Duration) (time.Time, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		loc, err := c.LocateComplet(id)
+		if err == nil && loc == want {
+			return time.Now(), nil
+		}
+		if time.Now().After(deadline) {
+			return time.Time{}, fmt.Errorf("experiments: %s never reached %s (last: %v, %v)", id, want, loc, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// E8ParamCopy measures by-value parameter passing (§3.1): deep-copy cost as
+// the argument graph grows, with embedded complet references degraded to
+// link but never copied complets.
+func E8ParamCopy(cfg Config) (Result, error) {
+	res := Result{
+		ID:    "E8",
+		Title: "By-value parameter passing with reference degrading",
+		PaperClaim: "object graphs are copied along with outgoing complet " +
+			"references (degraded to link) but without the complets themselves",
+	}
+	cl, err := newCluster(1, "a")
+	if err != nil {
+		return res, err
+	}
+	defer cl.close()
+	a := cl.core("a")
+	sink, err := a.NewComplet("Echo")
+	if err != nil {
+		return res, err
+	}
+
+	sizes := []int{10, 100, 1_000, 10_000}
+	if cfg.Quick {
+		sizes = []int{10, 100}
+	}
+	iters := pick(cfg, 50, 500)
+	for _, s := range sizes {
+		payload := make([]byte, s)
+		ns, err := nsPerOp(iters, func() error {
+			_, err := sink.Invoke("EchoBytes", payload)
+			return err
+		})
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, Row{
+			Series: "paramcopy/invoke", Param: fmt.Sprintf("bytes=%d", s), Value: ns, Unit: "ns/op",
+		})
+	}
+
+	// Reference degrading on the codec path itself.
+	hot := a.NewRefTo(sink.Target(), "Echo", a.ID())
+	ns, err := nsPerOp(iters, func() error {
+		data, _, err := wire.EncodeArgs([]any{"x", hot})
+		if err != nil {
+			return err
+		}
+		_, _, err = wire.DecodeArgs(data)
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, Row{
+		Series: "paramcopy/ref-roundtrip", Value: ns, Unit: "ns/op",
+		Note: "descriptor only — the complet itself never travels",
+	})
+	return res, nil
+}

@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"fargo/internal/core"
+	"fargo/internal/ids"
+	"fargo/internal/layoutview"
+	"fargo/internal/netsim"
+)
+
+// E9TrackingAblation compares the paper's tracker chains with the
+// location-independent (home-based) naming scheme its future-work section
+// proposes (§7). A complet moves k times; then a core holding only a stale
+// birth-core hint performs m invocations. Chains pay the whole walk once and
+// one hop after shortening; home naming pays one query per cold resolution
+// but nothing per move... the crossover depends on the move/lookup ratio.
+func E9TrackingAblation(cfg Config) (Result, error) {
+	res := Result{
+		ID:    "E9",
+		Title: "Tracking ablation: chains vs. home-based naming (paper §7)",
+		PaperClaim: "a global location-independent naming scheme will present an " +
+			"alternative to tracking complet objects using chains",
+	}
+	moves := []int{2, 8}
+	if cfg.Quick {
+		moves = []int{4}
+	}
+	const (
+		linkLat = 2 * time.Millisecond
+		m       = 5 // stale invocations measured per strategy
+	)
+	for _, k := range moves {
+		names := make([]string, k+2)
+		for i := range names {
+			names[i] = fmt.Sprintf("h%d", i)
+		}
+		for _, strategy := range []string{"chain", "home"} {
+			cl, err := newCluster(1, names...)
+			if err != nil {
+				return res, err
+			}
+			for i := 0; i < len(names); i++ {
+				for j := i + 1; j < len(names); j++ {
+					if err := cl.net.SetLink(names[i], names[j], netsim.LinkProfile{Latency: linkLat}); err != nil {
+						cl.close()
+						return res, err
+					}
+				}
+			}
+			if strategy == "home" {
+				for _, c := range cl.cores {
+					c.EnableHomeTracking()
+				}
+			}
+			origin := cl.core(names[0])
+			r, err := origin.NewComplet("Echo")
+			if err != nil {
+				cl.close()
+				return res, err
+			}
+			for i := 1; i <= k; i++ {
+				if err := cl.core(names[i-1]).Move(r, ids.CoreID(names[i])); err != nil {
+					cl.close()
+					return res, err
+				}
+			}
+			// The observer core never talked to the complet.
+			observer := cl.core(names[k+1])
+			var total time.Duration
+			for i := 0; i < m; i++ {
+				start := time.Now()
+				switch strategy {
+				case "chain":
+					stale := observer.NewRefTo(r.Target(), "Echo", ids.CoreID(names[0]))
+					if _, err := stale.Invoke("Nop"); err != nil {
+						cl.close()
+						return res, err
+					}
+				case "home":
+					if _, err := observer.InvokeViaHome(r.Target(), "Nop"); err != nil {
+						cl.close()
+						return res, err
+					}
+				}
+				total += time.Since(start)
+				if i == 0 {
+					res.Rows = append(res.Rows, Row{
+						Series: "tracking/" + strategy + "-first-call",
+						Param:  fmt.Sprintf("k=%d", k),
+						Value:  float64(total.Microseconds()) / 1000,
+						Unit:   "ms",
+					})
+				}
+			}
+			cl.close()
+			res.Rows = append(res.Rows, Row{
+				Series: "tracking/" + strategy + "-mean-call",
+				Param:  fmt.Sprintf("k=%d m=%d", k, m),
+				Value:  float64(total.Microseconds()) / 1000 / m,
+				Unit:   "ms",
+			})
+		}
+	}
+	res.Rows = append(res.Rows, Row{
+		Series: "tracking/notes", Value: 0, Unit: "",
+		Note: "chains: first stale call grows with k, then 1 hop; home: flat 2 hops per cold caller + 1 update per move",
+	})
+	return res, nil
+}
+
+// E10MonitorView reproduces Figure 4 as a measurable artifact: the layout
+// view (the graphical monitor's model) tracks movements purely from events;
+// we verify convergence and measure event-to-view latency.
+func E10MonitorView(cfg Config) (Result, error) {
+	res := Result{
+		ID:    "E10",
+		Title: "Layout monitor (Figure 4): event-driven view freshness",
+		PaperClaim: "a movement of a complet is tracked by the viewer, who " +
+			"listens for such events at the inspected cores",
+	}
+	cl, err := newCluster(1, "a", "b", "c", "viewer")
+	if err != nil {
+		return res, err
+	}
+	defer cl.close()
+	viewer := cl.core("viewer")
+	watched := []ids.CoreID{"a", "b", "c"}
+
+	view := layoutview.New(viewer, watched)
+	if err := view.Start(); err != nil {
+		return res, err
+	}
+	defer view.Close()
+
+	r, err := viewer.NewCompletAt("a", "Message", "tracked")
+	if err != nil {
+		return res, err
+	}
+	if err := view.Refresh(); err != nil {
+		return res, err
+	}
+
+	hops := []ids.CoreID{"b", "c", "a", "b"}
+	if cfg.Quick {
+		hops = hops[:2]
+	}
+	var worst time.Duration
+	for _, dest := range hops {
+		start := time.Now()
+		if err := viewer.Move(r, dest); err != nil {
+			return res, err
+		}
+		for {
+			if where, ok := view.Where(r.Target()); ok && where == dest {
+				break
+			}
+			if time.Since(start) > 10*time.Second {
+				return res, fmt.Errorf("experiments: view never showed %s at %s", r.Target(), dest)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		if d := time.Since(start); d > worst {
+			worst = d
+		}
+	}
+	res.Rows = append(res.Rows,
+		Row{Series: "monitor/hops-tracked", Value: float64(len(hops)), Unit: "count",
+			Note: "view converged to the true layout after every hop"},
+		Row{Series: "monitor/worst-freshness", Value: float64(worst.Microseconds()) / 1000, Unit: "ms",
+			Note: "move initiated -> view updated (includes the move itself)"},
+		Row{Series: "monitor/events-consumed", Value: float64(view.Events()), Unit: "count"},
+	)
+	return res, nil
+}
+
+// E11AdaptiveVsStatic is the paper's motivating scenario (§1) quantified: a
+// client invokes a server over a WAN whose bandwidth/latency degrade mid-run.
+// A monitoring-driven policy relocates the server next to the client; a
+// static layout does nothing. Mean invocation latency is reported per phase.
+func E11AdaptiveVsStatic(cfg Config) (Result, error) {
+	res := Result{
+		ID:    "E11",
+		Title: "Monitoring-driven relocation vs. static layout under WAN change",
+		PaperClaim: "static component layout might lead to low resource " +
+			"utilization and high network latency; dynamic layout adapts",
+	}
+	healthy := netsim.LinkProfile{Latency: 2 * time.Millisecond, Bandwidth: 64 << 20}
+	degraded := netsim.LinkProfile{Latency: 40 * time.Millisecond, Bandwidth: 1 << 20}
+	iters := pick(cfg, 5, 20)
+
+	for _, policy := range []string{"static", "adaptive"} {
+		cl, err := newCluster(1, "edge", "dc")
+		if err != nil {
+			return res, err
+		}
+		if err := cl.net.SetLink("edge", "dc", healthy); err != nil {
+			cl.close()
+			return res, err
+		}
+		edge := cl.core("edge")
+		server, err := edge.NewCompletAt("dc", "KVStore")
+		if err != nil {
+			cl.close()
+			return res, err
+		}
+		if _, err := server.Invoke("Put", "k", "v"); err != nil {
+			cl.close()
+			return res, err
+		}
+		phase := func(name string) error {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if _, err := server.Invoke("Get", "k"); err != nil {
+					return err
+				}
+			}
+			mean := time.Since(start) / time.Duration(iters)
+			res.Rows = append(res.Rows, Row{
+				Series: "adaptive/" + policy, Param: name,
+				Value: float64(mean.Microseconds()) / 1000, Unit: "ms/call",
+			})
+			return nil
+		}
+		if err := phase("healthy"); err != nil {
+			cl.close()
+			return res, err
+		}
+		if err := cl.net.SetLink("edge", "dc", degraded); err != nil {
+			cl.close()
+			return res, err
+		}
+		if policy == "adaptive" {
+			// The relocation policy from §4.1: co-locate when the
+			// rate is high and the link is slow.
+			rate, err := edge.Monitor().InstantAt("dc", core.ServiceInvocationRate, server.Target().String())
+			if err != nil {
+				cl.close()
+				return res, err
+			}
+			lat, err := edge.Monitor().Instant(core.ServiceLatency, "dc")
+			if err != nil {
+				cl.close()
+				return res, err
+			}
+			if rate > 0.5 && lat > 10 {
+				if err := edge.Move(server, "edge"); err != nil {
+					cl.close()
+					return res, err
+				}
+			}
+		}
+		if err := phase("degraded"); err != nil {
+			cl.close()
+			return res, err
+		}
+		cl.close()
+	}
+	return res, nil
+}
+
+// E12SelfMove measures weak mobility (§3.3): a self-moving complet hops
+// through k cores via continuations; per-hop cost scales with its closure
+// size, and the movement callbacks fire in protocol order.
+func E12SelfMove(cfg Config) (Result, error) {
+	res := Result{
+		ID:    "E12",
+		Title: "Self-movement with continuations: per-hop cost vs. closure size",
+		PaperClaim: "weak mobility: only object state moves; computation " +
+			"resumes through continuation methods invoked after unmarshaling",
+	}
+	sizes := []int{1 << 10, 64 << 10, 1 << 20}
+	if cfg.Quick {
+		sizes = []int{1 << 10, 64 << 10}
+	}
+	hops := pick(cfg, 4, 10)
+	names := []string{"s0", "s1", "s2"}
+	for _, size := range sizes {
+		cl, err := newCluster(1, names...)
+		if err != nil {
+			return res, err
+		}
+		origin := cl.core(names[0])
+		blob, err := origin.NewComplet("Blob", size)
+		if err != nil {
+			cl.close()
+			return res, err
+		}
+		start := time.Now()
+		for i := 0; i < hops; i++ {
+			dest := ids.CoreID(names[(i+1)%len(names)])
+			from := cl.core(names[i%len(names)])
+			if err := from.Move(blob, dest); err != nil {
+				cl.close()
+				return res, err
+			}
+		}
+		perHop := time.Since(start) / time.Duration(hops)
+		cl.close()
+		res.Rows = append(res.Rows, Row{
+			Series: "selfmove/per-hop", Param: fmt.Sprintf("closure=%dB", size),
+			Value: float64(perHop.Microseconds()) / 1000, Unit: "ms",
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,147 @@
+// Package experiments implements the reproduction harness: one function per
+// experiment in DESIGN.md's index (E1–E12), each returning the series that
+// EXPERIMENTS.md records. cmd/fargo-bench prints them; the package tests run
+// scaled-down versions to keep every experiment exercised in CI.
+//
+// The ICDCS'99 paper has no quantitative evaluation section, so these
+// experiments regenerate its *mechanism claims* as measurements (see
+// DESIGN.md §4 for the mapping and the expected shapes).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"fargo/internal/core"
+	"fargo/internal/demo"
+	"fargo/internal/ids"
+	"fargo/internal/netsim"
+	"fargo/internal/registry"
+	"fargo/internal/transport"
+)
+
+// Row is one measured series point.
+type Row struct {
+	Series string  // e.g. "invoke/local-direct"
+	Param  string  // e.g. "k=4"
+	Value  float64 // the measurement
+	Unit   string  // "ns/op", "msgs", "bytes", "ms", "ops/s"
+	Note   string  // optional qualitative outcome
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Rows       []Row
+}
+
+// Config scales the experiments: Quick runs small sizes (CI), full runs the
+// EXPERIMENTS.md parameters.
+type Config struct {
+	Quick bool
+}
+
+// Experiment is a runnable experiment.
+type Experiment struct {
+	ID  string
+	Run func(cfg Config) (Result, error)
+}
+
+// All lists the experiments in order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", E1InvocationIndirection},
+		{"E2", E2TrackerChain},
+		{"E3", E3GroupMove},
+		{"E4", E4RelocatorMarshal},
+		{"E5", E5ProfilingOverhead},
+		{"E6", E6EventFanout},
+		{"E7", E7ScriptReaction},
+		{"E8", E8ParamCopy},
+		{"E9", E9TrackingAblation},
+		{"E10", E10MonitorView},
+		{"E11", E11AdaptiveVsStatic},
+		{"E12", E12SelfMove},
+	}
+}
+
+// Format renders a result as an aligned text table.
+func Format(r Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", r.ID, r.Title)
+	fmt.Fprintf(&sb, "  paper claim: %s\n", r.PaperClaim)
+	for _, row := range r.Rows {
+		note := ""
+		if row.Note != "" {
+			note = "  # " + row.Note
+		}
+		fmt.Fprintf(&sb, "  %-34s %-10s %14.2f %-8s%s\n", row.Series, row.Param, row.Value, row.Unit, note)
+	}
+	return sb.String()
+}
+
+// --- shared cluster plumbing -------------------------------------------------
+
+// cluster is a set of cores over one simulated network.
+type cluster struct {
+	net   *netsim.Network
+	cores map[ids.CoreID]*core.Core
+}
+
+// newCluster builds cores with the demo types registered.
+func newCluster(seed int64, names ...string) (*cluster, error) {
+	cl := &cluster{
+		net:   netsim.NewNetwork(seed),
+		cores: make(map[ids.CoreID]*core.Core, len(names)),
+	}
+	for _, name := range names {
+		tr, err := transport.NewSim(cl.net, ids.CoreID(name))
+		if err != nil {
+			cl.close()
+			return nil, err
+		}
+		reg := registry.New()
+		if err := demo.Register(reg); err != nil {
+			cl.close()
+			return nil, err
+		}
+		c, err := core.New(tr, reg, core.Options{RequestTimeout: 30 * time.Second})
+		if err != nil {
+			cl.close()
+			return nil, err
+		}
+		cl.cores[ids.CoreID(name)] = c
+	}
+	return cl, nil
+}
+
+func (cl *cluster) core(name string) *core.Core { return cl.cores[ids.CoreID(name)] }
+
+func (cl *cluster) close() {
+	for _, c := range cl.cores {
+		_ = c.Shutdown(0)
+	}
+	cl.net.Close()
+}
+
+// nsPerOp times fn over n iterations.
+func nsPerOp(n int, fn func() error) (float64, error) {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(n), nil
+}
+
+// pick returns quick when cfg.Quick, otherwise full.
+func pick(cfg Config, quick, full int) int {
+	if cfg.Quick {
+		return quick
+	}
+	return full
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick exercises every experiment at quick scale and
+// sanity-checks the shapes DESIGN.md §4 predicts. This keeps the whole
+// harness runnable in CI; the full-scale numbers land in EXPERIMENTS.md via
+// cmd/fargo-bench.
+func TestAllExperimentsQuick(t *testing.T) {
+	cfg := Config{Quick: true}
+	results := make(map[string]Result)
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			res, err := exp.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			if res.ID != exp.ID {
+				t.Fatalf("result ID %q, want %q", res.ID, exp.ID)
+			}
+			if len(res.Rows) == 0 {
+				t.Fatalf("%s produced no rows", exp.ID)
+			}
+			if !strings.Contains(Format(res), exp.ID) {
+				t.Fatal("Format lost the experiment ID")
+			}
+			results[exp.ID] = res
+		})
+	}
+
+	row := func(id, series, param string) (Row, bool) {
+		for _, r := range results[id].Rows {
+			if r.Series == series && (param == "" || r.Param == param) {
+				return r, true
+			}
+		}
+		return Row{}, false
+	}
+
+	// E1 shape: direct < colocated-ref < remote.
+	direct, ok1 := row("E1", "invoke/go-direct", "")
+	coloc, ok2 := row("E1", "invoke/ref-colocated", "")
+	remote, ok3 := row("E1", "invoke/ref-remote", "lat=1ms")
+	if !ok1 || !ok2 || !ok3 {
+		t.Skip("E1 rows missing (experiment failed earlier)")
+	}
+	if !(direct.Value < coloc.Value && coloc.Value < remote.Value) {
+		t.Errorf("E1 ordering violated: direct=%.0f coloc=%.0f remote=%.0f",
+			direct.Value, coloc.Value, remote.Value)
+	}
+
+	// E2 shape: shortened call much cheaper than the chained first call
+	// at the longest k.
+	first, ok1 := row("E2", "chain/first-call", "k=4")
+	second, ok2 := row("E2", "chain/after-shorten", "k=4")
+	if ok1 && ok2 && second.Value >= first.Value {
+		t.Errorf("E2 shortening ineffective: first=%.2fms second=%.2fms", first.Value, second.Value)
+	}
+
+	// E3 shape: exactly one message regardless of k.
+	for _, param := range []string{"k=4", "k=16"} {
+		if msgs, ok := row("E3", "groupmove/messages", param); ok && msgs.Value != 1 {
+			t.Errorf("E3 %s: %v messages, want 1", param, msgs.Value)
+		}
+	}
+
+	// E4 shape: pull/duplicate bundles are larger than link/stamp ones;
+	// outcomes match relocator semantics (src/dst complet counts).
+	linkBytes, _ := row("E4", "relocator/bundle-bytes", "link")
+	pullBytes, _ := row("E4", "relocator/bundle-bytes", "pull")
+	stampBytes, _ := row("E4", "relocator/bundle-bytes", "stamp")
+	if !(pullBytes.Value > linkBytes.Value && pullBytes.Value > stampBytes.Value) {
+		t.Errorf("E4 bundle sizes: link=%.0f pull=%.0f stamp=%.0f",
+			linkBytes.Value, pullBytes.Value, stampBytes.Value)
+	}
+	// link: target stays at src (1 complet) and only the hub arrives (+1 at dst with the stamp peer).
+	if srcLink, ok := row("E4", "relocator/src-complets", "link"); ok && srcLink.Value != 1 {
+		t.Errorf("E4 link: src complets = %v, want 1 (target stays)", srcLink.Value)
+	}
+	if srcPull, ok := row("E4", "relocator/src-complets", "pull"); ok && srcPull.Value != 0 {
+		t.Errorf("E4 pull: src complets = %v, want 0 (target travels)", srcPull.Value)
+	}
+	if srcDup, ok := row("E4", "relocator/src-complets", "duplicate"); ok && srcDup.Value != 1 {
+		t.Errorf("E4 duplicate: src complets = %v, want 1 (original stays)", srcDup.Value)
+	}
+
+	// E6 shape: one sampler regardless of fan-out.
+	for _, r := range results["E6"].Rows {
+		if r.Series == "fanout/samplers" && r.Value != 1 {
+			t.Errorf("E6 %s: %v samplers, want 1", r.Param, r.Value)
+		}
+	}
+
+	// E11 shape: adaptive beats static on the degraded phase.
+	staticDeg, ok1 := row("E11", "adaptive/static", "degraded")
+	adaptDeg, ok2 := row("E11", "adaptive/adaptive", "degraded")
+	if ok1 && ok2 && adaptDeg.Value >= staticDeg.Value {
+		t.Errorf("E11: adaptive (%.2fms) not faster than static (%.2fms) after degradation",
+			adaptDeg.Value, staticDeg.Value)
+	}
+}

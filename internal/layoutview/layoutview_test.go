@@ -1,0 +1,178 @@
+package layoutview
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fargo/internal/core"
+	"fargo/internal/demo"
+	"fargo/internal/ids"
+	"fargo/internal/netsim"
+	"fargo/internal/registry"
+	"fargo/internal/transport"
+)
+
+func testCluster(t *testing.T, names ...string) map[string]*core.Core {
+	t.Helper()
+	net := netsim.NewNetwork(3)
+	cores := make(map[string]*core.Core, len(names))
+	for _, name := range names {
+		tr, err := transport.NewSim(net, ids.CoreID(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := registry.New()
+		if err := demo.Register(reg); err != nil {
+			t.Fatal(err)
+		}
+		c, err := core.New(tr, reg, core.Options{RequestTimeout: 10 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cores[name] = c
+	}
+	t.Cleanup(func() {
+		for _, c := range cores {
+			_ = c.Shutdown(0)
+		}
+		net.Close()
+	})
+	return cores
+}
+
+func TestSnapshotSeeding(t *testing.T) {
+	cores := testCluster(t, "a", "b", "viewer")
+	viewer := cores["viewer"]
+	r, err := viewer.NewCompletAt("a", "Message", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(viewer, []ids.CoreID{"a", "b"})
+	if err := v.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	where, ok := v.Where(r.Target())
+	if !ok || where != "a" {
+		t.Fatalf("Where = %v, %v", where, ok)
+	}
+}
+
+func TestEventDrivenTracking(t *testing.T) {
+	cores := testCluster(t, "a", "b", "viewer")
+	viewer := cores["viewer"]
+	v := New(viewer, []ids.CoreID{"a", "b"})
+	if err := v.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+
+	r, err := viewer.NewCompletAt("a", "Message", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if err := viewer.Move(r, "b"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if where, ok := v.Where(r.Target()); ok && where == "b" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("view never tracked the move to b")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if v.Events() == 0 {
+		t.Fatal("view consumed no events")
+	}
+	// Move back: the view must follow without another Refresh.
+	if err := viewer.Move(r, "a"); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		if where, ok := v.Where(r.Target()); ok && where == "a" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("view never tracked the move back to a")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRenderContainsLayout(t *testing.T) {
+	cores := testCluster(t, "a", "b", "viewer")
+	viewer := cores["viewer"]
+	r, err := viewer.NewCompletAt("a", "Message", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := viewer.NameAt("a", "greeting", r); err != nil {
+		t.Fatal(err)
+	}
+	v := New(viewer, []ids.CoreID{"a", "b"})
+	if err := v.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	out := v.Render()
+	for _, want := range []string{"core a", "core b", "Message", "greeting", "(empty)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOnChangeFires(t *testing.T) {
+	cores := testCluster(t, "a", "viewer")
+	viewer := cores["viewer"]
+	v := New(viewer, []ids.CoreID{"a"})
+	changes := make(chan struct{}, 16)
+	v.OnChange = func() {
+		select {
+		case changes <- struct{}{}:
+		default:
+		}
+	}
+	if err := v.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	select {
+	case <-changes:
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnChange never fired for the seeding refresh")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	cores := testCluster(t, "a", "viewer")
+	v := New(cores["viewer"], []ids.CoreID{"a"})
+	if err := v.Start(); err != nil {
+		t.Fatal(err)
+	}
+	v.Close()
+	v.Close()
+}
+
+func TestRefreshUnreachableCore(t *testing.T) {
+	cores := testCluster(t, "a", "viewer")
+	v := New(cores["viewer"], []ids.CoreID{"a", "ghost"})
+	if err := v.Refresh(); err == nil {
+		t.Fatal("refresh with unreachable core should report an error")
+	}
+	// The reachable core's snapshot still landed.
+	if _, err := cores["viewer"].NewCompletAt("a", "Message", "x"); err != nil {
+		t.Fatal(err)
+	}
+	_ = v.Refresh() // ghost still errors, but "a" updates
+	snap := v.Snapshot()
+	if len(snap["a"]) != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}

@@ -1,0 +1,370 @@
+// Package netsim provides a deterministic in-process network simulator used
+// as the substrate for experiments. The paper motivates dynamic layout with
+// wide-area links whose latency and bandwidth differ and change over time;
+// netsim reproduces those conditions reproducibly on one machine.
+//
+// A Network is a set of named hosts connected by directed links. Each link
+// has a latency, a bandwidth and an optional jitter; delivering a message of
+// size s over a link takes latency + s/bandwidth (+ jitter). Links deliver
+// messages reliably and in FIFO order, mirroring what a TCP connection gives
+// the real transport. Hosts can be stopped (simulating a process crash or
+// core shutdown) and links can be partitioned or re-profiled while traffic
+// flows, which is exactly the environmental change relocation policies react
+// to.
+//
+// The simulator also keeps per-link delivery statistics (message and byte
+// counts), which experiment E3 uses to verify the single-message group-move
+// property.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Default link parameters, used when a link has no explicit profile.
+const (
+	DefaultLatency   = 1 * time.Millisecond
+	DefaultBandwidth = 100 << 20 // 100 MiB/s
+)
+
+var (
+	// ErrHostDown is returned when sending to or from a stopped host.
+	ErrHostDown = errors.New("netsim: host is down")
+	// ErrPartitioned is returned when the link between two hosts is cut.
+	ErrPartitioned = errors.New("netsim: link partitioned")
+	// ErrNoHost is returned when addressing an unknown host.
+	ErrNoHost = errors.New("netsim: no such host")
+	// ErrClosed is returned after the network has been closed.
+	ErrClosed = errors.New("netsim: network closed")
+)
+
+// LinkProfile describes the performance characteristics of one link
+// direction.
+type LinkProfile struct {
+	// Latency is the propagation delay applied to every message.
+	Latency time.Duration
+	// Bandwidth is the link throughput in bytes per second. Zero means
+	// DefaultBandwidth.
+	Bandwidth int64
+	// Jitter, if positive, adds a uniformly random extra delay in
+	// [0, Jitter) to each message.
+	Jitter time.Duration
+}
+
+func (p LinkProfile) normalized() LinkProfile {
+	if p.Bandwidth <= 0 {
+		p.Bandwidth = DefaultBandwidth
+	}
+	if p.Latency < 0 {
+		p.Latency = 0
+	}
+	return p
+}
+
+// transmission time for a message of n bytes.
+func (p LinkProfile) delay(n int, jitter func(time.Duration) time.Duration) time.Duration {
+	d := p.Latency + time.Duration(float64(n)/float64(p.Bandwidth)*float64(time.Second))
+	if p.Jitter > 0 && jitter != nil {
+		d += jitter(p.Jitter)
+	}
+	return d
+}
+
+// LinkStats counts traffic delivered over one link direction.
+type LinkStats struct {
+	Messages uint64
+	Bytes    uint64
+}
+
+// Message is a payload delivered to a host, tagged with its origin.
+type Message struct {
+	From    string
+	Payload []byte
+}
+
+type linkKey struct{ from, to string }
+
+type link struct {
+	profile     LinkProfile
+	partitioned bool
+	stats       LinkStats
+	// lastArrival enforces that a message never arrives before one sent
+	// earlier on the same link.
+	lastArrival time.Time
+	// lastDone is closed when the most recently sent message on this link
+	// has been delivered (or dropped); the next delivery waits on it so
+	// FIFO order holds even under goroutine scheduling races.
+	lastDone chan struct{}
+}
+
+// Network is a simulated network. Construct with NewNetwork; safe for
+// concurrent use.
+type Network struct {
+	mu     sync.Mutex
+	hosts  map[string]*Host
+	links  map[linkKey]*link
+	rng    *rand.Rand
+	closed bool
+	wg     sync.WaitGroup
+	quit   chan struct{}
+}
+
+// NewNetwork returns an empty network. Jitter, when configured, is drawn from
+// a PRNG seeded with seed so runs are reproducible.
+func NewNetwork(seed int64) *Network {
+	return &Network{
+		hosts: make(map[string]*Host),
+		links: make(map[linkKey]*link),
+		rng:   rand.New(rand.NewSource(seed)),
+		quit:  make(chan struct{}),
+	}
+}
+
+// Host is an endpoint on the network. Messages addressed to the host are read
+// from Recv.
+type Host struct {
+	name string
+	net  *Network
+	// recv is buffered so that in-flight timer deliveries do not block
+	// network-wide; the capacity bound models finite receive queues.
+	recv chan Message
+	down bool
+}
+
+// AddHost registers a host. The returned Host receives messages on Recv().
+func (n *Network) AddHost(name string) (*Host, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if name == "" {
+		return nil, fmt.Errorf("netsim: empty host name")
+	}
+	if _, dup := n.hosts[name]; dup {
+		return nil, fmt.Errorf("netsim: host %q already exists", name)
+	}
+	h := &Host{name: name, net: n, recv: make(chan Message, 1024)}
+	n.hosts[name] = h
+	return h, nil
+}
+
+// SetLink sets the profile of both directions of the link between a and b.
+func (n *Network) SetLink(a, b string, p LinkProfile) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.hosts[a]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoHost, a)
+	}
+	if _, ok := n.hosts[b]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoHost, b)
+	}
+	n.linkLocked(a, b).profile = p.normalized()
+	n.linkLocked(b, a).profile = p.normalized()
+	return nil
+}
+
+// SetPartition cuts (or heals) both directions of the link between a and b.
+func (n *Network) SetPartition(a, b string, partitioned bool) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.hosts[a]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoHost, a)
+	}
+	if _, ok := n.hosts[b]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoHost, b)
+	}
+	n.linkLocked(a, b).partitioned = partitioned
+	n.linkLocked(b, a).partitioned = partitioned
+	return nil
+}
+
+// StopHost marks a host as down. Sends to and from it fail until StartHost.
+func (n *Network) StopHost(name string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosts[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoHost, name)
+	}
+	h.down = true
+	return nil
+}
+
+// RemoveHost unregisters a host entirely, freeing its name for a later
+// AddHost (process restart simulation). In-flight messages to it are
+// dropped.
+func (n *Network) RemoveHost(name string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosts[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoHost, name)
+	}
+	h.down = true
+	delete(n.hosts, name)
+	return nil
+}
+
+// StartHost brings a stopped host back up.
+func (n *Network) StartHost(name string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosts[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoHost, name)
+	}
+	h.down = false
+	return nil
+}
+
+// Stats returns the delivery statistics of the link from a to b.
+func (n *Network) Stats(from, to string) LinkStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l, ok := n.links[linkKey{from, to}]; ok {
+		return l.stats
+	}
+	return LinkStats{}
+}
+
+// ResetStats zeroes the statistics on every link.
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, l := range n.links {
+		l.stats = LinkStats{}
+	}
+}
+
+// Profile returns the current profile of the link from a to b.
+func (n *Network) Profile(from, to string) LinkProfile {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.linkLocked(from, to).profile
+}
+
+// Close shuts the network down and waits for all in-flight deliveries to
+// settle (they are dropped).
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	close(n.quit)
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// linkLocked returns the link record for from→to, creating it with defaults
+// if needed. Caller holds n.mu.
+func (n *Network) linkLocked(from, to string) *link {
+	k := linkKey{from, to}
+	l, ok := n.links[k]
+	if !ok {
+		l = &link{profile: LinkProfile{Latency: DefaultLatency, Bandwidth: DefaultBandwidth}}
+		n.links[k] = l
+	}
+	return l
+}
+
+// Name returns the host's name.
+func (h *Host) Name() string { return h.name }
+
+// Recv returns the channel on which the host receives messages.
+func (h *Host) Recv() <-chan Message { return h.recv }
+
+// Send delivers payload to the named host after the link's simulated delay.
+// The payload is copied, so the caller may reuse the buffer. Send fails
+// immediately when either endpoint is down, the link is partitioned, or the
+// destination is unknown — modelling a connection error the real transport
+// would surface.
+func (h *Host) Send(to string, payload []byte) error {
+	n := h.net
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	if h.down {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q (sender)", ErrHostDown, h.name)
+	}
+	dst, ok := n.hosts[to]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNoHost, to)
+	}
+	if dst.down {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrHostDown, to)
+	}
+	l := n.linkLocked(h.name, to)
+	if l.partitioned {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s -> %s", ErrPartitioned, h.name, to)
+	}
+
+	var jitterFn func(time.Duration) time.Duration
+	if l.profile.Jitter > 0 {
+		jitterFn = func(max time.Duration) time.Duration {
+			return time.Duration(n.rng.Int63n(int64(max)))
+		}
+	}
+	now := time.Now()
+	arrival := now.Add(l.profile.delay(len(payload), jitterFn))
+	// FIFO per link: never deliver before an earlier message on this link.
+	if arrival.Before(l.lastArrival) {
+		arrival = l.lastArrival
+	}
+	l.lastArrival = arrival
+	l.stats.Messages++
+	l.stats.Bytes += uint64(len(payload))
+	prev := l.lastDone
+	done := make(chan struct{})
+	l.lastDone = done
+
+	msg := Message{From: h.name, Payload: append([]byte(nil), payload...)}
+	wait := time.Until(arrival)
+	n.wg.Add(1)
+	n.mu.Unlock()
+
+	go func() {
+		defer n.wg.Done()
+		defer close(done)
+		if wait > 0 {
+			timer := time.NewTimer(wait)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+			case <-n.quit:
+				return
+			}
+		}
+		// FIFO: the previous message on this link must land first.
+		if prev != nil {
+			select {
+			case <-prev:
+			case <-n.quit:
+				return
+			}
+		}
+		n.mu.Lock()
+		dead := dst.down || n.closed
+		n.mu.Unlock()
+		if dead {
+			return
+		}
+		select {
+		case dst.recv <- msg:
+		case <-n.quit:
+		}
+	}()
+	return nil
+}

@@ -1,0 +1,414 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func mustHost(t *testing.T, n *Network, name string) *Host {
+	t.Helper()
+	h, err := n.AddHost(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func recvWithin(t *testing.T, h *Host, d time.Duration) Message {
+	t.Helper()
+	select {
+	case m := <-h.Recv():
+		return m
+	case <-time.After(d):
+		t.Fatalf("host %s: no message within %v", h.Name(), d)
+		return Message{}
+	}
+}
+
+func TestDelivery(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a := mustHost(t, n, "a")
+	b := mustHost(t, n, "b")
+
+	if err := a.Send("b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvWithin(t, b, time.Second)
+	if m.From != "a" || string(m.Payload) != "hello" {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestPayloadCopied(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a := mustHost(t, n, "a")
+	b := mustHost(t, n, "b")
+
+	buf := []byte("abc")
+	if err := a.Send("b", buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X' // mutate after send
+	m := recvWithin(t, b, time.Second)
+	if string(m.Payload) != "abc" {
+		t.Fatalf("payload aliased sender buffer: %q", m.Payload)
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a := mustHost(t, n, "a")
+	b := mustHost(t, n, "b")
+	// Jitter tempts reordering; FIFO must still hold.
+	if err := n.SetLink("a", "b", LinkProfile{Latency: time.Millisecond, Jitter: 3 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	const k = 50
+	for i := 0; i < k; i++ {
+		if err := a.Send("b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < k; i++ {
+		m := recvWithin(t, b, time.Second)
+		if m.Payload[0] != byte(i) {
+			t.Fatalf("message %d arrived out of order (got seq %d)", i, m.Payload[0])
+		}
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a := mustHost(t, n, "a")
+	b := mustHost(t, n, "b")
+	const lat = 30 * time.Millisecond
+	if err := n.SetLink("a", "b", LinkProfile{Latency: lat}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, b, time.Second)
+	if elapsed := time.Since(start); elapsed < lat {
+		t.Fatalf("delivered in %v, want >= %v", elapsed, lat)
+	}
+}
+
+func TestBandwidthApplied(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a := mustHost(t, n, "a")
+	b := mustHost(t, n, "b")
+	// 1 MiB payload over 16 MiB/s should take ~62ms.
+	if err := n.SetLink("a", "b", LinkProfile{Latency: 0, Bandwidth: 16 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1<<20)
+	start := time.Now()
+	if err := a.Send("b", payload); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, b, 2*time.Second)
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("1MiB over 16MiB/s delivered in %v, want >= 50ms", elapsed)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a := mustHost(t, n, "a")
+	b := mustHost(t, n, "b")
+
+	if err := n.SetPartition("a", "b", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte("x")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("send across partition: %v, want ErrPartitioned", err)
+	}
+	if err := b.Send("a", []byte("x")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("reverse send across partition: %v, want ErrPartitioned", err)
+	}
+	if err := n.SetPartition("a", "b", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatalf("send after heal: %v", err)
+	}
+	recvWithin(t, b, time.Second)
+}
+
+func TestHostDown(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a := mustHost(t, n, "a")
+	mustHost(t, n, "b")
+
+	if err := n.StopHost("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte("x")); !errors.Is(err, ErrHostDown) {
+		t.Fatalf("send to down host: %v, want ErrHostDown", err)
+	}
+	if err := n.StartHost("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatalf("send after restart: %v", err)
+	}
+
+	if err := n.StopHost("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte("x")); !errors.Is(err, ErrHostDown) {
+		t.Fatalf("send from down host: %v, want ErrHostDown", err)
+	}
+}
+
+func TestInFlightDroppedWhenHostStops(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a := mustHost(t, n, "a")
+	b := mustHost(t, n, "b")
+	if err := n.SetLink("a", "b", LinkProfile{Latency: 50 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.StopHost("b"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-b.Recv():
+		t.Fatalf("down host received %+v", m)
+	case <-time.After(120 * time.Millisecond):
+	}
+}
+
+func TestRemoveHostFreesName(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a := mustHost(t, n, "a")
+	mustHost(t, n, "b")
+
+	if err := n.RemoveHost("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte("x")); !errors.Is(err, ErrNoHost) {
+		t.Fatalf("send to removed host: %v, want ErrNoHost", err)
+	}
+	// The name is free again: a restarted process can claim it.
+	b2 := mustHost(t, n, "b")
+	if err := a.Send("b", []byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvWithin(t, b2, time.Second)
+	if string(m.Payload) != "again" {
+		t.Fatalf("payload = %q", m.Payload)
+	}
+	if err := n.RemoveHost("ghost"); !errors.Is(err, ErrNoHost) {
+		t.Fatalf("remove unknown host: %v", err)
+	}
+}
+
+func TestUnknownHost(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a := mustHost(t, n, "a")
+	if err := a.Send("ghost", []byte("x")); !errors.Is(err, ErrNoHost) {
+		t.Fatalf("send to unknown host: %v, want ErrNoHost", err)
+	}
+	if err := n.SetLink("a", "ghost", LinkProfile{}); !errors.Is(err, ErrNoHost) {
+		t.Fatalf("SetLink to unknown host: %v, want ErrNoHost", err)
+	}
+	if err := n.StopHost("ghost"); !errors.Is(err, ErrNoHost) {
+		t.Fatalf("StopHost unknown: %v, want ErrNoHost", err)
+	}
+}
+
+func TestDuplicateHost(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	mustHost(t, n, "a")
+	if _, err := n.AddHost("a"); err == nil {
+		t.Fatal("duplicate AddHost should fail")
+	}
+	if _, err := n.AddHost(""); err == nil {
+		t.Fatal("empty host name should fail")
+	}
+}
+
+func TestStats(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a := mustHost(t, n, "a")
+	b := mustHost(t, n, "b")
+
+	for i := 0; i < 3; i++ {
+		if err := a.Send("b", make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		recvWithin(t, b, time.Second)
+	}
+	s := n.Stats("a", "b")
+	if s.Messages != 3 || s.Bytes != 300 {
+		t.Fatalf("stats = %+v, want 3 msgs / 300 bytes", s)
+	}
+	if rev := n.Stats("b", "a"); rev.Messages != 0 {
+		t.Fatalf("reverse stats = %+v, want zero", rev)
+	}
+	n.ResetStats()
+	if s := n.Stats("a", "b"); s.Messages != 0 || s.Bytes != 0 {
+		t.Fatalf("stats after reset = %+v", s)
+	}
+}
+
+func TestProfileQuery(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	mustHost(t, n, "a")
+	mustHost(t, n, "b")
+	want := LinkProfile{Latency: 5 * time.Millisecond, Bandwidth: 1 << 20}
+	if err := n.SetLink("a", "b", want); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Profile("a", "b"); got != want {
+		t.Fatalf("profile = %+v, want %+v", got, want)
+	}
+	// Unset links report defaults.
+	got := n.Profile("b", "a") // set symmetrically by SetLink
+	if got != want {
+		t.Fatalf("reverse profile = %+v, want %+v", got, want)
+	}
+}
+
+func TestReprofileMidStream(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a := mustHost(t, n, "a")
+	b := mustHost(t, n, "b")
+
+	if err := n.SetLink("a", "b", LinkProfile{Latency: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte("fast")); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, b, time.Second)
+
+	// Degrade the link; the next message must observe the new latency.
+	const slow = 40 * time.Millisecond
+	if err := n.SetLink("a", "b", LinkProfile{Latency: slow}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := a.Send("b", []byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, b, time.Second)
+	if elapsed := time.Since(start); elapsed < slow {
+		t.Fatalf("reprofiled message took %v, want >= %v", elapsed, slow)
+	}
+}
+
+func TestCloseUnblocksAndRejects(t *testing.T) {
+	n := NewNetwork(1)
+	a := mustHost(t, n, "a")
+	mustHost(t, n, "b")
+	if err := n.SetLink("a", "b", LinkProfile{Latency: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte("stuck")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		n.Close() // must not hang on the in-flight hour-long delivery
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung on in-flight delivery")
+	}
+	if err := a.Send("b", []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v, want ErrClosed", err)
+	}
+	if _, err := n.AddHost("c"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("AddHost after close: %v, want ErrClosed", err)
+	}
+	n.Close() // idempotent
+}
+
+func TestManyHostsPairwise(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	const k = 5
+	hosts := make([]*Host, k)
+	for i := range hosts {
+		hosts[i] = mustHost(t, n, fmt.Sprintf("h%d", i))
+	}
+	for i := range hosts {
+		for j := range hosts {
+			if i == j {
+				continue
+			}
+			if err := hosts[i].Send(hosts[j].Name(), []byte{byte(i), byte(j)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for j := range hosts {
+		for c := 0; c < k-1; c++ {
+			m := recvWithin(t, hosts[j], time.Second)
+			if int(m.Payload[1]) != j {
+				t.Fatalf("host %d got message for %d", j, m.Payload[1])
+			}
+		}
+	}
+}
+
+func TestJitterReproducible(t *testing.T) {
+	delays := func(seed int64) []time.Duration {
+		n := NewNetwork(seed)
+		defer n.Close()
+		a := mustHost(t, n, "a")
+		b := mustHost(t, n, "b")
+		if err := n.SetLink("a", "b", LinkProfile{Latency: 0, Jitter: 10 * time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+		var out []time.Duration
+		for i := 0; i < 5; i++ {
+			start := time.Now()
+			if err := a.Send("b", []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			recvWithin(t, b, time.Second)
+			out = append(out, time.Since(start))
+		}
+		return out
+	}
+	// With the same seed the jitter draws are identical; measured wall
+	// times differ, so compare only coarsely: both runs should produce
+	// the same count and stay within the jitter bound + slack.
+	d1 := delays(42)
+	d2 := delays(42)
+	if len(d1) != len(d2) {
+		t.Fatalf("runs differ in length: %d vs %d", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i] > 200*time.Millisecond || d2[i] > 200*time.Millisecond {
+			t.Fatalf("jittered delay out of bound: %v / %v", d1[i], d2[i])
+		}
+	}
+}

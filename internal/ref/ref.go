@@ -1,0 +1,413 @@
+package ref
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+
+	"fargo/internal/ids"
+)
+
+// ErrUnbound is returned when invoking through a reference that is not bound
+// to a core (e.g. a freshly decoded reference before the runtime attaches it).
+var ErrUnbound = errors.New("ref: reference not bound to a core")
+
+// Binder is the part of the core a bound reference delegates to: invocation
+// routing (the tracker machinery) and target location. It is an interface so
+// that the ref package has no dependency on the core package.
+type Binder interface {
+	// InvokeRef routes an invocation to the reference's (possibly remote,
+	// possibly moving) target anchor.
+	InvokeRef(r *Ref, method string, args []any) ([]any, error)
+	// Locate returns the core currently hosting the reference's target.
+	Locate(r *Ref) (ids.CoreID, error)
+	// BinderCore identifies the core this binder belongs to.
+	BinderCore() ids.CoreID
+}
+
+// Ref is the stub half of a complet reference (§3.1): the local handle that
+// application code holds and invokes through. Its interface is the dynamic
+// equivalent of the anchor's interface — Invoke(method, args…) replaces the
+// compile-time generated stub methods of the Java system (see DESIGN.md
+// substitutions). A Ref is safe for concurrent use.
+type Ref struct {
+	mu         sync.Mutex
+	target     ids.CompletID
+	anchorType string
+	hint       ids.CoreID // last known location of the target
+	meta       *MetaRef
+	binder     Binder
+	// owner identifies the complet this reference belongs to (set by the
+	// runtime for references travelling inside complet closures). It
+	// feeds the per-reference invocation-rate profiling (§4.1).
+	owner ids.CompletID
+
+	// decodedStamp / decodedDup carry the wire flags from GobDecode to
+	// the runtime's binding pass.
+	decodedStamp bool
+	decodedDup   bool
+}
+
+// New returns a bound reference to the given target with the default link
+// relocator.
+func New(target ids.CompletID, anchorType string, hint ids.CoreID, b Binder) *Ref {
+	r := &Ref{
+		target:     target,
+		anchorType: anchorType,
+		hint:       hint,
+		binder:     b,
+	}
+	r.meta = &MetaRef{ref: r, relocator: Link{}}
+	return r
+}
+
+// Target returns the ID of the complet this reference points to.
+func (r *Ref) Target() ids.CompletID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.target
+}
+
+// AnchorType returns the registered type name of the target's anchor.
+func (r *Ref) AnchorType() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.anchorType
+}
+
+// Hint returns the last known location of the target. It may be stale; the
+// tracker machinery corrects stale hints on use.
+func (r *Ref) Hint() ids.CoreID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hint
+}
+
+// SetHint updates the last known location of the target.
+func (r *Ref) SetHint(c ids.CoreID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hint = c
+}
+
+// Owner returns the complet this reference belongs to (zero if unowned, e.g.
+// references held by non-complet application code).
+func (r *Ref) Owner() ids.CompletID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.owner
+}
+
+// SetOwner records the complet this reference belongs to. The runtime calls
+// it for references inside arriving complet closures; applications may call
+// it for references they wire into complets by hand, enabling per-reference
+// invocation profiling.
+func (r *Ref) SetOwner(owner ids.CompletID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.owner = owner
+}
+
+// Bound reports whether the reference is attached to a core.
+func (r *Ref) Bound() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.binder != nil
+}
+
+// Bind attaches the reference to a core. The runtime calls this for every
+// reference that arrives in a parameter or in a moved complet's closure.
+func (r *Ref) Bind(b Binder) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.binder = b
+}
+
+// Retarget points the reference at a different complet. The movement
+// protocol uses it to realize duplicate (bind to the fresh copy) and stamp
+// (bind to an equivalent local complet) semantics.
+func (r *Ref) Retarget(target ids.CompletID, anchorType string, hint ids.CoreID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.target = target
+	r.anchorType = anchorType
+	r.hint = hint
+}
+
+// Invoke calls the named method on the target anchor. Parameters are passed
+// by value (deep copy) except complet references, which are passed by
+// reference with their relocator degraded to link (§3.1).
+func (r *Ref) Invoke(method string, args ...any) ([]any, error) {
+	r.mu.Lock()
+	b := r.binder
+	r.mu.Unlock()
+	if b == nil {
+		return nil, fmt.Errorf("invoke %s on %s: %w", method, r.target, ErrUnbound)
+	}
+	return b.InvokeRef(r, method, args)
+}
+
+// Meta returns the reference's meta-reference (§3.2), which reifies and
+// allows changing the reference's relocation semantics.
+func (r *Ref) Meta() *MetaRef { return r.meta }
+
+// String renders the reference for diagnostics.
+func (r *Ref) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return fmt.Sprintf("ref{%s %s @%s %s}", r.anchorType, r.target, r.hint, r.meta.Relocator().Kind())
+}
+
+// MetaRef reifies the relocation semantics of one complet reference (§3.2).
+// It is obtained with Ref.Meta (the paper's Core.getMetaRef) and supports
+// inspecting and replacing the relocator without disturbing the reference's
+// invocation transparency.
+type MetaRef struct {
+	mu        sync.Mutex
+	relocator Relocator
+	ref       *Ref
+}
+
+// Relocator returns the current relocator object.
+func (m *MetaRef) Relocator() Relocator {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.relocator
+}
+
+// SetRelocator replaces the reference's relocation semantics.
+func (m *MetaRef) SetRelocator(r Relocator) error {
+	if r == nil {
+		return fmt.Errorf("set relocator: nil relocator")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.relocator = r
+	return nil
+}
+
+// Target returns the ID of the referenced complet.
+func (m *MetaRef) Target() ids.CompletID { return m.ref.Target() }
+
+// Location resolves the current location of the referenced complet by asking
+// the runtime (following tracker chains if necessary).
+func (m *MetaRef) Location() (ids.CoreID, error) {
+	m.ref.mu.Lock()
+	b := m.ref.binder
+	m.ref.mu.Unlock()
+	if b == nil {
+		return "", ErrUnbound
+	}
+	return b.Locate(m.ref)
+}
+
+// Descriptor is the wire form of a complet reference: enough to rebuild a
+// stub and (re)create a tracker at the receiving core.
+type Descriptor struct {
+	Target     ids.CompletID
+	AnchorType string
+	LastKnown  ids.CoreID
+	Relocator  RelocDescriptor
+	// Owner travels with move-mode encodings so a reference keeps feeding
+	// the same per-reference profiling stream after its complet migrates.
+	Owner ids.CompletID
+	// Stamp marks a stamp-encoded reference: the target field is advisory
+	// and the receiver must re-bind to a local complet of AnchorType.
+	Stamp bool
+	// Dup marks a reference whose target is being duplicated in the same
+	// movement bundle: the receiver must re-bind it to the fresh copy.
+	Dup bool
+}
+
+// Descriptor snapshots the reference's wire form with its current relocator.
+func (r *Ref) Descriptor() (Descriptor, error) {
+	r.mu.Lock()
+	target, anchorType, hint, owner := r.target, r.anchorType, r.hint, r.owner
+	r.mu.Unlock()
+	rd, err := EncodeRelocator(r.meta.Relocator())
+	if err != nil {
+		return Descriptor{}, err
+	}
+	return Descriptor{
+		Target:     target,
+		AnchorType: anchorType,
+		LastKnown:  hint,
+		Relocator:  rd,
+		Owner:      owner,
+	}, nil
+}
+
+// FromDescriptor rebuilds an unbound reference from its wire form. The caller
+// (the runtime) binds it and applies dup/stamp re-binding.
+func FromDescriptor(d Descriptor) (*Ref, error) {
+	reloc, err := DecodeRelocator(d.Relocator)
+	if err != nil {
+		return nil, err
+	}
+	r := &Ref{
+		target:     d.Target,
+		anchorType: d.AnchorType,
+		hint:       d.LastKnown,
+	}
+	r.meta = &MetaRef{ref: r, relocator: reloc}
+	return r, nil
+}
+
+// --- codec context -------------------------------------------------------
+
+// Mode selects the marshaling semantics applied to references encountered
+// while encoding an object graph.
+type Mode int
+
+const (
+	// ModeParam encodes references for parameter passing: the descriptor
+	// is degraded to the default link relocator (§3.1).
+	ModeParam Mode = iota + 1
+	// ModeMove encodes references for complet movement: each reference's
+	// relocator decides its action and the collector records pull and
+	// duplicate targets for the movement protocol (§3.3).
+	ModeMove
+	// ModeSnapshot encodes references verbatim — relocator and owner
+	// preserved, no movement actions. Used by checkpoint/restore
+	// persistence, where complets are serialized in place.
+	ModeSnapshot
+)
+
+// Collector is the per-(un)marshal context. The movement and invocation units
+// install one around gob encoding/decoding; Ref's GobEncode/GobDecode consult
+// it. It realizes the paper's "special routine applied to each detected
+// complet reference during graph traversal".
+type Collector struct {
+	Mode Mode
+	// Move describes the ongoing move (ModeMove only). Source is updated
+	// by the movement protocol before each complet's graph is encoded.
+	Move MoveContext
+	// TargetLocal tells the encoder whether a complet currently resides
+	// on the encoding core (ModeMove only; may be nil).
+	TargetLocal func(ids.CompletID) bool
+
+	// Encountered collects every reference encoded.
+	Encountered []*Ref
+	// Pulls and Duplicates collect the targets that must travel along.
+	Pulls      []ids.CompletID
+	Duplicates []ids.CompletID
+	// Decoded collects every reference materialized during decoding, so
+	// the runtime can bind them afterwards.
+	Decoded []*Ref
+}
+
+// codecMu serializes gob (en/de)coding that may touch references, because
+// encoding/gob offers no way to thread a context into GobEncode/GobDecode.
+// The collector for the current operation is published in current.
+var (
+	codecMu sync.Mutex
+	current *Collector
+)
+
+// WithCollector runs fn with c installed as the active codec context. Calls
+// are serialized process-wide; fn must not invoke WithCollector recursively.
+func WithCollector(c *Collector, fn func() error) error {
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	current = c
+	defer func() { current = nil }()
+	return fn()
+}
+
+// GobEncode implements gob.GobEncoder. It encodes the reference as a
+// Descriptor whose shape depends on the active collector's mode.
+func (r *Ref) GobEncode() ([]byte, error) {
+	c := current
+	if c == nil {
+		return nil, errors.New("ref: reference encoded outside a codec context")
+	}
+	d, err := r.Descriptor()
+	if err != nil {
+		return nil, err
+	}
+	c.Encountered = append(c.Encountered, r)
+
+	switch c.Mode {
+	case ModeParam:
+		// Degrade: the reference joins a new containing complet, so the
+		// old relocation semantics are not imposed on it (§3.1). The
+		// owner is cleared for the same reason.
+		d.Relocator = RelocDescriptor{Kind: Link{}.Kind()}
+		d.Owner = ids.CompletID{}
+	case ModeMove:
+		ctx := c.Move
+		ctx.Target = d.Target
+		if c.TargetLocal != nil {
+			ctx.TargetLocal = c.TargetLocal(d.Target)
+		}
+		switch action := r.meta.Relocator().Action(ctx); action {
+		case ActionLink:
+			// Keep as-is; the tracker machinery keeps it valid.
+		case ActionPull:
+			c.Pulls = append(c.Pulls, d.Target)
+		case ActionDuplicate:
+			c.Duplicates = append(c.Duplicates, d.Target)
+			d.Dup = true
+		case ActionStamp:
+			d.Stamp = true
+		default:
+			return nil, fmt.Errorf("ref: relocator %q returned invalid action %d",
+				r.meta.Relocator().Kind(), action)
+		}
+	case ModeSnapshot:
+		// Verbatim: the complet is serialized in place; its references
+		// keep their semantics for the restored instance.
+	default:
+		return nil, fmt.Errorf("ref: collector has invalid mode %d", c.Mode)
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(d); err != nil {
+		return nil, fmt.Errorf("ref: encode descriptor: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder. The reference is rebuilt unbound and
+// recorded in the active collector for the runtime to bind.
+func (r *Ref) GobDecode(data []byte) error {
+	c := current
+	if c == nil {
+		return errors.New("ref: reference decoded outside a codec context")
+	}
+	var d Descriptor
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&d); err != nil {
+		return fmt.Errorf("ref: decode descriptor: %w", err)
+	}
+	reloc, err := DecodeRelocator(d.Relocator)
+	if err != nil {
+		return fmt.Errorf("ref: %w", err)
+	}
+	r.target = d.Target
+	r.anchorType = d.AnchorType
+	r.hint = d.LastKnown
+	r.owner = d.Owner
+	r.binder = nil
+	r.meta = &MetaRef{ref: r, relocator: reloc}
+	r.decodedStamp = d.Stamp
+	r.decodedDup = d.Dup
+	c.Decoded = append(c.Decoded, r)
+	return nil
+}
+
+// DecodedStamp reports whether the reference arrived stamp-encoded.
+func (r *Ref) DecodedStamp() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.decodedStamp
+}
+
+// DecodedDup reports whether the reference's target was duplicated in the
+// same movement bundle.
+func (r *Ref) DecodedDup() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.decodedDup
+}

@@ -1,0 +1,474 @@
+package ref
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"strings"
+	"testing"
+
+	"fargo/internal/ids"
+)
+
+// fakeBinder records invocations for stub-behaviour tests.
+type fakeBinder struct {
+	core    ids.CoreID
+	invoked []string
+	locate  ids.CoreID
+	err     error
+}
+
+func (f *fakeBinder) InvokeRef(r *Ref, method string, args []any) ([]any, error) {
+	f.invoked = append(f.invoked, method)
+	if f.err != nil {
+		return nil, f.err
+	}
+	return []any{"ok"}, nil
+}
+
+func (f *fakeBinder) Locate(r *Ref) (ids.CoreID, error) { return f.locate, f.err }
+func (f *fakeBinder) BinderCore() ids.CoreID            { return f.core }
+
+var _ Binder = (*fakeBinder)(nil)
+
+func testID(seq uint64) ids.CompletID {
+	return ids.CompletID{Birth: "core-a", Seq: seq}
+}
+
+func TestNewRefDefaults(t *testing.T) {
+	b := &fakeBinder{core: "core-a"}
+	r := New(testID(1), "Message", "core-a", b)
+	if r.Target() != testID(1) {
+		t.Errorf("Target = %v", r.Target())
+	}
+	if r.AnchorType() != "Message" {
+		t.Errorf("AnchorType = %q", r.AnchorType())
+	}
+	if r.Hint() != "core-a" {
+		t.Errorf("Hint = %q", r.Hint())
+	}
+	if !r.Bound() {
+		t.Error("new ref should be bound")
+	}
+	if kind := r.Meta().Relocator().Kind(); kind != "link" {
+		t.Errorf("default relocator = %q, want link", kind)
+	}
+}
+
+func TestInvokeDelegatesToBinder(t *testing.T) {
+	b := &fakeBinder{core: "core-a"}
+	r := New(testID(1), "Message", "core-a", b)
+	out, err := r.Invoke("Print", 1, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != "ok" {
+		t.Fatalf("out = %v", out)
+	}
+	if len(b.invoked) != 1 || b.invoked[0] != "Print" {
+		t.Fatalf("binder saw %v", b.invoked)
+	}
+}
+
+func TestInvokeUnbound(t *testing.T) {
+	r, err := FromDescriptor(Descriptor{
+		Target:     testID(1),
+		AnchorType: "Message",
+		Relocator:  RelocDescriptor{Kind: "link"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bound() {
+		t.Fatal("descriptor-built ref should be unbound")
+	}
+	if _, err := r.Invoke("Print"); !errors.Is(err, ErrUnbound) {
+		t.Fatalf("Invoke on unbound ref: %v, want ErrUnbound", err)
+	}
+	r.Bind(&fakeBinder{core: "core-b"})
+	if _, err := r.Invoke("Print"); err != nil {
+		t.Fatalf("Invoke after Bind: %v", err)
+	}
+}
+
+func TestMetaRefSetRelocator(t *testing.T) {
+	r := New(testID(1), "Message", "core-a", &fakeBinder{})
+	m := r.Meta()
+	if _, ok := m.Relocator().(Link); !ok {
+		t.Fatalf("default relocator %T, want Link", m.Relocator())
+	}
+	if err := m.SetRelocator(Pull{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Relocator().(Pull); !ok {
+		t.Fatalf("relocator after set: %T, want Pull", m.Relocator())
+	}
+	if err := m.SetRelocator(nil); err == nil {
+		t.Fatal("SetRelocator(nil) should fail")
+	}
+	if m.Target() != testID(1) {
+		t.Fatalf("meta target = %v", m.Target())
+	}
+}
+
+func TestMetaRefLocation(t *testing.T) {
+	b := &fakeBinder{locate: "core-z"}
+	r := New(testID(1), "Message", "core-a", b)
+	loc, err := r.Meta().Location()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc != "core-z" {
+		t.Fatalf("Location = %q, want core-z", loc)
+	}
+
+	unbound, err := FromDescriptor(Descriptor{Target: testID(2), Relocator: RelocDescriptor{Kind: "link"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := unbound.Meta().Location(); !errors.Is(err, ErrUnbound) {
+		t.Fatalf("Location on unbound: %v, want ErrUnbound", err)
+	}
+}
+
+func TestRelocatorActions(t *testing.T) {
+	cases := []struct {
+		r    Relocator
+		want Action
+		kind string
+	}{
+		{Link{}, ActionLink, "link"},
+		{Pull{}, ActionPull, "pull"},
+		{Duplicate{}, ActionDuplicate, "duplicate"},
+		{Stamp{}, ActionStamp, "stamp"},
+	}
+	for _, c := range cases {
+		if got := c.r.Action(MoveContext{}); got != c.want {
+			t.Errorf("%s.Action = %v, want %v", c.kind, got, c.want)
+		}
+		if got := c.r.Kind(); got != c.kind {
+			t.Errorf("Kind = %q, want %q", got, c.kind)
+		}
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if ActionPull.String() != "pull" || Action(99).String() != "Action(99)" {
+		t.Error("Action.String misbehaves")
+	}
+}
+
+func TestRelocatorRoundtrip(t *testing.T) {
+	for _, r := range []Relocator{Link{}, Pull{}, Duplicate{}, Stamp{}} {
+		d, err := EncodeRelocator(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeRelocator(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Kind() != r.Kind() {
+			t.Errorf("roundtrip kind %q -> %q", r.Kind(), back.Kind())
+		}
+	}
+}
+
+func TestDecodeUnknownRelocator(t *testing.T) {
+	if _, err := DecodeRelocator(RelocDescriptor{Kind: "no-such"}); err == nil {
+		t.Fatal("decoding unknown kind should fail")
+	}
+}
+
+func TestEncodeNilRelocator(t *testing.T) {
+	if _, err := EncodeRelocator(nil); err == nil {
+		t.Fatal("encoding nil relocator should fail")
+	}
+}
+
+// tether is a custom stateful relocator: pull while the target is local,
+// link otherwise.
+type tether struct {
+	MaxHops int
+}
+
+func (t tether) Kind() string { return "tether" }
+func (t tether) Action(ctx MoveContext) Action {
+	if ctx.TargetLocal {
+		return ActionPull
+	}
+	return ActionLink
+}
+func (t tether) RelocatorState() any { return t }
+
+func TestCustomRelocator(t *testing.T) {
+	err := RegisterRelocator("tether", func(data []byte) (Relocator, error) {
+		var s tether
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+			return nil, err
+		}
+		return s, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := EncodeRelocator(tether{MaxHops: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeRelocator(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, ok := back.(tether)
+	if !ok || tt.MaxHops != 3 {
+		t.Fatalf("decoded %#v", back)
+	}
+	if got := tt.Action(MoveContext{TargetLocal: true}); got != ActionPull {
+		t.Errorf("tether local action = %v, want pull", got)
+	}
+	if got := tt.Action(MoveContext{TargetLocal: false}); got != ActionLink {
+		t.Errorf("tether remote action = %v, want link", got)
+	}
+}
+
+func TestRegisterRelocatorValidation(t *testing.T) {
+	if err := RegisterRelocator("", nil); err == nil {
+		t.Error("empty registration should fail")
+	}
+	if err := RegisterRelocator("link", func([]byte) (Relocator, error) { return Link{}, nil }); err == nil {
+		t.Error("overriding built-in should fail")
+	}
+	decode := func([]byte) (Relocator, error) { return Link{}, nil }
+	if err := RegisterRelocator("once-only", decode); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterRelocator("once-only", decode); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+}
+
+// carrier is a test struct with an embedded complet reference, standing in
+// for an application object graph.
+type carrier struct {
+	Name string
+	R    *Ref
+}
+
+func encodeWith(t *testing.T, c *Collector, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	err := WithCollector(c, func() error {
+		return gob.NewEncoder(&buf).Encode(v)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func decodeWith(t *testing.T, c *Collector, data []byte, into any) {
+	t.Helper()
+	err := WithCollector(c, func() error {
+		return gob.NewDecoder(bytes.NewReader(data)).Decode(into)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeOutsideContextFails(t *testing.T) {
+	r := New(testID(1), "Message", "core-a", &fakeBinder{})
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&carrier{Name: "x", R: r})
+	if err == nil || !strings.Contains(err.Error(), "outside a codec context") {
+		t.Fatalf("encode outside context: %v", err)
+	}
+}
+
+func TestParamModeDegradesToLink(t *testing.T) {
+	r := New(testID(1), "Message", "core-a", &fakeBinder{})
+	if err := r.Meta().SetRelocator(Pull{}); err != nil {
+		t.Fatal(err)
+	}
+
+	enc := &Collector{Mode: ModeParam}
+	data := encodeWith(t, enc, &carrier{Name: "x", R: r})
+	if len(enc.Encountered) != 1 || enc.Encountered[0] != r {
+		t.Fatalf("Encountered = %v", enc.Encountered)
+	}
+	if len(enc.Pulls) != 0 {
+		t.Fatal("param mode must not schedule pulls")
+	}
+
+	dec := &Collector{Mode: ModeParam}
+	var out carrier
+	decodeWith(t, dec, data, &out)
+	if out.R == nil {
+		t.Fatal("decoded ref is nil")
+	}
+	if out.R.Target() != testID(1) {
+		t.Fatalf("decoded target %v", out.R.Target())
+	}
+	// Degraded: the receiving side sees a link relocator even though the
+	// sender's reference was pull.
+	if kind := out.R.Meta().Relocator().Kind(); kind != "link" {
+		t.Fatalf("decoded relocator %q, want link (degraded)", kind)
+	}
+	if out.R.Bound() {
+		t.Fatal("decoded ref must be unbound until the runtime binds it")
+	}
+	if len(dec.Decoded) != 1 || dec.Decoded[0] != out.R {
+		t.Fatalf("Decoded = %v", dec.Decoded)
+	}
+	// The sender's reference keeps its original relocator.
+	if kind := r.Meta().Relocator().Kind(); kind != "pull" {
+		t.Fatalf("sender relocator %q, want pull", kind)
+	}
+}
+
+func TestMoveModeCollectsPullsAndDuplicates(t *testing.T) {
+	pullRef := New(testID(2), "Data", "core-a", &fakeBinder{})
+	if err := pullRef.Meta().SetRelocator(Pull{}); err != nil {
+		t.Fatal(err)
+	}
+	dupRef := New(testID(3), "Cache", "core-a", &fakeBinder{})
+	if err := dupRef.Meta().SetRelocator(Duplicate{}); err != nil {
+		t.Fatal(err)
+	}
+	linkRef := New(testID(4), "Svc", "core-b", &fakeBinder{})
+
+	type anchor struct {
+		P, D, L *Ref
+	}
+	enc := &Collector{
+		Mode: ModeMove,
+		Move: MoveContext{Source: testID(1), From: "core-a", To: "core-b"},
+	}
+	data := encodeWith(t, enc, &anchor{P: pullRef, D: dupRef, L: linkRef})
+
+	if len(enc.Pulls) != 1 || enc.Pulls[0] != testID(2) {
+		t.Fatalf("Pulls = %v", enc.Pulls)
+	}
+	if len(enc.Duplicates) != 1 || enc.Duplicates[0] != testID(3) {
+		t.Fatalf("Duplicates = %v", enc.Duplicates)
+	}
+	if len(enc.Encountered) != 3 {
+		t.Fatalf("Encountered %d refs, want 3", len(enc.Encountered))
+	}
+
+	dec := &Collector{Mode: ModeParam}
+	var out anchor
+	decodeWith(t, dec, data, &out)
+	if !out.D.DecodedDup() {
+		t.Error("duplicate ref should carry the Dup flag")
+	}
+	if out.P.DecodedDup() || out.L.DecodedDup() {
+		t.Error("pull/link refs must not carry the Dup flag")
+	}
+	// Move mode preserves relocator kinds (no degrade).
+	if kind := out.P.Meta().Relocator().Kind(); kind != "pull" {
+		t.Errorf("moved pull ref decoded as %q", kind)
+	}
+}
+
+func TestMoveModeStamp(t *testing.T) {
+	stampRef := New(testID(5), "Printer", "core-a", &fakeBinder{})
+	if err := stampRef.Meta().SetRelocator(Stamp{}); err != nil {
+		t.Fatal(err)
+	}
+	type anchor struct{ S *Ref }
+	enc := &Collector{Mode: ModeMove, Move: MoveContext{Source: testID(1), From: "core-a", To: "core-b"}}
+	data := encodeWith(t, enc, &anchor{S: stampRef})
+	if len(enc.Pulls)+len(enc.Duplicates) != 0 {
+		t.Fatal("stamp must not schedule pulls or duplicates")
+	}
+
+	var out anchor
+	decodeWith(t, &Collector{Mode: ModeParam}, data, &out)
+	if !out.S.DecodedStamp() {
+		t.Fatal("stamp ref should carry the Stamp flag")
+	}
+	if out.S.AnchorType() != "Printer" {
+		t.Fatalf("stamp ref anchor type %q", out.S.AnchorType())
+	}
+}
+
+func TestMoveModeTargetLocalPassedToRelocator(t *testing.T) {
+	if err := RegisterRelocator("locality-probe", func([]byte) (Relocator, error) {
+		return localityProbe{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r := New(testID(7), "X", "core-a", &fakeBinder{})
+	if err := r.Meta().SetRelocator(localityProbe{}); err != nil {
+		t.Fatal(err)
+	}
+	type anchor struct{ R *Ref }
+	enc := &Collector{
+		Mode:        ModeMove,
+		Move:        MoveContext{Source: testID(1), From: "core-a", To: "core-b"},
+		TargetLocal: func(id ids.CompletID) bool { return id == testID(7) },
+	}
+	encodeWith(t, enc, &anchor{R: r})
+	if len(enc.Pulls) != 1 {
+		t.Fatalf("locality-aware relocator should have pulled: %v", enc.Pulls)
+	}
+}
+
+// localityProbe pulls local targets, links remote ones (like tether, but
+// registered under a separate kind to keep tests independent).
+type localityProbe struct{}
+
+func (localityProbe) Kind() string { return "locality-probe" }
+func (localityProbe) Action(ctx MoveContext) Action {
+	if ctx.TargetLocal {
+		return ActionPull
+	}
+	return ActionLink
+}
+
+func TestNilRefFieldRoundtrip(t *testing.T) {
+	data := encodeWith(t, &Collector{Mode: ModeParam}, &carrier{Name: "solo"})
+	var out carrier
+	decodeWith(t, &Collector{Mode: ModeParam}, data, &out)
+	if out.R != nil {
+		t.Fatalf("nil ref field decoded as %v", out.R)
+	}
+	if out.Name != "solo" {
+		t.Fatalf("Name = %q", out.Name)
+	}
+}
+
+func TestSharedRefEncodedOnce(t *testing.T) {
+	// Two fields aliasing one Ref: gob preserves within-message structure
+	// for pointers? It does not guarantee aliasing, but both decoded refs
+	// must at least be semantically identical.
+	r := New(testID(9), "Shared", "core-a", &fakeBinder{})
+	type anchor struct{ A, B *Ref }
+	enc := &Collector{Mode: ModeParam}
+	data := encodeWith(t, enc, &anchor{A: r, B: r})
+	var out anchor
+	decodeWith(t, &Collector{Mode: ModeParam}, data, &out)
+	if out.A.Target() != testID(9) || out.B.Target() != testID(9) {
+		t.Fatal("shared ref lost its target")
+	}
+}
+
+func TestRetarget(t *testing.T) {
+	r := New(testID(1), "Old", "core-a", &fakeBinder{})
+	r.Retarget(testID(2), "New", "core-b")
+	if r.Target() != testID(2) || r.AnchorType() != "New" || r.Hint() != "core-b" {
+		t.Fatalf("after retarget: %v %q %q", r.Target(), r.AnchorType(), r.Hint())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r := New(testID(1), "Message", "core-a", &fakeBinder{})
+	s := r.String()
+	for _, want := range []string{"Message", "core-a/#1", "link"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

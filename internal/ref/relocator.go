@@ -1,0 +1,191 @@
+// Package ref implements complet references — the paper's central
+// abstraction. A complet reference is split into a stub (the Ref value held
+// by application code), a meta-reference (reifying the reference's relocation
+// semantics, §3.2), and a relocator (the object governing how the reference
+// behaves when its source complet moves, §3.3). The trackers that realize
+// location transparency live in the core package; a Ref addresses its target
+// by CompletID and routes invocations through the core it is bound to.
+package ref
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"fargo/internal/ids"
+)
+
+// Action is the movement behaviour a relocator selects for its reference when
+// the source complet relocates (§2, §3.3 of the paper).
+type Action int
+
+const (
+	// ActionLink keeps a tracked remote reference to the target, which
+	// stays where it is. The default.
+	ActionLink Action = iota + 1
+	// ActionPull moves the target complet along with the source.
+	ActionPull
+	// ActionDuplicate moves a copy of the target along with the source;
+	// the original stays.
+	ActionDuplicate
+	// ActionStamp drops the binding and re-binds, at the destination, to a
+	// local complet of an equivalent type.
+	ActionStamp
+)
+
+// String returns the lower-case action name.
+func (a Action) String() string {
+	switch a {
+	case ActionLink:
+		return "link"
+	case ActionPull:
+		return "pull"
+	case ActionDuplicate:
+		return "duplicate"
+	case ActionStamp:
+		return "stamp"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// MoveContext gives a relocator the facts it may use to decide its action.
+type MoveContext struct {
+	// Source is the complet being moved; Target is the complet the
+	// reference points to.
+	Source, Target ids.CompletID
+	// From and To are the source and destination cores of the move.
+	From, To ids.CoreID
+	// TargetLocal reports whether the target currently resides on the
+	// same core as the moving source.
+	TargetLocal bool
+}
+
+// Relocator reifies the relocation semantics of one complet reference. The
+// predefined relocators are Link, Pull, Duplicate and Stamp; applications may
+// define their own (registering them with RegisterRelocator) and install them
+// through the meta-reference, possibly deciding the action dynamically from
+// the MoveContext.
+type Relocator interface {
+	// Kind is the registered name of the relocator type.
+	Kind() string
+	// Action picks the movement behaviour for this move.
+	Action(ctx MoveContext) Action
+}
+
+// Link is the default relocator: a tracked remote reference (§2).
+type Link struct{}
+
+// Kind implements Relocator.
+func (Link) Kind() string { return "link" }
+
+// Action implements Relocator.
+func (Link) Action(MoveContext) Action { return ActionLink }
+
+// Pull moves the target along with the source (§2).
+type Pull struct{}
+
+// Kind implements Relocator.
+func (Pull) Kind() string { return "pull" }
+
+// Action implements Relocator.
+func (Pull) Action(MoveContext) Action { return ActionPull }
+
+// Duplicate moves a copy of the target along with the source (§2).
+type Duplicate struct{}
+
+// Kind implements Relocator.
+func (Duplicate) Kind() string { return "duplicate" }
+
+// Action implements Relocator.
+func (Duplicate) Action(MoveContext) Action { return ActionDuplicate }
+
+// Stamp re-binds to an equivalent-typed complet at the destination (§2).
+type Stamp struct{}
+
+// Kind implements Relocator.
+func (Stamp) Kind() string { return "stamp" }
+
+// Action implements Relocator.
+func (Stamp) Action(MoveContext) Action { return ActionStamp }
+
+// RelocDescriptor is the wire form of a relocator: its registered kind plus
+// an opaque gob encoding of its state (empty for the stateless built-ins).
+type RelocDescriptor struct {
+	Kind string
+	Data []byte
+}
+
+// relocRegistry maps relocator kinds to decode functions.
+var relocRegistry = struct {
+	sync.RWMutex
+	m map[string]func(data []byte) (Relocator, error)
+}{m: builtinRelocators()}
+
+func builtinRelocators() map[string]func([]byte) (Relocator, error) {
+	return map[string]func([]byte) (Relocator, error){
+		"link":      func([]byte) (Relocator, error) { return Link{}, nil },
+		"pull":      func([]byte) (Relocator, error) { return Pull{}, nil },
+		"duplicate": func([]byte) (Relocator, error) { return Duplicate{}, nil },
+		"stamp":     func([]byte) (Relocator, error) { return Stamp{}, nil },
+	}
+}
+
+// RegisterRelocator registers a user-defined relocator kind. The decode
+// function reconstructs a relocator from the Data produced by
+// EncodeRelocator; kinds of the four built-ins cannot be overridden.
+func RegisterRelocator(kind string, decode func(data []byte) (Relocator, error)) error {
+	if kind == "" || decode == nil {
+		return fmt.Errorf("register relocator: kind and decode func required")
+	}
+	relocRegistry.Lock()
+	defer relocRegistry.Unlock()
+	switch kind {
+	case "link", "pull", "duplicate", "stamp":
+		return fmt.Errorf("register relocator: %q is a built-in kind", kind)
+	}
+	if _, dup := relocRegistry.m[kind]; dup {
+		return fmt.Errorf("register relocator: kind %q already registered", kind)
+	}
+	relocRegistry.m[kind] = decode
+	return nil
+}
+
+// GobStater is implemented by custom relocators that carry state. Its
+// RelocatorState is gob-encoded into the descriptor's Data; the registered
+// decode function receives those bytes back.
+type GobStater interface {
+	RelocatorState() any
+}
+
+// EncodeRelocator produces the wire descriptor for a relocator.
+func EncodeRelocator(r Relocator) (RelocDescriptor, error) {
+	if r == nil {
+		return RelocDescriptor{}, fmt.Errorf("encode relocator: nil relocator")
+	}
+	d := RelocDescriptor{Kind: r.Kind()}
+	if s, ok := r.(GobStater); ok {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(s.RelocatorState()); err != nil {
+			return RelocDescriptor{}, fmt.Errorf("encode relocator %q state: %w", r.Kind(), err)
+		}
+		d.Data = buf.Bytes()
+	}
+	return d, nil
+}
+
+// DecodeRelocator reconstructs a relocator from its wire descriptor.
+func DecodeRelocator(d RelocDescriptor) (Relocator, error) {
+	relocRegistry.RLock()
+	decode, ok := relocRegistry.m[d.Kind]
+	relocRegistry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("decode relocator: unknown kind %q", d.Kind)
+	}
+	r, err := decode(d.Data)
+	if err != nil {
+		return nil, fmt.Errorf("decode relocator %q: %w", d.Kind, err)
+	}
+	return r, nil
+}

@@ -1,0 +1,246 @@
+// Package registry implements the anchor type registry and the reflective
+// invocation dispatcher. The original FarGo ships a compiler that generates
+// stub classes from anchor classes; in Go the equivalent contract is provided
+// dynamically: anchor types register under a name, complets are instantiated
+// from registered types (locally or remotely by name), and methods are
+// dispatched by name via reflection (see DESIGN.md substitutions).
+package registry
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+var (
+	// ErrUnknownType is returned when instantiating an unregistered type.
+	ErrUnknownType = errors.New("registry: unknown complet type")
+	// ErrNoMethod is returned when dispatching to a missing method.
+	ErrNoMethod = errors.New("registry: no such method")
+)
+
+// InitMethod is the optional constructor method name: if a registered anchor
+// type has a method Init(...), New invokes it with the instantiation
+// arguments.
+const InitMethod = "Init"
+
+var errType = reflect.TypeOf((*error)(nil)).Elem()
+
+// Registry maps complet type names to anchor types. Safe for concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	types map[string]reflect.Type // element (struct) type, instantiated as pointer
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{types: make(map[string]reflect.Type)}
+}
+
+// Register records an anchor type under the given name. The prototype must
+// be a (possibly nil) pointer to the anchor struct, e.g. (*Message)(nil).
+// The type is also registered with gob so instances can travel in movement
+// bundles. Registering the same name/type pair twice is a no-op; registering
+// a different type under an existing name is an error.
+func (r *Registry) Register(name string, prototype any) error {
+	if name == "" {
+		return fmt.Errorf("registry: empty type name")
+	}
+	t := reflect.TypeOf(prototype)
+	if t == nil || t.Kind() != reflect.Pointer || t.Elem().Kind() != reflect.Struct {
+		return fmt.Errorf("registry: prototype for %q must be a pointer to struct, got %T", name, prototype)
+	}
+	elem := t.Elem()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.types[name]; ok {
+		if existing == elem {
+			return nil
+		}
+		return fmt.Errorf("registry: type name %q already registered for %v", name, existing)
+	}
+	// gob allows exactly one wire name per Go type (its registry is
+	// process-global), so aliasing one anchor type under several names is
+	// rejected up front — across all Registry instances.
+	gobNames.Lock()
+	defer gobNames.Unlock()
+	if existing, ok := gobNames.m[elem]; ok {
+		if existing != name {
+			return fmt.Errorf("registry: type %v already registered as %q", elem, existing)
+		}
+	} else {
+		// Register the pointer form with gob under the type name so
+		// closure payloads decode to the right dynamic type on any core.
+		gob.RegisterName("fargo/"+name, reflect.New(elem).Interface())
+		gobNames.m[elem] = name
+	}
+	r.types[name] = elem
+	return nil
+}
+
+// gobNames guards the process-global gob registration of anchor types.
+var gobNames = struct {
+	sync.Mutex
+	m map[reflect.Type]string
+}{m: make(map[reflect.Type]string)}
+
+// Lookup returns the anchor struct type registered under name.
+func (r *Registry) Lookup(name string) (reflect.Type, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.types[name]
+	return t, ok
+}
+
+// TypeNameOf returns the registered name for the dynamic type of anchor, if
+// any.
+func (r *Registry) TypeNameOf(anchor any) (string, bool) {
+	t := reflect.TypeOf(anchor)
+	if t == nil || t.Kind() != reflect.Pointer {
+		return "", false
+	}
+	elem := t.Elem()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, typ := range r.types {
+		if typ == elem {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// Names lists the registered type names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.types))
+	for name := range r.types {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Instantiate creates a fresh anchor of the named type and runs its Init
+// method with the given arguments, if one is declared. Passing arguments to a
+// type without Init is an error.
+func (r *Registry) Instantiate(name string, args []any) (any, error) {
+	r.mu.RLock()
+	t, ok := r.types[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownType, name)
+	}
+	anchor := reflect.New(t).Interface()
+	if _, hasInit := reflect.TypeOf(anchor).MethodByName(InitMethod); hasInit {
+		if _, err := Invoke(anchor, InitMethod, args); err != nil {
+			return nil, fmt.Errorf("registry: init %q: %w", name, err)
+		}
+		return anchor, nil
+	}
+	if len(args) > 0 {
+		return nil, fmt.Errorf("registry: type %q takes no constructor arguments (no %s method)", name, InitMethod)
+	}
+	return anchor, nil
+}
+
+// Invoke calls the named exported method on the anchor with the given
+// arguments. A trailing error return value is split off and returned as the
+// invocation error; all other return values are returned as the result
+// vector. Numeric arguments are converted when the value is convertible to
+// the parameter type (gob may widen integers across the wire).
+func Invoke(anchor any, method string, args []any) ([]any, error) {
+	v := reflect.ValueOf(anchor)
+	if !v.IsValid() {
+		return nil, fmt.Errorf("registry: invoke %q on nil anchor", method)
+	}
+	m := v.MethodByName(method)
+	if !m.IsValid() {
+		return nil, fmt.Errorf("%w: %T.%s", ErrNoMethod, anchor, method)
+	}
+	mt := m.Type()
+	if mt.IsVariadic() {
+		return nil, fmt.Errorf("registry: method %T.%s is variadic; variadic anchor methods are not supported", anchor, method)
+	}
+	if mt.NumIn() != len(args) {
+		return nil, fmt.Errorf("registry: method %T.%s takes %d arguments, got %d", anchor, method, mt.NumIn(), len(args))
+	}
+	in := make([]reflect.Value, len(args))
+	for i, arg := range args {
+		want := mt.In(i)
+		converted, err := convertArg(arg, want)
+		if err != nil {
+			return nil, fmt.Errorf("registry: %T.%s argument %d: %w", anchor, method, i, err)
+		}
+		in[i] = converted
+	}
+	out := m.Call(in)
+
+	// Split a trailing error return off the result vector.
+	var invErr error
+	if n := len(out); n > 0 && mt.Out(n-1) == errType {
+		if !out[n-1].IsNil() {
+			invErr, _ = out[n-1].Interface().(error)
+		}
+		out = out[:n-1]
+	}
+	results := make([]any, len(out))
+	for i, o := range out {
+		results[i] = o.Interface()
+	}
+	return results, invErr
+}
+
+// convertArg adapts one argument to the method's parameter type.
+func convertArg(arg any, want reflect.Type) (reflect.Value, error) {
+	if arg == nil {
+		switch want.Kind() {
+		case reflect.Pointer, reflect.Interface, reflect.Slice, reflect.Map, reflect.Chan, reflect.Func:
+			return reflect.Zero(want), nil
+		default:
+			return reflect.Value{}, fmt.Errorf("nil is not a valid %v", want)
+		}
+	}
+	v := reflect.ValueOf(arg)
+	if v.Type() == want {
+		return v, nil
+	}
+	if v.Type().AssignableTo(want) {
+		return v, nil
+	}
+	if isNumeric(v.Kind()) && isNumeric(want.Kind()) && v.Type().ConvertibleTo(want) {
+		return v.Convert(want), nil
+	}
+	return reflect.Value{}, fmt.Errorf("cannot use %T as %v", arg, want)
+}
+
+func isNumeric(k reflect.Kind) bool {
+	switch k {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64:
+		return true
+	default:
+		return false
+	}
+}
+
+// Methods lists the exported method names of the anchor's dynamic type, in
+// sorted order (used by the administration shell for introspection).
+func Methods(anchor any) []string {
+	t := reflect.TypeOf(anchor)
+	if t == nil {
+		return nil
+	}
+	out := make([]string, 0, t.NumMethod())
+	for i := 0; i < t.NumMethod(); i++ {
+		out = append(out, t.Method(i).Name)
+	}
+	sort.Strings(out)
+	return out
+}

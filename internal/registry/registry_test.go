@@ -1,0 +1,280 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// message mirrors the paper's Figure 3 Message complet.
+type message struct {
+	Msg   string
+	Calls int
+}
+
+func (m *message) Init(msg string) { m.Msg = msg }
+
+func (m *message) Print() string {
+	m.Calls++
+	return m.Msg
+}
+
+func (m *message) Set(msg string) { m.Msg = msg }
+
+func (m *message) Both() (string, int) { return m.Msg, m.Calls }
+
+func (m *message) Fail() error { return errors.New("deliberate") }
+
+func (m *message) Div(a, b int) (int, error) {
+	if b == 0 {
+		return 0, errors.New("division by zero")
+	}
+	return a / b, nil
+}
+
+// plain has no Init.
+type plain struct {
+	N int
+}
+
+func (p *plain) Bump(by int64) int64 {
+	p.N += int(by)
+	return int64(p.N)
+}
+
+func TestRegisterAndInstantiate(t *testing.T) {
+	r := New()
+	if err := r.Register("Message", (*message)(nil)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Instantiate("Message", []any{"hello"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := a.(*message)
+	if !ok {
+		t.Fatalf("instantiated %T", a)
+	}
+	if m.Msg != "hello" {
+		t.Fatalf("Init not applied: %+v", m)
+	}
+}
+
+func TestInstantiateUnknown(t *testing.T) {
+	r := New()
+	if _, err := r.Instantiate("Ghost", nil); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("err = %v, want ErrUnknownType", err)
+	}
+}
+
+func TestInstantiateNoInitRejectsArgs(t *testing.T) {
+	r := New()
+	if err := r.Register("Plain", (*plain)(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Instantiate("Plain", []any{1}); err == nil {
+		t.Fatal("args without Init should fail")
+	}
+	a, err := r.Instantiate("Plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.(*plain); !ok {
+		t.Fatalf("type %T", a)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	r := New()
+	if err := r.Register("", (*plain)(nil)); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := r.Register("X", plain{}); err == nil {
+		t.Error("non-pointer prototype should fail")
+	}
+	if err := r.Register("X", 42); err == nil {
+		t.Error("non-struct prototype should fail")
+	}
+	type validationOnly struct{ V int }
+	if err := r.Register("ValOnly", (*validationOnly)(nil)); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent for the same pair.
+	if err := r.Register("ValOnly", (*validationOnly)(nil)); err != nil {
+		t.Errorf("re-register same pair: %v", err)
+	}
+	// Conflicting type under same name fails.
+	if err := r.Register("ValOnly", (*message)(nil)); err == nil {
+		t.Error("conflicting registration should fail")
+	}
+}
+
+func TestTypeNameOf(t *testing.T) {
+	r := New()
+	if err := r.Register("Message", (*message)(nil)); err != nil {
+		t.Fatal(err)
+	}
+	name, ok := r.TypeNameOf(&message{})
+	if !ok || name != "Message" {
+		t.Fatalf("TypeNameOf = %q, %v", name, ok)
+	}
+	if _, ok := r.TypeNameOf(&plain{}); ok {
+		t.Fatal("unregistered type should not resolve")
+	}
+	if _, ok := r.TypeNameOf(nil); ok {
+		t.Fatal("nil should not resolve")
+	}
+}
+
+type zetaT struct{ A int }
+type alphaT struct{ B int }
+type midT struct{ C int }
+
+func TestNames(t *testing.T) {
+	r := New()
+	if err := r.Register("Zeta", (*zetaT)(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("Alpha", (*alphaT)(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("Mid", (*midT)(nil)); err != nil {
+		t.Fatal(err)
+	}
+	names := r.Names()
+	if fmt.Sprint(names) != "[Alpha Mid Zeta]" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestAliasRejected(t *testing.T) {
+	r := New()
+	type aliased struct{ X int }
+	if err := r.Register("First", (*aliased)(nil)); err != nil {
+		t.Fatal(err)
+	}
+	err := r.Register("Second", (*aliased)(nil))
+	if err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("aliasing one type under two names: err = %v", err)
+	}
+}
+
+func TestInvokeBasics(t *testing.T) {
+	m := &message{Msg: "hi"}
+	out, err := Invoke(m, "Print", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != "hi" {
+		t.Fatalf("out = %v", out)
+	}
+	if m.Calls != 1 {
+		t.Fatal("method did not run on the receiver")
+	}
+}
+
+func TestInvokeWithArgs(t *testing.T) {
+	m := &message{}
+	if _, err := Invoke(m, "Set", []any{"new"}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Msg != "new" {
+		t.Fatalf("Msg = %q", m.Msg)
+	}
+}
+
+func TestInvokeMultipleResults(t *testing.T) {
+	m := &message{Msg: "x", Calls: 3}
+	out, err := Invoke(m, "Both", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != "x" || out[1] != 3 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestInvokeTrailingError(t *testing.T) {
+	m := &message{}
+	if _, err := Invoke(m, "Fail", nil); err == nil || err.Error() != "deliberate" {
+		t.Fatalf("err = %v", err)
+	}
+	out, err := Invoke(m, "Div", []any{10, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != 5 {
+		t.Fatalf("out = %v", out)
+	}
+	if _, err := Invoke(m, "Div", []any{1, 0}); err == nil {
+		t.Fatal("Div by zero should surface the error")
+	}
+}
+
+func TestInvokeNumericConversion(t *testing.T) {
+	p := &plain{}
+	// Bump takes int64; pass an int (as gob might widen/narrow).
+	out, err := Invoke(p, "Bump", []any{int(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != int64(5) {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestInvokeErrors(t *testing.T) {
+	m := &message{}
+	if _, err := Invoke(m, "NoSuch", nil); !errors.Is(err, ErrNoMethod) {
+		t.Fatalf("missing method: %v", err)
+	}
+	if _, err := Invoke(m, "Set", nil); err == nil {
+		t.Fatal("arity mismatch should fail")
+	}
+	if _, err := Invoke(m, "Set", []any{42}); err == nil {
+		t.Fatal("type mismatch should fail")
+	}
+	if _, err := Invoke(nil, "X", nil); err == nil {
+		t.Fatal("nil anchor should fail")
+	}
+}
+
+func TestInvokeNilArg(t *testing.T) {
+	s := &sink{}
+	if _, err := Invoke(s, "TakePtr", []any{nil}); err != nil {
+		t.Fatalf("nil for pointer param: %v", err)
+	}
+	if !s.sawNil {
+		t.Fatal("method did not observe nil")
+	}
+	if _, err := Invoke(s, "TakeInt", []any{nil}); err == nil {
+		t.Fatal("nil for int param should fail")
+	}
+}
+
+type sink struct{ sawNil bool }
+
+func (s *sink) TakePtr(p *plain) { s.sawNil = p == nil }
+func (s *sink) TakeInt(int)      {}
+
+type variadicAnchor struct{}
+
+func (variadicAnchor) Sum(xs ...int) int { return len(xs) }
+
+func TestInvokeVariadicRejected(t *testing.T) {
+	if _, err := Invoke(&variadicAnchor{}, "Sum", []any{1, 2}); err == nil {
+		t.Fatal("variadic methods must be rejected with a clear error")
+	}
+}
+
+func TestMethodsListing(t *testing.T) {
+	ms := Methods(&message{})
+	want := []string{"Both", "Div", "Fail", "Init", "Print", "Set"}
+	if fmt.Sprint(ms) != fmt.Sprint(want) {
+		t.Fatalf("Methods = %v, want %v", ms, want)
+	}
+	if Methods(nil) != nil {
+		t.Fatal("Methods(nil) should be nil")
+	}
+}

@@ -1,0 +1,249 @@
+package script
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Script is a parsed layout script: assignments followed by rules, in source
+// order.
+type Script struct {
+	Stmts []Stmt
+}
+
+// Stmt is a top-level statement.
+type Stmt interface {
+	stmt()
+	String() string
+}
+
+// Assign binds a script variable: `$x = expr`.
+type Assign struct {
+	Line int
+	Var  string
+	Val  Expr
+}
+
+func (*Assign) stmt() {}
+
+// String renders the assignment in source syntax.
+func (a *Assign) String() string { return fmt.Sprintf("$%s = %s", a.Var, a.Val) }
+
+// Rule is an event–action pair:
+//
+//	on <event>[(threshold)] [firedby $var] [from expr to expr]
+//	   [listenAt expr] [every number] do <actions> end
+type Rule struct {
+	Line int
+	// Event is the event name ("shutdown", "methodInvokeRate", or any
+	// profiling service name).
+	Event string
+	// Threshold is the parenthesized trigger level; nil for built-in
+	// events.
+	Threshold *float64
+	// FiredBy names the variable bound to the firing core in the action
+	// scope ("" if absent).
+	FiredBy string
+	// From/To select the complet reference a profiled measure applies to.
+	From, To Expr
+	// ListenAt lists the cores to subscribe at (nil = the local core).
+	ListenAt Expr
+	// EveryMillis overrides the measurement interval (0 = default).
+	EveryMillis float64
+	// Guards are additional conditions evaluated (as instant profiling
+	// measurements) when the event fires; all must hold for the actions
+	// to run. They express §4.1's compound policies, e.g. "co-locate only
+	// if the invocation rate is high AND the bandwidth is low".
+	Guards []Guard
+	// Actions run, in order, each time the event fires.
+	Actions []Action
+}
+
+// Guard is one `when service(args...) op number` clause.
+type Guard struct {
+	Line int
+	// Service is the profiling service to measure.
+	Service string
+	// Args parameterize the service.
+	Args []Expr
+	// At names the core to measure at (nil = the firing core).
+	At Expr
+	// Op is one of "<", "<=", ">", ">=".
+	Op string
+	// Value is the comparison bound.
+	Value float64
+}
+
+// String renders the guard in source syntax.
+func (g Guard) String() string {
+	args := make([]string, len(g.Args))
+	for i, a := range g.Args {
+		args[i] = a.String()
+	}
+	s := fmt.Sprintf("when %s(%s) %s %g", g.Service, strings.Join(args, ", "), g.Op, g.Value)
+	if g.At != nil {
+		s += " at " + g.At.String()
+	}
+	return s
+}
+
+func (*Rule) stmt() {}
+
+// String renders the rule in source syntax.
+func (r *Rule) String() string {
+	var sb strings.Builder
+	sb.WriteString("on " + r.Event)
+	if r.Threshold != nil {
+		fmt.Fprintf(&sb, "(%g)", *r.Threshold)
+	}
+	if r.FiredBy != "" {
+		sb.WriteString(" firedby $" + r.FiredBy)
+	}
+	if r.From != nil {
+		fmt.Fprintf(&sb, " from %s to %s", r.From, r.To)
+	}
+	if r.ListenAt != nil {
+		fmt.Fprintf(&sb, " listenAt %s", r.ListenAt)
+	}
+	if r.EveryMillis > 0 {
+		fmt.Fprintf(&sb, " every %g", r.EveryMillis)
+	}
+	for _, g := range r.Guards {
+		sb.WriteString(" " + g.String())
+	}
+	sb.WriteString(" do\n")
+	for _, a := range r.Actions {
+		sb.WriteString("    " + a.String() + "\n")
+	}
+	sb.WriteString("end")
+	return sb.String()
+}
+
+// Action is one rule-body command.
+type Action interface {
+	action()
+	String() string
+}
+
+// MoveAction relocates complets: `move <target> to <dest>`.
+type MoveAction struct {
+	Line int
+	// What selects the complets: an expression naming one complet, or
+	// CompletsIn for all complets of a core.
+	What Expr
+	// AllIn is set when the target is `completsIn <core>`.
+	AllIn bool
+	// Dest selects the destination core: an expression, or CoreOf.
+	Dest Expr
+	// DestCoreOf is set when the destination is `coreOf <complet>`.
+	DestCoreOf bool
+}
+
+func (*MoveAction) action() {}
+
+// String renders the action in source syntax.
+func (m *MoveAction) String() string {
+	what := m.What.String()
+	if m.AllIn {
+		what = "completsIn " + what
+	}
+	dest := m.Dest.String()
+	if m.DestCoreOf {
+		dest = "coreOf " + dest
+	}
+	return fmt.Sprintf("move %s to %s", what, dest)
+}
+
+// LogAction prints a value through the runtime: `log expr`.
+type LogAction struct {
+	Line int
+	Val  Expr
+}
+
+func (*LogAction) action() {}
+
+// String renders the action in source syntax.
+func (l *LogAction) String() string { return "log " + l.Val.String() }
+
+// CallAction invokes a user-registered extension action: `name(arg, ...)`.
+type CallAction struct {
+	Line int
+	Name string
+	Args []Expr
+}
+
+func (*CallAction) action() {}
+
+// String renders the action in source syntax.
+func (c *CallAction) String() string {
+	args := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Name, strings.Join(args, ", "))
+}
+
+// Expr is an evaluatable expression.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// VarRef reads a variable, optionally indexing into a list: `$x` / `$x[0]`.
+type VarRef struct {
+	Line  int
+	Name  string
+	Index Expr // nil when not indexed
+}
+
+func (*VarRef) expr() {}
+
+// String renders the expression in source syntax.
+func (v *VarRef) String() string {
+	if v.Index != nil {
+		return fmt.Sprintf("$%s[%s]", v.Name, v.Index)
+	}
+	return "$" + v.Name
+}
+
+// ArgRef reads a positional script argument: `%1` (1-based).
+type ArgRef struct {
+	Line int
+	N    int
+}
+
+func (*ArgRef) expr() {}
+
+// String renders the expression in source syntax.
+func (a *ArgRef) String() string { return fmt.Sprintf("%%%d", a.N) }
+
+// StringLit is a quoted or bare-word string.
+type StringLit struct {
+	Line int
+	Val  string
+}
+
+func (*StringLit) expr() {}
+
+// String renders the expression in source syntax.
+func (s *StringLit) String() string { return fmt.Sprintf("%q", s.Val) }
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	Line int
+	Val  float64
+}
+
+func (*NumberLit) expr() {}
+
+// String renders the expression in source syntax.
+func (n *NumberLit) String() string { return fmt.Sprintf("%g", n.Val) }
+
+// String renders the script in source syntax (parse(print(ast)) == ast).
+func (s *Script) String() string {
+	parts := make([]string, len(s.Stmts))
+	for i, st := range s.Stmts {
+		parts[i] = st.String()
+	}
+	return strings.Join(parts, "\n")
+}

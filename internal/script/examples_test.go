@@ -1,0 +1,43 @@
+package script
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestShippedScriptsParse keeps the example .fgs files in examples/scripts
+// valid: every file must parse and survive a print/re-parse roundtrip.
+func TestShippedScriptsParse(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "scripts")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("examples/scripts missing: %v", err)
+	}
+	found := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".fgs") {
+			continue
+		}
+		found++
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ast, err := Parse(string(src))
+		if err != nil {
+			t.Errorf("%s does not parse: %v", e.Name(), err)
+			continue
+		}
+		if len(ast.Stmts) == 0 {
+			t.Errorf("%s parses to an empty script", e.Name())
+		}
+		if _, err := Parse(ast.String()); err != nil {
+			t.Errorf("%s: printed form does not re-parse: %v", e.Name(), err)
+		}
+	}
+	if found < 3 {
+		t.Fatalf("only %d example scripts found, want >= 3", found)
+	}
+}

@@ -1,0 +1,554 @@
+package script
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Value is a script runtime value: string, float64, []Value, or nil.
+type Value any
+
+// Runtime is the surface the interpreter drives. It is implemented over a
+// live core by CoreRuntime; tests may substitute fakes.
+type Runtime interface {
+	// LocalCore names the core the script runs on.
+	LocalCore() string
+	// SubscribeBuiltin registers for a built-in event (e.g. coreShutdown)
+	// at each of the given cores (empty = local core). fn receives the
+	// firing core. It returns a cancel function.
+	SubscribeBuiltin(event string, atCores []string, fn func(source string)) (func(), error)
+	// SubscribeThreshold registers for a profiled measure crossing a
+	// threshold. The measure is identified by service + args; the
+	// subscription is placed at the named core ("" = local). fn receives
+	// the firing core and the measured value.
+	SubscribeThreshold(atCore, service string, args []string, threshold float64, interval time.Duration, fn func(source string, value float64)) (func(), error)
+	// MoveComplet relocates the complet (named by ID string or logical
+	// name) to the destination core.
+	MoveComplet(target, dest string) error
+	// CompletsIn lists the complet IDs hosted by a core.
+	CompletsIn(core string) ([]string, error)
+	// CoreOf resolves the core currently hosting a complet.
+	CoreOf(target string) (string, error)
+	// Measure takes one instant profiling measurement at the named core
+	// ("" = local), for `when` guard evaluation.
+	Measure(atCore, service string, args []string) (float64, error)
+	// Logf receives log-action output and interpreter diagnostics.
+	Logf(format string, args ...any)
+}
+
+// ActionFunc is a user-registered extension action (§4.3: "the action part
+// can be extended with any user-defined class").
+type ActionFunc func(rt Runtime, args []Value) error
+
+var actionRegistry = struct {
+	sync.RWMutex
+	m map[string]ActionFunc
+}{m: make(map[string]ActionFunc)}
+
+// RegisterAction registers an extension action under the given name,
+// callable from scripts as name(args...). Built-in action names are
+// reserved.
+func RegisterAction(name string, fn ActionFunc) error {
+	if name == "" || fn == nil {
+		return fmt.Errorf("script: action name and func required")
+	}
+	switch name {
+	case kwMove, kwLog, kwOn, kwEnd, kwDo:
+		return fmt.Errorf("script: %q is reserved", name)
+	}
+	actionRegistry.Lock()
+	defer actionRegistry.Unlock()
+	if _, dup := actionRegistry.m[name]; dup {
+		return fmt.Errorf("script: action %q already registered", name)
+	}
+	actionRegistry.m[name] = fn
+	return nil
+}
+
+func lookupAction(name string) (ActionFunc, bool) {
+	actionRegistry.RLock()
+	defer actionRegistry.RUnlock()
+	fn, ok := actionRegistry.m[name]
+	return fn, ok
+}
+
+// defaultInterval is the measurement period of profiled rules without an
+// `every` qualifier.
+const defaultInterval = 250 * time.Millisecond
+
+// Instance is a running script: its rules stay armed until Close.
+type Instance struct {
+	rt      Runtime
+	mu      sync.Mutex
+	cancels []func()
+	closed  bool
+	// FiredCount counts rule firings (test/observability support).
+	fired int
+}
+
+// Run parses and activates a script against the runtime with the given
+// positional arguments (%1 = args[0], ...). The returned Instance keeps the
+// rules armed until Close.
+func Run(src string, rt Runtime, args ...Value) (*Instance, error) {
+	ast, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return RunAST(ast, rt, args...)
+}
+
+// RunAST activates a parsed script.
+func RunAST(ast *Script, rt Runtime, args ...Value) (*Instance, error) {
+	if rt == nil {
+		return nil, fmt.Errorf("script: nil runtime")
+	}
+	inst := &Instance{rt: rt}
+	env := &environment{rt: rt, args: args, vars: map[string]Value{}}
+
+	for _, st := range ast.Stmts {
+		switch s := st.(type) {
+		case *Assign:
+			v, err := env.eval(s.Val)
+			if err != nil {
+				inst.Close()
+				return nil, err
+			}
+			env.vars[s.Var] = v
+		case *Rule:
+			if err := inst.armRule(env, s); err != nil {
+				inst.Close()
+				return nil, err
+			}
+		}
+	}
+	return inst, nil
+}
+
+// Close cancels every armed rule.
+func (i *Instance) Close() {
+	i.mu.Lock()
+	cancels := i.cancels
+	i.cancels = nil
+	i.closed = true
+	i.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+// Fired returns how many times any rule of this instance has fired.
+func (i *Instance) Fired() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.fired
+}
+
+func (i *Instance) addCancel(c func()) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.closed {
+		c()
+		return
+	}
+	i.cancels = append(i.cancels, c)
+}
+
+// environment holds script variables during evaluation. Rule firings get a
+// child scope for firedby bindings.
+type environment struct {
+	rt     Runtime
+	args   []Value
+	vars   map[string]Value
+	parent *environment
+}
+
+func (e *environment) child() *environment {
+	return &environment{rt: e.rt, args: e.args, vars: map[string]Value{}, parent: e}
+}
+
+func (e *environment) get(name string) (Value, bool) {
+	for env := e; env != nil; env = env.parent {
+		if v, ok := env.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func (e *environment) eval(x Expr) (Value, error) {
+	switch v := x.(type) {
+	case *StringLit:
+		return v.Val, nil
+	case *NumberLit:
+		return v.Val, nil
+	case *ArgRef:
+		if v.N > len(e.args) {
+			return nil, &SyntaxError{v.Line, fmt.Sprintf("script argument %%%d not supplied (%d given)", v.N, len(e.args))}
+		}
+		return e.args[v.N-1], nil
+	case *VarRef:
+		val, ok := e.get(v.Name)
+		if !ok {
+			return nil, &SyntaxError{v.Line, fmt.Sprintf("undefined variable $%s", v.Name)}
+		}
+		if v.Index == nil {
+			return val, nil
+		}
+		idxVal, err := e.eval(v.Index)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := toIndex(idxVal)
+		if err != nil {
+			return nil, &SyntaxError{v.Line, fmt.Sprintf("$%s[...]: %v", v.Name, err)}
+		}
+		list, err := toList(val)
+		if err != nil {
+			return nil, &SyntaxError{v.Line, fmt.Sprintf("$%s is not a list: %v", v.Name, err)}
+		}
+		if idx < 0 || idx >= len(list) {
+			return nil, &SyntaxError{v.Line, fmt.Sprintf("$%s[%d] out of range (len %d)", v.Name, idx, len(list))}
+		}
+		return list[idx], nil
+	default:
+		return nil, fmt.Errorf("script: unknown expression %T", x)
+	}
+}
+
+// evalString evaluates an expression to a string value.
+func (e *environment) evalString(x Expr) (string, error) {
+	v, err := e.eval(x)
+	if err != nil {
+		return "", err
+	}
+	return toString(v)
+}
+
+func toString(v Value) (string, error) {
+	switch s := v.(type) {
+	case string:
+		return s, nil
+	case float64:
+		return strconv.FormatFloat(s, 'g', -1, 64), nil
+	case fmt.Stringer:
+		return s.String(), nil
+	default:
+		return "", fmt.Errorf("value %v (%T) is not a string", v, v)
+	}
+}
+
+func toIndex(v Value) (int, error) {
+	switch n := v.(type) {
+	case float64:
+		return int(n), nil
+	case int:
+		return n, nil
+	case string:
+		return strconv.Atoi(n)
+	default:
+		return 0, fmt.Errorf("value %v (%T) is not an index", v, v)
+	}
+}
+
+// toList adapts []Value, []string and []any to a value list.
+func toList(v Value) ([]Value, error) {
+	switch l := v.(type) {
+	case []Value:
+		return l, nil
+	case []string:
+		out := make([]Value, len(l))
+		for i, s := range l {
+			out[i] = s
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("value %v (%T) is not a list", v, v)
+	}
+}
+
+// toStringList evaluates an expression to a list of strings; a single string
+// becomes a one-element list.
+func (e *environment) toStringList(x Expr) ([]string, error) {
+	v, err := e.eval(x)
+	if err != nil {
+		return nil, err
+	}
+	if s, ok := v.(string); ok {
+		return []string{s}, nil
+	}
+	list, err := toList(v)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(list))
+	for i, item := range list {
+		s, err := toString(item)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// armRule turns one rule into live subscriptions.
+func (i *Instance) armRule(env *environment, r *Rule) error {
+	interval := defaultInterval
+	if r.EveryMillis > 0 {
+		interval = time.Duration(r.EveryMillis * float64(time.Millisecond))
+	}
+
+	fire := func(source string, value float64) {
+		scope := env.child()
+		if r.FiredBy != "" {
+			scope.vars[r.FiredBy] = source
+		}
+		// Compound policies (§4.1): every `when` guard must hold.
+		for _, g := range r.Guards {
+			ok, err := i.evalGuard(scope, g, source)
+			if err != nil {
+				env.rt.Logf("script: rule %q (line %d) guard: %v", r.Event, r.Line, err)
+				return
+			}
+			if !ok {
+				return
+			}
+		}
+		i.mu.Lock()
+		i.fired++
+		i.mu.Unlock()
+		for _, a := range r.Actions {
+			if err := i.execAction(scope, a); err != nil {
+				env.rt.Logf("script: rule %q (line %d): %v", r.Event, r.Line, err)
+			}
+		}
+	}
+
+	if isBuiltinRuleEvent(r.Event) {
+		var atCores []string
+		if r.ListenAt != nil {
+			list, err := env.toStringList(r.ListenAt)
+			if err != nil {
+				return err
+			}
+			atCores = list
+		}
+		cancel, err := env.rt.SubscribeBuiltin(canonicalEvent(r.Event), atCores, func(source string) {
+			fire(source, 0)
+		})
+		if err != nil {
+			return err
+		}
+		i.addCancel(cancel)
+		return nil
+	}
+
+	// Profiled rule.
+	if r.Threshold == nil {
+		return &SyntaxError{r.Line, fmt.Sprintf("profiled event %q needs a threshold, e.g. %s(3)", r.Event, r.Event)}
+	}
+	service, args, atCore, err := i.resolveMeasure(env, r)
+	if err != nil {
+		return err
+	}
+	cancel, err := env.rt.SubscribeThreshold(atCore, service, args, *r.Threshold, interval, fire)
+	if err != nil {
+		return err
+	}
+	i.addCancel(cancel)
+	return nil
+}
+
+// isBuiltinRuleEvent recognizes event names that map to built-in runtime
+// events rather than profiled measures.
+func isBuiltinRuleEvent(event string) bool {
+	switch event {
+	case "shutdown", "coreShutdown", "completArrived", "completDeparted",
+		"unreachable", "coreUnreachable":
+		return true
+	default:
+		return false
+	}
+}
+
+// canonicalEvent maps script event names to runtime event names.
+func canonicalEvent(event string) string {
+	switch event {
+	case "shutdown":
+		return "coreShutdown"
+	case "unreachable":
+		return "coreUnreachable"
+	default:
+		return event
+	}
+}
+
+// resolveMeasure maps a profiled rule to (service, args, subscription core).
+// methodInvokeRate from A to B measures invocationRate(A, B) at the core
+// hosting B; bare service names measure locally with listenAt overriding the
+// subscription core.
+func (i *Instance) resolveMeasure(env *environment, r *Rule) (service string, args []string, atCore string, err error) {
+	switch r.Event {
+	case "methodInvokeRate", "invocationRate":
+		if r.From == nil || r.To == nil {
+			return "", nil, "", &SyntaxError{r.Line, r.Event + " needs `from <complet> to <complet>`"}
+		}
+		from, err := env.evalString(r.From)
+		if err != nil {
+			return "", nil, "", err
+		}
+		to, err := env.evalString(r.To)
+		if err != nil {
+			return "", nil, "", err
+		}
+		// Subscribe where the target complet lives: that core observes
+		// the invocations.
+		atCore, err = env.rt.CoreOf(to)
+		if err != nil {
+			return "", nil, "", fmt.Errorf("script: locate %q: %w", to, err)
+		}
+		return "invocationRate", []string{from, to}, atCore, nil
+	default:
+		var svcArgs []string
+		if r.From != nil {
+			from, err := env.evalString(r.From)
+			if err != nil {
+				return "", nil, "", err
+			}
+			to, err := env.evalString(r.To)
+			if err != nil {
+				return "", nil, "", err
+			}
+			svcArgs = []string{from, to}
+		}
+		at := ""
+		if r.ListenAt != nil {
+			cores, err := env.toStringList(r.ListenAt)
+			if err != nil {
+				return "", nil, "", err
+			}
+			if len(cores) != 1 {
+				return "", nil, "", &SyntaxError{r.Line, "profiled rules subscribe at exactly one core"}
+			}
+			at = cores[0]
+		}
+		return r.Event, svcArgs, at, nil
+	}
+}
+
+// evalGuard measures one `when` clause and compares against its bound. The
+// measurement happens at the guard's `at` core, defaulting to the core that
+// fired the event.
+func (i *Instance) evalGuard(env *environment, g Guard, source string) (bool, error) {
+	args := make([]string, len(g.Args))
+	for idx, x := range g.Args {
+		s, err := env.evalString(x)
+		if err != nil {
+			return false, err
+		}
+		args[idx] = s
+	}
+	at := source
+	if g.At != nil {
+		s, err := env.evalString(g.At)
+		if err != nil {
+			return false, err
+		}
+		at = s
+	}
+	v, err := env.rt.Measure(at, g.Service, args)
+	if err != nil {
+		return false, fmt.Errorf("measure %s at %s: %w", g.Service, at, err)
+	}
+	switch g.Op {
+	case "<":
+		return v < g.Value, nil
+	case "<=":
+		return v <= g.Value, nil
+	case ">":
+		return v > g.Value, nil
+	case ">=":
+		return v >= g.Value, nil
+	default:
+		return false, fmt.Errorf("unknown guard operator %q", g.Op)
+	}
+}
+
+func (i *Instance) execAction(env *environment, a Action) error {
+	switch act := a.(type) {
+	case *LogAction:
+		v, err := env.eval(act.Val)
+		if err != nil {
+			return err
+		}
+		env.rt.Logf("script: %v", v)
+		return nil
+	case *MoveAction:
+		dest, err := env.evalString(act.Dest)
+		if err != nil {
+			return err
+		}
+		if act.DestCoreOf {
+			dest, err = env.rt.CoreOf(dest)
+			if err != nil {
+				return err
+			}
+		}
+		if act.AllIn {
+			coreName, err := env.evalString(act.What)
+			if err != nil {
+				return err
+			}
+			targets, err := env.rt.CompletsIn(coreName)
+			if err != nil {
+				return err
+			}
+			var firstErr error
+			for _, t := range targets {
+				if err := env.rt.MoveComplet(t, dest); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			return firstErr
+		}
+		target, err := env.evalString(act.What)
+		if err != nil {
+			return err
+		}
+		return env.rt.MoveComplet(target, dest)
+	case *CallAction:
+		fn, ok := lookupAction(act.Name)
+		if !ok {
+			return fmt.Errorf("script: unknown action %q", act.Name)
+		}
+		args := make([]Value, len(act.Args))
+		for idx, x := range act.Args {
+			v, err := env.eval(x)
+			if err != nil {
+				return err
+			}
+			args[idx] = v
+		}
+		return fn(env.rt, args)
+	default:
+		return fmt.Errorf("script: unknown action %T", a)
+	}
+}
+
+// FormatValue renders a script value for logs.
+func FormatValue(v Value) string {
+	if s, err := toString(v); err == nil {
+		return s
+	}
+	if l, err := toList(v); err == nil {
+		parts := make([]string, len(l))
+		for i, item := range l {
+			parts[i] = FormatValue(item)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	}
+	return fmt.Sprint(v)
+}

@@ -1,0 +1,436 @@
+package script
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeRuntime records interpreter activity and lets tests fire events.
+type fakeRuntime struct {
+	mu         sync.Mutex
+	moves      []string // "target->dest"
+	logs       []string
+	complets   map[string][]string // core -> complet IDs
+	locations  map[string]string   // complet -> core
+	builtins   map[string][]func(source string)
+	thresholds map[string][]func(source string, value float64)
+	measures   map[string]float64 // "service@core" -> value
+	subErr     error
+	cancels    int
+}
+
+func newFakeRuntime() *fakeRuntime {
+	return &fakeRuntime{
+		complets:   map[string][]string{},
+		locations:  map[string]string{},
+		builtins:   map[string][]func(string){},
+		thresholds: map[string][]func(string, float64){},
+	}
+}
+
+func (f *fakeRuntime) LocalCore() string { return "local" }
+
+func (f *fakeRuntime) Logf(format string, args ...any) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.logs = append(f.logs, fmt.Sprintf(format, args...))
+}
+
+func (f *fakeRuntime) SubscribeBuiltin(event string, atCores []string, fn func(string)) (func(), error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.subErr != nil {
+		return nil, f.subErr
+	}
+	if len(atCores) == 0 {
+		atCores = []string{"local"}
+	}
+	for _, at := range atCores {
+		key := event + "@" + at
+		f.builtins[key] = append(f.builtins[key], fn)
+	}
+	return func() { f.mu.Lock(); f.cancels++; f.mu.Unlock() }, nil
+}
+
+func (f *fakeRuntime) SubscribeThreshold(atCore, service string, args []string, threshold float64, interval time.Duration, fn func(string, float64)) (func(), error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.subErr != nil {
+		return nil, f.subErr
+	}
+	if atCore == "" {
+		atCore = "local"
+	}
+	key := fmt.Sprintf("%s(%v)@%s[%s]", service, threshold, atCore, strings.Join(args, ","))
+	f.thresholds[key] = append(f.thresholds[key], fn)
+	return func() { f.mu.Lock(); f.cancels++; f.mu.Unlock() }, nil
+}
+
+func (f *fakeRuntime) MoveComplet(target, dest string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.moves = append(f.moves, target+"->"+dest)
+	f.locations[target] = dest
+	return nil
+}
+
+func (f *fakeRuntime) CompletsIn(core string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.complets[core]...), nil
+}
+
+func (f *fakeRuntime) CoreOf(target string) (string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if loc, ok := f.locations[target]; ok {
+		return loc, nil
+	}
+	return "", fmt.Errorf("no such complet %q", target)
+}
+
+// measures maps "service@core" to the value Measure returns.
+func (f *fakeRuntime) Measure(atCore, service string, args []string) (float64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.measures == nil {
+		return 0, fmt.Errorf("no measurement for %s", service)
+	}
+	if atCore == "" {
+		atCore = "local"
+	}
+	v, ok := f.measures[service+"@"+atCore]
+	if !ok {
+		return 0, fmt.Errorf("no measurement for %s at %s", service, atCore)
+	}
+	return v, nil
+}
+
+func (f *fakeRuntime) fireBuiltin(event, at, source string) {
+	f.mu.Lock()
+	fns := append([]func(string){}, f.builtins[event+"@"+at]...)
+	f.mu.Unlock()
+	for _, fn := range fns {
+		fn(source)
+	}
+}
+
+func (f *fakeRuntime) fireThreshold(key, source string, v float64) {
+	f.mu.Lock()
+	fns := append([]func(string, float64){}, f.thresholds[key]...)
+	f.mu.Unlock()
+	for _, fn := range fns {
+		fn(source, v)
+	}
+}
+
+func (f *fakeRuntime) movesSnapshot() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.moves...)
+}
+
+func TestRunPaperScriptAgainstFake(t *testing.T) {
+	rt := newFakeRuntime()
+	rt.complets["dying"] = []string{"dying/#1", "dying/#2"}
+	rt.locations["app/#1"] = "north"
+	rt.locations["app/#2"] = "south"
+
+	inst, err := Run(paperScript, rt,
+		[]Value{"core-x", "core-y", "dying"}, // %1: coreList
+		"safe",                               // %2: targetCore
+		[]Value{"app/#1", "app/#2"},          // %3: comps
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	// Reliability rule: shutdown of "dying" evacuates its complets.
+	rt.fireBuiltin("coreShutdown", "dying", "dying")
+	moves := rt.movesSnapshot()
+	if len(moves) != 2 || moves[0] != "dying/#1->safe" || moves[1] != "dying/#2->safe" {
+		t.Fatalf("moves = %v", moves)
+	}
+	if inst.Fired() != 1 {
+		t.Fatalf("Fired = %d", inst.Fired())
+	}
+
+	// Performance rule: invocation rate above 3 co-locates the source
+	// with the target. The subscription was placed at app/#2's core
+	// ("south") on service invocationRate(app/#1, app/#2).
+	key := "invocationRate(3)@south[app/#1,app/#2]"
+	rt.fireThreshold(key, "south", 4.2)
+	moves = rt.movesSnapshot()
+	if len(moves) != 3 || moves[2] != "app/#1->south" {
+		t.Fatalf("moves after rate event = %v", moves)
+	}
+}
+
+func TestAssignAndIndexing(t *testing.T) {
+	rt := newFakeRuntime()
+	inst, err := Run(`
+$list = %1
+$second = $list[1]
+on shutdown do move $second to elsewhere end
+`, rt, []Value{"a/#1", "a/#2", "a/#3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	rt.fireBuiltin("coreShutdown", "local", "local")
+	moves := rt.movesSnapshot()
+	if len(moves) != 1 || moves[0] != "a/#2->elsewhere" {
+		t.Fatalf("moves = %v", moves)
+	}
+}
+
+func TestLogAction(t *testing.T) {
+	rt := newFakeRuntime()
+	inst, err := Run(`on shutdown firedby $c do log $c end`, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	rt.fireBuiltin("coreShutdown", "local", "the-source")
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(rt.logs) != 1 || !strings.Contains(rt.logs[0], "the-source") {
+		t.Fatalf("logs = %v", rt.logs)
+	}
+}
+
+func TestExtensionAction(t *testing.T) {
+	var (
+		mu   sync.Mutex
+		seen []Value
+	)
+	if err := RegisterAction("testNotify", func(rt Runtime, args []Value) error {
+		mu.Lock()
+		defer mu.Unlock()
+		seen = append(seen, args...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rt := newFakeRuntime()
+	inst, err := Run(`on shutdown firedby $c do testNotify("ops", $c, 7) end`, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	rt.fireBuiltin("coreShutdown", "local", "src")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 3 || seen[0] != "ops" || seen[1] != "src" || seen[2] != 7.0 {
+		t.Fatalf("seen = %v", seen)
+	}
+}
+
+func TestRegisterActionValidation(t *testing.T) {
+	if err := RegisterAction("", nil); err == nil {
+		t.Error("empty registration should fail")
+	}
+	if err := RegisterAction("move", func(Runtime, []Value) error { return nil }); err == nil {
+		t.Error("reserved name should fail")
+	}
+	if err := RegisterAction("dupAction", func(Runtime, []Value) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterAction("dupAction", func(Runtime, []Value) error { return nil }); err == nil {
+		t.Error("duplicate should fail")
+	}
+}
+
+func TestUnknownActionReported(t *testing.T) {
+	rt := newFakeRuntime()
+	inst, err := Run(`on shutdown do neverRegistered($core) end`, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	rt.fireBuiltin("coreShutdown", "local", "src")
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	found := false
+	for _, l := range rt.logs {
+		if strings.Contains(l, "neverRegistered") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unknown action not reported: %v", rt.logs)
+	}
+}
+
+func TestUndefinedVariableFailsAtRunTime(t *testing.T) {
+	rt := newFakeRuntime()
+	if _, err := Run(`on shutdown listenAt $nope do log "x" end`, rt); err == nil {
+		t.Fatal("undefined variable should fail Run")
+	}
+}
+
+func TestCloseCancels(t *testing.T) {
+	rt := newFakeRuntime()
+	inst, err := Run(`
+$l = core-a
+on shutdown listenAt $l do log "x" end
+on completLoad(5) do log "y" end
+`, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Close()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.cancels != 2 {
+		t.Fatalf("cancels = %d, want 2", rt.cancels)
+	}
+}
+
+func TestMissingArgumentFails(t *testing.T) {
+	rt := newFakeRuntime()
+	if _, err := Run(`$x = %2`, rt, "only-one"); err == nil {
+		t.Fatal("missing %2 should fail")
+	}
+}
+
+func TestIndexOutOfRangeFails(t *testing.T) {
+	rt := newFakeRuntime()
+	if _, err := Run("$l = %1\n$x = $l[5]", rt, []Value{"a"}); err == nil {
+		t.Fatal("out-of-range index should fail")
+	}
+}
+
+func TestThresholdRuleRequiresThreshold(t *testing.T) {
+	rt := newFakeRuntime()
+	if _, err := Run(`on completLoad do log "x" end`, rt); err == nil {
+		t.Fatal("profiled rule without threshold should fail")
+	}
+}
+
+func TestMethodInvokeRateRequiresFromTo(t *testing.T) {
+	rt := newFakeRuntime()
+	if _, err := Run(`on methodInvokeRate(3) do log "x" end`, rt); err == nil {
+		t.Fatal("methodInvokeRate without from/to should fail")
+	}
+}
+
+func TestEveryControlsInterval(t *testing.T) {
+	rt := newFakeRuntime()
+	var got time.Duration
+	// Use a wrapper runtime capturing the interval.
+	wrapped := &intervalCapture{fakeRuntime: rt, interval: &got}
+	inst, err := Run(`on completLoad(5) every 123 do log "x" end`, wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	if got != 123*time.Millisecond {
+		t.Fatalf("interval = %v", got)
+	}
+}
+
+type intervalCapture struct {
+	*fakeRuntime
+	interval *time.Duration
+}
+
+func (c *intervalCapture) SubscribeThreshold(atCore, service string, args []string, threshold float64, interval time.Duration, fn func(string, float64)) (func(), error) {
+	*c.interval = interval
+	return c.fakeRuntime.SubscribeThreshold(atCore, service, args, threshold, interval, fn)
+}
+
+func TestWhenGuardConjunction(t *testing.T) {
+	// §4.1's compound policy: co-locate only when the rate is high AND
+	// the bandwidth is low. The guard measures at the firing core by
+	// default; an `at` clause overrides.
+	rt := newFakeRuntime()
+	rt.locations["a/#1"] = "north"
+	rt.locations["a/#2"] = "south"
+	rt.measures = map[string]float64{
+		"bandwidth@south": 100, // high bandwidth: guard blocks
+	}
+	inst, err := Run(`
+$comps = %1
+on methodInvokeRate(3) from $comps[0] to $comps[1]
+  when bandwidth("north") < 50
+do
+  move $comps[0] to coreOf $comps[1]
+end`, rt, []Value{"a/#1", "a/#2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	key := "invocationRate(3)@south[a/#1,a/#2]"
+	rt.fireThreshold(key, "south", 5)
+	if len(rt.movesSnapshot()) != 0 {
+		t.Fatalf("guard failed to block: moves = %v", rt.movesSnapshot())
+	}
+	if inst.Fired() != 0 {
+		t.Fatal("guarded-out firing counted as fired")
+	}
+	// Degrade the bandwidth: now the guard passes.
+	rt.mu.Lock()
+	rt.measures["bandwidth@south"] = 10
+	rt.mu.Unlock()
+	rt.fireThreshold(key, "south", 5)
+	moves := rt.movesSnapshot()
+	if len(moves) != 1 || moves[0] != "a/#1->south" {
+		t.Fatalf("guard failed to admit: moves = %v", moves)
+	}
+}
+
+func TestWhenGuardAtClause(t *testing.T) {
+	rt := newFakeRuntime()
+	rt.measures = map[string]float64{"completLoad@elsewhere": 2}
+	inst, err := Run(`
+on shutdown when completLoad() < 5 at elsewhere do
+  log "ok"
+end`, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	rt.fireBuiltin("coreShutdown", "local", "local")
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(rt.logs) != 1 {
+		t.Fatalf("logs = %v", rt.logs)
+	}
+}
+
+func TestWhenGuardParses(t *testing.T) {
+	ast, err := Parse(`on methodInvokeRate(3) from $a to $b when bandwidth($x) <= 4.5 do log "y" end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ast.Stmts[0].(*Rule)
+	if len(r.Guards) != 1 {
+		t.Fatalf("guards = %+v", r.Guards)
+	}
+	g := r.Guards[0]
+	if g.Service != "bandwidth" || g.Op != "<=" || g.Value != 4.5 || len(g.Args) != 1 {
+		t.Fatalf("guard = %+v", g)
+	}
+	// Print/re-parse fixed point.
+	if _, err := Parse(ast.String()); err != nil {
+		t.Fatalf("printed guard does not re-parse: %v\n%s", err, ast.String())
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	if FormatValue("x") != "x" {
+		t.Error("string formatting")
+	}
+	if FormatValue(3.5) != "3.5" {
+		t.Error("number formatting")
+	}
+	if FormatValue([]Value{"a", "b"}) != "[a, b]" {
+		t.Errorf("list formatting = %q", FormatValue([]Value{"a", "b"}))
+	}
+}

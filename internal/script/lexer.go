@@ -1,0 +1,230 @@
+// Package script implements the FarGo layout scripting language (§4.3): an
+// event-driven language of event–action rules that administrators attach to
+// running applications, decoupling relocation policy from application code.
+//
+// The concrete syntax follows the paper's example script:
+//
+//	$coreList = %1
+//	$targetCore = %2
+//	$comps = %3
+//	on shutdown firedby $core listenAt $coreList do
+//	    move completsIn $core to $targetCore
+//	end
+//	on methodInvokeRate(3) from $comps[0] to $comps[1] do
+//	    move $comps[0] to coreOf $comps[1]
+//	end
+//
+// Statements are variable assignments ($x = expr) and rules. A rule names an
+// event (a built-in event such as shutdown, or a profiled measure such as
+// methodInvokeRate with a threshold), optional event qualifiers (firedby
+// binds the firing core to a variable; from/to select a reference; listenAt
+// selects the cores to subscribe at; every sets the measurement interval),
+// and a body of actions. Built-in actions are move and log; applications
+// extend the action vocabulary with RegisterAction (the Go equivalent of the
+// paper's dynamically loaded action classes).
+package script
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind discriminates tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokIdent    TokKind = iota + 1
+	TokVar              // $name
+	TokArg              // %1
+	TokNumber           // 3 or 3.5
+	TokString           // "text"
+	TokEquals           // =
+	TokLParen           // (
+	TokRParen           // )
+	TokLBracket         // [
+	TokRBracket         // ]
+	TokComma            // ,
+	TokOp               // < <= > >=
+	TokEOF
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokIdent:
+		return "identifier"
+	case TokVar:
+		return "variable"
+	case TokArg:
+		return "argument"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokEquals:
+		return "'='"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokLBracket:
+		return "'['"
+	case TokRBracket:
+		return "']'"
+	case TokComma:
+		return "','"
+	case TokOp:
+		return "comparison operator"
+	case TokEOF:
+		return "end of script"
+	default:
+		return fmt.Sprintf("TokKind(%d)", int(k))
+	}
+}
+
+// Token is one lexical unit with its source line (1-based) for diagnostics.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+}
+
+// SyntaxError reports a lexical or parse failure with its line.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("script: line %d: %s", e.Line, e.Msg)
+}
+
+// lex tokenizes a script. Newlines are insignificant (the grammar is
+// self-delimiting); comments run from '#' to end of line.
+func lex(src string) ([]Token, error) {
+	var (
+		toks []Token
+		line = 1
+		i    = 0
+	)
+	runes := []rune(src)
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case r == '\n':
+			line++
+			i++
+		case unicode.IsSpace(r):
+			i++
+		case r == '#':
+			for i < len(runes) && runes[i] != '\n' {
+				i++
+			}
+		case r == '=':
+			toks = append(toks, Token{TokEquals, "=", line})
+			i++
+		case r == '(':
+			toks = append(toks, Token{TokLParen, "(", line})
+			i++
+		case r == ')':
+			toks = append(toks, Token{TokRParen, ")", line})
+			i++
+		case r == '[':
+			toks = append(toks, Token{TokLBracket, "[", line})
+			i++
+		case r == ']':
+			toks = append(toks, Token{TokRBracket, "]", line})
+			i++
+		case r == ',':
+			toks = append(toks, Token{TokComma, ",", line})
+			i++
+		case r == '<' || r == '>':
+			op := string(r)
+			if i+1 < len(runes) && runes[i+1] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, Token{TokOp, op, line})
+			i++
+		case r == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(runes) && runes[j] != '"' {
+				if runes[j] == '\n' {
+					return nil, &SyntaxError{line, "unterminated string"}
+				}
+				if runes[j] == '\\' && j+1 < len(runes) {
+					j++
+					switch runes[j] {
+					case 'n':
+						sb.WriteRune('\n')
+					case 't':
+						sb.WriteRune('\t')
+					default:
+						sb.WriteRune(runes[j])
+					}
+				} else {
+					sb.WriteRune(runes[j])
+				}
+				j++
+			}
+			if j >= len(runes) {
+				return nil, &SyntaxError{line, "unterminated string"}
+			}
+			toks = append(toks, Token{TokString, sb.String(), line})
+			i = j + 1
+		case r == '$':
+			j := i + 1
+			for j < len(runes) && isIdentRune(runes[j]) {
+				j++
+			}
+			if j == i+1 {
+				return nil, &SyntaxError{line, "'$' must be followed by a variable name"}
+			}
+			toks = append(toks, Token{TokVar, string(runes[i+1 : j]), line})
+			i = j
+		case r == '%':
+			j := i + 1
+			for j < len(runes) && unicode.IsDigit(runes[j]) {
+				j++
+			}
+			if j == i+1 {
+				return nil, &SyntaxError{line, "'%' must be followed by an argument number"}
+			}
+			toks = append(toks, Token{TokArg, string(runes[i+1 : j]), line})
+			i = j
+		case unicode.IsDigit(r):
+			j := i
+			seenDot := false
+			for j < len(runes) && (unicode.IsDigit(runes[j]) || (runes[j] == '.' && !seenDot)) {
+				if runes[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, Token{TokNumber, string(runes[i:j]), line})
+			i = j
+		case isIdentStart(r):
+			j := i
+			for j < len(runes) && isIdentRune(runes[j]) {
+				j++
+			}
+			toks = append(toks, Token{TokIdent, string(runes[i:j]), line})
+			i = j
+		default:
+			return nil, &SyntaxError{line, fmt.Sprintf("unexpected character %q", r)}
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", line})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.' || r == '/' || r == '#'
+}

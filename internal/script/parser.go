@@ -1,0 +1,372 @@
+package script
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Keywords of the rule grammar. They are contextual: outside their position
+// they are ordinary identifiers (so a complet may be named "move").
+const (
+	kwOn         = "on"
+	kwFiredBy    = "firedby"
+	kwFrom       = "from"
+	kwTo         = "to"
+	kwListenAt   = "listenAt"
+	kwEvery      = "every"
+	kwDo         = "do"
+	kwEnd        = "end"
+	kwMove       = "move"
+	kwLog        = "log"
+	kwCompletsIn = "completsIn"
+	kwCoreOf     = "coreOf"
+	kwWhen       = "when"
+	kwAt         = "at"
+)
+
+// Parse turns script source into an AST.
+func Parse(src string) (*Script, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseScript()
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t Token, format string, args ...any) error {
+	return &SyntaxError{Line: t.Line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// expect consumes a token of the given kind or fails.
+func (p *parser) expect(kind TokKind) (Token, error) {
+	t := p.next()
+	if t.Kind != kind {
+		return t, p.errf(t, "expected %s, got %s %q", kind, t.Kind, t.Text)
+	}
+	return t, nil
+}
+
+// expectIdent consumes a specific identifier or fails.
+func (p *parser) expectIdent(word string) error {
+	t := p.next()
+	if t.Kind != TokIdent || t.Text != word {
+		return p.errf(t, "expected %q, got %q", word, t.Text)
+	}
+	return nil
+}
+
+func (p *parser) parseScript() (*Script, error) {
+	s := &Script{}
+	for {
+		t := p.peek()
+		switch {
+		case t.Kind == TokEOF:
+			return s, nil
+		case t.Kind == TokVar:
+			a, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			s.Stmts = append(s.Stmts, a)
+		case t.Kind == TokIdent && t.Text == kwOn:
+			r, err := p.parseRule()
+			if err != nil {
+				return nil, err
+			}
+			s.Stmts = append(s.Stmts, r)
+		default:
+			return nil, p.errf(t, "expected assignment or rule, got %q", t.Text)
+		}
+	}
+}
+
+func (p *parser) parseAssign() (*Assign, error) {
+	v, err := p.expect(TokVar)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokEquals); err != nil {
+		return nil, err
+	}
+	val, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Assign{Line: v.Line, Var: v.Text, Val: val}, nil
+}
+
+func (p *parser) parseRule() (*Rule, error) {
+	onTok := p.next() // consume "on"
+	evt, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	r := &Rule{Line: onTok.Line, Event: evt.Text}
+
+	if p.peek().Kind == TokLParen {
+		p.next()
+		num, err := p.expect(TokNumber)
+		if err != nil {
+			return nil, err
+		}
+		th, err := strconv.ParseFloat(num.Text, 64)
+		if err != nil {
+			return nil, p.errf(num, "bad threshold %q", num.Text)
+		}
+		r.Threshold = &th
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	}
+
+	// Qualifiers in any order until "do".
+	for {
+		t := p.peek()
+		if t.Kind != TokIdent {
+			return nil, p.errf(t, "expected rule qualifier or %q, got %q", kwDo, t.Text)
+		}
+		switch t.Text {
+		case kwDo:
+			p.next()
+			goto body
+		case kwFiredBy:
+			p.next()
+			v, err := p.expect(TokVar)
+			if err != nil {
+				return nil, err
+			}
+			r.FiredBy = v.Text
+		case kwFrom:
+			p.next()
+			from, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectIdent(kwTo); err != nil {
+				return nil, err
+			}
+			to, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.From, r.To = from, to
+		case kwListenAt:
+			p.next()
+			at, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.ListenAt = at
+		case kwEvery:
+			p.next()
+			num, err := p.expect(TokNumber)
+			if err != nil {
+				return nil, err
+			}
+			ms, err := strconv.ParseFloat(num.Text, 64)
+			if err != nil || ms <= 0 {
+				return nil, p.errf(num, "bad interval %q (milliseconds)", num.Text)
+			}
+			r.EveryMillis = ms
+		case kwWhen:
+			g, err := p.parseGuard()
+			if err != nil {
+				return nil, err
+			}
+			r.Guards = append(r.Guards, *g)
+		default:
+			return nil, p.errf(t, "unknown rule qualifier %q", t.Text)
+		}
+	}
+
+body:
+	for {
+		t := p.peek()
+		if t.Kind == TokIdent && t.Text == kwEnd {
+			p.next()
+			break
+		}
+		if t.Kind == TokEOF {
+			return nil, p.errf(t, "rule body not closed with %q", kwEnd)
+		}
+		a, err := p.parseAction()
+		if err != nil {
+			return nil, err
+		}
+		r.Actions = append(r.Actions, a)
+	}
+	if len(r.Actions) == 0 {
+		return nil, p.errf(onTok, "rule has no actions")
+	}
+	return r, nil
+}
+
+// parseGuard parses `when service(args...) op number [at expr]`. The leading
+// "when" token has already been peeked by the caller.
+func (p *parser) parseGuard() (*Guard, error) {
+	whenTok := p.next() // consume "when"
+	svc, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	g := &Guard{Line: whenTok.Line, Service: svc.Text}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	for p.peek().Kind != TokRParen {
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		g.Args = append(g.Args, arg)
+		if p.peek().Kind == TokComma {
+			p.next()
+		}
+	}
+	p.next() // ')'
+	op, err := p.expect(TokOp)
+	if err != nil {
+		return nil, err
+	}
+	g.Op = op.Text
+	num, err := p.expect(TokNumber)
+	if err != nil {
+		return nil, err
+	}
+	v, err := strconv.ParseFloat(num.Text, 64)
+	if err != nil {
+		return nil, p.errf(num, "bad guard bound %q", num.Text)
+	}
+	g.Value = v
+	if t := p.peek(); t.Kind == TokIdent && t.Text == kwAt {
+		p.next()
+		at, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		g.At = at
+	}
+	return g, nil
+}
+
+func (p *parser) parseAction() (Action, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return nil, p.errf(t, "expected action, got %q", t.Text)
+	}
+	switch t.Text {
+	case kwMove:
+		return p.parseMove()
+	case kwLog:
+		p.next()
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &LogAction{Line: t.Line, Val: val}, nil
+	default:
+		// Extension action: name(args...).
+		p.next()
+		call := &CallAction{Line: t.Line, Name: t.Text}
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, p.errf(t, "unknown action %q (extension actions use %s(...))", t.Text, t.Text)
+		}
+		for p.peek().Kind != TokRParen {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, arg)
+			if p.peek().Kind == TokComma {
+				p.next()
+			}
+		}
+		p.next() // ')'
+		return call, nil
+	}
+}
+
+func (p *parser) parseMove() (Action, error) {
+	moveTok := p.next() // "move"
+	m := &MoveAction{Line: moveTok.Line}
+	if t := p.peek(); t.Kind == TokIdent && t.Text == kwCompletsIn {
+		p.next()
+		m.AllIn = true
+	}
+	what, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	m.What = what
+	if err := p.expectIdent(kwTo); err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.Kind == TokIdent && t.Text == kwCoreOf {
+		p.next()
+		m.DestCoreOf = true
+	}
+	dest, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	m.Dest = dest
+	return m, nil
+}
+
+// parseExpr parses a primary expression: variable (with optional index),
+// argument, number, string, or bare word (treated as a string literal, e.g. a
+// core name).
+func (p *parser) parseExpr() (Expr, error) {
+	t := p.next()
+	switch t.Kind {
+	case TokVar:
+		v := &VarRef{Line: t.Line, Name: t.Text}
+		if p.peek().Kind == TokLBracket {
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			v.Index = idx
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+		}
+		return v, nil
+	case TokArg:
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n <= 0 {
+			return nil, p.errf(t, "bad argument reference %%%s", t.Text)
+		}
+		return &ArgRef{Line: t.Line, N: n}, nil
+	case TokNumber:
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf(t, "bad number %q", t.Text)
+		}
+		return &NumberLit{Line: t.Line, Val: f}, nil
+	case TokString:
+		return &StringLit{Line: t.Line, Val: t.Text}, nil
+	case TokIdent:
+		// Bare word: a literal core/complet name.
+		return &StringLit{Line: t.Line, Val: t.Text}, nil
+	default:
+		return nil, p.errf(t, "expected expression, got %s %q", t.Kind, t.Text)
+	}
+}

@@ -1,0 +1,265 @@
+package script
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex(`$x = %1 # comment
+on shutdown firedby $core do move completsIn $core to "target" end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]TokKind, len(toks))
+	for i, tok := range toks {
+		kinds[i] = tok.Kind
+	}
+	want := []TokKind{
+		TokVar, TokEquals, TokArg,
+		TokIdent, TokIdent, TokIdent, TokVar, TokIdent,
+		TokIdent, TokIdent, TokVar, TokIdent, TokString, TokIdent,
+		TokEOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("token kinds %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v (%q)", i, kinds[i], want[i], toks[i].Text)
+		}
+	}
+}
+
+func TestLexLineNumbers(t *testing.T) {
+	toks, err := lex("$a = 1\n\n$b = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[3].Line != 3 {
+		t.Fatalf("lines: %d, %d", toks[0].Line, toks[3].Line)
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := lex(`$s = "a\nb\"c"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Text != "a\nb\"c" {
+		t.Fatalf("string = %q", toks[2].Text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{
+		`$`, `%x`, `"unterminated`, "\"multi\nline\"", `@`,
+	} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("lex(%q): expected error", src)
+		}
+	}
+}
+
+// paperScript is the verbatim example from §4.3 of the paper.
+const paperScript = `
+$coreList = %1
+$targetCore = %2
+$comps = %3
+on shutdown firedby $core
+ listenAt $coreList do
+  move completsIn $core to $targetCore
+end
+on methodInvokeRate(3)
+  from $comps[0] to $comps[1] do
+ move $comps[0] to coreOf $comps[1]
+end
+`
+
+func TestParsePaperScript(t *testing.T) {
+	ast, err := Parse(paperScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ast.Stmts) != 5 {
+		t.Fatalf("%d statements, want 5", len(ast.Stmts))
+	}
+	r1, ok := ast.Stmts[3].(*Rule)
+	if !ok {
+		t.Fatalf("stmt 3 is %T", ast.Stmts[3])
+	}
+	if r1.Event != "shutdown" || r1.FiredBy != "core" || r1.ListenAt == nil || r1.Threshold != nil {
+		t.Fatalf("reliability rule = %+v", r1)
+	}
+	mv, ok := r1.Actions[0].(*MoveAction)
+	if !ok || !mv.AllIn || mv.DestCoreOf {
+		t.Fatalf("reliability action = %+v", r1.Actions[0])
+	}
+	r2, ok := ast.Stmts[4].(*Rule)
+	if !ok {
+		t.Fatalf("stmt 4 is %T", ast.Stmts[4])
+	}
+	if r2.Event != "methodInvokeRate" || r2.Threshold == nil || *r2.Threshold != 3 {
+		t.Fatalf("performance rule = %+v", r2)
+	}
+	if r2.From == nil || r2.To == nil {
+		t.Fatal("performance rule lost from/to")
+	}
+	mv2 := r2.Actions[0].(*MoveAction)
+	if mv2.AllIn || !mv2.DestCoreOf {
+		t.Fatalf("performance action = %+v", mv2)
+	}
+}
+
+func TestParsePrintRoundtrip(t *testing.T) {
+	// parse(print(parse(src))) must equal parse(src) structurally; we
+	// compare printed forms (a fixed point after one roundtrip).
+	ast1, err := Parse(paperScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := ast1.String()
+	ast2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("re-parse printed script: %v\n%s", err, printed)
+	}
+	if ast2.String() != printed {
+		t.Fatalf("not a fixed point:\n--- first print\n%s\n--- second print\n%s", printed, ast2.String())
+	}
+}
+
+func TestParseQualifiersAnyOrder(t *testing.T) {
+	for _, src := range []string{
+		`on shutdown listenAt $l firedby $c do log $c end`,
+		`on shutdown firedby $c listenAt $l do log $c end`,
+	} {
+		ast, err := Parse("$l = core-a\n" + src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		r := ast.Stmts[1].(*Rule)
+		if r.FiredBy != "c" || r.ListenAt == nil {
+			t.Fatalf("%q: %+v", src, r)
+		}
+	}
+}
+
+func TestParseEveryQualifier(t *testing.T) {
+	ast, err := Parse(`on completLoad(5) every 100 do log "high" end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ast.Stmts[0].(*Rule)
+	if r.EveryMillis != 100 {
+		t.Fatalf("EveryMillis = %v", r.EveryMillis)
+	}
+}
+
+func TestParseExtensionAction(t *testing.T) {
+	ast, err := Parse(`on shutdown do notify("ops", $core, 3) end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ast.Stmts[0].(*Rule)
+	call, ok := r.Actions[0].(*CallAction)
+	if !ok || call.Name != "notify" || len(call.Args) != 3 {
+		t.Fatalf("action = %+v", r.Actions[0])
+	}
+}
+
+func TestParseMultipleActions(t *testing.T) {
+	ast, err := Parse(`on shutdown do
+		log "evacuating"
+		move completsIn $core to safe
+		log "done"
+	end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ast.Stmts[0].(*Rule)
+	if len(r.Actions) != 3 {
+		t.Fatalf("%d actions", len(r.Actions))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,                                   // fine actually: empty script -> below filters
+		`on`,                                 // missing event
+		`on shutdown`,                        // missing do
+		`on shutdown do`,                     // missing end
+		`on shutdown do end`,                 // no actions
+		`$x`,                                 // missing =
+		`$x =`,                               // missing expr
+		`on foo(abc) do log 1 end`,           // bad threshold
+		`on shutdown bogusqual do log 1 end`, // unknown qualifier
+		`move $x to y`,                       // action outside rule
+		`on shutdown do move $x end`,         // move without to
+	}
+	for _, src := range cases[1:] {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+	if _, err := Parse(""); err != nil {
+		t.Errorf("empty script should parse: %v", err)
+	}
+}
+
+func TestParseErrorsAreSyntaxErrors(t *testing.T) {
+	_, err := Parse("on shutdown\ndo")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("err = %T", err)
+	}
+	if se.Line < 1 {
+		t.Fatalf("line = %d", se.Line)
+	}
+	if !strings.Contains(se.Error(), "line") {
+		t.Fatalf("message = %q", se.Error())
+	}
+}
+
+// Property: any script assembled from printable assignments parses and its
+// printed form is a fixed point.
+func TestParseAssignProperty(t *testing.T) {
+	prop := func(names []string, vals []uint8) bool {
+		var sb strings.Builder
+		n := len(names)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		count := 0
+		for i := 0; i < n; i++ {
+			name := sanitizeIdent(names[i])
+			if name == "" {
+				continue
+			}
+			sb.WriteString("$" + name + " = " + FormatValue(float64(vals[i])) + "\n")
+			count++
+		}
+		ast, err := Parse(sb.String())
+		if err != nil {
+			return false
+		}
+		if len(ast.Stmts) != count {
+			return false
+		}
+		_, err = Parse(ast.String())
+		return err == nil
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitizeIdent(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') {
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,278 @@
+// Package shell implements the administration shell's command interpreter
+// (§3 of the paper lists a shell complet among the system components). The
+// fargo-shell binary wires it to stdin/stdout; tests drive it directly.
+package shell
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"fargo/internal/core"
+	"fargo/internal/ids"
+	"fargo/internal/ref"
+)
+
+// Shell interprets administration commands against a live core.
+type Shell struct {
+	c   *core.Core
+	out io.Writer
+}
+
+// New returns a shell bound to the given core, writing output to out.
+func New(c *core.Core, out io.Writer) (*Shell, error) {
+	if c == nil || out == nil {
+		return nil, fmt.Errorf("shell: core and output required")
+	}
+	return &Shell{c: c, out: out}, nil
+}
+
+// Help is the command summary printed by the help command.
+const Help = `commands:
+  cores                          list peer cores seen so far
+  info <core>                    complets and names hosted by a core
+  new <core> <type> [args...]    instantiate a complet remotely
+  invoke <id|name> <m> [args...] invoke a method through a tracked reference
+  move <id|name> <core>          relocate a complet
+  where <id|name>                locate a complet
+  setref <hub> <target> <kind>   attach a reference (link|pull|duplicate|stamp)
+  name <core> <name> <id>        bind a logical name
+  lookup <core> <name>           resolve a logical name
+  profile <core> <svc> [args...] instant profiling measurement
+  checkpoint <core> <path>       persist a core's complets to a file (on its host)
+  watch <core...>                stream layout events
+  help | quit`
+
+// Exec runs one command line. It returns io.EOF for quit/exit.
+func (s *Shell) Exec(line string) error {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 {
+		return nil
+	}
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "quit", "exit":
+		return io.EOF
+	case "help":
+		fmt.Fprintln(s.out, Help)
+		return nil
+	case "cores":
+		peers := s.c.Peers()
+		if len(peers) == 0 {
+			fmt.Fprintln(s.out, "(no peers seen yet)")
+			return nil
+		}
+		for _, p := range peers {
+			fmt.Fprintln(s.out, p)
+		}
+		return nil
+	case "info":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: info <core>")
+		}
+		info, err := s.c.CoreInfo(ids.CoreID(args[0]))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "core %s: %d complet(s)\n", info.Core, len(info.Complets))
+		for _, ci := range info.Complets {
+			names := ""
+			if len(ci.Names) > 0 {
+				names = " [" + strings.Join(ci.Names, ",") + "]"
+			}
+			fmt.Fprintf(s.out, "  %-24s %s%s\n", ci.ID, ci.TypeName, names)
+		}
+		return nil
+	case "new":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: new <core> <type> [args...]")
+		}
+		r, err := s.c.NewCompletAt(ids.CoreID(args[0]), args[1], ParseArgs(args[2:])...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "created %s (%s) at %s\n", r.Target(), args[1], args[0])
+		return nil
+	case "invoke":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: invoke <id|name> <method> [args...]")
+		}
+		r, err := s.RefFor(args[0])
+		if err != nil {
+			return err
+		}
+		res, err := r.Invoke(args[1], ParseArgs(args[2:])...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "-> %v\n", res)
+		return nil
+	case "move":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: move <id|name> <core>")
+		}
+		r, err := s.RefFor(args[0])
+		if err != nil {
+			return err
+		}
+		if err := s.c.Move(r, ids.CoreID(args[1])); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "moved %s to %s\n", r.Target(), args[1])
+		return nil
+	case "where":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: where <id|name>")
+		}
+		r, err := s.RefFor(args[0])
+		if err != nil {
+			return err
+		}
+		loc, err := r.Meta().Location()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "%s is at %s\n", r.Target(), loc)
+		return nil
+	case "setref":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: setref <hub> <target> <link|pull|duplicate|stamp>")
+		}
+		hub, err := s.RefFor(args[0])
+		if err != nil {
+			return err
+		}
+		target, err := s.RefFor(args[1])
+		if err != nil {
+			return err
+		}
+		if _, err := hub.Invoke("Attach", target, args[2]); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "attached %s to %s as %s\n", target.Target(), hub.Target(), args[2])
+		return nil
+	case "name":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: name <core> <name> <id>")
+		}
+		r, err := s.RefFor(args[2])
+		if err != nil {
+			return err
+		}
+		if err := s.c.NameAt(ids.CoreID(args[0]), args[1], r); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "named %s %q at %s\n", r.Target(), args[1], args[0])
+		return nil
+	case "lookup":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: lookup <core> <name>")
+		}
+		r, ok, err := s.c.LookupAt(ids.CoreID(args[0]), args[1])
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Fprintf(s.out, "no binding for %q at %s\n", args[1], args[0])
+			return nil
+		}
+		fmt.Fprintf(s.out, "%s -> %s (%s)\n", args[1], r.Target(), r.AnchorType())
+		return nil
+	case "profile":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: profile <core> <service> [args...]")
+		}
+		v, err := s.c.Monitor().InstantAt(ids.CoreID(args[0]), args[1], args[2:]...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "%s(%s) = %g\n", args[1], strings.Join(args[2:], ","), v)
+		return nil
+	case "checkpoint":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: checkpoint <core> <path>")
+		}
+		n, err := s.c.CheckpointRemote(ids.CoreID(args[0]), args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "checkpointed %d complet(s) of %s to %s\n", n, args[0], args[1])
+		return nil
+	case "watch":
+		if len(args) == 0 {
+			return fmt.Errorf("usage: watch <core...>")
+		}
+		for _, coreName := range args {
+			at := ids.CoreID(coreName)
+			for _, event := range []string{core.EventCompletArrived, core.EventCompletDeparted, core.EventCoreShutdown} {
+				if _, err := s.c.Monitor().SubscribeAt(at, core.SubscribeOptions{Service: event}, func(e core.Event) {
+					fmt.Fprintf(s.out, "[event] %s at %s complet=%s detail=%s\n", e.Name, e.Source, e.Complet, e.Detail)
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Fprintf(s.out, "watching %s\n", strings.Join(args, ", "))
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try 'help')", cmd)
+	}
+}
+
+// RefFor resolves an ID string ("birth/#seq") or a local logical name to a
+// tracked reference.
+func (s *Shell) RefFor(designator string) (*ref.Ref, error) {
+	if r, ok := s.c.Lookup(designator); ok {
+		return r, nil
+	}
+	if id, ok := ParseCompletID(designator); ok {
+		return s.c.NewRefTo(id, "", id.Birth), nil
+	}
+	return nil, fmt.Errorf("%q is neither a local name nor a complet ID (birth/#seq)", designator)
+}
+
+// ParseCompletID parses CompletID.String output ("birth/#seq").
+func ParseCompletID(s string) (ids.CompletID, bool) {
+	i := strings.LastIndex(s, "/#")
+	if i <= 0 {
+		return ids.CompletID{}, false
+	}
+	seq, err := strconv.ParseUint(s[i+2:], 10, 64)
+	if err != nil || seq == 0 {
+		return ids.CompletID{}, false
+	}
+	return ids.CompletID{Birth: ids.CoreID(s[:i]), Seq: seq}, true
+}
+
+// ParseArgs converts shell words to typed invocation arguments: integers and
+// floats become numbers, true/false become bools, everything else remains a
+// string (surrounding double quotes stripped).
+func ParseArgs(words []string) []any {
+	out := make([]any, len(words))
+	for i, w := range words {
+		switch {
+		case isInt(w):
+			n, _ := strconv.Atoi(w)
+			out[i] = n
+		case isFloat(w):
+			f, _ := strconv.ParseFloat(w, 64)
+			out[i] = f
+		case w == "true", w == "false":
+			out[i] = w == "true"
+		default:
+			out[i] = strings.Trim(w, `"`)
+		}
+	}
+	return out
+}
+
+func isInt(s string) bool {
+	_, err := strconv.Atoi(s)
+	return err == nil
+}
+
+func isFloat(s string) bool {
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}

@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event counter. The zero value is
+// ready to use and safe for concurrent use.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.n.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Gauge holds the most recent value of a measurement. The zero value is ready
+// to use and safe for concurrent use.
+type Gauge struct {
+	mu  sync.Mutex
+	v   float64
+	at  time.Time
+	set bool
+}
+
+// Set records a value at the current time.
+func (g *Gauge) Set(v float64) { g.SetAt(v, time.Now()) }
+
+// SetAt records a value observed at the given time.
+func (g *Gauge) SetAt(v float64, at time.Time) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v, g.at, g.set = v, at, true
+}
+
+// Value returns the most recent value, when it was set, and whether any value
+// has been set.
+func (g *Gauge) Value() (v float64, at time.Time, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v, g.at, g.set
+}
+
+// Age returns how long ago the gauge was last set, or false if never.
+func (g *Gauge) Age(now time.Time) (time.Duration, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.set {
+		return 0, false
+	}
+	return now.Sub(g.at), true
+}

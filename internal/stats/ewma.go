@@ -1,0 +1,181 @@
+// Package stats provides the statistical kernels used by the monitoring
+// layer: exponentially weighted moving averages (the paper's "exponential
+// average" for continuous profiling), sliding-window rate estimators (for
+// invocation rates along complet references), and lock-free counters.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// EWMA is an exponentially weighted moving average. Each recorded sample
+// replaces a fraction alpha of the current average:
+//
+//	avg ← alpha·sample + (1−alpha)·avg
+//
+// The first sample initializes the average directly. The zero value is not
+// ready to use; construct with NewEWMA. EWMA is safe for concurrent use.
+type EWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	avg   float64
+	n     uint64
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor alpha in (0, 1].
+func NewEWMA(alpha float64) (*EWMA, error) {
+	if alpha <= 0 || alpha > 1 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("ewma: alpha %v out of range (0, 1]", alpha)
+	}
+	return &EWMA{alpha: alpha}, nil
+}
+
+// MustEWMA is like NewEWMA but panics on an invalid alpha. It is intended for
+// package-level defaults with constant arguments.
+func MustEWMA(alpha float64) *EWMA {
+	e, err := NewEWMA(alpha)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Record folds a sample into the average.
+func (e *EWMA) Record(sample float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.n == 0 {
+		e.avg = sample
+	} else {
+		e.avg = e.alpha*sample + (1-e.alpha)*e.avg
+	}
+	e.n++
+}
+
+// Value returns the current average, and false if no sample was recorded yet.
+func (e *EWMA) Value() (float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.avg, e.n > 0
+}
+
+// Samples returns how many samples have been recorded.
+func (e *EWMA) Samples() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}
+
+// Reset discards all recorded samples.
+func (e *EWMA) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.avg, e.n = 0, 0
+}
+
+// RateMeter estimates an event rate (events per second) over a sliding
+// window. It divides the window into fixed buckets and sums whole buckets,
+// giving a bounded-memory estimate that decays stale activity. The zero value
+// is not ready to use; construct with NewRateMeter. RateMeter is safe for
+// concurrent use.
+type RateMeter struct {
+	mu      sync.Mutex
+	bucket  time.Duration
+	buckets []uint64
+	head    int       // index of the bucket containing "now"
+	headAt  time.Time // start time of the head bucket
+	now     func() time.Time
+}
+
+// NewRateMeter returns a meter measuring over the given window using n
+// buckets. Larger n gives finer resolution at slightly more memory.
+func NewRateMeter(window time.Duration, n int) (*RateMeter, error) {
+	if window <= 0 || n <= 0 {
+		return nil, fmt.Errorf("rate meter: window %v and buckets %d must be positive", window, n)
+	}
+	return &RateMeter{
+		bucket:  window / time.Duration(n),
+		buckets: make([]uint64, n),
+		now:     time.Now,
+	}, nil
+}
+
+// MustRateMeter is like NewRateMeter but panics on invalid arguments.
+func MustRateMeter(window time.Duration, n int) *RateMeter {
+	m, err := NewRateMeter(window, n)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// SetClock replaces the time source (for tests).
+func (m *RateMeter) SetClock(now func() time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = now
+}
+
+// Mark records n events at the current time.
+func (m *RateMeter) Mark(n uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.advance()
+	m.buckets[m.head] += n
+}
+
+// Rate returns the estimated events per second over the window.
+func (m *RateMeter) Rate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.advance()
+	var total uint64
+	for _, b := range m.buckets {
+		total += b
+	}
+	window := m.bucket * time.Duration(len(m.buckets))
+	return float64(total) / window.Seconds()
+}
+
+// Count returns the raw event count within the window.
+func (m *RateMeter) Count() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.advance()
+	var total uint64
+	for _, b := range m.buckets {
+		total += b
+	}
+	return total
+}
+
+// advance rotates the ring so that the head bucket covers "now". Must be
+// called with the mutex held.
+func (m *RateMeter) advance() {
+	now := m.now()
+	if m.headAt.IsZero() {
+		m.headAt = now
+		return
+	}
+	elapsed := now.Sub(m.headAt)
+	steps := int(elapsed / m.bucket)
+	if steps <= 0 {
+		return
+	}
+	if steps >= len(m.buckets) {
+		for i := range m.buckets {
+			m.buckets[i] = 0
+		}
+		m.head = 0
+		m.headAt = now
+		return
+	}
+	for i := 0; i < steps; i++ {
+		m.head = (m.head + 1) % len(m.buckets)
+		m.buckets[m.head] = 0
+	}
+	m.headAt = m.headAt.Add(time.Duration(steps) * m.bucket)
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SampleFunc produces one measurement of some resource. It is called
+// periodically by a Sampler; errors are counted but do not stop sampling.
+type SampleFunc func() (float64, error)
+
+// Sampler periodically evaluates a SampleFunc and folds the results into an
+// EWMA. It implements the paper's "continuous" profiling interface: start
+// begins periodic measurement at a given interval, get returns the current
+// exponential average, and stop terminates measurement.
+//
+// A Sampler owns one goroutine between Start and Stop. Stop blocks until the
+// goroutine has exited, so a stopped Sampler leaks nothing.
+type Sampler struct {
+	sample SampleFunc
+	avg    *EWMA
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+	errs    Counter
+	running bool
+}
+
+// NewSampler returns a sampler that smooths samples with the given alpha.
+func NewSampler(sample SampleFunc, alpha float64) (*Sampler, error) {
+	if sample == nil {
+		return nil, fmt.Errorf("sampler: nil sample func")
+	}
+	avg, err := NewEWMA(alpha)
+	if err != nil {
+		return nil, fmt.Errorf("sampler: %w", err)
+	}
+	return &Sampler{sample: sample, avg: avg}, nil
+}
+
+// Start begins periodic sampling. Starting an already running sampler is an
+// error. An immediate first sample is taken synchronously so that Value has
+// data as soon as Start returns successfully.
+func (s *Sampler) Start(interval time.Duration) error {
+	if interval <= 0 {
+		return fmt.Errorf("sampler: interval %v must be positive", interval)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running {
+		return fmt.Errorf("sampler: already running")
+	}
+	s.takeSample()
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	s.running = true
+	go s.loop(interval, s.stop, s.done)
+	return nil
+}
+
+func (s *Sampler) loop(interval time.Duration, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.takeSample()
+		case <-stop:
+			return
+		}
+	}
+}
+
+func (s *Sampler) takeSample() {
+	v, err := s.sample()
+	if err != nil {
+		s.errs.Inc()
+		return
+	}
+	s.avg.Record(v)
+}
+
+// Stop terminates sampling and waits for the sampling goroutine to exit.
+// Stopping a sampler that is not running is a no-op.
+func (s *Sampler) Stop() {
+	s.mu.Lock()
+	if !s.running {
+		s.mu.Unlock()
+		return
+	}
+	stop, done := s.stop, s.done
+	s.running = false
+	s.mu.Unlock()
+
+	close(stop)
+	<-done
+}
+
+// Running reports whether the sampler is currently sampling.
+func (s *Sampler) Running() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
+// Value returns the current exponential average and whether any sample has
+// been recorded.
+func (s *Sampler) Value() (float64, bool) { return s.avg.Value() }
+
+// Errors returns how many sample attempts failed.
+func (s *Sampler) Errors() uint64 { return s.errs.Value() }

@@ -1,0 +1,341 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEWMAFirstSampleInitializes(t *testing.T) {
+	e := MustEWMA(0.5)
+	if _, ok := e.Value(); ok {
+		t.Fatal("empty EWMA should report no value")
+	}
+	e.Record(10)
+	v, ok := e.Value()
+	if !ok || v != 10 {
+		t.Fatalf("Value() = %v, %v; want 10, true", v, ok)
+	}
+}
+
+func TestEWMASmoothing(t *testing.T) {
+	e := MustEWMA(0.5)
+	e.Record(0)
+	e.Record(10) // 0.5*10 + 0.5*0 = 5
+	v, _ := e.Value()
+	if v != 5 {
+		t.Fatalf("after 0,10 with alpha 0.5: %v, want 5", v)
+	}
+	e.Record(10) // 0.5*10 + 0.5*5 = 7.5
+	v, _ = e.Value()
+	if v != 7.5 {
+		t.Fatalf("after third sample: %v, want 7.5", v)
+	}
+}
+
+func TestEWMAAlphaOneTracksLastSample(t *testing.T) {
+	e := MustEWMA(1)
+	for _, s := range []float64{3, 9, -4, 0.5} {
+		e.Record(s)
+		v, _ := e.Value()
+		if v != s {
+			t.Fatalf("alpha=1: value %v, want %v", v, s)
+		}
+	}
+}
+
+func TestEWMAInvalidAlpha(t *testing.T) {
+	for _, alpha := range []float64{0, -1, 1.5, math.NaN()} {
+		if _, err := NewEWMA(alpha); err == nil {
+			t.Errorf("NewEWMA(%v): expected error", alpha)
+		}
+	}
+}
+
+// Property: an EWMA of samples within [lo, hi] stays within [lo, hi].
+func TestEWMABoundedByInputs(t *testing.T) {
+	prop := func(raw []float64, alphaSeed uint8) bool {
+		alpha := (float64(alphaSeed%100) + 1) / 101 // in (0,1)
+		e := MustEWMA(alpha)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		any := false
+		for _, s := range raw {
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				continue
+			}
+			any = true
+			lo, hi = math.Min(lo, s), math.Max(hi, s)
+			e.Record(s)
+		}
+		if !any {
+			return true
+		}
+		v, ok := e.Value()
+		const eps = 1e-9
+		return ok && v >= lo-eps-math.Abs(lo)*1e-12 && v <= hi+eps+math.Abs(hi)*1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEWMAReset(t *testing.T) {
+	e := MustEWMA(0.5)
+	e.Record(5)
+	e.Reset()
+	if _, ok := e.Value(); ok {
+		t.Fatal("after Reset, EWMA should report no value")
+	}
+	if e.Samples() != 0 {
+		t.Fatal("after Reset, Samples should be 0")
+	}
+}
+
+func TestEWMAConcurrent(t *testing.T) {
+	e := MustEWMA(0.1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				e.Record(1)
+				e.Value()
+			}
+		}()
+	}
+	wg.Wait()
+	v, ok := e.Value()
+	if !ok || v != 1 {
+		t.Fatalf("all-ones EWMA = %v, %v; want 1, true", v, ok)
+	}
+	if e.Samples() != 8000 {
+		t.Fatalf("Samples() = %d, want 8000", e.Samples())
+	}
+}
+
+func TestRateMeterBasic(t *testing.T) {
+	m := MustRateMeter(time.Second, 10)
+	now := time.Unix(1000, 0)
+	m.SetClock(func() time.Time { return now })
+
+	for i := 0; i < 50; i++ {
+		m.Mark(1)
+	}
+	if got := m.Rate(); got != 50 {
+		t.Fatalf("rate = %v, want 50 events/s", got)
+	}
+	if got := m.Count(); got != 50 {
+		t.Fatalf("count = %v, want 50", got)
+	}
+}
+
+func TestRateMeterDecay(t *testing.T) {
+	m := MustRateMeter(time.Second, 10)
+	now := time.Unix(1000, 0)
+	m.SetClock(func() time.Time { return now })
+
+	m.Mark(100)
+	// Half a window later, the events are still inside the window.
+	now = now.Add(500 * time.Millisecond)
+	if got := m.Count(); got != 100 {
+		t.Fatalf("count after 0.5s = %v, want 100", got)
+	}
+	// Far beyond the window, everything decays.
+	now = now.Add(2 * time.Second)
+	if got := m.Count(); got != 0 {
+		t.Fatalf("count after 2.5s = %v, want 0", got)
+	}
+}
+
+func TestRateMeterPartialDecay(t *testing.T) {
+	m := MustRateMeter(time.Second, 10)
+	now := time.Unix(1000, 0)
+	m.SetClock(func() time.Time { return now })
+
+	m.Mark(10) // lands in bucket 0
+	now = now.Add(600 * time.Millisecond)
+	m.Mark(20) // lands 6 buckets later
+	now = now.Add(600 * time.Millisecond)
+	// Bucket 0 is now >1s old and must be gone; the 20 marks remain.
+	if got := m.Count(); got != 20 {
+		t.Fatalf("count = %v, want 20", got)
+	}
+}
+
+func TestRateMeterInvalidArgs(t *testing.T) {
+	if _, err := NewRateMeter(0, 10); err == nil {
+		t.Error("zero window: expected error")
+	}
+	if _, err := NewRateMeter(time.Second, 0); err == nil {
+		t.Error("zero buckets: expected error")
+	}
+}
+
+// Property: Count never exceeds the total marked, and equals it while the
+// clock has not advanced.
+func TestRateMeterCountProperty(t *testing.T) {
+	prop := func(marks []uint8) bool {
+		m := MustRateMeter(time.Second, 4)
+		now := time.Unix(0, 0)
+		m.SetClock(func() time.Time { return now })
+		var total uint64
+		for _, n := range marks {
+			m.Mark(uint64(n))
+			total += uint64(n)
+		}
+		return m.Count() == total
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var (
+		c  Counter
+		wg sync.WaitGroup
+	)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 16000 {
+		t.Fatalf("counter = %d, want 16000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if _, _, ok := g.Value(); ok {
+		t.Fatal("unset gauge should report ok=false")
+	}
+	at := time.Unix(500, 0)
+	g.SetAt(3.14, at)
+	v, gotAt, ok := g.Value()
+	if !ok || v != 3.14 || !gotAt.Equal(at) {
+		t.Fatalf("Value() = %v, %v, %v", v, gotAt, ok)
+	}
+	age, ok := g.Age(at.Add(time.Minute))
+	if !ok || age != time.Minute {
+		t.Fatalf("Age() = %v, %v; want 1m, true", age, ok)
+	}
+}
+
+func TestSamplerLifecycle(t *testing.T) {
+	var (
+		mu sync.Mutex
+		n  int
+	)
+	s, err := NewSampler(func() (float64, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		return float64(n), nil
+	}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Running() {
+		t.Fatal("new sampler should not be running")
+	}
+	if err := s.Start(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Running() {
+		t.Fatal("started sampler should be running")
+	}
+	// The synchronous first sample guarantees a value immediately.
+	if _, ok := s.Value(); !ok {
+		t.Fatal("sampler should have a value right after Start")
+	}
+	if err := s.Start(time.Millisecond); err == nil {
+		t.Fatal("double Start should fail")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		count := n
+		mu.Unlock()
+		if count >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sampler took too long: %d samples", count)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	if s.Running() {
+		t.Fatal("stopped sampler should not be running")
+	}
+	s.Stop() // double Stop is a no-op
+}
+
+func TestSamplerRestart(t *testing.T) {
+	s, err := NewSampler(func() (float64, error) { return 1, nil }, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Start(time.Millisecond); err != nil {
+			t.Fatalf("restart %d: %v", i, err)
+		}
+		s.Stop()
+	}
+}
+
+func TestSamplerErrors(t *testing.T) {
+	s, err := NewSampler(func() (float64, error) { return 0, errors.New("boom") }, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Errors() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("expected sampling errors, got %d", s.Errors())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, ok := s.Value(); ok {
+		t.Fatal("failing sampler should have no value")
+	}
+}
+
+func TestSamplerInvalidArgs(t *testing.T) {
+	if _, err := NewSampler(nil, 0.5); err == nil {
+		t.Error("nil sample func: expected error")
+	}
+	if _, err := NewSampler(func() (float64, error) { return 0, nil }, 0); err == nil {
+		t.Error("invalid alpha: expected error")
+	}
+	s, err := NewSampler(func() (float64, error) { return 0, nil }, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(0); err == nil {
+		t.Error("zero interval: expected error")
+	}
+}

@@ -1,0 +1,308 @@
+// Package stubgen generates typed stub wrappers for complet anchor types —
+// the Go counterpart of the FarGo Compiler (§3.1, §5), which "accepts as
+// input the anchor class" and emits a stub class "with identical signatures
+// of methods and constructors".
+//
+// Given Go source declaring an anchor struct, stubgen emits, into the same
+// package, a value type wrapping *ref.Ref with one typed method per exported
+// anchor method:
+//
+//	type MessageStub struct{ Ref *ref.Ref }
+//	func (s MessageStub) Print() (string, error) { ... }
+//
+// plus a typed spawn function when the anchor declares an Init constructor.
+// Dynamic Invoke remains available for tooling; generated stubs restore the
+// paper's syntactic transparency for application code.
+package stubgen
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Method describes one generatable anchor method.
+type Method struct {
+	Name    string
+	Params  []Param
+	Results []string // rendered result types, excluding a trailing error
+	// HasError reports whether the anchor method's last result is error.
+	HasError bool
+}
+
+// Param is one method parameter.
+type Param struct {
+	Name string
+	Type string
+}
+
+// Anchor describes a parsed anchor type.
+type Anchor struct {
+	Package string
+	Name    string
+	Init    *Method // nil when the anchor has no Init constructor
+	Methods []Method
+	Skipped []string // exported methods skipped (unsupported signatures)
+}
+
+// Parse extracts the anchor description for typeName from Go source files
+// (filename → contents). All files must belong to one package.
+func Parse(files map[string][]byte, typeName string) (*Anchor, error) {
+	if typeName == "" {
+		return nil, fmt.Errorf("stubgen: type name required")
+	}
+	fset := token.NewFileSet()
+	var (
+		pkgName   string
+		typeFound bool
+		methods   []Method
+		skipped   []string
+		initM     *Method
+	)
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, files[name], parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("stubgen: parse %s: %w", name, err)
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if pkgName != f.Name.Name {
+			return nil, fmt.Errorf("stubgen: mixed packages %q and %q", pkgName, f.Name.Name)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if ts.Name.Name == typeName {
+						if _, isStruct := ts.Type.(*ast.StructType); !isStruct {
+							return nil, fmt.Errorf("stubgen: type %s is not a struct", typeName)
+						}
+						typeFound = true
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Recv == nil || len(d.Recv.List) != 1 {
+					continue
+				}
+				if recvTypeName(d.Recv.List[0].Type) != typeName {
+					continue
+				}
+				if !d.Name.IsExported() && d.Name.Name != "Init" {
+					continue
+				}
+				m, err := methodFromDecl(fset, d)
+				if err != nil {
+					skipped = append(skipped, fmt.Sprintf("%s (%v)", d.Name.Name, err))
+					continue
+				}
+				if m.Name == "Init" {
+					initCopy := *m
+					initM = &initCopy
+					continue
+				}
+				methods = append(methods, *m)
+			}
+		}
+	}
+	if pkgName == "" {
+		return nil, fmt.Errorf("stubgen: no Go source given")
+	}
+	if !typeFound {
+		return nil, fmt.Errorf("stubgen: type %s not found in package %s", typeName, pkgName)
+	}
+	sort.Slice(methods, func(i, j int) bool { return methods[i].Name < methods[j].Name })
+	sort.Strings(skipped)
+	return &Anchor{
+		Package: pkgName,
+		Name:    typeName,
+		Init:    initM,
+		Methods: methods,
+		Skipped: skipped,
+	}, nil
+}
+
+// recvTypeName unwraps *T / T receivers.
+func recvTypeName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	default:
+		return ""
+	}
+}
+
+func methodFromDecl(fset *token.FileSet, d *ast.FuncDecl) (*Method, error) {
+	ft := d.Type
+	m := &Method{Name: d.Name.Name}
+	if ft.Params != nil {
+		n := 0
+		for _, field := range ft.Params.List {
+			if _, variadic := field.Type.(*ast.Ellipsis); variadic {
+				return nil, fmt.Errorf("variadic parameters are not invocable")
+			}
+			typ, err := renderType(fset, field.Type)
+			if err != nil {
+				return nil, err
+			}
+			if len(field.Names) == 0 {
+				m.Params = append(m.Params, Param{Name: fmt.Sprintf("a%d", n), Type: typ})
+				n++
+				continue
+			}
+			for _, name := range field.Names {
+				pname := name.Name
+				if pname == "_" || pname == "" {
+					pname = fmt.Sprintf("a%d", n)
+				}
+				m.Params = append(m.Params, Param{Name: pname, Type: typ})
+				n++
+			}
+		}
+	}
+	if ft.Results != nil {
+		var rendered []string
+		for _, field := range ft.Results.List {
+			typ, err := renderType(fset, field.Type)
+			if err != nil {
+				return nil, err
+			}
+			count := len(field.Names)
+			if count == 0 {
+				count = 1
+			}
+			for i := 0; i < count; i++ {
+				rendered = append(rendered, typ)
+			}
+		}
+		if len(rendered) > 0 && rendered[len(rendered)-1] == "error" {
+			m.HasError = true
+			rendered = rendered[:len(rendered)-1]
+		}
+		for _, r := range rendered {
+			if r == "error" {
+				return nil, fmt.Errorf("error result in non-trailing position")
+			}
+		}
+		m.Results = rendered
+	}
+	return m, nil
+}
+
+func renderType(fset *token.FileSet, expr ast.Expr) (string, error) {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, expr); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
+
+// Generate renders the stub source for an anchor. The output belongs to the
+// anchor's own package and imports fargo/internal/ref (or the public module
+// path given in refImport).
+func Generate(a *Anchor, refImport string) ([]byte, error) {
+	if a == nil {
+		return nil, fmt.Errorf("stubgen: nil anchor")
+	}
+	if refImport == "" {
+		refImport = "fargo/internal/ref"
+	}
+	stubName := a.Name + "Stub"
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Code generated by fargo-stubgen from anchor type %s. DO NOT EDIT.\n", a.Name)
+	fmt.Fprintf(&b, "//\n// The stub has the anchor's method signatures (plus an error result per\n")
+	fmt.Fprintf(&b, "// method, since every invocation may cross the network) and delegates to\n")
+	fmt.Fprintf(&b, "// the tracked complet reference — the paper's compiler-generated stub.\n")
+	fmt.Fprintf(&b, "package %s\n\n", a.Package)
+	fmt.Fprintf(&b, "import (\n\t\"fmt\"\n\n\tref %q\n)\n\n", refImport)
+
+	fmt.Fprintf(&b, "// %s is a typed stub for %s complets.\n", stubName, a.Name)
+	fmt.Fprintf(&b, "type %s struct {\n\tRef *ref.Ref\n}\n\n", stubName)
+	fmt.Fprintf(&b, "// As%s wraps a complet reference in the typed stub.\n", a.Name)
+	fmt.Fprintf(&b, "func As%s(r *ref.Ref) %s { return %s{Ref: r} }\n\n", a.Name, stubName, stubName)
+
+	for _, skip := range a.Skipped {
+		fmt.Fprintf(&b, "// NOTE: anchor method %s was skipped by stubgen.\n", skip)
+	}
+	if len(a.Skipped) > 0 {
+		fmt.Fprintln(&b)
+	}
+
+	for _, m := range a.Methods {
+		params := make([]string, len(m.Params))
+		argNames := make([]string, len(m.Params))
+		for i, p := range m.Params {
+			params[i] = p.Name + " " + p.Type
+			argNames[i] = p.Name
+		}
+		rets := append([]string{}, m.Results...)
+		rets = append(rets, "error")
+		fmt.Fprintf(&b, "// %s invokes %s.%s through the reference.\n", m.Name, a.Name, m.Name)
+		fmt.Fprintf(&b, "func (s %s) %s(%s) (%s) {\n",
+			stubName, m.Name, strings.Join(params, ", "), strings.Join(rets, ", "))
+		zeroReturns := func(errExpr string) string {
+			outs := make([]string, 0, len(m.Results)+1)
+			for i := range m.Results {
+				outs = append(outs, fmt.Sprintf("r%d", i))
+			}
+			outs = append(outs, errExpr)
+			return strings.Join(outs, ", ")
+		}
+		for i, r := range m.Results {
+			fmt.Fprintf(&b, "\tvar r%d %s\n", i, r)
+		}
+		call := "s.Ref.Invoke(\"" + m.Name + "\""
+		if len(argNames) > 0 {
+			call += ", " + strings.Join(argNames, ", ")
+		}
+		call += ")"
+		if len(m.Results) == 0 {
+			fmt.Fprintf(&b, "\t_, err := %s\n\treturn %s\n}\n\n", call, zeroReturns("err"))
+			continue
+		}
+		fmt.Fprintf(&b, "\tres, err := %s\n", call)
+		fmt.Fprintf(&b, "\tif err != nil {\n\t\treturn %s\n\t}\n", zeroReturns("err"))
+		fmt.Fprintf(&b, "\tif len(res) != %d {\n\t\treturn %s\n\t}\n",
+			len(m.Results),
+			zeroReturns(fmt.Sprintf("fmt.Errorf(\"%s.%s: %%d results, want %d\", len(res))", stubName, m.Name, len(m.Results))))
+		for i, r := range m.Results {
+			fmt.Fprintf(&b, "\tv%d, ok%d := res[%d].(%s)\n", i, i, i, r)
+			fmt.Fprintf(&b, "\tif !ok%d {\n\t\treturn %s\n\t}\n\tr%d = v%d\n",
+				i,
+				zeroReturns(fmt.Sprintf("fmt.Errorf(\"%s.%s: result %d is %%T, want %s\", res[%d])", stubName, m.Name, i, escapeType(r), i)),
+				i, i)
+		}
+		fmt.Fprintf(&b, "\treturn %s\n}\n\n", zeroReturns("nil"))
+	}
+
+	out, err := format.Source([]byte(b.String()))
+	if err != nil {
+		return nil, fmt.Errorf("stubgen: generated code does not format (bug): %w\n%s", err, b.String())
+	}
+	return out, nil
+}
+
+// escapeType makes a type string safe inside a quoted format string.
+func escapeType(t string) string {
+	t = strings.ReplaceAll(t, `"`, `\"`)
+	return strings.ReplaceAll(t, "%", "%%")
+}

@@ -1,0 +1,167 @@
+package stubgen
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const sampleSrc = `package sample
+
+type Message struct {
+	Msg string
+}
+
+func (m *Message) Init(msg string) { m.Msg = msg }
+
+func (m *Message) Print() string { return m.Msg }
+
+func (m *Message) Set(msg string) { m.Msg = msg }
+
+func (m *Message) Both() (string, int) { return m.Msg, 1 }
+
+func (m *Message) Div(a, b int) (int, error) {
+	return a / b, nil
+}
+
+func (m *Message) Sum(xs ...int) int { return len(xs) } // variadic: skipped
+
+func (m *Message) unexported() {} // skipped silently
+
+type Other struct{}
+
+func (o *Other) NotMine() {}
+`
+
+func parseSample(t *testing.T) *Anchor {
+	t.Helper()
+	a, err := Parse(map[string][]byte{"sample.go": []byte(sampleSrc)}, "Message")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestParseAnchor(t *testing.T) {
+	a := parseSample(t)
+	if a.Package != "sample" || a.Name != "Message" {
+		t.Fatalf("anchor = %+v", a)
+	}
+	if a.Init == nil || len(a.Init.Params) != 1 || a.Init.Params[0].Type != "string" {
+		t.Fatalf("init = %+v", a.Init)
+	}
+	names := make([]string, len(a.Methods))
+	for i, m := range a.Methods {
+		names[i] = m.Name
+	}
+	if got, want := strings.Join(names, ","), "Both,Div,Print,Set"; got != want {
+		t.Fatalf("methods = %s, want %s", got, want)
+	}
+	if len(a.Skipped) != 1 || !strings.Contains(a.Skipped[0], "Sum") {
+		t.Fatalf("skipped = %v", a.Skipped)
+	}
+	// Div: trailing error folded.
+	for _, m := range a.Methods {
+		if m.Name == "Div" {
+			if !m.HasError || len(m.Results) != 1 || m.Results[0] != "int" {
+				t.Fatalf("Div = %+v", m)
+			}
+			if len(m.Params) != 2 || m.Params[0].Name != "a" || m.Params[1].Name != "b" {
+				t.Fatalf("Div params = %+v", m.Params)
+			}
+		}
+		if m.Name == "Both" {
+			if m.HasError || len(m.Results) != 2 {
+				t.Fatalf("Both = %+v", m)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(nil, "X"); err == nil {
+		t.Error("no files should fail")
+	}
+	if _, err := Parse(map[string][]byte{"a.go": []byte("package p")}, "Ghost"); err == nil {
+		t.Error("missing type should fail")
+	}
+	if _, err := Parse(map[string][]byte{"a.go": []byte("not go")}, "X"); err == nil {
+		t.Error("bad source should fail")
+	}
+	if _, err := Parse(map[string][]byte{"a.go": []byte("package p\ntype X int")}, "X"); err == nil {
+		t.Error("non-struct anchor should fail")
+	}
+	if _, err := Parse(map[string][]byte{
+		"a.go": []byte("package p\ntype X struct{}"),
+		"b.go": []byte("package q"),
+	}, "X"); err == nil {
+		t.Error("mixed packages should fail")
+	}
+}
+
+func TestGenerateCompilesSyntactically(t *testing.T) {
+	a := parseSample(t)
+	out, err := Generate(a, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(out)
+	for _, want := range []string{
+		"package sample",
+		"type MessageStub struct",
+		"func AsMessage(r *ref.Ref) MessageStub",
+		"func (s MessageStub) Print() (string, error)",
+		"func (s MessageStub) Set(msg string) error",
+		"func (s MessageStub) Both() (string, int, error)",
+		"func (s MessageStub) Div(a int, b int) (int, error)",
+		"NOTE: anchor method Sum",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated stub missing %q\n%s", want, src)
+		}
+	}
+	// The generated file must parse as Go.
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "stub.go", out, 0); err != nil {
+		t.Fatalf("generated stub does not parse: %v\n%s", err, src)
+	}
+}
+
+func TestGenerateNilAnchor(t *testing.T) {
+	if _, err := Generate(nil, ""); err == nil {
+		t.Fatal("nil anchor should fail")
+	}
+}
+
+func TestParamlessNamelessParams(t *testing.T) {
+	src := `package p
+type T struct{}
+func (t *T) F(int, string) {}`
+	a, err := Parse(map[string][]byte{"p.go": []byte(src)}, "T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Methods) != 1 || len(a.Methods[0].Params) != 2 {
+		t.Fatalf("methods = %+v", a.Methods)
+	}
+	if a.Methods[0].Params[0].Name != "a0" || a.Methods[0].Params[1].Name != "a1" {
+		t.Fatalf("params = %+v", a.Methods[0].Params)
+	}
+	if _, err := Generate(a, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonTrailingErrorSkipped(t *testing.T) {
+	src := `package p
+type T struct{}
+func (t *T) Bad() (error, int) { return nil, 0 }`
+	a, err := Parse(map[string][]byte{"p.go": []byte(src)}, "T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Methods) != 0 || len(a.Skipped) != 1 {
+		t.Fatalf("anchor = %+v", a)
+	}
+}

@@ -1,0 +1,495 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"fargo/internal/ids"
+	"fargo/internal/wire"
+)
+
+// maxFrame bounds a single envelope frame (movement bundles can be large,
+// but a corrupt length prefix must not allocate unbounded memory).
+const maxFrame = 256 << 20 // 256 MiB
+
+// ErrUnknownPeer is returned when sending to a core with no known address.
+var ErrUnknownPeer = errors.New("transport: unknown peer address")
+
+// AddrBook maps core IDs to TCP addresses. Safe for concurrent use.
+type AddrBook struct {
+	mu    sync.RWMutex
+	addrs map[ids.CoreID]string
+}
+
+// NewAddrBook returns an address book seeded with the given entries.
+func NewAddrBook(seed map[ids.CoreID]string) *AddrBook {
+	b := &AddrBook{addrs: make(map[ids.CoreID]string, len(seed))}
+	for k, v := range seed {
+		b.addrs[k] = v
+	}
+	return b
+}
+
+// Set records the address of a core.
+func (b *AddrBook) Set(core ids.CoreID, addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.addrs[core] = addr
+}
+
+// Get looks up the address of a core.
+func (b *AddrBook) Get(core ids.CoreID) (string, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	a, ok := b.addrs[core]
+	return a, ok
+}
+
+// Peers lists the cores with known addresses.
+func (b *AddrBook) Peers() []ids.CoreID {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]ids.CoreID, 0, len(b.addrs))
+	for k := range b.addrs {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TCP is a Transport over real TCP connections with length-framed gob
+// envelopes. Outbound connections are cached per peer; inbound connections
+// carry a hello frame identifying the dialer, and learned addresses populate
+// the address book.
+type TCP struct {
+	self    ids.CoreID
+	book    *AddrBook
+	ln      net.Listener
+	pending *pending
+
+	mu       sync.Mutex
+	handler  Handler
+	conns    map[ids.CoreID]*tcpConn
+	accepted map[net.Conn]struct{}
+	// inflight tracks which connection each outstanding request was sent
+	// on, so requests fail fast when that connection drops instead of
+	// waiting for their context deadline.
+	inflight map[*tcpConn]map[ids.RequestID]struct{}
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+var _ Transport = (*TCP)(nil)
+
+// tcpConn is one outbound connection with a write lock (frames must not
+// interleave).
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+	w  *bufio.Writer
+}
+
+// NewTCP starts a TCP transport listening on listenAddr. advertise is the
+// address peers should dial (usually listenAddr with a resolvable host); it
+// is sent in hello frames.
+func NewTCP(self ids.CoreID, listenAddr string, book *AddrBook) (*TCP, error) {
+	if book == nil {
+		book = NewAddrBook(nil)
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp transport: listen %s: %w", listenAddr, err)
+	}
+	t := &TCP{
+		self:     self,
+		book:     book,
+		ln:       ln,
+		pending:  newPending(),
+		conns:    make(map[ids.CoreID]*tcpConn),
+		accepted: make(map[net.Conn]struct{}),
+		inflight: make(map[*tcpConn]map[ids.RequestID]struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the transport's listening address.
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// Book returns the transport's address book.
+func (t *TCP) Book() *AddrBook { return t.book }
+
+// Self implements Transport.
+func (t *TCP) Self() ids.CoreID { return t.self }
+
+// SetHandler implements Transport.
+func (t *TCP) SetHandler(h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			c.Close()
+			return
+		}
+		t.accepted[c] = struct{}{}
+		t.wg.Add(1)
+		t.mu.Unlock()
+		go t.readLoop(c)
+	}
+}
+
+// hello is the first frame on every connection, identifying the dialer.
+type hello struct {
+	From ids.CoreID
+	Addr string // dialer's advertised listen address ("" if unknown)
+}
+
+// readLoop consumes frames from one inbound connection.
+func (t *TCP) readLoop(c net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		c.Close()
+		t.mu.Lock()
+		delete(t.accepted, c)
+		t.mu.Unlock()
+	}()
+	r := bufio.NewReader(c)
+
+	first, err := readFrame(r)
+	if err != nil {
+		return
+	}
+	var h hello
+	if err := wire.DecodePayload(first, &h); err != nil {
+		log.Printf("fargo tcp %s: bad hello from %s: %v", t.self, c.RemoteAddr(), err)
+		return
+	}
+	if h.Addr != "" {
+		t.book.Set(h.From, h.Addr)
+	}
+
+	for {
+		frame, err := readFrame(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !t.isClosed() {
+				log.Printf("fargo tcp %s: read from %s: %v", t.self, h.From, err)
+			}
+			return
+		}
+		env, err := wire.DecodeEnvelope(frame)
+		if err != nil {
+			log.Printf("fargo tcp %s: undecodable envelope from %s: %v", t.self, h.From, err)
+			continue
+		}
+		t.dispatch(env)
+	}
+}
+
+func (t *TCP) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+func (t *TCP) dispatch(env wire.Envelope) {
+	if env.IsReply {
+		t.pending.complete(env)
+		return
+	}
+	t.mu.Lock()
+	h := t.handler
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return
+	}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.serve(h, env)
+	}()
+}
+
+func (t *TCP) serve(h Handler, env wire.Envelope) {
+	var (
+		kind    wire.Kind
+		payload []byte
+		err     error
+	)
+	if h == nil {
+		err = ErrNoHandler
+	} else {
+		kind, payload, err = h(env)
+	}
+	if env.Req == 0 {
+		return
+	}
+	if err != nil {
+		kind = wire.KindError
+		payload, _ = wire.EncodePayload(wire.ErrorReply{Msg: err.Error()})
+	}
+	reply := wire.Envelope{From: t.self, Req: env.Req, IsReply: true, Kind: kind, Payload: payload}
+	if _, err := t.send(env.From, reply); err != nil && !t.isClosed() {
+		log.Printf("fargo tcp %s: reply to %s: %v", t.self, env.From, err)
+	}
+}
+
+// ErrConnLost is the message of the RemoteError delivered to requests whose
+// underlying connection dropped before a reply arrived. Callers may retry
+// idempotent requests.
+const ErrConnLost = "connection lost before reply"
+
+// Request implements Transport.
+func (t *TCP) Request(ctx context.Context, to ids.CoreID, kind wire.Kind, payload []byte) (wire.Envelope, error) {
+	if t.isClosed() {
+		return wire.Envelope{}, ErrClosed
+	}
+	id, ch := t.pending.register()
+	env := wire.Envelope{From: t.self, Req: id, Kind: kind, Payload: payload}
+	conn, err := t.send(to, env)
+	if err != nil {
+		t.pending.cancel(id)
+		return wire.Envelope{}, err
+	}
+	t.trackInflight(conn, id, true)
+	defer t.trackInflight(conn, id, false)
+	select {
+	case reply := <-ch:
+		if err := CheckReply(reply); err != nil {
+			return wire.Envelope{}, err
+		}
+		return reply, nil
+	case <-ctx.Done():
+		t.pending.cancel(id)
+		return wire.Envelope{}, fmt.Errorf("tcp transport: request %s to %s: %w", kind, to, ctx.Err())
+	}
+}
+
+func (t *TCP) trackInflight(c *tcpConn, id ids.RequestID, add bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if add {
+		set, ok := t.inflight[c]
+		if !ok {
+			set = make(map[ids.RequestID]struct{})
+			t.inflight[c] = set
+		}
+		set[id] = struct{}{}
+		return
+	}
+	if set, ok := t.inflight[c]; ok {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(t.inflight, c)
+		}
+	}
+}
+
+// Notify implements Transport.
+func (t *TCP) Notify(to ids.CoreID, kind wire.Kind, payload []byte) error {
+	if t.isClosed() {
+		return ErrClosed
+	}
+	_, err := t.send(to, wire.Envelope{From: t.self, Kind: kind, Payload: payload})
+	return err
+}
+
+// send writes an envelope to the peer over the cached (or freshly dialed)
+// connection and returns the connection used. On a write error the connection
+// is dropped and one redial is attempted, masking stale connections after a
+// peer restart.
+func (t *TCP) send(to ids.CoreID, env wire.Envelope) (*tcpConn, error) {
+	data, err := wire.EncodeEnvelope(env)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := t.conn(to)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.writeFrame(data); err != nil {
+		t.dropConn(to, conn)
+		conn, err2 := t.conn(to)
+		if err2 != nil {
+			return nil, fmt.Errorf("tcp transport: send to %s: %w", to, err)
+		}
+		if err2 := conn.writeFrame(data); err2 != nil {
+			t.dropConn(to, conn)
+			return nil, fmt.Errorf("tcp transport: send to %s after redial: %w", to, err2)
+		}
+		return conn, nil
+	}
+	return conn, nil
+}
+
+// conn returns the cached connection to the peer, dialing if needed.
+func (t *TCP) conn(to ids.CoreID) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+
+	addr, ok := t.book.Get(to)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownPeer, to)
+	}
+	raw, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("tcp transport: dial %s (%s): %w", to, addr, err)
+	}
+	c := &tcpConn{c: raw, w: bufio.NewWriter(raw)}
+
+	// Identify ourselves and read replies arriving on this connection.
+	helloBytes, err := wire.EncodePayload(hello{From: t.self, Addr: t.ln.Addr().String()})
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	if err := c.writeFrame(helloBytes); err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("tcp transport: hello to %s: %w", to, err)
+	}
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		raw.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[to]; ok {
+		// Lost the dial race; use the winner.
+		t.mu.Unlock()
+		raw.Close()
+		return existing, nil
+	}
+	t.conns[to] = c
+	t.wg.Add(1)
+	t.mu.Unlock()
+
+	go func() {
+		defer t.wg.Done()
+		defer raw.Close()
+		r := bufio.NewReader(raw)
+		for {
+			frame, err := readFrame(r)
+			if err != nil {
+				t.dropConn(to, c)
+				return
+			}
+			env, err := wire.DecodeEnvelope(frame)
+			if err != nil {
+				continue
+			}
+			t.dispatch(env)
+		}
+	}()
+	return c, nil
+}
+
+func (t *TCP) dropConn(to ids.CoreID, c *tcpConn) {
+	t.mu.Lock()
+	if t.conns[to] == c {
+		delete(t.conns, to)
+	}
+	orphaned := t.inflight[c]
+	delete(t.inflight, c)
+	t.mu.Unlock()
+	c.c.Close()
+	// Fail requests that were awaiting replies on this connection so they
+	// don't hang until their deadline.
+	payload, err := wire.EncodePayload(wire.ErrorReply{Msg: ErrConnLost})
+	if err != nil {
+		payload = nil
+	}
+	for id := range orphaned {
+		t.pending.complete(wire.Envelope{
+			From: to, Req: id, IsReply: true, Kind: wire.KindError, Payload: payload,
+		})
+	}
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = make(map[ids.CoreID]*tcpConn)
+	accepted := make([]net.Conn, 0, len(t.accepted))
+	for c := range t.accepted {
+		accepted = append(accepted, c)
+	}
+	t.mu.Unlock()
+
+	t.ln.Close()
+	for _, c := range conns {
+		c.c.Close()
+	}
+	for _, c := range accepted {
+		c.Close()
+	}
+	t.wg.Wait()
+	t.pending.failAll(t.self)
+	return nil
+}
+
+// writeFrame writes one length-prefixed frame.
+func (c *tcpConn) writeFrame(data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(data); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,137 @@
+// Package transport implements the peer interface layer (§3, Figure 1): the
+// low-level core-to-core communication that everything above it — invocation
+// forwarding, movement bundles, distributed events — rides on.
+//
+// Two interchangeable implementations are provided:
+//
+//   - Sim: message-level transport over the netsim simulated network, used by
+//     tests and the experiment harness (deterministic latency/bandwidth).
+//   - TCP: length-framed gob envelopes over real TCP connections, used by the
+//     fargo-core daemon.
+//
+// Both expose the same request/response surface with correlation IDs, so the
+// core is oblivious to which one it runs on (the substitution for Java RMI;
+// see DESIGN.md).
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"fargo/internal/ids"
+	"fargo/internal/wire"
+)
+
+var (
+	// ErrClosed is returned when using a transport after Close.
+	ErrClosed = errors.New("transport: closed")
+	// ErrNoHandler is returned when a request arrives before SetHandler.
+	ErrNoHandler = errors.New("transport: no handler installed")
+)
+
+// RemoteError carries an error message produced by a peer's handler.
+type RemoteError struct {
+	Peer ids.CoreID
+	Msg  string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("remote error from %s: %s", e.Peer, e.Msg)
+}
+
+// Handler processes one incoming request envelope and returns the reply
+// payload kind and bytes. Handlers run on their own goroutines; returning an
+// error sends a KindError reply to the requester.
+type Handler func(env wire.Envelope) (wire.Kind, []byte, error)
+
+// Transport moves envelopes between cores.
+type Transport interface {
+	// Self returns the core ID this transport speaks for.
+	Self() ids.CoreID
+	// Request sends a request envelope and waits for the correlated reply.
+	Request(ctx context.Context, to ids.CoreID, kind wire.Kind, payload []byte) (wire.Envelope, error)
+	// Notify sends a one-way envelope (no reply expected).
+	Notify(to ids.CoreID, kind wire.Kind, payload []byte) error
+	// SetHandler installs the request handler. Must be called before the
+	// first request arrives.
+	SetHandler(h Handler)
+	// Close shuts the transport down and waits for its goroutines.
+	Close() error
+}
+
+// pending correlates outstanding requests with their replies.
+type pending struct {
+	mu   sync.Mutex
+	seq  ids.Sequencer
+	wait map[ids.RequestID]chan wire.Envelope
+}
+
+func newPending() *pending {
+	return &pending{wait: make(map[ids.RequestID]chan wire.Envelope)}
+}
+
+// register allocates a request ID and a reply channel.
+func (p *pending) register() (ids.RequestID, chan wire.Envelope) {
+	id := ids.RequestID(p.seq.Next())
+	ch := make(chan wire.Envelope, 1)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wait[id] = ch
+	return id, ch
+}
+
+// complete delivers a reply to its waiter, if any.
+func (p *pending) complete(env wire.Envelope) {
+	p.mu.Lock()
+	ch, ok := p.wait[env.Req]
+	if ok {
+		delete(p.wait, env.Req)
+	}
+	p.mu.Unlock()
+	if ok {
+		ch <- env
+	}
+}
+
+// cancel drops a waiter (request timed out or transport closing).
+func (p *pending) cancel(id ids.RequestID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.wait, id)
+}
+
+// failAll unblocks every waiter with a closed-transport error envelope.
+func (p *pending) failAll(self ids.CoreID) {
+	p.mu.Lock()
+	waiters := p.wait
+	p.wait = make(map[ids.RequestID]chan wire.Envelope)
+	p.mu.Unlock()
+	for id, ch := range waiters {
+		payload, err := wire.EncodePayload(wire.ErrorReply{Msg: ErrClosed.Error()})
+		if err != nil {
+			payload = nil
+		}
+		ch <- wire.Envelope{From: self, Req: id, IsReply: true, Kind: wire.KindError, Payload: payload}
+	}
+}
+
+// decodeErrorReply turns a KindError envelope into a RemoteError.
+func decodeErrorReply(env wire.Envelope) error {
+	var er wire.ErrorReply
+	if err := wire.DecodePayload(env.Payload, &er); err != nil {
+		return &RemoteError{Peer: env.From, Msg: "undecodable error reply"}
+	}
+	return &RemoteError{Peer: env.From, Msg: er.Msg}
+}
+
+// CheckReply maps a reply envelope to an error when the peer's handler
+// failed. Callers decode the payload only when CheckReply returns nil.
+func CheckReply(env wire.Envelope) error {
+	if env.Kind == wire.KindError {
+		return decodeErrorReply(env)
+	}
+	return nil
+}

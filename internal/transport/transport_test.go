@@ -1,0 +1,429 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fargo/internal/ids"
+	"fargo/internal/netsim"
+	"fargo/internal/wire"
+)
+
+// pair builds two connected transports of the given flavor and returns them
+// with a cleanup.
+func pair(t *testing.T, flavor string) (a, b Transport) {
+	t.Helper()
+	switch flavor {
+	case "sim":
+		net := netsim.NewNetwork(1)
+		t.Cleanup(net.Close)
+		sa, err := NewSim(net, "core-a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := NewSim(net, "core-b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sa.Close(); sb.Close() })
+		return sa, sb
+	case "tcp":
+		book := NewAddrBook(nil)
+		ta, err := NewTCP("core-a", "127.0.0.1:0", book)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := NewTCP("core-b", "127.0.0.1:0", book)
+		if err != nil {
+			t.Fatal(err)
+		}
+		book.Set("core-a", ta.Addr())
+		book.Set("core-b", tb.Addr())
+		t.Cleanup(func() { ta.Close(); tb.Close() })
+		return ta, tb
+	default:
+		t.Fatalf("unknown flavor %q", flavor)
+		return nil, nil
+	}
+}
+
+func flavors(t *testing.T, fn func(t *testing.T, flavor string)) {
+	for _, flavor := range []string{"sim", "tcp"} {
+		t.Run(flavor, func(t *testing.T) { fn(t, flavor) })
+	}
+}
+
+// echoHandler replies to pings with pongs and errors on anything else.
+func echoHandler(env wire.Envelope) (wire.Kind, []byte, error) {
+	switch env.Kind {
+	case wire.KindPing:
+		var p wire.Ping
+		if err := wire.DecodePayload(env.Payload, &p); err != nil {
+			return 0, nil, err
+		}
+		out, err := wire.EncodePayload(wire.Pong{Seq: p.Seq})
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.KindPong, out, nil
+	default:
+		return 0, nil, fmt.Errorf("unexpected kind %s", env.Kind)
+	}
+}
+
+func TestRequestReply(t *testing.T) {
+	flavors(t, func(t *testing.T, flavor string) {
+		a, b := pair(t, flavor)
+		b.SetHandler(echoHandler)
+
+		payload, err := wire.EncodePayload(wire.Ping{Seq: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reply, err := a.Request(context.Background(), b.Self(), wire.KindPing, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reply.Kind != wire.KindPong {
+			t.Fatalf("reply kind %s", reply.Kind)
+		}
+		var pong wire.Pong
+		if err := wire.DecodePayload(reply.Payload, &pong); err != nil {
+			t.Fatal(err)
+		}
+		if pong.Seq != 7 {
+			t.Fatalf("pong seq %d", pong.Seq)
+		}
+		if reply.From != b.Self() {
+			t.Fatalf("reply from %s", reply.From)
+		}
+	})
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	flavors(t, func(t *testing.T, flavor string) {
+		a, b := pair(t, flavor)
+		b.SetHandler(echoHandler)
+
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 25; i++ {
+					seq := uint64(g*1000 + i)
+					payload, err := wire.EncodePayload(wire.Ping{Seq: seq})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					reply, err := a.Request(context.Background(), b.Self(), wire.KindPing, payload)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					var pong wire.Pong
+					if err := wire.DecodePayload(reply.Payload, &pong); err != nil {
+						t.Error(err)
+						return
+					}
+					if pong.Seq != seq {
+						t.Errorf("correlation broken: sent %d got %d", seq, pong.Seq)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	})
+}
+
+func TestBidirectional(t *testing.T) {
+	flavors(t, func(t *testing.T, flavor string) {
+		a, b := pair(t, flavor)
+		a.SetHandler(echoHandler)
+		b.SetHandler(echoHandler)
+
+		payload, _ := wire.EncodePayload(wire.Ping{Seq: 1})
+		if _, err := a.Request(context.Background(), b.Self(), wire.KindPing, payload); err != nil {
+			t.Fatalf("a->b: %v", err)
+		}
+		if _, err := b.Request(context.Background(), a.Self(), wire.KindPing, payload); err != nil {
+			t.Fatalf("b->a: %v", err)
+		}
+	})
+}
+
+func TestHandlerErrorBecomesRemoteError(t *testing.T) {
+	flavors(t, func(t *testing.T, flavor string) {
+		a, b := pair(t, flavor)
+		b.SetHandler(func(env wire.Envelope) (wire.Kind, []byte, error) {
+			return 0, nil, errors.New("kaboom")
+		})
+		_, err := a.Request(context.Background(), b.Self(), wire.KindPing, nil)
+		var remote *RemoteError
+		if !errors.As(err, &remote) {
+			t.Fatalf("err = %v, want RemoteError", err)
+		}
+		if remote.Msg != "kaboom" || remote.Peer != b.Self() {
+			t.Fatalf("remote = %+v", remote)
+		}
+	})
+}
+
+func TestNoHandler(t *testing.T) {
+	flavors(t, func(t *testing.T, flavor string) {
+		a, b := pair(t, flavor)
+		_ = b // no handler installed on b
+		_, err := a.Request(context.Background(), b.Self(), wire.KindPing, nil)
+		var remote *RemoteError
+		if !errors.As(err, &remote) {
+			t.Fatalf("err = %v, want RemoteError about missing handler", err)
+		}
+	})
+}
+
+func TestNotifyOneWay(t *testing.T) {
+	flavors(t, func(t *testing.T, flavor string) {
+		a, b := pair(t, flavor)
+		got := make(chan wire.Envelope, 1)
+		b.SetHandler(func(env wire.Envelope) (wire.Kind, []byte, error) {
+			select {
+			case got <- env:
+			default:
+			}
+			return wire.KindPong, nil, nil
+		})
+		if err := a.Notify(b.Self(), wire.KindShutdownNotice, nil); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case env := <-got:
+			if env.Kind != wire.KindShutdownNotice || env.From != a.Self() {
+				t.Fatalf("got %+v", env)
+			}
+			if env.Req != 0 {
+				t.Fatal("notification should have no request ID")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("notification not delivered")
+		}
+	})
+}
+
+func TestRequestContextCancel(t *testing.T) {
+	flavors(t, func(t *testing.T, flavor string) {
+		a, b := pair(t, flavor)
+		b.SetHandler(func(env wire.Envelope) (wire.Kind, []byte, error) {
+			time.Sleep(time.Second) // never answers in time
+			return wire.KindPong, nil, nil
+		})
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		_, err := a.Request(ctx, b.Self(), wire.KindPing, nil)
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want DeadlineExceeded", err)
+		}
+		if time.Since(start) > time.Second {
+			t.Fatal("cancel did not unblock promptly")
+		}
+	})
+}
+
+func TestRequestAfterClose(t *testing.T) {
+	flavors(t, func(t *testing.T, flavor string) {
+		a, b := pair(t, flavor)
+		if err := a.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Request(context.Background(), b.Self(), wire.KindPing, nil); !errors.Is(err, ErrClosed) {
+			t.Fatalf("request after close: %v, want ErrClosed", err)
+		}
+		if err := a.Notify(b.Self(), wire.KindPing, nil); !errors.Is(err, ErrClosed) {
+			t.Fatalf("notify after close: %v, want ErrClosed", err)
+		}
+		if err := a.Close(); err != nil {
+			t.Fatalf("double close: %v", err)
+		}
+	})
+}
+
+func TestRequestToUnknownPeer(t *testing.T) {
+	flavors(t, func(t *testing.T, flavor string) {
+		a, _ := pair(t, flavor)
+		_, err := a.Request(context.Background(), "nowhere", wire.KindPing, nil)
+		if err == nil {
+			t.Fatal("request to unknown peer should fail")
+		}
+	})
+}
+
+func TestSimRespectsSimulatedLatency(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	defer net.Close()
+	a, err := NewSim(net, "core-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewSim(net, "core-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.SetHandler(echoHandler)
+
+	const lat = 20 * time.Millisecond
+	if err := net.SetLink("core-a", "core-b", netsim.LinkProfile{Latency: lat}); err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := wire.EncodePayload(wire.Ping{Seq: 1})
+	start := time.Now()
+	if _, err := a.Request(context.Background(), "core-b", wire.KindPing, payload); err != nil {
+		t.Fatal(err)
+	}
+	if rtt := time.Since(start); rtt < 2*lat {
+		t.Fatalf("rtt %v, want >= %v (latency both ways)", rtt, 2*lat)
+	}
+}
+
+func TestTCPAddressLearning(t *testing.T) {
+	// Only a's address book knows b; b learns a's address from the hello
+	// frame and can reply (and later initiate) without prior seeding.
+	bookA := NewAddrBook(nil)
+	bookB := NewAddrBook(nil)
+	a, err := NewTCP("core-a", "127.0.0.1:0", bookA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewTCP("core-b", "127.0.0.1:0", bookB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	bookA.Set("core-b", b.Addr())
+	a.SetHandler(echoHandler)
+	b.SetHandler(echoHandler)
+
+	payload, _ := wire.EncodePayload(wire.Ping{Seq: 1})
+	if _, err := a.Request(context.Background(), "core-b", wire.KindPing, payload); err != nil {
+		t.Fatal(err)
+	}
+	// b must now know a.
+	if _, ok := bookB.Get("core-a"); !ok {
+		t.Fatal("b did not learn a's address from hello")
+	}
+	if _, err := b.Request(context.Background(), "core-a", wire.KindPing, payload); err != nil {
+		t.Fatalf("b->a after learning: %v", err)
+	}
+}
+
+func TestTCPRedialAfterPeerRestart(t *testing.T) {
+	book := NewAddrBook(nil)
+	a, err := NewTCP("core-a", "127.0.0.1:0", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b1, err := NewTCP("core-b", "127.0.0.1:0", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	book.Set("core-b", b1.Addr())
+	b1.SetHandler(echoHandler)
+
+	payload, _ := wire.EncodePayload(wire.Ping{Seq: 1})
+	if _, err := a.Request(context.Background(), "core-b", wire.KindPing, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart b on the same port.
+	addr := b1.Addr()
+	if err := b1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var b2 *TCP
+	for i := 0; i < 50; i++ {
+		b2, err = NewTCP("core-b", addr, book)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer b2.Close()
+	b2.SetHandler(echoHandler)
+
+	// The first request may race the death of the cached connection: the
+	// frame can vanish into the dying socket. The transport fails such
+	// requests fast (ErrConnLost) rather than hanging, so a retry loop
+	// converges quickly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_, err = a.Request(ctx, "core-b", wire.KindPing, payload)
+		cancel()
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("request after peer restart: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestAddrBook(t *testing.T) {
+	b := NewAddrBook(map[ids.CoreID]string{"x": "1.2.3.4:5"})
+	if got, ok := b.Get("x"); !ok || got != "1.2.3.4:5" {
+		t.Fatalf("Get(x) = %q, %v", got, ok)
+	}
+	b.Set("y", "5.6.7.8:9")
+	peers := b.Peers()
+	if len(peers) != 2 {
+		t.Fatalf("Peers = %v", peers)
+	}
+	if _, ok := b.Get("z"); ok {
+		t.Fatal("unknown peer should miss")
+	}
+}
+
+func TestLargePayload(t *testing.T) {
+	flavors(t, func(t *testing.T, flavor string) {
+		a, b := pair(t, flavor)
+		b.SetHandler(func(env wire.Envelope) (wire.Kind, []byte, error) {
+			var p wire.Ping
+			if err := wire.DecodePayload(env.Payload, &p); err != nil {
+				return 0, nil, err
+			}
+			out, err := wire.EncodePayload(wire.Pong{Seq: uint64(len(p.Payload))})
+			return wire.KindPong, out, err
+		})
+		big := make([]byte, 4<<20) // 4 MiB
+		payload, err := wire.EncodePayload(wire.Ping{Seq: 1, Payload: big})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		reply, err := a.Request(ctx, b.Self(), wire.KindPing, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pong wire.Pong
+		if err := wire.DecodePayload(reply.Payload, &pong); err != nil {
+			t.Fatal(err)
+		}
+		if pong.Seq != uint64(len(big)) {
+			t.Fatalf("peer saw %d bytes, want %d", pong.Seq, len(big))
+		}
+	})
+}

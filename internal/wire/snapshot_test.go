@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"fargo/internal/ids"
+	"fargo/internal/ref"
+)
+
+// TestSnapshotModePreservesSemantics exercises the ModeSnapshot codec used
+// by checkpoint/restore: relocator kind and owner survive verbatim, and no
+// movement actions are scheduled.
+func TestSnapshotModePreservesSemantics(t *testing.T) {
+	registerTestTypes()
+	b := &testBinder{core: "core-a"}
+	r := ref.New(cid(4), "Target", "core-a", b)
+	if err := r.Meta().SetRelocator(ref.Pull{}); err != nil {
+		t.Fatal(err)
+	}
+	owner := ids.CompletID{Birth: "core-a", Seq: 99}
+	r.SetOwner(owner)
+
+	enc := &ref.Collector{Mode: ref.ModeSnapshot}
+	var buf bytes.Buffer
+	err := ref.WithCollector(enc, func() error {
+		return gob.NewEncoder(&buf).Encode(holder{Note: "snap", R: r})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc.Pulls)+len(enc.Duplicates) != 0 {
+		t.Fatal("snapshot mode must not schedule movement actions")
+	}
+
+	dec := &ref.Collector{Mode: ref.ModeSnapshot}
+	var out holder
+	err = ref.WithCollector(dec, func() error {
+		return gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&out)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.R.Meta().Relocator().Kind() != "pull" {
+		t.Fatalf("relocator = %q, want pull (verbatim)", out.R.Meta().Relocator().Kind())
+	}
+	if out.R.Owner() != owner {
+		t.Fatalf("owner = %v, want %v", out.R.Owner(), owner)
+	}
+	if out.R.Target() != cid(4) {
+		t.Fatalf("target = %v", out.R.Target())
+	}
+}

@@ -1,0 +1,525 @@
+// Package wire defines the messages cores exchange (the payloads of the peer
+// interface layer) and the codecs for parameter passing and complet movement.
+// It is the substitution for Java Serialization + RMI marshaling in the
+// original system: gob-encoded envelopes with reference-aware argument and
+// closure encoding (see DESIGN.md).
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"fargo/internal/ids"
+	"fargo/internal/ref"
+)
+
+// Kind discriminates envelope payloads.
+type Kind uint8
+
+// Envelope kinds. Each request kind has a corresponding payload struct; reply
+// envelopes reuse the request's correlation ID.
+const (
+	KindInvoke Kind = iota + 1
+	KindInvokeReply
+	KindMove
+	KindMoveReply
+	KindLocate
+	KindLocateReply
+	KindNew
+	KindNewReply
+	KindNameSet
+	KindNameSetReply
+	KindNameLookup
+	KindNameLookupReply
+	KindSubscribe
+	KindSubscribeReply
+	KindUnsubscribe
+	KindUnsubscribeReply
+	KindEventNotify
+	KindPing
+	KindPong
+	KindCoreInfo
+	KindCoreInfoReply
+	KindShutdownNotice
+	KindProfileQuery
+	KindProfileQueryReply
+	KindError
+	KindMoveCmd
+	KindMoveCmdReply
+	KindClone
+	KindCloneReply
+	KindHomeUpdate
+	KindHomeQuery
+	KindHomeQueryReply
+	KindCheckpoint
+	KindCheckpointReply
+)
+
+// ErrorReply is the payload of a KindError envelope: a request failed in the
+// peer's handler before a typed reply could be produced.
+type ErrorReply struct {
+	Msg string
+}
+
+// String returns a short name for the kind.
+func (k Kind) String() string {
+	names := map[Kind]string{
+		KindInvoke: "invoke", KindInvokeReply: "invoke-reply",
+		KindMove: "move", KindMoveReply: "move-reply",
+		KindLocate: "locate", KindLocateReply: "locate-reply",
+		KindNew: "new", KindNewReply: "new-reply",
+		KindNameSet: "name-set", KindNameSetReply: "name-set-reply",
+		KindNameLookup: "name-lookup", KindNameLookupReply: "name-lookup-reply",
+		KindSubscribe: "subscribe", KindSubscribeReply: "subscribe-reply",
+		KindUnsubscribe: "unsubscribe", KindUnsubscribeReply: "unsubscribe-reply",
+		KindEventNotify: "event-notify",
+		KindPing:        "ping", KindPong: "pong",
+		KindCoreInfo: "core-info", KindCoreInfoReply: "core-info-reply",
+		KindShutdownNotice: "shutdown-notice",
+		KindProfileQuery:   "profile-query", KindProfileQueryReply: "profile-query-reply",
+		KindError:   "error",
+		KindMoveCmd: "move-cmd", KindMoveCmdReply: "move-cmd-reply",
+		KindClone: "clone", KindCloneReply: "clone-reply",
+		KindHomeUpdate: "home-update",
+		KindHomeQuery:  "home-query", KindHomeQueryReply: "home-query-reply",
+		KindCheckpoint: "checkpoint", KindCheckpointReply: "checkpoint-reply",
+	}
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Envelope is the unit of core-to-core communication. The payload is an
+// independently gob-encoded per-kind struct, so envelope decoding never needs
+// application types.
+type Envelope struct {
+	From    ids.CoreID
+	Req     ids.RequestID
+	IsReply bool
+	Kind    Kind
+	Payload []byte
+}
+
+// --- payload structs -------------------------------------------------------
+
+// InvokeRequest asks the receiving core to execute a method on a complet it
+// hosts (or to forward the request along its tracker chain).
+type InvokeRequest struct {
+	Target ids.CompletID
+	Method string
+	// Source identifies the complet owning the invoking reference (zero
+	// when the caller is not a complet); it feeds per-reference
+	// invocation-rate profiling (§4.1).
+	Source ids.CompletID
+	// Args is an argument vector encoded by EncodeArgs.
+	Args []byte
+	// Hops counts tracker-chain forwards so far (diagnostics and E2).
+	Hops int
+}
+
+// InvokeReply carries the results of an invocation back to the caller — and,
+// crucially for chain shortening (§3.1), the authoritative current location
+// of the target, which every tracker on the path uses to repoint itself.
+type InvokeReply struct {
+	// Results is a result vector encoded by EncodeArgs.
+	Results []byte
+	Err     string
+	// Location is where the target actually executed.
+	Location ids.CoreID
+	// Hops echoes the total chain length the request traversed.
+	Hops int
+}
+
+// BundleEntry is one complet travelling in a movement bundle: its identity,
+// anchor type, and closure encoded under a ModeMove collector.
+type BundleEntry struct {
+	ID       ids.CompletID
+	TypeName string
+	Payload  []byte
+	// Dup marks a duplicated complet: the receiver instantiates it under
+	// a fresh identity instead of transferring the original's.
+	Dup bool
+}
+
+// MoveRequest transfers one or more complets to the receiving core in a
+// single message (§3.3: all complets that move due to one movement request
+// share one inter-core message).
+type MoveRequest struct {
+	Entries []BundleEntry
+	// ContinuationMethod, if set, is invoked on the first entry's anchor
+	// after arrival (weak-mobility continuation, §3.3).
+	ContinuationMethod string
+	ContinuationArgs   []byte
+	// Names carries naming-service entries for moved complets so the
+	// destination's naming service resolves them too (name -> index into
+	// Entries).
+	Names map[string]int
+	// PreDup maps complet IDs that were duplicated ahead of this bundle
+	// (remote duplicate targets cloned by their owners) to the IDs of the
+	// installed copies, so Dup-flagged references bind to them.
+	PreDup map[ids.CompletID]ids.CompletID
+}
+
+// MoveCommand asks the core owning Target to move it to Dest. Like
+// invocations, the command is routed along tracker chains until it reaches
+// the owner.
+type MoveCommand struct {
+	Target             ids.CompletID
+	Dest               ids.CoreID
+	ContinuationMethod string
+	ContinuationArgs   []byte
+	Hops               int
+}
+
+// MoveCommandReply acknowledges a MoveCommand.
+type MoveCommandReply struct {
+	Err string
+}
+
+// CloneCommand asks the core owning Target to install a copy of it at Dest
+// (used for duplicate references whose target is not co-located with the
+// moving source).
+type CloneCommand struct {
+	Target ids.CompletID
+	Dest   ids.CoreID
+	Hops   int
+}
+
+// CloneCommandReply returns the identity of the installed copy.
+type CloneCommandReply struct {
+	NewID ids.CompletID
+	Err   string
+}
+
+// HomeUpdate informs a complet's birth ("home") core of its new location —
+// the location-independent naming scheme the paper lists as future work
+// (§7), implemented here as the E9 ablation alternative to tracker chains.
+type HomeUpdate struct {
+	Target   ids.CompletID
+	Location ids.CoreID
+}
+
+// HomeQuery asks a home core for a complet's current location.
+type HomeQuery struct {
+	Target ids.CompletID
+}
+
+// HomeQueryReply answers a HomeQuery.
+type HomeQueryReply struct {
+	Location ids.CoreID
+	Found    bool
+	Err      string
+}
+
+// CheckpointRequest asks the receiving core to checkpoint itself to a local
+// file path on ITS host (administration support for the persistence model).
+type CheckpointRequest struct {
+	Path string
+}
+
+// CheckpointReply acknowledges a checkpoint.
+type CheckpointReply struct {
+	Complets int
+	Err      string
+}
+
+// MoveReply acknowledges installation of a bundle.
+type MoveReply struct {
+	// Installed lists the complet IDs now hosted by the receiver (fresh
+	// IDs for duplicates).
+	Installed []ids.CompletID
+	// DupMap maps original complet IDs to the fresh IDs assigned to their
+	// copies.
+	DupMap map[ids.CompletID]ids.CompletID
+	Err    string
+}
+
+// LocateRequest resolves the current location of a complet, following the
+// receiver's tracker if the complet has moved on.
+type LocateRequest struct {
+	Target ids.CompletID
+	Hops   int
+}
+
+// LocateReply answers a LocateRequest.
+type LocateReply struct {
+	Location ids.CoreID
+	Err      string
+}
+
+// NewRequest instantiates a complet of a registered type on the receiving
+// core (remote complet instantiation, §3).
+type NewRequest struct {
+	TypeName string
+	Args     []byte
+}
+
+// NewReply returns the descriptor of the freshly created complet.
+type NewReply struct {
+	Desc ref.Descriptor
+	Err  string
+}
+
+// NameSet binds a logical name to a complet reference in the receiving
+// core's naming service.
+type NameSet struct {
+	Name string
+	Desc ref.Descriptor
+}
+
+// NameSetReply acknowledges a NameSet.
+type NameSetReply struct {
+	Err string
+}
+
+// NameLookup resolves a logical name at the receiving core.
+type NameLookup struct {
+	Name string
+}
+
+// NameLookupReply answers a NameLookup.
+type NameLookupReply struct {
+	Desc  ref.Descriptor
+	Found bool
+	Err   string
+}
+
+// Subscribe registers the sender for an event fired by the receiving core
+// (distributed events, §4.2).
+type Subscribe struct {
+	// Event is the event name (a profiling service name or a built-in
+	// event such as "completArrived").
+	Event string
+	// Threshold triggers profiled events when crossed; unused for
+	// built-in events.
+	Threshold float64
+	// Above selects the crossing direction: value >= threshold when
+	// true, value <= threshold when false.
+	Above bool
+	// IntervalMillis is the continuous-profiling period backing the
+	// event.
+	IntervalMillis int64
+	// Token identifies the subscription for Unsubscribe and delivery.
+	Token string
+	// Subscriber is the core to deliver notifications to.
+	Subscriber ids.CoreID
+	// ServiceArgs parameterizes the profiled service (e.g. the two
+	// complets of an invocation-rate measurement).
+	ServiceArgs []string
+}
+
+// SubscribeReply acknowledges a subscription.
+type SubscribeReply struct {
+	Err string
+}
+
+// Unsubscribe cancels a subscription by token.
+type Unsubscribe struct {
+	Token string
+}
+
+// UnsubscribeReply acknowledges an Unsubscribe.
+type UnsubscribeReply struct {
+	Err string
+}
+
+// EventNotify delivers a fired event to a subscriber core.
+type EventNotify struct {
+	Token string
+	Event string
+	// Value is the measured value for profiled events.
+	Value float64
+	// Source is the core that fired the event.
+	Source ids.CoreID
+	// Complet identifies the complet involved in built-in layout events.
+	Complet ids.CompletID
+	// Detail carries event-specific extra data (e.g. the destination of
+	// a movement).
+	Detail string
+	// UnixNanos is the fire time at the source.
+	UnixNanos int64
+}
+
+// Ping measures liveness and round-trip time; Payload pads the message for
+// bandwidth probes.
+type Ping struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// Pong answers a Ping, echoing its sequence number.
+type Pong struct {
+	Seq uint64
+}
+
+// CoreInfoRequest asks a core to describe itself.
+type CoreInfoRequest struct{}
+
+// CompletInfo describes one hosted complet.
+type CompletInfo struct {
+	ID       ids.CompletID
+	TypeName string
+	Names    []string
+}
+
+// CoreInfoReply describes the receiving core's state (used by the shell and
+// the layout monitor).
+type CoreInfoReply struct {
+	Core     ids.CoreID
+	Complets []CompletInfo
+	Peers    []ids.CoreID
+}
+
+// ShutdownNotice announces that the sending core is about to stop.
+type ShutdownNotice struct{}
+
+// ProfileQuery asks a core for an instant profiling measurement.
+type ProfileQuery struct {
+	Service string
+	Args    []string
+}
+
+// ProfileQueryReply answers a ProfileQuery.
+type ProfileQueryReply struct {
+	Value float64
+	Err   string
+}
+
+// --- codec ------------------------------------------------------------------
+
+var registerOnce sync.Once
+
+// RegisterWireTypes registers the types needed inside argument vectors with
+// gob. Idempotent; called by the runtime during core construction.
+func RegisterWireTypes() {
+	registerOnce.Do(func() {
+		gob.Register(&ref.Ref{})
+	})
+}
+
+// EncodePayload gob-encodes a per-kind payload struct (no complet references
+// inside).
+func EncodePayload(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("wire: encode payload %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePayload decodes a payload encoded by EncodePayload.
+func DecodePayload(data []byte, into any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(into); err != nil {
+		return fmt.Errorf("wire: decode payload %T: %w", into, err)
+	}
+	return nil
+}
+
+// EncodeEnvelope serializes an envelope for transports that frame messages
+// individually (the netsim transport).
+func EncodeEnvelope(env Envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		return nil, fmt.Errorf("wire: encode envelope: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeEnvelope deserializes an envelope encoded by EncodeEnvelope.
+func DecodeEnvelope(data []byte) (Envelope, error) {
+	var env Envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return Envelope{}, fmt.Errorf("wire: decode envelope: %w", err)
+	}
+	return env, nil
+}
+
+// EncodeArgs encodes an argument (or result) vector for parameter passing:
+// ordinary values by value, complet references as degraded link descriptors
+// (§3.1). It returns the encoded bytes and the references encountered during
+// traversal (the invocation unit profiles and validates them).
+func EncodeArgs(args []any) ([]byte, []*ref.Ref, error) {
+	RegisterWireTypes()
+	c := &ref.Collector{Mode: ref.ModeParam}
+	var buf bytes.Buffer
+	err := ref.WithCollector(c, func() error {
+		return gob.NewEncoder(&buf).Encode(argsVector{Args: args})
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("wire: encode args: %w", err)
+	}
+	return buf.Bytes(), c.Encountered, nil
+}
+
+// DecodeArgs decodes an argument vector, returning the values and the
+// references materialized during decoding so the runtime can bind them.
+func DecodeArgs(data []byte) ([]any, []*ref.Ref, error) {
+	RegisterWireTypes()
+	c := &ref.Collector{Mode: ref.ModeParam}
+	var v argsVector
+	err := ref.WithCollector(c, func() error {
+		return gob.NewDecoder(bytes.NewReader(data)).Decode(&v)
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("wire: decode args: %w", err)
+	}
+	return v.Args, c.Decoded, nil
+}
+
+// argsVector wraps the []any so gob has a concrete top-level type.
+type argsVector struct {
+	Args []any
+}
+
+// DeepCopyArgs copies an argument vector by value, preserving the paper's
+// invocation semantics between co-located complets: complets are always
+// remote to each other with respect to parameter passing (§2), so even a
+// local invocation receives deep copies. References survive the copy (and
+// are returned for re-binding by the caller).
+func DeepCopyArgs(args []any) ([]any, []*ref.Ref, error) {
+	data, _, err := EncodeArgs(args)
+	if err != nil {
+		return nil, nil, err
+	}
+	return DecodeArgs(data)
+}
+
+// EncodeClosure encodes a complet anchor's object graph for movement, under
+// a ModeMove collector built from the given context. It returns the bytes
+// and the collector (holding scheduled pulls/duplicates and encountered
+// references).
+func EncodeClosure(anchor any, move ref.MoveContext, targetLocal func(ids.CompletID) bool) ([]byte, *ref.Collector, error) {
+	RegisterWireTypes()
+	c := &ref.Collector{Mode: ref.ModeMove, Move: move, TargetLocal: targetLocal}
+	var buf bytes.Buffer
+	err := ref.WithCollector(c, func() error {
+		return gob.NewEncoder(&buf).Encode(closureBox{Anchor: anchor})
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("wire: encode closure of %s: %w", move.Source, err)
+	}
+	return buf.Bytes(), c, nil
+}
+
+// DecodeClosure decodes a complet closure at the receiving core. It returns
+// the anchor and the references that must be bound.
+func DecodeClosure(data []byte) (any, []*ref.Ref, error) {
+	RegisterWireTypes()
+	c := &ref.Collector{Mode: ref.ModeParam}
+	var box closureBox
+	err := ref.WithCollector(c, func() error {
+		return gob.NewDecoder(bytes.NewReader(data)).Decode(&box)
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("wire: decode closure: %w", err)
+	}
+	return box.Anchor, c.Decoded, nil
+}
+
+// closureBox wraps the anchor so gob transmits its dynamic type.
+type closureBox struct {
+	Anchor any
+}

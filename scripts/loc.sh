@@ -1,0 +1,13 @@
+#!/bin/sh
+# loc.sh — repository line counts for EXPERIMENTS.md E13.
+set -eu
+cd "$(dirname "$0")/.."
+echo "Go source (non-test):"
+find . -name '*.go' ! -name '*_test.go' -not -path './.git/*' | xargs wc -l | tail -1
+echo "Go tests:"
+find . -name '*_test.go' -not -path './.git/*' | xargs wc -l | tail -1
+echo "Total Go:"
+find . -name '*.go' -not -path './.git/*' | xargs wc -l | tail -1
+echo "fargo-core binary:"
+go build -o /tmp/fargo-core-size ./cmd/fargo-core && ls -l /tmp/fargo-core-size | awk '{print $5 " bytes"}'
+rm -f /tmp/fargo-core-size
