@@ -30,6 +30,29 @@
 //	out, _ = msg.Invoke("Print")             // same reference still works
 //	_ = out
 //
+// # Deadlines, cancellation and retries
+//
+// Every pipeline operation has a context-first variant that bounds the whole
+// operation end to end — the remaining deadline travels on the wire, so each
+// tracker-chain hop and movement stage deducts elapsed time instead of
+// restarting the clock:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+//	defer cancel()
+//	out, err := msg.InvokeCtx(ctx, "Print")               // Invoke
+//	err = north.MoveCtx(ctx, msg, "south")                // Move
+//	r, err := north.NewCompletAtCtx(ctx, "south", "Message", "hi") // NewCompletAt
+//	loc, err := north.LocateCompletCtx(ctx, msg.Target()) // LocateComplet
+//
+// The context-free methods remain and are thin wrappers: they run under the
+// core's Options.RequestTimeout as the default end-to-end budget. Per-call
+// options (WithTimeout, WithNoRetry, WithMaxAttempts) ride the ctx variants.
+// Failures surface as *InvokeError, whose Cause separates a deadline expiry
+// from a cancellation, a peer that answered with an error, and a peer that
+// never answered; idempotent requests (locate, lookups, monitor queries) are
+// transparently retried with jittered exponential backoff per RetryPolicy,
+// while invocations, moves and instantiation fail fast.
+//
 // See the examples directory for complete programs and DESIGN.md for the
 // paper-to-module mapping.
 package fargo
@@ -109,11 +132,55 @@ const (
 	ServiceCompletSize     = core.ServiceCompletSize
 	ServiceCapacityFree    = core.ServiceCapacityFree
 
-	EventCompletArrived  = core.EventCompletArrived
-	EventCompletDeparted = core.EventCompletDeparted
-	EventCoreShutdown    = core.EventCoreShutdown
-	EventCoreUnreachable = core.EventCoreUnreachable
+	EventCompletArrived    = core.EventCompletArrived
+	EventCompletDeparted   = core.EventCompletDeparted
+	EventCoreShutdown      = core.EventCoreShutdown
+	EventCoreUnreachable   = core.EventCoreUnreachable
+	EventHopBudgetExceeded = core.EventHopBudgetExceeded
 )
+
+// InvokeError is the typed failure of a context-first pipeline operation;
+// its Cause distinguishes timeout, cancellation, a remote error verdict, an
+// unreachable peer, and an exhausted hop budget.
+type InvokeError = core.InvokeError
+
+// Cause classifies an InvokeError.
+type Cause = core.Cause
+
+// InvokeError causes.
+const (
+	CauseTimeout     = core.CauseTimeout
+	CauseCanceled    = core.CauseCanceled
+	CauseRemote      = core.CauseRemote
+	CauseUnreachable = core.CauseUnreachable
+	CauseTooManyHops = core.CauseTooManyHops
+)
+
+// ErrTooManyHops is returned (wrapped in *InvokeError) when a tracker chain
+// exhausts its hop budget.
+var ErrTooManyHops = core.ErrTooManyHops
+
+// InvokeOption tunes one context-first call; pass options to the ctx entry
+// points (trailing args of Ref.InvokeCtx, or the opts parameters of
+// Core.MoveCtx and friends).
+type InvokeOption = ref.InvokeOption
+
+// WithTimeout bounds the whole call — all tracker-chain hops and movement
+// stages included — by d.
+func WithTimeout(d time.Duration) InvokeOption { return ref.WithTimeout(d) }
+
+// WithNoRetry disables transparent retries for the call.
+func WithNoRetry() InvokeOption { return ref.WithNoRetry() }
+
+// WithMaxAttempts overrides the retry attempt budget for the call.
+func WithMaxAttempts(n int) InvokeOption { return ref.WithMaxAttempts(n) }
+
+// RetryPolicy tunes transparent retries of idempotent inter-core requests
+// (Options.Retry).
+type RetryPolicy = core.RetryPolicy
+
+// DefaultRetryPolicy returns the policy used when Options.Retry is zero.
+func DefaultRetryPolicy() RetryPolicy { return core.DefaultRetryPolicy() }
 
 // MoveContext gives user-defined relocators the facts of an ongoing move.
 type MoveContext = ref.MoveContext

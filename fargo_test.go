@@ -1,6 +1,8 @@
 package fargo_test
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -281,4 +283,85 @@ func TestPublicAPITCPDeployment(t *testing.T) {
 	if out[0] != "hello over tcp" {
 		t.Fatalf("Greet after TCP move = %v", out[0])
 	}
+}
+
+// TestPublicAPIContextPipeline exercises the context-first surface through
+// the facade: per-call deadlines, cancellation, and the typed *InvokeError
+// exported as fargo.InvokeError with fargo.Cause* constants.
+func TestPublicAPIContextPipeline(t *testing.T) {
+	u := newTestUniverse(t, "north", "south")
+	north, _ := u.Core("north")
+
+	msg, err := north.NewCompletAtCtx(context.Background(), "south", "Greeter", "ctx")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("deadline respected", func(t *testing.T) {
+		out, err := msg.InvokeCtx(context.Background(), "Greet", fargo.WithTimeout(2*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != "hello ctx" {
+			t.Fatalf("Greet = %v", out[0])
+		}
+	})
+
+	t.Run("deadline shorter than the link times out", func(t *testing.T) {
+		if err := u.SetLink("north", "south", fargo.LinkProfile{Latency: 300 * time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			if err := u.SetLink("north", "south", fargo.LinkProfile{}); err != nil {
+				t.Fatal(err)
+			}
+		}()
+		_, err := msg.InvokeCtx(context.Background(), "Greet", fargo.WithTimeout(50*time.Millisecond))
+		var ie *fargo.InvokeError
+		if !errors.As(err, &ie) {
+			t.Fatalf("err = %v, want *fargo.InvokeError", err)
+		}
+		if ie.Cause != fargo.CauseTimeout || !ie.Timeout() {
+			t.Fatalf("cause = %v, want %v", ie.Cause, fargo.CauseTimeout)
+		}
+	})
+
+	t.Run("cancellation surfaces as CauseCanceled", func(t *testing.T) {
+		if err := u.SetLink("north", "south", fargo.LinkProfile{Latency: 300 * time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			if err := u.SetLink("north", "south", fargo.LinkProfile{}); err != nil {
+				t.Fatal(err)
+			}
+		}()
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(20 * time.Millisecond)
+			cancel()
+		}()
+		_, err := msg.InvokeCtx(ctx, "Greet")
+		var ie *fargo.InvokeError
+		if !errors.As(err, &ie) {
+			t.Fatalf("err = %v, want *fargo.InvokeError", err)
+		}
+		if ie.Cause != fargo.CauseCanceled {
+			t.Fatalf("cause = %v, want %v", ie.Cause, fargo.CauseCanceled)
+		}
+	})
+
+	t.Run("MoveCtx under a generous deadline", func(t *testing.T) {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := north.MoveCtx(ctx, msg, "north"); err != nil {
+			t.Fatal(err)
+		}
+		loc, err := north.LocateCompletCtx(ctx, msg.Target())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(loc) != "north" {
+			t.Fatalf("located at %s, want north", loc)
+		}
+	})
 }

@@ -100,9 +100,16 @@ func (t *tracker) shorten(loc, self ids.CoreID) {
 
 // Options configures a Core.
 type Options struct {
-	// RequestTimeout bounds individual inter-core requests (not whole
-	// chains). Zero means a 30s default.
+	// RequestTimeout is the default end-to-end budget for pipeline
+	// operations whose caller supplies no deadline of its own (the
+	// context-free entry points, and ctx entry points called with a
+	// deadline-free context). It bounds the whole operation — every
+	// tracker-chain hop and movement stage deducts from it. Zero means a
+	// 30s default.
 	RequestTimeout time.Duration
+	// Retry tunes transparent retries of idempotent inter-core requests;
+	// zero fields take the DefaultRetryPolicy values.
+	Retry RetryPolicy
 	// Logf receives diagnostic output; nil means log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -148,6 +155,7 @@ func New(tr transport.Transport, reg *registry.Registry, opts Options) (*Core, e
 	if opts.RequestTimeout <= 0 {
 		opts.RequestTimeout = defaultRequestTimeout
 	}
+	opts.Retry = opts.Retry.normalize()
 	if opts.Logf == nil {
 		opts.Logf = log.Printf
 	}
@@ -411,14 +419,29 @@ func (c *Core) NewComplet(typeName string, args ...any) (*ref.Ref, error) {
 
 // NewCompletAt instantiates a complet on the named core (remote complet
 // instantiation, §3). Arguments are passed by value, like invocation
-// parameters.
+// parameters. The call is bounded by the core's default request budget; use
+// NewCompletAtCtx to supply a deadline or cancellation of your own.
 func (c *Core) NewCompletAt(dest ids.CoreID, typeName string, args ...any) (*ref.Ref, error) {
+	return c.NewCompletAtCtx(context.Background(), dest, typeName, args...)
+}
+
+// NewCompletAtCtx is NewCompletAt bounded by the caller's context. Trailing
+// ref.InvokeOption values may ride args; they tune the call and are not
+// passed to the constructor. Instantiation is not idempotent, so it is never
+// retried: on failure the returned *InvokeError cause tells the caller
+// whether the constructor may have run (remote error: yes, it did and
+// failed; unreachable: unknown).
+func (c *Core) NewCompletAtCtx(ctx context.Context, dest ids.CoreID, typeName string, args ...any) (*ref.Ref, error) {
+	args, opts := ref.SplitOptions(args)
 	if dest == c.id {
 		return c.NewComplet(typeName, args...)
 	}
 	if c.isClosed() {
 		return nil, ErrClosed
 	}
+	op := fmt.Sprintf("new %s at %s", typeName, dest)
+	ctx, cancel := c.withBudget(ctx, opts.Timeout)
+	defer cancel()
 	argBytes, _, err := wire.EncodeArgs(args)
 	if err != nil {
 		return nil, err
@@ -427,16 +450,16 @@ func (c *Core) NewCompletAt(dest ids.CoreID, typeName string, args ...any) (*ref
 	if err != nil {
 		return nil, err
 	}
-	env, err := c.request(dest, wire.KindNew, payload)
+	env, err := c.requestOpts(ctx, dest, wire.KindNew, payload, opts)
 	if err != nil {
-		return nil, fmt.Errorf("core: new %s at %s: %w", typeName, dest, err)
+		return nil, invokeErr(op, ids.CompletID{}, dest, fmt.Errorf("core: new %s at %s: %w", typeName, dest, err))
 	}
 	var reply wire.NewReply
 	if err := wire.DecodePayload(env.Payload, &reply); err != nil {
 		return nil, err
 	}
 	if reply.Err != "" {
-		return nil, fmt.Errorf("core: new %s at %s: %s", typeName, dest, reply.Err)
+		return nil, &peerError{msg: fmt.Sprintf("core: new %s at %s: %s", typeName, dest, reply.Err)}
 	}
 	r, err := ref.FromDescriptor(reply.Desc)
 	if err != nil {
@@ -477,19 +500,22 @@ func (c *Core) NewRefTo(id ids.CompletID, anchorType string, hint ids.CoreID) *r
 // LocateComplet resolves the core currently hosting a complet, following and
 // shortening tracker chains (the ID-based counterpart of MetaRef.Location).
 func (c *Core) LocateComplet(id ids.CompletID) (ids.CoreID, error) {
+	return c.LocateCompletCtx(context.Background(), id)
+}
+
+// LocateCompletCtx is LocateComplet bounded by the caller's context.
+// Location queries are idempotent and retried per the core's retry policy
+// (overridable via opts) on transient transport failures.
+func (c *Core) LocateCompletCtx(ctx context.Context, id ids.CompletID, opts ...ref.InvokeOption) (ids.CoreID, error) {
 	if c.isClosed() {
 		return "", ErrClosed
 	}
-	return c.locate(id, "")
-}
-
-// request issues a bounded inter-core request and notes the peer.
-func (c *Core) request(to ids.CoreID, kind wire.Kind, payload []byte) (wire.Envelope, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), c.opts.RequestTimeout)
+	o := ref.BuildCallOptions(opts)
+	ctx, cancel := c.withBudget(ctx, o.Timeout)
 	defer cancel()
-	env, err := c.tr.Request(ctx, to, kind, payload)
-	if err == nil {
-		c.notePeer(to)
+	loc, err := c.locate(ctx, id, "", o)
+	if err != nil {
+		return "", invokeErr(fmt.Sprintf("locate %s", id), id, "", err)
 	}
-	return env, err
+	return loc, nil
 }

@@ -127,7 +127,7 @@ func (m *Monitor) SubscribeBuiltinComplet(event string, r *ref.Ref, method strin
 
 func isBuiltinEvent(event string) bool {
 	switch event {
-	case EventCompletArrived, EventCompletDeparted, EventCoreShutdown, EventCoreUnreachable:
+	case EventCompletArrived, EventCompletDeparted, EventCoreShutdown, EventCoreUnreachable, EventHopBudgetExceeded:
 		return true
 	default:
 		return false
@@ -176,7 +176,7 @@ func (m *Monitor) SubscribeAt(core ids.CoreID, opts SubscribeOptions, fn Listene
 		m.removeSub(token)
 		return "", err
 	}
-	env, err := m.c.request(core, wire.KindSubscribe, payload)
+	env, err := m.c.requestBG(core, wire.KindSubscribe, payload)
 	if err != nil {
 		m.removeSub(token)
 		return "", fmt.Errorf("monitor: subscribe at %s: %w", core, err)
@@ -203,7 +203,7 @@ func (m *Monitor) UnsubscribeAt(core ids.CoreID, token string) error {
 	if err != nil {
 		return err
 	}
-	env, err := m.c.request(core, wire.KindUnsubscribe, payload)
+	env, err := m.c.requestBG(core, wire.KindUnsubscribe, payload)
 	if err != nil {
 		return fmt.Errorf("monitor: unsubscribe at %s: %w", core, err)
 	}

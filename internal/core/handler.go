@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"fargo/internal/ids"
@@ -10,20 +11,23 @@ import (
 // handle is the transport request handler: it dispatches incoming envelopes
 // to the owning unit. Each request runs on its own goroutine (the transport
 // spawns one per request, mirroring the original's thread-per-invocation
-// model, §5).
-func (c *Core) handle(env wire.Envelope) (wire.Kind, []byte, error) {
+// model, §5). The context carries the requester's remaining end-to-end
+// budget (reconstructed by the transport from the envelope's wire deadline);
+// handlers that issue further requests — forwarding along a tracker chain,
+// routing a move — pass it on, so the clock never restarts mid-pipeline.
+func (c *Core) handle(ctx context.Context, env wire.Envelope) (wire.Kind, []byte, error) {
 	c.notePeer(env.From)
 	switch env.Kind {
 	case wire.KindInvoke:
-		return c.handleInvoke(env)
+		return c.handleInvoke(ctx, env)
 	case wire.KindLocate:
-		return c.handleLocate(env)
+		return c.handleLocate(ctx, env)
 	case wire.KindMove:
-		return c.handleMove(env)
+		return c.handleMove(ctx, env)
 	case wire.KindMoveCmd:
-		return c.handleMoveCmd(env)
+		return c.handleMoveCmd(ctx, env)
 	case wire.KindClone:
-		return c.handleClone(env)
+		return c.handleClone(ctx, env)
 	case wire.KindNew:
 		return c.handleNew(env)
 	case wire.KindNameSet:
@@ -124,7 +128,7 @@ func (c *Core) CoreInfo(dest ids.CoreID) (wire.CoreInfoReply, error) {
 	if c.isClosed() {
 		return wire.CoreInfoReply{}, ErrClosed
 	}
-	env, err := c.request(dest, wire.KindCoreInfo, nil)
+	env, err := c.requestBG(dest, wire.KindCoreInfo, nil)
 	if err != nil {
 		return wire.CoreInfoReply{}, fmt.Errorf("core: info of %s: %w", dest, err)
 	}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"fargo/internal/ids"
+	"fargo/internal/ref"
 	"fargo/internal/wire"
 )
 
@@ -96,7 +98,7 @@ func (c *Core) LocateViaHome(id ids.CompletID) (ids.CoreID, error) {
 	if err != nil {
 		return "", err
 	}
-	env, err := c.request(id.Birth, wire.KindHomeQuery, payload)
+	env, err := c.requestBG(id.Birth, wire.KindHomeQuery, payload)
 	if err != nil {
 		return "", fmt.Errorf("core: home query for %s: %w", id, err)
 	}
@@ -128,11 +130,13 @@ func (c *Core) InvokeViaHome(target ids.CompletID, method string, args ...any) (
 	if err != nil {
 		return nil, err
 	}
+	ctx, cancel := c.withBudget(context.Background(), 0)
+	defer cancel()
 	var resBytes []byte
 	if loc == c.id {
 		resBytes, err = c.invokeLocal(target, method, argBytes)
 	} else {
-		resBytes, _, err = c.forwardInvoke(loc, target, ids.CompletID{}, method, argBytes, 0)
+		resBytes, _, err = c.forwardInvoke(ctx, loc, target, ids.CompletID{}, method, argBytes, 0, ref.CallOptions{})
 	}
 	if err != nil {
 		return nil, err

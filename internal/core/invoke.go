@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 
@@ -22,17 +23,20 @@ var _ ref.Binder = binderImpl{}
 func (c *Core) binder() ref.Binder { return binderImpl{c: c} }
 
 // InvokeRef implements ref.Binder.
-func (b binderImpl) InvokeRef(r *ref.Ref, method string, args []any) ([]any, error) {
-	return b.c.invokeRef(r, method, args)
+func (b binderImpl) InvokeRef(ctx context.Context, r *ref.Ref, method string, args []any, opts ref.CallOptions) ([]any, error) {
+	return b.c.invokeRef(ctx, r, method, args, opts)
 }
 
 // Locate implements ref.Binder.
-func (b binderImpl) Locate(r *ref.Ref) (ids.CoreID, error) {
-	loc, err := b.c.locate(r.Target(), r.Hint())
+func (b binderImpl) Locate(ctx context.Context, r *ref.Ref) (ids.CoreID, error) {
+	ctx, cancel := b.c.withBudget(ctx, 0)
+	defer cancel()
+	loc, err := b.c.locate(ctx, r.Target(), r.Hint(), ref.CallOptions{})
 	if err == nil {
 		r.SetHint(loc)
+		return loc, nil
 	}
-	return loc, err
+	return loc, invokeErr(fmt.Sprintf("locate %s", r.Target()), r.Target(), "", err)
 }
 
 // BinderCore implements ref.Binder.
@@ -50,20 +54,25 @@ func (c *Core) bindDecoded(refs []*ref.Ref) {
 
 // invokeRef routes one invocation from a local stub to its target (§3.1).
 // Arguments travel by value; the reply's authoritative location shortens the
-// caller's tracker and refreshes the stub's hint.
-func (c *Core) invokeRef(r *ref.Ref, method string, args []any) ([]any, error) {
+// caller's tracker and refreshes the stub's hint. The context carries the
+// end-to-end budget: it is stamped on every forwarded envelope, so each hop
+// of the tracker chain serves under the same remaining deadline.
+func (c *Core) invokeRef(ctx context.Context, r *ref.Ref, method string, args []any, opts ref.CallOptions) ([]any, error) {
 	if c.isClosed() {
 		return nil, ErrClosed
 	}
 	target := r.Target()
+	op := fmt.Sprintf("invoke %s.%s", r.AnchorType(), method)
+	ctx, cancel := c.withBudget(ctx, opts.Timeout)
+	defer cancel()
 	args = c.anchorsToRefs(args)
 	argBytes, _, err := wire.EncodeArgs(args)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: encode args of %s: %w", op, err)
 	}
-	resBytes, loc, err := c.routeInvoke(target, r.Hint(), r.Owner(), method, argBytes, 0)
+	resBytes, loc, err := c.routeInvoke(ctx, target, r.Hint(), r.Owner(), method, argBytes, 0, opts)
 	if err != nil {
-		return nil, err
+		return nil, invokeErr(op, target, "", err)
 	}
 	r.SetHint(loc)
 	results, decoded, err := wire.DecodeArgs(resBytes)
@@ -77,10 +86,13 @@ func (c *Core) invokeRef(r *ref.Ref, method string, args []any) ([]any, error) {
 // routeInvoke delivers an encoded invocation to the complet, executing
 // locally or forwarding along the tracker chain. It returns the encoded
 // results and the authoritative location of the target.
-func (c *Core) routeInvoke(target ids.CompletID, hint ids.CoreID, source ids.CompletID, method string, argBytes []byte, hops int) ([]byte, ids.CoreID, error) {
+func (c *Core) routeInvoke(ctx context.Context, target ids.CompletID, hint ids.CoreID, source ids.CompletID, method string, argBytes []byte, hops int, opts ref.CallOptions) ([]byte, ids.CoreID, error) {
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, "", fmt.Errorf("core: invoking %s.%s: %w", target, method, err)
+		}
 		if hops+attempt > maxHops {
-			return nil, "", fmt.Errorf("%w: invoking %s.%s", ErrTrackingLoop, target, method)
+			return nil, "", c.tripHopBudget(fmt.Sprintf("invoke %s.%s", target, method), target)
 		}
 		t := c.trackerFor(target, hint)
 		local, next := t.point()
@@ -98,7 +110,7 @@ func (c *Core) routeInvoke(target ids.CompletID, hint ids.CoreID, source ids.Com
 			// unknown to avoid a self-loop.
 			return nil, "", fmt.Errorf("%w: %s (self-referential tracker)", ErrUnknownComplet, target)
 		}
-		resBytes, loc, err := c.forwardInvoke(next, target, source, method, argBytes, hops+attempt+1)
+		resBytes, loc, err := c.forwardInvoke(ctx, next, target, source, method, argBytes, hops+attempt+1, opts)
 		if err != nil {
 			return nil, "", err
 		}
@@ -181,7 +193,7 @@ func (c *Core) invokeLocalFrom(target, source ids.CompletID, method string, argB
 	results, err := registry.Invoke(entry.anchor, method, args)
 	c.mon.recordInvocation(source, target, entry.typeName, method, len(argBytes))
 	if err != nil {
-		return nil, fmt.Errorf("core: %s.%s: %w", entry.typeName, method, err)
+		return nil, &methodError{err: fmt.Errorf("core: %s.%s: %w", entry.typeName, method, err)}
 	}
 	// Replace returned local anchors with references (complets are passed
 	// by reference, §2). Only pointer results can be anchors.
@@ -215,8 +227,10 @@ func (c *Core) invokeLocalFrom(target, source ids.CompletID, method string, argB
 	return resBytes, nil
 }
 
-// forwardInvoke sends the invocation one hop down the tracker chain.
-func (c *Core) forwardInvoke(next ids.CoreID, target, source ids.CompletID, method string, argBytes []byte, hops int) ([]byte, ids.CoreID, error) {
+// forwardInvoke sends the invocation one hop down the tracker chain. The
+// context's remaining deadline rides the envelope, so the next core serves
+// under the same budget instead of a fresh one.
+func (c *Core) forwardInvoke(ctx context.Context, next ids.CoreID, target, source ids.CompletID, method string, argBytes []byte, hops int, opts ref.CallOptions) ([]byte, ids.CoreID, error) {
 	payload, err := wire.EncodePayload(wire.InvokeRequest{
 		Target: target,
 		Method: method,
@@ -227,7 +241,7 @@ func (c *Core) forwardInvoke(next ids.CoreID, target, source ids.CompletID, meth
 	if err != nil {
 		return nil, "", err
 	}
-	env, err := c.request(next, wire.KindInvoke, payload)
+	env, err := c.requestOpts(ctx, next, wire.KindInvoke, payload, opts)
 	if err != nil {
 		return nil, "", fmt.Errorf("core: forward %s.%s to %s: %w", target, method, next, err)
 	}
@@ -236,26 +250,34 @@ func (c *Core) forwardInvoke(next ids.CoreID, target, source ids.CompletID, meth
 		return nil, "", err
 	}
 	if reply.Err != "" {
-		return nil, "", fmt.Errorf("core: %s", reply.Err)
+		// reply.Err was formatted by the serving core (it already carries
+		// its own "core:" context), so it travels verbatim.
+		return nil, "", &peerError{msg: reply.Err, cause: Cause(reply.ErrCause)}
 	}
 	return reply.Results, reply.Location, nil
 }
 
 // handleInvoke serves an invocation arriving from a peer: execute locally or
 // forward further along the chain, then report the authoritative location so
-// every tracker on the path shortens (§3.1).
-func (c *Core) handleInvoke(env wire.Envelope) (wire.Kind, []byte, error) {
+// every tracker on the path shortens (§3.1). The context carries the
+// request's remaining end-to-end budget, reconstructed by the transport from
+// the envelope's wire deadline.
+func (c *Core) handleInvoke(ctx context.Context, env wire.Envelope) (wire.Kind, []byte, error) {
 	var req wire.InvokeRequest
 	if err := wire.DecodePayload(env.Payload, &req); err != nil {
 		return 0, nil, err
 	}
 	if req.Hops > maxHops {
-		return 0, nil, fmt.Errorf("%w: %s.%s", ErrTrackingLoop, req.Target, req.Method)
+		return 0, nil, c.tripHopBudget(fmt.Sprintf("invoke %s.%s", req.Target, req.Method), req.Target)
 	}
 	reply := wire.InvokeReply{Hops: req.Hops}
-	resBytes, loc, err := c.routeInvoke(req.Target, "", req.Source, req.Method, req.Args, req.Hops)
+	resBytes, loc, err := c.routeInvoke(ctx, req.Target, "", req.Source, req.Method, req.Args, req.Hops, ref.CallOptions{})
 	if err != nil {
 		reply.Err = err.Error()
+		// Ship our classification so the caller, hops away, still tells
+		// a downstream timeout or partition apart from an application
+		// error.
+		reply.ErrCause = int(classifyCause(err))
 		reply.Location = c.id
 	} else {
 		reply.Results = resBytes
@@ -271,13 +293,16 @@ func (c *Core) handleInvoke(env wire.Envelope) (wire.Kind, []byte, error) {
 // locate resolves the current location of a complet, following and
 // shortening tracker chains (used by MetaRef.Location and the movement
 // protocol).
-func (c *Core) locate(target ids.CompletID, hint ids.CoreID) (ids.CoreID, error) {
-	return c.locateHops(target, hint, 0)
+func (c *Core) locate(ctx context.Context, target ids.CompletID, hint ids.CoreID, opts ref.CallOptions) (ids.CoreID, error) {
+	return c.locateHops(ctx, target, hint, 0, opts)
 }
 
-func (c *Core) locateHops(target ids.CompletID, hint ids.CoreID, hops int) (ids.CoreID, error) {
+func (c *Core) locateHops(ctx context.Context, target ids.CompletID, hint ids.CoreID, hops int, opts ref.CallOptions) (ids.CoreID, error) {
+	if err := ctx.Err(); err != nil {
+		return "", fmt.Errorf("core: locating %s: %w", target, err)
+	}
 	if hops > maxHops {
-		return "", fmt.Errorf("%w: locating %s", ErrTrackingLoop, target)
+		return "", c.tripHopBudget(fmt.Sprintf("locate %s", target), target)
 	}
 	t := c.trackerFor(target, hint)
 	local, next := t.point()
@@ -294,7 +319,7 @@ func (c *Core) locateHops(target ids.CompletID, hint ids.CoreID, hops int) (ids.
 	if err != nil {
 		return "", err
 	}
-	env, err := c.request(next, wire.KindLocate, payload)
+	env, err := c.requestOpts(ctx, next, wire.KindLocate, payload, opts)
 	if err != nil {
 		return "", fmt.Errorf("core: locate %s via %s: %w", target, next, err)
 	}
@@ -303,20 +328,20 @@ func (c *Core) locateHops(target ids.CompletID, hint ids.CoreID, hops int) (ids.
 		return "", err
 	}
 	if reply.Err != "" {
-		return "", fmt.Errorf("core: locate %s: %s", target, reply.Err)
+		return "", &peerError{msg: fmt.Sprintf("core: locate %s: %s", target, reply.Err)}
 	}
 	t.shorten(reply.Location, c.id)
 	return reply.Location, nil
 }
 
 // handleLocate serves a location query from a peer.
-func (c *Core) handleLocate(env wire.Envelope) (wire.Kind, []byte, error) {
+func (c *Core) handleLocate(ctx context.Context, env wire.Envelope) (wire.Kind, []byte, error) {
 	var req wire.LocateRequest
 	if err := wire.DecodePayload(env.Payload, &req); err != nil {
 		return 0, nil, err
 	}
 	reply := wire.LocateReply{}
-	loc, err := c.locateHops(req.Target, "", req.Hops)
+	loc, err := c.locateHops(ctx, req.Target, "", req.Hops, ref.CallOptions{})
 	if err != nil {
 		reply.Err = err.Error()
 	} else {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -24,6 +25,10 @@ const (
 	// the dying core (and via notices at its peers, with Source naming
 	// the dying core).
 	EventCoreShutdown = "coreShutdown"
+	// EventHopBudgetExceeded fires at the core where an invocation, locate
+	// or move command exhausted the tracker-chain hop budget (a tracking
+	// loop or a badly stale topology); Detail carries the operation.
+	EventHopBudgetExceeded = "hopBudgetExceeded"
 )
 
 // Profiling service names (§4.1). Services taking arguments receive them as
@@ -267,7 +272,7 @@ func (m *Monitor) InstantAt(core ids.CoreID, service string, args ...string) (fl
 	if err != nil {
 		return 0, err
 	}
-	env, err := m.c.request(core, wire.KindProfileQuery, payload)
+	env, err := m.c.requestBG(core, wire.KindProfileQuery, payload)
 	if err != nil {
 		return 0, fmt.Errorf("monitor: query %s at %s: %w", service, core, err)
 	}
@@ -451,8 +456,12 @@ func (m *Monitor) pingRTT(peer ids.CoreID, n int) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
+	// No retries here: a transparently retried probe would report the sum
+	// of attempts as one RTT and corrupt the latency/bandwidth profile.
+	ctx, cancel := m.c.withBudget(context.Background(), 0)
+	defer cancel()
 	start := time.Now()
-	if _, err := m.c.request(peer, wire.KindPing, payload); err != nil {
+	if _, err := m.c.requestOpts(ctx, peer, wire.KindPing, payload, ref.CallOptions{NoRetry: true}); err != nil {
 		return 0, fmt.Errorf("monitor: ping %s: %w", peer, err)
 	}
 	return time.Since(start), nil

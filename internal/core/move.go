@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"fargo/internal/ids"
@@ -39,9 +40,22 @@ type PostDeparture interface {
 // Move relocates the referenced complet (and, per its outgoing references'
 // relocators, related complets) to the destination core. The reference may
 // point anywhere: if the complet is hosted elsewhere, the command is routed
-// to its owner (Figure 3: Carrier.move semantics without continuation).
+// to its owner (Figure 3: Carrier.move semantics without continuation). The
+// operation is bounded by the core's default request budget; use MoveCtx to
+// supply a deadline or cancellation of your own.
 func (c *Core) Move(r *ref.Ref, dest ids.CoreID) error {
-	return c.MoveWithContinuation(r, dest, "", nil)
+	return c.MoveWithContinuationCtx(context.Background(), r, dest, "", nil)
+}
+
+// MoveCtx is Move bounded by the caller's context. The deadline covers the
+// whole operation — routing the command along the tracker chain, marshaling,
+// shipping the bundle, and the receiver's installation all deduct from one
+// budget that travels on the wire. Cancelling the context abandons the wait;
+// note that a bundle already in flight may still install at the destination
+// (the moved complet remains reachable through its trackers either way — see
+// DESIGN.md on movement atomicity).
+func (c *Core) MoveCtx(ctx context.Context, r *ref.Ref, dest ids.CoreID, opts ...ref.InvokeOption) error {
+	return c.MoveWithContinuationCtx(ctx, r, dest, "", nil, opts...)
 }
 
 // MoveWithContinuation relocates the complet and, after arrival, invokes the
@@ -49,20 +63,31 @@ func (c *Core) Move(r *ref.Ref, dest ids.CoreID) error {
 // mobility's "call with continuation" style). An empty method means no
 // continuation.
 func (c *Core) MoveWithContinuation(r *ref.Ref, dest ids.CoreID, method string, args []any) error {
+	return c.MoveWithContinuationCtx(context.Background(), r, dest, method, args)
+}
+
+// MoveWithContinuationCtx is MoveWithContinuation bounded by the caller's
+// context. Movement is not idempotent and is never retried by the runtime;
+// on failure the *InvokeError cause distinguishes a destination that
+// answered with an error from one that never answered.
+func (c *Core) MoveWithContinuationCtx(ctx context.Context, r *ref.Ref, dest ids.CoreID, method string, args []any, opts ...ref.InvokeOption) error {
 	if c.isClosed() {
 		return ErrClosed
 	}
+	o := ref.BuildCallOptions(opts)
+	op := fmt.Sprintf("move %s to %s", r.Target(), dest)
+	ctx, cancel := c.withBudget(ctx, o.Timeout)
+	defer cancel()
 	var contArgs []byte
 	if method != "" {
 		var err error
 		contArgs, _, err = wire.EncodeArgs(c.anchorsToRefs(args))
 		if err != nil {
-			return err
+			return fmt.Errorf("core: encode continuation args of %s: %w", op, err)
 		}
 	}
-	err := c.moveCommand(r.Target(), r.Hint(), dest, method, contArgs, 0)
-	if err != nil {
-		return err
+	if err := c.moveCommand(ctx, r.Target(), r.Hint(), dest, method, contArgs, 0, o); err != nil {
+		return invokeErr(op, r.Target(), "", err)
 	}
 	r.SetHint(dest)
 	return nil
@@ -92,7 +117,9 @@ func (c *Core) MoveSelf(anchor any, dest ids.CoreID, contMethod string, args []a
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
-		if err := c.moveCommand(self.Target(), self.Hint(), dest, contMethod, contArgs, 0); err != nil {
+		ctx, cancel := c.withBudget(context.Background(), 0)
+		defer cancel()
+		if err := c.moveCommand(ctx, self.Target(), self.Hint(), dest, contMethod, contArgs, 0, ref.CallOptions{}); err != nil {
 			c.opts.Logf("fargo core %s: self-move of %s to %s: %v", c.id, self.Target(), dest, err)
 		}
 	}()
@@ -102,23 +129,39 @@ func (c *Core) MoveSelf(anchor any, dest ids.CoreID, contMethod string, args []a
 // MoveByID relocates a complet identified by ID (used by the shell, scripts
 // and event-driven policies, which hold IDs rather than stubs).
 func (c *Core) MoveByID(target ids.CompletID, dest ids.CoreID) error {
+	return c.MoveByIDCtx(context.Background(), target, dest)
+}
+
+// MoveByIDCtx is MoveByID bounded by the caller's context.
+func (c *Core) MoveByIDCtx(ctx context.Context, target ids.CompletID, dest ids.CoreID, opts ...ref.InvokeOption) error {
 	if c.isClosed() {
 		return ErrClosed
 	}
-	return c.moveCommand(target, "", dest, "", nil, 0)
+	o := ref.BuildCallOptions(opts)
+	ctx, cancel := c.withBudget(ctx, o.Timeout)
+	defer cancel()
+	if err := c.moveCommand(ctx, target, "", dest, "", nil, 0, o); err != nil {
+		return invokeErr(fmt.Sprintf("move %s to %s", target, dest), target, "", err)
+	}
+	return nil
 }
 
 // moveCommand executes the move if the complet is local, or routes the
-// command along the tracker chain to its owner.
-func (c *Core) moveCommand(target ids.CompletID, hint ids.CoreID, dest ids.CoreID, contMethod string, contArgs []byte, hops int) error {
+// command along the tracker chain to its owner. The context's remaining
+// deadline travels with the routed command, so every chain hop and the final
+// owner-side bundle shipment deduct from the caller's single budget.
+func (c *Core) moveCommand(ctx context.Context, target ids.CompletID, hint ids.CoreID, dest ids.CoreID, contMethod string, contArgs []byte, hops int, opts ref.CallOptions) error {
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: moving %s: %w", target, err)
+		}
 		if hops+attempt > maxHops {
-			return fmt.Errorf("%w: moving %s", ErrTrackingLoop, target)
+			return c.tripHopBudget(fmt.Sprintf("move %s", target), target)
 		}
 		t := c.trackerFor(target, hint)
 		local, next := t.point()
 		if local {
-			err := c.moveLocal(target, dest, contMethod, contArgs)
+			err := c.moveLocal(ctx, target, dest, contMethod, contArgs, opts)
 			if err == errStaleLocal {
 				continue
 			}
@@ -137,7 +180,7 @@ func (c *Core) moveCommand(target ids.CompletID, hint ids.CoreID, dest ids.CoreI
 		if err != nil {
 			return err
 		}
-		env, err := c.request(next, wire.KindMoveCmd, payload)
+		env, err := c.requestOpts(ctx, next, wire.KindMoveCmd, payload, opts)
 		if err != nil {
 			return fmt.Errorf("core: route move of %s via %s: %w", target, next, err)
 		}
@@ -146,7 +189,7 @@ func (c *Core) moveCommand(target ids.CompletID, hint ids.CoreID, dest ids.CoreI
 			return err
 		}
 		if reply.Err != "" {
-			return fmt.Errorf("core: move %s: %s", target, reply.Err)
+			return &peerError{msg: fmt.Sprintf("core: move %s: %s", target, reply.Err)}
 		}
 		// Refresh our tracker toward the destination (shorten refuses
 		// conflicting updates: if the complet has already bounced back
@@ -156,14 +199,15 @@ func (c *Core) moveCommand(target ids.CompletID, hint ids.CoreID, dest ids.CoreI
 	}
 }
 
-// handleMoveCmd serves a routed movement command.
-func (c *Core) handleMoveCmd(env wire.Envelope) (wire.Kind, []byte, error) {
+// handleMoveCmd serves a routed movement command under the remaining budget
+// the envelope carried.
+func (c *Core) handleMoveCmd(ctx context.Context, env wire.Envelope) (wire.Kind, []byte, error) {
 	var req wire.MoveCommand
 	if err := wire.DecodePayload(env.Payload, &req); err != nil {
 		return 0, nil, err
 	}
 	reply := wire.MoveCommandReply{}
-	if err := c.moveCommand(req.Target, "", req.Dest, req.ContinuationMethod, req.ContinuationArgs, req.Hops); err != nil {
+	if err := c.moveCommand(ctx, req.Target, "", req.Dest, req.ContinuationMethod, req.ContinuationArgs, req.Hops, ref.CallOptions{}); err != nil {
 		reply.Err = err.Error()
 	}
 	out, err := wire.EncodePayload(reply)
@@ -188,7 +232,7 @@ func (c *Core) handleMoveCmd(env wire.Envelope) (wire.Kind, []byte, error) {
 // moved to the same destination with follow-up commands (documented deviation
 // — the single-message property holds for co-located closures, the common
 // case the paper describes).
-func (c *Core) moveLocal(rootID ids.CompletID, dest ids.CoreID, contMethod string, contArgs []byte) error {
+func (c *Core) moveLocal(ctx context.Context, rootID ids.CompletID, dest ids.CoreID, contMethod string, contArgs []byte, opts ref.CallOptions) error {
 	if dest == c.id {
 		// Already here; run the continuation (if any) for uniformity.
 		entry, ok := c.lookup(rootID)
@@ -206,6 +250,11 @@ func (c *Core) moveLocal(rootID ids.CompletID, dest ids.CoreID, contMethod strin
 
 	c.moveOpMu.Lock()
 	defer c.moveOpMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		// The budget ran out while waiting for a concurrent move to
+		// finish; give up before locking anything.
+		return fmt.Errorf("core: moving %s: %w", rootID, err)
+	}
 
 	var (
 		locked      []*complet
@@ -312,7 +361,7 @@ func (c *Core) moveLocal(rootID ids.CompletID, dest ids.CoreID, contMethod strin
 	// Clone remote duplicate targets ahead of the bundle so the receiver
 	// can bind Dup-flagged references to the copies.
 	for _, d := range remoteDups {
-		newID, err := c.cloneCommand(d, dest, 0)
+		newID, err := c.cloneCommand(ctx, d, dest, 0, opts)
 		if err != nil {
 			c.opts.Logf("fargo core %s: duplicate of remote %s at %s failed (reference degrades to link): %v", c.id, d, dest, err)
 			continue
@@ -332,7 +381,9 @@ func (c *Core) moveLocal(rootID ids.CompletID, dest ids.CoreID, contMethod strin
 	}
 	c.mu.Unlock()
 
-	// One inter-core message for the whole bundle (§3.3).
+	// One inter-core message for the whole bundle (§3.3). The remaining
+	// budget rides the envelope, so the receiver can refuse to start an
+	// installation it cannot finish in time.
 	payload, err := wire.EncodePayload(wire.MoveRequest{
 		Entries:            entries,
 		ContinuationMethod: contMethod,
@@ -343,7 +394,7 @@ func (c *Core) moveLocal(rootID ids.CompletID, dest ids.CoreID, contMethod strin
 	if err != nil {
 		return fail(err)
 	}
-	env, err := c.request(dest, wire.KindMove, payload)
+	env, err := c.requestOpts(ctx, dest, wire.KindMove, payload, opts)
 	if err != nil {
 		return fail(fmt.Errorf("core: move bundle to %s: %w", dest, err))
 	}
@@ -352,7 +403,7 @@ func (c *Core) moveLocal(rootID ids.CompletID, dest ids.CoreID, contMethod strin
 		return fail(err)
 	}
 	if reply.Err != "" {
-		return fail(fmt.Errorf("core: move bundle to %s: %s", dest, reply.Err))
+		return fail(&peerError{msg: fmt.Sprintf("core: move bundle to %s: %s", dest, reply.Err)})
 	}
 
 	// Success: flip trackers, mark entries gone, fire callbacks/events.
@@ -370,7 +421,7 @@ func (c *Core) moveLocal(rootID ids.CompletID, dest ids.CoreID, contMethod strin
 
 	// Chase pull targets that were not co-located.
 	for _, p := range remotePulls {
-		if err := c.moveCommand(p, "", dest, "", nil, 0); err != nil {
+		if err := c.moveCommand(ctx, p, "", dest, "", nil, 0, opts); err != nil {
 			c.opts.Logf("fargo core %s: pull of remote %s to %s failed: %v", c.id, p, dest, err)
 		}
 	}
@@ -391,15 +442,18 @@ func (c *Core) encodeDuplicate(entry *complet) ([]byte, error) {
 }
 
 // cloneCommand asks the owner of target to install a copy at dest.
-func (c *Core) cloneCommand(target ids.CompletID, dest ids.CoreID, hops int) (ids.CompletID, error) {
+func (c *Core) cloneCommand(ctx context.Context, target ids.CompletID, dest ids.CoreID, hops int, opts ref.CallOptions) (ids.CompletID, error) {
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return ids.CompletID{}, fmt.Errorf("core: cloning %s: %w", target, err)
+		}
 		if hops+attempt > maxHops {
-			return ids.CompletID{}, fmt.Errorf("%w: cloning %s", ErrTrackingLoop, target)
+			return ids.CompletID{}, c.tripHopBudget(fmt.Sprintf("clone %s", target), target)
 		}
 		t := c.trackerFor(target, "")
 		local, next := t.point()
 		if local {
-			newID, err := c.cloneLocal(target, dest)
+			newID, err := c.cloneLocal(ctx, target, dest, opts)
 			if err == errStaleLocal {
 				continue
 			}
@@ -412,7 +466,7 @@ func (c *Core) cloneCommand(target ids.CompletID, dest ids.CoreID, hops int) (id
 		if err != nil {
 			return ids.CompletID{}, err
 		}
-		env, err := c.request(next, wire.KindClone, payload)
+		env, err := c.requestOpts(ctx, next, wire.KindClone, payload, opts)
 		if err != nil {
 			return ids.CompletID{}, fmt.Errorf("core: route clone of %s via %s: %w", target, next, err)
 		}
@@ -421,7 +475,7 @@ func (c *Core) cloneCommand(target ids.CompletID, dest ids.CoreID, hops int) (id
 			return ids.CompletID{}, err
 		}
 		if reply.Err != "" {
-			return ids.CompletID{}, fmt.Errorf("core: clone %s: %s", target, reply.Err)
+			return ids.CompletID{}, &peerError{msg: fmt.Sprintf("core: clone %s: %s", target, reply.Err)}
 		}
 		return reply.NewID, nil
 	}
@@ -429,7 +483,7 @@ func (c *Core) cloneCommand(target ids.CompletID, dest ids.CoreID, hops int) (id
 
 // cloneLocal ships a copy of a locally hosted complet to dest as a
 // single-entry Dup bundle and returns the copy's identity.
-func (c *Core) cloneLocal(target ids.CompletID, dest ids.CoreID) (ids.CompletID, error) {
+func (c *Core) cloneLocal(ctx context.Context, target ids.CompletID, dest ids.CoreID, opts ref.CallOptions) (ids.CompletID, error) {
 	entry, ok := c.lookup(target)
 	if !ok {
 		return ids.CompletID{}, errStaleLocal
@@ -453,7 +507,7 @@ func (c *Core) cloneLocal(target ids.CompletID, dest ids.CoreID) (ids.CompletID,
 	if err != nil {
 		return ids.CompletID{}, err
 	}
-	env, err := c.request(dest, wire.KindMove, payload)
+	env, err := c.requestOpts(ctx, dest, wire.KindMove, payload, opts)
 	if err != nil {
 		return ids.CompletID{}, fmt.Errorf("core: clone bundle to %s: %w", dest, err)
 	}
@@ -462,7 +516,7 @@ func (c *Core) cloneLocal(target ids.CompletID, dest ids.CoreID) (ids.CompletID,
 		return ids.CompletID{}, err
 	}
 	if reply.Err != "" {
-		return ids.CompletID{}, fmt.Errorf("core: clone to %s: %s", dest, reply.Err)
+		return ids.CompletID{}, &peerError{msg: fmt.Sprintf("core: clone to %s: %s", dest, reply.Err)}
 	}
 	newID, ok := reply.DupMap[target]
 	if !ok {
@@ -472,13 +526,13 @@ func (c *Core) cloneLocal(target ids.CompletID, dest ids.CoreID) (ids.CompletID,
 }
 
 // handleClone serves a routed clone command.
-func (c *Core) handleClone(env wire.Envelope) (wire.Kind, []byte, error) {
+func (c *Core) handleClone(ctx context.Context, env wire.Envelope) (wire.Kind, []byte, error) {
 	var req wire.CloneCommand
 	if err := wire.DecodePayload(env.Payload, &req); err != nil {
 		return 0, nil, err
 	}
 	reply := wire.CloneCommandReply{}
-	newID, err := c.cloneCommand(req.Target, req.Dest, req.Hops)
+	newID, err := c.cloneCommand(ctx, req.Target, req.Dest, req.Hops, ref.CallOptions{})
 	if err != nil {
 		reply.Err = err.Error()
 	} else {
@@ -522,12 +576,20 @@ type arrivedComplet struct {
 // decode every closure, assign fresh identities to duplicates, re-bind
 // references (dup → copies, stamp → equivalent local complets), install
 // complets and trackers, fire callbacks/events, then run the continuation.
-func (c *Core) handleMove(env wire.Envelope) (wire.Kind, []byte, error) {
+// The context carries the sender's remaining budget: an installation that
+// cannot start before the deadline is refused outright, so the sender keeps
+// the complets instead of racing a timed-out reply.
+func (c *Core) handleMove(ctx context.Context, env wire.Envelope) (wire.Kind, []byte, error) {
 	var req wire.MoveRequest
 	if err := wire.DecodePayload(env.Payload, &req); err != nil {
 		return 0, nil, err
 	}
-	reply := c.installBundle(env.From, req)
+	var reply wire.MoveReply
+	if err := ctx.Err(); err != nil {
+		reply.Err = fmt.Sprintf("bundle refused: %v", err)
+	} else {
+		reply = c.installBundle(env.From, req)
+	}
 	out, err := wire.EncodePayload(reply)
 	if err != nil {
 		return 0, nil, err
@@ -672,7 +734,12 @@ func (c *Core) runContinuation(entry *complet, method string, argBytes []byte) {
 		defer c.wg.Done()
 		resBytes := argBytes
 		if resBytes == nil {
-			resBytes, _, _ = wire.EncodeArgs(nil)
+			var err error
+			resBytes, _, err = wire.EncodeArgs(nil)
+			if err != nil {
+				c.opts.Logf("fargo core %s: continuation %s.%s: encode empty args: %v", c.id, entry.typeName, method, err)
+				return
+			}
 		}
 		if _, err := c.invokeLocal(entry.id, method, resBytes); err != nil {
 			c.opts.Logf("fargo core %s: continuation %s.%s: %v", c.id, entry.typeName, method, err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -84,12 +85,23 @@ func (c *Core) Names() []string {
 
 // NameAt binds a name in a remote core's naming service.
 func (c *Core) NameAt(dest ids.CoreID, name string, r *ref.Ref) error {
+	return c.NameAtCtx(context.Background(), dest, name, r)
+}
+
+// NameAtCtx is NameAt bounded by the caller's context. Name registration
+// replaces any previous binding, so a retry could not double-apply an
+// effect; it is still excluded from transparent retries because a replayed
+// stale registration can overwrite a newer one.
+func (c *Core) NameAtCtx(ctx context.Context, dest ids.CoreID, name string, r *ref.Ref, opts ...ref.InvokeOption) error {
 	if dest == c.id {
 		return c.Name(name, r)
 	}
 	if c.isClosed() {
 		return ErrClosed
 	}
+	o := ref.BuildCallOptions(opts)
+	ctx, cancel := c.withBudget(ctx, o.Timeout)
+	defer cancel()
 	desc, err := r.Descriptor()
 	if err != nil {
 		return err
@@ -98,22 +110,30 @@ func (c *Core) NameAt(dest ids.CoreID, name string, r *ref.Ref) error {
 	if err != nil {
 		return err
 	}
-	env, err := c.request(dest, wire.KindNameSet, payload)
+	env, err := c.requestOpts(ctx, dest, wire.KindNameSet, payload, o)
 	if err != nil {
-		return fmt.Errorf("core: name %q at %s: %w", name, dest, err)
+		return invokeErr(fmt.Sprintf("name %q at %s", name, dest), r.Target(), dest,
+			fmt.Errorf("core: name %q at %s: %w", name, dest, err))
 	}
 	var reply wire.NameSetReply
 	if err := wire.DecodePayload(env.Payload, &reply); err != nil {
 		return err
 	}
 	if reply.Err != "" {
-		return fmt.Errorf("core: name %q at %s: %s", name, dest, reply.Err)
+		return &peerError{msg: fmt.Sprintf("core: name %q at %s: %s", name, dest, reply.Err)}
 	}
 	return nil
 }
 
 // LookupAt resolves a name in a remote core's naming service.
 func (c *Core) LookupAt(dest ids.CoreID, name string) (*ref.Ref, bool, error) {
+	return c.LookupAtCtx(context.Background(), dest, name)
+}
+
+// LookupAtCtx is LookupAt bounded by the caller's context. Lookups are
+// idempotent and retried per the core's retry policy on transient transport
+// failures.
+func (c *Core) LookupAtCtx(ctx context.Context, dest ids.CoreID, name string, opts ...ref.InvokeOption) (*ref.Ref, bool, error) {
 	if dest == c.id {
 		r, ok := c.Lookup(name)
 		return r, ok, nil
@@ -121,20 +141,24 @@ func (c *Core) LookupAt(dest ids.CoreID, name string) (*ref.Ref, bool, error) {
 	if c.isClosed() {
 		return nil, false, ErrClosed
 	}
+	o := ref.BuildCallOptions(opts)
+	ctx, cancel := c.withBudget(ctx, o.Timeout)
+	defer cancel()
 	payload, err := wire.EncodePayload(wire.NameLookup{Name: name})
 	if err != nil {
 		return nil, false, err
 	}
-	env, err := c.request(dest, wire.KindNameLookup, payload)
+	env, err := c.requestOpts(ctx, dest, wire.KindNameLookup, payload, o)
 	if err != nil {
-		return nil, false, fmt.Errorf("core: lookup %q at %s: %w", name, dest, err)
+		return nil, false, invokeErr(fmt.Sprintf("lookup %q at %s", name, dest), ids.CompletID{}, dest,
+			fmt.Errorf("core: lookup %q at %s: %w", name, dest, err))
 	}
 	var reply wire.NameLookupReply
 	if err := wire.DecodePayload(env.Payload, &reply); err != nil {
 		return nil, false, err
 	}
 	if reply.Err != "" {
-		return nil, false, fmt.Errorf("core: lookup %q at %s: %s", name, dest, reply.Err)
+		return nil, false, &peerError{msg: fmt.Sprintf("core: lookup %q at %s: %s", name, dest, reply.Err)}
 	}
 	if !reply.Found {
 		return nil, false, nil

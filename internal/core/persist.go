@@ -212,7 +212,7 @@ func (c *Core) CheckpointRemote(dest ids.CoreID, path string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	env, err := c.request(dest, wire.KindCheckpoint, payload)
+	env, err := c.requestBG(dest, wire.KindCheckpoint, payload)
 	if err != nil {
 		return 0, fmt.Errorf("core: checkpoint %s: %w", dest, err)
 	}

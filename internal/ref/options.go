@@ -1,0 +1,76 @@
+package ref
+
+import "time"
+
+// CallOptions collects per-call tuning for the context-first invocation
+// entry points (Ref.InvokeCtx, Core.MoveCtx, …). The zero value means "use
+// the core's defaults": the core's RequestTimeout as the end-to-end budget
+// and its configured retry policy for idempotent request kinds.
+type CallOptions struct {
+	// Timeout is the end-to-end budget for the call. It is applied as a
+	// context deadline, so it tightens (never extends) a deadline already
+	// carried by the caller's context. Zero uses the core default.
+	Timeout time.Duration
+	// NoRetry disables transparent retries for this call even for
+	// idempotent request kinds.
+	NoRetry bool
+	// MaxAttempts overrides the retry policy's attempt budget for this
+	// call (0 = policy default). It only applies to idempotent kinds.
+	MaxAttempts int
+}
+
+// InvokeOption tunes one context-first call.
+type InvokeOption func(*CallOptions)
+
+// WithTimeout bounds the whole call (all tracker-chain hops included) by d.
+func WithTimeout(d time.Duration) InvokeOption {
+	return func(o *CallOptions) { o.Timeout = d }
+}
+
+// WithNoRetry disables transparent retries for the call.
+func WithNoRetry() InvokeOption {
+	return func(o *CallOptions) { o.NoRetry = true }
+}
+
+// WithMaxAttempts overrides the retry attempt budget for the call.
+func WithMaxAttempts(n int) InvokeOption {
+	return func(o *CallOptions) { o.MaxAttempts = n }
+}
+
+// BuildCallOptions folds a list of options into a CallOptions value.
+func BuildCallOptions(opts []InvokeOption) CallOptions {
+	var o CallOptions
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	return o
+}
+
+// SplitOptions peels InvokeOption values out of an invocation argument list,
+// so options can ride the variadic args of InvokeCtx without a separate
+// signature: r.InvokeCtx(ctx, "Print", fargo.WithTimeout(time.Second)).
+// Options are never meaningful as invocation parameters (they cannot be
+// encoded for the wire), so the split is unambiguous.
+func SplitOptions(args []any) ([]any, CallOptions) {
+	var o CallOptions
+	kept := args
+	copied := false
+	for i := 0; i < len(kept); {
+		opt, ok := kept[i].(InvokeOption)
+		if !ok {
+			i++
+			continue
+		}
+		if opt != nil {
+			opt(&o)
+		}
+		if !copied {
+			kept = append([]any(nil), kept...)
+			copied = true
+		}
+		kept = append(kept[:i], kept[i+1:]...)
+	}
+	return kept, o
+}

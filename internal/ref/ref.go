@@ -2,6 +2,7 @@ package ref
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -19,10 +20,14 @@ var ErrUnbound = errors.New("ref: reference not bound to a core")
 // that the ref package has no dependency on the core package.
 type Binder interface {
 	// InvokeRef routes an invocation to the reference's (possibly remote,
-	// possibly moving) target anchor.
-	InvokeRef(r *Ref, method string, args []any) ([]any, error)
-	// Locate returns the core currently hosting the reference's target.
-	Locate(r *Ref) (ids.CoreID, error)
+	// possibly moving) target anchor. The context bounds the whole call —
+	// every tracker-chain hop deducts from the same deadline — and
+	// cancelling it aborts the wait for a pending reply. opts carries
+	// per-call tuning (timeout default, retry overrides).
+	InvokeRef(ctx context.Context, r *Ref, method string, args []any, opts CallOptions) ([]any, error)
+	// Locate returns the core currently hosting the reference's target,
+	// bounded by the context.
+	Locate(ctx context.Context, r *Ref) (ids.CoreID, error)
 	// BinderCore identifies the core this binder belongs to.
 	BinderCore() ids.CoreID
 }
@@ -138,15 +143,32 @@ func (r *Ref) Retarget(target ids.CompletID, anchorType string, hint ids.CoreID)
 
 // Invoke calls the named method on the target anchor. Parameters are passed
 // by value (deep copy) except complet references, which are passed by
-// reference with their relocator degraded to link (§3.1).
+// reference with their relocator degraded to link (§3.1). The call is
+// bounded by the core's default request budget; use InvokeCtx to supply a
+// deadline or cancellation of your own.
 func (r *Ref) Invoke(method string, args ...any) ([]any, error) {
+	return r.InvokeCtx(context.Background(), method, args...)
+}
+
+// InvokeCtx calls the named method on the target anchor under the caller's
+// context. The context's deadline bounds the whole call end to end: it
+// travels on the wire, so a multi-hop tracker chain deducts elapsed time at
+// every hop instead of restarting the clock, and cancelling the context
+// aborts the wait for an in-flight invocation or a concurrent relocation.
+// Trailing InvokeOption values (WithTimeout, WithNoRetry, WithMaxAttempts)
+// may be passed among args; they tune this call and are not transmitted.
+func (r *Ref) InvokeCtx(ctx context.Context, method string, args ...any) ([]any, error) {
 	r.mu.Lock()
 	b := r.binder
 	r.mu.Unlock()
 	if b == nil {
 		return nil, fmt.Errorf("invoke %s on %s: %w", method, r.target, ErrUnbound)
 	}
-	return b.InvokeRef(r, method, args)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	callArgs, opts := SplitOptions(args)
+	return b.InvokeRef(ctx, r, method, callArgs, opts)
 }
 
 // Meta returns the reference's meta-reference (§3.2), which reifies and
@@ -194,13 +216,21 @@ func (m *MetaRef) Target() ids.CompletID { return m.ref.Target() }
 // Location resolves the current location of the referenced complet by asking
 // the runtime (following tracker chains if necessary).
 func (m *MetaRef) Location() (ids.CoreID, error) {
+	return m.LocationCtx(context.Background())
+}
+
+// LocationCtx is Location bounded by the caller's context.
+func (m *MetaRef) LocationCtx(ctx context.Context) (ids.CoreID, error) {
 	m.ref.mu.Lock()
 	b := m.ref.binder
 	m.ref.mu.Unlock()
 	if b == nil {
 		return "", ErrUnbound
 	}
-	return b.Locate(m.ref)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return b.Locate(ctx, m.ref)
 }
 
 // Descriptor is the wire form of a complet reference: enough to rebuild a

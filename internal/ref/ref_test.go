@@ -2,6 +2,7 @@ package ref
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"strings"
@@ -14,20 +15,22 @@ import (
 type fakeBinder struct {
 	core    ids.CoreID
 	invoked []string
+	opts    []CallOptions
 	locate  ids.CoreID
 	err     error
 }
 
-func (f *fakeBinder) InvokeRef(r *Ref, method string, args []any) ([]any, error) {
+func (f *fakeBinder) InvokeRef(ctx context.Context, r *Ref, method string, args []any, opts CallOptions) ([]any, error) {
 	f.invoked = append(f.invoked, method)
+	f.opts = append(f.opts, opts)
 	if f.err != nil {
 		return nil, f.err
 	}
 	return []any{"ok"}, nil
 }
 
-func (f *fakeBinder) Locate(r *Ref) (ids.CoreID, error) { return f.locate, f.err }
-func (f *fakeBinder) BinderCore() ids.CoreID            { return f.core }
+func (f *fakeBinder) Locate(ctx context.Context, r *Ref) (ids.CoreID, error) { return f.locate, f.err }
+func (f *fakeBinder) BinderCore() ids.CoreID                                 { return f.core }
 
 var _ Binder = (*fakeBinder)(nil)
 

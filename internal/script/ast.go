@@ -154,6 +154,21 @@ func (m *MoveAction) String() string {
 	return fmt.Sprintf("move %s to %s", what, dest)
 }
 
+// TimeoutAction bounds the remaining actions of the current rule firing:
+// `timeout(250)` gives each subsequent move in this firing at most 250 ms
+// before it is cancelled. The budget applies per action, not cumulatively,
+// and resets at the next firing. Runtimes that do not implement CtxRuntime
+// ignore it.
+type TimeoutAction struct {
+	Line   int
+	Millis float64
+}
+
+func (*TimeoutAction) action() {}
+
+// String renders the action in source syntax.
+func (t *TimeoutAction) String() string { return fmt.Sprintf("timeout(%g)", t.Millis) }
+
 // LogAction prints a value through the runtime: `log expr`.
 type LogAction struct {
 	Line int

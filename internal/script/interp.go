@@ -1,6 +1,7 @@
 package script
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -39,6 +40,18 @@ type Runtime interface {
 	Logf(format string, args ...any)
 }
 
+// CtxRuntime is an optional capability interface: runtimes that support
+// deadline-bounded relocation implement it alongside Runtime. When a rule
+// firing executes a `timeout(ms)` action, subsequent moves in that firing go
+// through MoveCompletCtx with a context carrying the deadline. Runtimes
+// without the capability fall back to the unbounded MoveComplet, so existing
+// Runtime implementations keep working unchanged.
+type CtxRuntime interface {
+	// MoveCompletCtx relocates the complet like Runtime.MoveComplet, but
+	// gives up (and reports why) once ctx ends.
+	MoveCompletCtx(ctx context.Context, target, dest string) error
+}
+
 // ActionFunc is a user-registered extension action (§4.3: "the action part
 // can be extended with any user-defined class").
 type ActionFunc func(rt Runtime, args []Value) error
@@ -56,7 +69,7 @@ func RegisterAction(name string, fn ActionFunc) error {
 		return fmt.Errorf("script: action name and func required")
 	}
 	switch name {
-	case kwMove, kwLog, kwOn, kwEnd, kwDo:
+	case kwMove, kwLog, kwOn, kwEnd, kwDo, kwTimeout:
 		return fmt.Errorf("script: %q is reserved", name)
 	}
 	actionRegistry.Lock()
@@ -320,8 +333,11 @@ func (i *Instance) armRule(env *environment, r *Rule) error {
 		i.mu.Lock()
 		i.fired++
 		i.mu.Unlock()
+		// Action budget is per firing: a timeout(ms) action bounds the
+		// moves that follow it in this firing only.
+		st := &fireState{}
 		for _, a := range r.Actions {
-			if err := i.execAction(scope, a); err != nil {
+			if err := i.execAction(scope, a, st); err != nil {
 				env.rt.Logf("script: rule %q (line %d): %v", r.Event, r.Line, err)
 			}
 		}
@@ -477,7 +493,26 @@ func (i *Instance) evalGuard(env *environment, g Guard, source string) (bool, er
 	}
 }
 
-func (i *Instance) execAction(env *environment, a Action) error {
+// fireState carries per-firing action state: the move deadline set by a
+// preceding timeout(ms) action (0 = unbounded).
+type fireState struct {
+	timeout time.Duration
+}
+
+// moveWith runs one relocation, bounded by the firing's timeout when the
+// runtime supports deadline-aware moves.
+func (st *fireState) moveWith(rt Runtime, target, dest string) error {
+	if st.timeout > 0 {
+		if cr, ok := rt.(CtxRuntime); ok {
+			ctx, cancel := context.WithTimeout(context.Background(), st.timeout)
+			defer cancel()
+			return cr.MoveCompletCtx(ctx, target, dest)
+		}
+	}
+	return rt.MoveComplet(target, dest)
+}
+
+func (i *Instance) execAction(env *environment, a Action, st *fireState) error {
 	switch act := a.(type) {
 	case *LogAction:
 		v, err := env.eval(act.Val)
@@ -485,6 +520,9 @@ func (i *Instance) execAction(env *environment, a Action) error {
 			return err
 		}
 		env.rt.Logf("script: %v", v)
+		return nil
+	case *TimeoutAction:
+		st.timeout = time.Duration(act.Millis * float64(time.Millisecond))
 		return nil
 	case *MoveAction:
 		dest, err := env.evalString(act.Dest)
@@ -508,7 +546,7 @@ func (i *Instance) execAction(env *environment, a Action) error {
 			}
 			var firstErr error
 			for _, t := range targets {
-				if err := env.rt.MoveComplet(t, dest); err != nil && firstErr == nil {
+				if err := st.moveWith(env.rt, t, dest); err != nil && firstErr == nil {
 					firstErr = err
 				}
 			}
@@ -518,7 +556,7 @@ func (i *Instance) execAction(env *environment, a Action) error {
 		if err != nil {
 			return err
 		}
-		return env.rt.MoveComplet(target, dest)
+		return st.moveWith(env.rt, target, dest)
 	case *CallAction:
 		fn, ok := lookupAction(act.Name)
 		if !ok {

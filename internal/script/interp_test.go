@@ -1,6 +1,7 @@
 package script
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -432,5 +433,148 @@ func TestFormatValue(t *testing.T) {
 	}
 	if FormatValue([]Value{"a", "b"}) != "[a, b]" {
 		t.Errorf("list formatting = %q", FormatValue([]Value{"a", "b"}))
+	}
+}
+
+// ctxFakeRuntime adds the CtxRuntime capability to fakeRuntime, recording
+// the deadline each bounded move carried.
+type ctxFakeRuntime struct {
+	*fakeRuntime
+	ctxMoves     []string
+	hadDeadlines []bool
+	budgets      []time.Duration
+}
+
+func (f *ctxFakeRuntime) MoveCompletCtx(ctx context.Context, target, dest string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ctxMoves = append(f.ctxMoves, target+"->"+dest)
+	dl, ok := ctx.Deadline()
+	f.hadDeadlines = append(f.hadDeadlines, ok)
+	if ok {
+		f.budgets = append(f.budgets, time.Until(dl))
+	}
+	return nil
+}
+
+func TestTimeoutActionParsesAndRoundtrips(t *testing.T) {
+	src := `on shutdown firedby $c do
+    timeout(250)
+    move app to backup
+end`
+	ast, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := ast.Stmts[0].(*Rule)
+	if len(rule.Actions) != 2 {
+		t.Fatalf("actions = %d, want 2", len(rule.Actions))
+	}
+	ta, ok := rule.Actions[0].(*TimeoutAction)
+	if !ok {
+		t.Fatalf("first action is %T, want *TimeoutAction", rule.Actions[0])
+	}
+	if ta.Millis != 250 {
+		t.Fatalf("timeout = %g ms, want 250", ta.Millis)
+	}
+	printed := ast.String()
+	ast2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("printed script does not re-parse: %v\n%s", err, printed)
+	}
+	if ast2.String() != printed {
+		t.Fatalf("not a fixed point:\n%s\n---\n%s", printed, ast2.String())
+	}
+}
+
+func TestTimeoutParseErrors(t *testing.T) {
+	for _, src := range []string{
+		`on shutdown do timeout() move a to b end`,
+		`on shutdown do timeout(-5) move a to b end`,
+		`on shutdown do timeout(0) move a to b end`,
+		`on shutdown do timeout move a to b end`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestTimeoutIsReservedActionName(t *testing.T) {
+	if err := RegisterAction("timeout", func(Runtime, []Value) error { return nil }); err == nil {
+		t.Fatal("registering an extension action named timeout must fail")
+	}
+}
+
+func TestTimeoutBoundsSubsequentMoves(t *testing.T) {
+	rt := &ctxFakeRuntime{fakeRuntime: newFakeRuntime()}
+	inst, err := Run(`on shutdown firedby $c do
+    move a/#1 to north
+    timeout(250)
+    move a/#2 to south
+end`, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	rt.fireBuiltin("coreShutdown", "local", "east")
+
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	// The pre-timeout move takes the unbounded path.
+	if len(rt.moves) != 1 || rt.moves[0] != "a/#1->north" {
+		t.Fatalf("unbounded moves = %v", rt.moves)
+	}
+	// The post-timeout move goes through MoveCompletCtx with ~250ms left.
+	if len(rt.ctxMoves) != 1 || rt.ctxMoves[0] != "a/#2->south" {
+		t.Fatalf("bounded moves = %v", rt.ctxMoves)
+	}
+	if !rt.hadDeadlines[0] {
+		t.Fatal("bounded move carried no deadline")
+	}
+	if b := rt.budgets[0]; b <= 0 || b > 250*time.Millisecond {
+		t.Fatalf("deadline budget = %v, want within (0, 250ms]", b)
+	}
+}
+
+func TestTimeoutFallsBackWithoutCtxRuntime(t *testing.T) {
+	// A runtime without the CtxRuntime capability still executes the move,
+	// just unbounded.
+	rt := newFakeRuntime()
+	inst, err := Run(`on shutdown do
+    timeout(100)
+    move a/#1 to north
+end`, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	rt.fireBuiltin("coreShutdown", "local", "east")
+	if moves := rt.movesSnapshot(); len(moves) != 1 || moves[0] != "a/#1->north" {
+		t.Fatalf("moves = %v", moves)
+	}
+}
+
+func TestTimeoutResetsPerFiring(t *testing.T) {
+	rt := &ctxFakeRuntime{fakeRuntime: newFakeRuntime()}
+	inst, err := Run(`on shutdown do
+    timeout(50)
+    move a/#1 to north
+end`, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	rt.fireBuiltin("coreShutdown", "local", "east")
+	rt.fireBuiltin("coreShutdown", "local", "east")
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(rt.ctxMoves) != 2 {
+		t.Fatalf("bounded moves = %v", rt.ctxMoves)
+	}
+	for i, had := range rt.hadDeadlines {
+		if !had {
+			t.Fatalf("firing %d: move carried no deadline", i)
+		}
 	}
 }

@@ -22,6 +22,7 @@ const (
 	kwCoreOf     = "coreOf"
 	kwWhen       = "when"
 	kwAt         = "at"
+	kwTimeout    = "timeout"
 )
 
 // Parse turns script source into an AST.
@@ -273,6 +274,23 @@ func (p *parser) parseAction() (Action, error) {
 	switch t.Text {
 	case kwMove:
 		return p.parseMove()
+	case kwTimeout:
+		p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		num, err := p.expect(TokNumber)
+		if err != nil {
+			return nil, err
+		}
+		ms, err := strconv.ParseFloat(num.Text, 64)
+		if err != nil || ms <= 0 {
+			return nil, p.errf(num, "bad timeout %q (milliseconds)", num.Text)
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &TimeoutAction{Line: t.Line, Millis: ms}, nil
 	case kwLog:
 		p.next()
 		val, err := p.parseExpr()

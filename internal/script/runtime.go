@@ -1,6 +1,7 @@
 package script
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -16,7 +17,10 @@ type CoreRuntime struct {
 	logf func(format string, args ...any)
 }
 
-var _ Runtime = (*CoreRuntime)(nil)
+var (
+	_ Runtime    = (*CoreRuntime)(nil)
+	_ CtxRuntime = (*CoreRuntime)(nil)
+)
 
 // NewCoreRuntime wraps a core. logf receives log-action output (nil uses the
 // core's logger configuration via fmt to standard log).
@@ -142,6 +146,16 @@ func (r *CoreRuntime) MoveComplet(target, dest string) error {
 		return err
 	}
 	return r.c.MoveByID(id, ids.CoreID(dest))
+}
+
+// MoveCompletCtx implements CtxRuntime: the move is abandoned (sender keeps
+// the complet) once ctx ends.
+func (r *CoreRuntime) MoveCompletCtx(ctx context.Context, target, dest string) error {
+	id, err := r.resolveComplet(target)
+	if err != nil {
+		return err
+	}
+	return r.c.MoveByIDCtx(ctx, id, ids.CoreID(dest))
 }
 
 // Measure implements Runtime: one instant profiling measurement, with

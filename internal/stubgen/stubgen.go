@@ -9,8 +9,12 @@
 //
 //	type MessageStub struct{ Ref *ref.Ref }
 //	func (s MessageStub) Print() (string, error) { ... }
+//	func (s MessageStub) PrintCtx(ctx context.Context, opts ...ref.InvokeOption) (string, error) { ... }
 //
 // plus a typed spawn function when the anchor declares an Init constructor.
+// Every method comes in two flavors: the plain one runs under the core's
+// default request budget, while the Ctx variant threads the caller's
+// context (deadline, cancellation) and per-call options end to end.
 // Dynamic Invoke remains available for tooling; generated stubs restore the
 // paper's syntactic transparency for application code.
 package stubgen
@@ -233,7 +237,7 @@ func Generate(a *Anchor, refImport string) ([]byte, error) {
 	fmt.Fprintf(&b, "// method, since every invocation may cross the network) and delegates to\n")
 	fmt.Fprintf(&b, "// the tracked complet reference — the paper's compiler-generated stub.\n")
 	fmt.Fprintf(&b, "package %s\n\n", a.Package)
-	fmt.Fprintf(&b, "import (\n\t\"fmt\"\n\n\tref %q\n)\n\n", refImport)
+	fmt.Fprintf(&b, "import (\n\t\"context\"\n\t\"fmt\"\n\n\tref %q\n)\n\n", refImport)
 
 	fmt.Fprintf(&b, "// %s is a typed stub for %s complets.\n", stubName, a.Name)
 	fmt.Fprintf(&b, "type %s struct {\n\tRef *ref.Ref\n}\n\n", stubName)
@@ -256,9 +260,7 @@ func Generate(a *Anchor, refImport string) ([]byte, error) {
 		}
 		rets := append([]string{}, m.Results...)
 		rets = append(rets, "error")
-		fmt.Fprintf(&b, "// %s invokes %s.%s through the reference.\n", m.Name, a.Name, m.Name)
-		fmt.Fprintf(&b, "func (s %s) %s(%s) (%s) {\n",
-			stubName, m.Name, strings.Join(params, ", "), strings.Join(rets, ", "))
+		retList := strings.Join(rets, ", ")
 		zeroReturns := func(errExpr string) string {
 			outs := make([]string, 0, len(m.Results)+1)
 			for i := range m.Results {
@@ -267,14 +269,33 @@ func Generate(a *Anchor, refImport string) ([]byte, error) {
 			outs = append(outs, errExpr)
 			return strings.Join(outs, ", ")
 		}
+
+		// Plain variant: runs under the core's default request budget.
+		fmt.Fprintf(&b, "// %s invokes %s.%s through the reference under the core's\n// default request budget.\n", m.Name, a.Name, m.Name)
+		fmt.Fprintf(&b, "func (s %s) %s(%s) (%s) {\n", stubName, m.Name, strings.Join(params, ", "), retList)
+		delegate := "s." + m.Name + "Ctx(context.Background()"
+		if len(argNames) > 0 {
+			delegate += ", " + strings.Join(argNames, ", ")
+		}
+		delegate += ")"
+		fmt.Fprintf(&b, "\treturn %s\n}\n\n", delegate)
+
+		// Ctx variant: the caller's deadline/cancellation and per-call
+		// options travel with the invocation.
+		ctxParams := append([]string{"ctx context.Context"}, params...)
+		ctxParams = append(ctxParams, "opts ...ref.InvokeOption")
+		fmt.Fprintf(&b, "// %sCtx invokes %s.%s under the caller's context: its deadline\n// and cancellation bound the whole invocation, including forwarding hops.\n", m.Name, a.Name, m.Name)
+		fmt.Fprintf(&b, "func (s %s) %sCtx(%s) (%s) {\n",
+			stubName, m.Name, strings.Join(ctxParams, ", "), retList)
 		for i, r := range m.Results {
 			fmt.Fprintf(&b, "\tvar r%d %s\n", i, r)
 		}
-		call := "s.Ref.Invoke(\"" + m.Name + "\""
-		if len(argNames) > 0 {
-			call += ", " + strings.Join(argNames, ", ")
+		fmt.Fprintf(&b, "\tcallArgs := make([]any, 0, %d+len(opts))\n", len(argNames))
+		for _, n := range argNames {
+			fmt.Fprintf(&b, "\tcallArgs = append(callArgs, %s)\n", n)
 		}
-		call += ")"
+		fmt.Fprintf(&b, "\tfor _, o := range opts {\n\t\tcallArgs = append(callArgs, o)\n\t}\n")
+		call := fmt.Sprintf("s.Ref.InvokeCtx(ctx, %q, callArgs...)", m.Name)
 		if len(m.Results) == 0 {
 			fmt.Fprintf(&b, "\t_, err := %s\n\treturn %s\n}\n\n", call, zeroReturns("err"))
 			continue

@@ -115,6 +115,10 @@ func TestGenerateCompilesSyntactically(t *testing.T) {
 		"func (s MessageStub) Set(msg string) error",
 		"func (s MessageStub) Both() (string, int, error)",
 		"func (s MessageStub) Div(a int, b int) (int, error)",
+		"func (s MessageStub) PrintCtx(ctx context.Context, opts ...ref.InvokeOption) (string, error)",
+		"func (s MessageStub) SetCtx(ctx context.Context, msg string, opts ...ref.InvokeOption) error",
+		"func (s MessageStub) DivCtx(ctx context.Context, a int, b int, opts ...ref.InvokeOption) (int, error)",
+		"s.Ref.InvokeCtx(ctx, \"Print\", callArgs...)",
 		"NOTE: anchor method Sum",
 	} {
 		if !strings.Contains(src, want) {

@@ -71,6 +71,7 @@ func (s *Sim) Request(ctx context.Context, to ids.CoreID, kind wire.Kind, payloa
 	}
 	id, ch := s.pending.register()
 	env := wire.Envelope{From: s.self, Req: id, Kind: kind, Payload: payload}
+	stampDeadline(ctx, &env)
 	data, err := wire.EncodeEnvelope(env)
 	if err != nil {
 		s.pending.cancel(id)
@@ -158,7 +159,9 @@ func (s *Sim) serve(h Handler, env wire.Envelope) {
 	if h == nil {
 		err = ErrNoHandler
 	} else {
-		kind, payload, err = h(env)
+		ctx, cancel := handlerContext(env)
+		kind, payload, err = h(ctx, env)
+		cancel()
 	}
 	if env.Req == 0 {
 		return // notification: nothing to reply to

@@ -239,7 +239,9 @@ func (t *TCP) serve(h Handler, env wire.Envelope) {
 	if h == nil {
 		err = ErrNoHandler
 	} else {
-		kind, payload, err = h(env)
+		ctx, cancel := handlerContext(env)
+		kind, payload, err = h(ctx, env)
+		cancel()
 	}
 	if env.Req == 0 {
 		return
@@ -266,6 +268,7 @@ func (t *TCP) Request(ctx context.Context, to ids.CoreID, kind wire.Kind, payloa
 	}
 	id, ch := t.pending.register()
 	env := wire.Envelope{From: t.self, Req: id, Kind: kind, Payload: payload}
+	stampDeadline(ctx, &env)
 	conn, err := t.send(to, env)
 	if err != nil {
 		t.pending.cancel(id)

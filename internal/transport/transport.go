@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"fargo/internal/ids"
 	"fargo/internal/wire"
@@ -44,8 +45,28 @@ func (e *RemoteError) Error() string {
 
 // Handler processes one incoming request envelope and returns the reply
 // payload kind and bytes. Handlers run on their own goroutines; returning an
-// error sends a KindError reply to the requester.
-type Handler func(env wire.Envelope) (wire.Kind, []byte, error)
+// error sends a KindError reply to the requester. The context carries the
+// request's remaining end-to-end budget (derived from the envelope's wire
+// deadline), so handlers that issue further requests deduct elapsed time
+// instead of resetting the clock.
+type Handler func(ctx context.Context, env wire.Envelope) (wire.Kind, []byte, error)
+
+// handlerContext derives the serving context for an incoming request from
+// its wire deadline (context.Background when the request carries none).
+func handlerContext(env wire.Envelope) (context.Context, context.CancelFunc) {
+	if env.Deadline > 0 {
+		return context.WithDeadline(context.Background(), time.Unix(0, env.Deadline))
+	}
+	return context.WithCancel(context.Background())
+}
+
+// stampDeadline records the context's deadline (if any) on an outgoing
+// request envelope so it travels on the wire.
+func stampDeadline(ctx context.Context, env *wire.Envelope) {
+	if dl, ok := ctx.Deadline(); ok {
+		env.Deadline = dl.UnixNano()
+	}
+}
 
 // Transport moves envelopes between cores.
 type Transport interface {

@@ -58,7 +58,7 @@ func flavors(t *testing.T, fn func(t *testing.T, flavor string)) {
 }
 
 // echoHandler replies to pings with pongs and errors on anything else.
-func echoHandler(env wire.Envelope) (wire.Kind, []byte, error) {
+func echoHandler(_ context.Context, env wire.Envelope) (wire.Kind, []byte, error) {
 	switch env.Kind {
 	case wire.KindPing:
 		var p wire.Ping
@@ -161,7 +161,7 @@ func TestBidirectional(t *testing.T) {
 func TestHandlerErrorBecomesRemoteError(t *testing.T) {
 	flavors(t, func(t *testing.T, flavor string) {
 		a, b := pair(t, flavor)
-		b.SetHandler(func(env wire.Envelope) (wire.Kind, []byte, error) {
+		b.SetHandler(func(_ context.Context, env wire.Envelope) (wire.Kind, []byte, error) {
 			return 0, nil, errors.New("kaboom")
 		})
 		_, err := a.Request(context.Background(), b.Self(), wire.KindPing, nil)
@@ -191,7 +191,7 @@ func TestNotifyOneWay(t *testing.T) {
 	flavors(t, func(t *testing.T, flavor string) {
 		a, b := pair(t, flavor)
 		got := make(chan wire.Envelope, 1)
-		b.SetHandler(func(env wire.Envelope) (wire.Kind, []byte, error) {
+		b.SetHandler(func(_ context.Context, env wire.Envelope) (wire.Kind, []byte, error) {
 			select {
 			case got <- env:
 			default:
@@ -218,7 +218,7 @@ func TestNotifyOneWay(t *testing.T) {
 func TestRequestContextCancel(t *testing.T) {
 	flavors(t, func(t *testing.T, flavor string) {
 		a, b := pair(t, flavor)
-		b.SetHandler(func(env wire.Envelope) (wire.Kind, []byte, error) {
+		b.SetHandler(func(_ context.Context, env wire.Envelope) (wire.Kind, []byte, error) {
 			time.Sleep(time.Second) // never answers in time
 			return wire.KindPong, nil, nil
 		})
@@ -399,7 +399,7 @@ func TestAddrBook(t *testing.T) {
 func TestLargePayload(t *testing.T) {
 	flavors(t, func(t *testing.T, flavor string) {
 		a, b := pair(t, flavor)
-		b.SetHandler(func(env wire.Envelope) (wire.Kind, []byte, error) {
+		b.SetHandler(func(_ context.Context, env wire.Envelope) (wire.Kind, []byte, error) {
 			var p wire.Ping
 			if err := wire.DecodePayload(env.Payload, &p); err != nil {
 				return 0, nil, err
@@ -424,6 +424,50 @@ func TestLargePayload(t *testing.T) {
 		}
 		if pong.Seq != uint64(len(big)) {
 			t.Fatalf("peer saw %d bytes, want %d", pong.Seq, len(big))
+		}
+	})
+}
+
+func TestDeadlineTravelsToHandler(t *testing.T) {
+	flavors(t, func(t *testing.T, flavor string) {
+		a, b := pair(t, flavor)
+		got := make(chan time.Duration, 1)
+		b.SetHandler(func(ctx context.Context, env wire.Envelope) (wire.Kind, []byte, error) {
+			if dl, ok := ctx.Deadline(); ok {
+				got <- time.Until(dl)
+			} else {
+				got <- -1
+			}
+			return wire.KindPong, nil, nil
+		})
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if _, err := a.Request(ctx, b.Self(), wire.KindPing, nil); err != nil {
+			t.Fatal(err)
+		}
+		// The handler must see the caller's remaining budget, not a fresh
+		// clock: positive, but no more than what the caller started with.
+		rem := <-got
+		if rem <= 0 || rem > 2*time.Second {
+			t.Fatalf("handler saw remaining budget %v, want within (0, 2s]", rem)
+		}
+	})
+}
+
+func TestNoCallerDeadlineMeansNoHandlerDeadline(t *testing.T) {
+	flavors(t, func(t *testing.T, flavor string) {
+		a, b := pair(t, flavor)
+		got := make(chan bool, 1)
+		b.SetHandler(func(ctx context.Context, env wire.Envelope) (wire.Kind, []byte, error) {
+			_, ok := ctx.Deadline()
+			got <- ok
+			return wire.KindPong, nil, nil
+		})
+		if _, err := a.Request(context.Background(), b.Self(), wire.KindPing, nil); err != nil {
+			t.Fatal(err)
+		}
+		if <-got {
+			t.Fatal("handler saw a deadline for a request that carried none")
 		}
 	})
 }

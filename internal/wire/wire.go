@@ -100,7 +100,14 @@ type Envelope struct {
 	Req     ids.RequestID
 	IsReply bool
 	Kind    Kind
-	Payload []byte
+	// Deadline is the absolute end-to-end deadline of the request in Unix
+	// nanoseconds (0 = none). It travels with the request so that every
+	// forwarding hop of a tracker chain deducts the time already spent
+	// instead of restarting the clock (§3.1 chains with bounded calls).
+	// Cores on one host (netsim) share a clock; TCP deployments assume
+	// the loosely synchronized clocks of a LAN, the paper's setting.
+	Deadline int64
+	Payload  []byte
 }
 
 // --- payload structs -------------------------------------------------------
@@ -127,6 +134,11 @@ type InvokeReply struct {
 	// Results is a result vector encoded by EncodeArgs.
 	Results []byte
 	Err     string
+	// ErrCause carries the serving core's failure classification
+	// (core.Cause) alongside Err, so a caller several chain hops away can
+	// distinguish an application error from a timeout or unreachable tail
+	// further down the chain. Zero means unclassified.
+	ErrCause int
 	// Location is where the target actually executed.
 	Location ids.CoreID
 	// Hops echoes the total chain length the request traversed.

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"encoding/gob"
 	"strings"
 	"sync"
@@ -13,9 +14,11 @@ import (
 
 type testBinder struct{ core ids.CoreID }
 
-func (b *testBinder) InvokeRef(*ref.Ref, string, []any) ([]any, error) { return nil, nil }
-func (b *testBinder) Locate(*ref.Ref) (ids.CoreID, error)              { return b.core, nil }
-func (b *testBinder) BinderCore() ids.CoreID                           { return b.core }
+func (b *testBinder) InvokeRef(context.Context, *ref.Ref, string, []any, ref.CallOptions) ([]any, error) {
+	return nil, nil
+}
+func (b *testBinder) Locate(context.Context, *ref.Ref) (ids.CoreID, error) { return b.core, nil }
+func (b *testBinder) BinderCore() ids.CoreID                               { return b.core }
 
 func cid(seq uint64) ids.CompletID { return ids.CompletID{Birth: "a", Seq: seq} }
 

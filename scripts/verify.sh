@@ -1,0 +1,15 @@
+#!/bin/sh
+# verify.sh — static analysis + race-detector pass over the pipeline packages.
+# The full tier-1 suite is `go build ./... && go test ./...`; this script adds
+# `go vet` and runs the packages with the most concurrency (invocation,
+# movement, retry/backoff, transport deadline stamping) under -race.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./internal/core ./internal/transport"
+go test -race ./internal/core ./internal/transport
+
+echo "verify: OK"
