@@ -136,6 +136,8 @@ const (
 	EventCompletDeparted   = core.EventCompletDeparted
 	EventCoreShutdown      = core.EventCoreShutdown
 	EventCoreUnreachable   = core.EventCoreUnreachable
+	EventCoreReachable     = core.EventCoreReachable
+	EventChainRepaired     = core.EventChainRepaired
 	EventHopBudgetExceeded = core.EventHopBudgetExceeded
 )
 
@@ -181,6 +183,24 @@ type RetryPolicy = core.RetryPolicy
 
 // DefaultRetryPolicy returns the policy used when Options.Retry is zero.
 func DefaultRetryPolicy() RetryPolicy { return core.DefaultRetryPolicy() }
+
+// BreakerPolicy tunes the per-peer circuit breakers (Options.Breaker): after
+// Threshold consecutive unreachable operations a peer's circuit opens and
+// calls to it fail fast with ErrPeerSuspected until a probe (a heartbeat ping
+// or a half-open trial after OpenFor) shows the peer answering again.
+type BreakerPolicy = core.BreakerPolicy
+
+// DefaultBreakerPolicy returns the policy used when Options.Breaker is zero.
+func DefaultBreakerPolicy() BreakerPolicy { return core.DefaultBreakerPolicy() }
+
+// ErrPeerSuspected is returned (wrapped in *InvokeError, cause unreachable)
+// when a call is refused locally because the peer's circuit breaker is open.
+var ErrPeerSuspected = core.ErrPeerSuspected
+
+// FaultyTransport wraps any transport with per-peer fault injection — drop,
+// delay, duplication, and hard partitions — for chaos and recovery testing.
+// See Universe.NewCoreFaulty and transport.NewFaulty.
+type FaultyTransport = transport.Faulty
 
 // MoveContext gives user-defined relocators the facts of an ongoing move.
 type MoveContext = ref.MoveContext
@@ -251,6 +271,32 @@ func (u *Universe) NewCore(name string, opts ...Options) (*Core, error) {
 	}
 	u.cores[ids.CoreID(name)] = c
 	return c, nil
+}
+
+// NewCoreFaulty starts a core on the simulated network with its transport
+// wrapped in a fault injector. The returned FaultyTransport controls the
+// faults the core's OUTBOUND messages suffer (partition, drop, delay,
+// duplication); the seed makes probabilistic faults reproducible.
+func (u *Universe) NewCoreFaulty(name string, seed int64, opts ...Options) (*Core, *FaultyTransport, error) {
+	var o Options
+	if len(opts) > 1 {
+		return nil, nil, fmt.Errorf("fargo: at most one Options value")
+	}
+	if len(opts) == 1 {
+		o = opts[0]
+	}
+	tr, err := transport.NewSim(u.net, ids.CoreID(name))
+	if err != nil {
+		return nil, nil, err
+	}
+	faulty := transport.NewFaulty(tr, seed)
+	c, err := core.New(faulty, u.reg, o)
+	if err != nil {
+		_ = faulty.Close()
+		return nil, nil, err
+	}
+	u.cores[ids.CoreID(name)] = c
+	return c, faulty, nil
 }
 
 // Core returns a previously created core by name.

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fargo/internal/ids"
+)
+
+// ErrPeerSuspected is returned (wrapped) when a request is refused locally
+// because the peer's circuit breaker is open: recent traffic to that peer
+// failed with unreachability, so instead of burning a full deadline per call
+// the core fails fast until a probe shows the peer answering again.
+var ErrPeerSuspected = errors.New("core: peer suspected down (circuit open)")
+
+// BreakerPolicy tunes the per-peer circuit breakers. A breaker counts
+// consecutive operations that ended in unreachability (classifyCause ==
+// CauseUnreachable); it is fed per operation, not per transport attempt, so
+// one flapping-link operation that eventually succeeds counts as a success.
+// Timeouts and cancellations are inconclusive — the budget may simply have
+// been too small — and neither trip nor close a breaker.
+type BreakerPolicy struct {
+	// Threshold is the number of consecutive unreachable operations that
+	// opens the circuit. Zero means the default (5).
+	Threshold int
+	// OpenFor is how long an open circuit rejects calls before allowing a
+	// single half-open probe through. Zero means the default (2s).
+	OpenFor time.Duration
+	// Disable turns circuit breaking off entirely.
+	Disable bool
+}
+
+// DefaultBreakerPolicy returns the policy used when Options.Breaker is zero.
+func DefaultBreakerPolicy() BreakerPolicy {
+	return BreakerPolicy{Threshold: 5, OpenFor: 2 * time.Second}
+}
+
+// normalize fills zero fields from the default policy.
+func (p BreakerPolicy) normalize() BreakerPolicy {
+	def := DefaultBreakerPolicy()
+	if p.Threshold <= 0 {
+		p.Threshold = def.Threshold
+	}
+	if p.OpenFor <= 0 {
+		p.OpenFor = def.OpenFor
+	}
+	return p
+}
+
+// breakerState is the classic three-state circuit:
+//
+//	closed    — traffic flows; consecutive unreachable operations counted.
+//	open      — calls fail fast with ErrPeerSuspected until OpenFor elapses.
+//	half-open — one probe operation is allowed through; its outcome decides
+//	            between closing (answered) and re-opening (unreachable).
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is the per-peer circuit. Its mutex is leaf-level: nothing else is
+// locked while it is held, and events are fired only after it is released.
+type breaker struct {
+	state    breakerState
+	failures int
+	openedAt time.Time
+	probing  bool // a half-open probe slot is claimed
+}
+
+// breakerFor returns (creating if needed) the breaker for a peer.
+func (c *Core) breakerFor(peer ids.CoreID) *breaker {
+	c.breakerMu.Lock()
+	defer c.breakerMu.Unlock()
+	b, ok := c.breakers[peer]
+	if !ok {
+		b = &breaker{}
+		c.breakers[peer] = b
+	}
+	return b
+}
+
+// breakerAllow gates one outgoing operation to the peer. Closed circuits let
+// everything through; open circuits reject with ErrPeerSuspected until OpenFor
+// has elapsed, at which point exactly one caller is admitted as the half-open
+// probe. Ping requests never consult this gate (they ARE the probes).
+func (c *Core) breakerAllow(peer ids.CoreID) error {
+	if c.opts.Breaker.Disable || peer == c.id {
+		return nil
+	}
+	b := c.breakerFor(peer)
+	c.breakerMu.Lock()
+	defer c.breakerMu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if time.Since(b.openedAt) >= c.opts.Breaker.OpenFor {
+			b.state = breakerHalfOpen
+			b.probing = true
+			return nil
+		}
+	default: // half-open
+		if !b.probing {
+			b.probing = true
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s", ErrPeerSuspected, peer)
+}
+
+// breakerReport feeds the final outcome of one operation against the peer
+// into its breaker. err == nil or a remote verdict (the peer answered) closes
+// the circuit; an unreachable outcome counts toward — or confirms — the open
+// state; timeouts and cancellations are inconclusive. Monitor events are
+// fired after the breaker lock is released.
+func (c *Core) breakerReport(peer ids.CoreID, err error) {
+	if c.opts.Breaker.Disable || peer == c.id {
+		return
+	}
+	answered := err == nil || classifyCause(err) == CauseRemote
+	unreachable := !answered && classifyCause(err) == CauseUnreachable
+
+	b := c.breakerFor(peer)
+	c.breakerMu.Lock()
+	var opened, closed bool
+	switch {
+	case answered:
+		closed = b.state != breakerClosed
+		b.state = breakerClosed
+		b.failures = 0
+		b.probing = false
+	case unreachable:
+		b.probing = false
+		switch b.state {
+		case breakerHalfOpen:
+			// The probe failed: back to fully open, restart the timer.
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+		case breakerClosed:
+			b.failures++
+			if b.failures >= c.opts.Breaker.Threshold {
+				b.state = breakerOpen
+				b.openedAt = time.Now()
+				opened = true
+			}
+		}
+	default:
+		// Inconclusive (timeout, cancellation): release a claimed probe
+		// slot so the next caller can try, but change no counters.
+		b.probing = false
+	}
+	c.breakerMu.Unlock()
+
+	if opened {
+		c.opts.Logf("fargo core %s: circuit to %s opened after %d consecutive unreachable operations",
+			c.id, peer, c.opts.Breaker.Threshold)
+		c.mon.fire(Event{Name: EventCoreUnreachable, Source: peer, Detail: "circuit opened", At: time.Now()})
+	}
+	if closed {
+		c.opts.Logf("fargo core %s: circuit to %s closed (peer answering again)", c.id, peer)
+		c.mon.fire(Event{Name: EventCoreReachable, Source: peer, Detail: "circuit closed", At: time.Now()})
+	}
+}
+
+// breakerTrip force-opens the peer's circuit. The heartbeat prober calls it
+// when it declares a peer down, so request paths start failing fast without
+// having to burn Threshold deadlines of their own. No event is fired here —
+// the heartbeat fires EventCoreUnreachable itself.
+func (c *Core) breakerTrip(peer ids.CoreID) {
+	if c.opts.Breaker.Disable || peer == c.id {
+		return
+	}
+	b := c.breakerFor(peer)
+	c.breakerMu.Lock()
+	defer c.breakerMu.Unlock()
+	if b.state != breakerOpen {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.probing = false
+	}
+}
+
+// BreakerState reports the peer's circuit as "closed", "open", or "half-open"
+// (test and diagnostics support).
+func (c *Core) BreakerState(peer ids.CoreID) string {
+	c.breakerMu.Lock()
+	defer c.breakerMu.Unlock()
+	b, ok := c.breakers[peer]
+	if !ok {
+		return "closed"
+	}
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

@@ -110,7 +110,14 @@ type Options struct {
 	// Retry tunes transparent retries of idempotent inter-core requests;
 	// zero fields take the DefaultRetryPolicy values.
 	Retry RetryPolicy
-	// Logf receives diagnostic output; nil means log.Printf.
+	// Breaker tunes the per-peer circuit breakers that make calls to a
+	// suspected-down peer fail fast with ErrPeerSuspected; zero fields take
+	// the DefaultBreakerPolicy values. Set Breaker.Disable to turn circuit
+	// breaking off.
+	Breaker BreakerPolicy
+	// Logf receives diagnostic output; nil means log.Printf. The logger is
+	// also threaded into the transport when it supports redirection
+	// (transport.LogfSetter).
 	Logf func(format string, args ...any)
 }
 
@@ -140,6 +147,11 @@ type Core struct {
 	// which keeps multi-complet lock acquisition deadlock-free.
 	moveOpMu sync.Mutex
 
+	// breakerMu guards breakers and every breaker's fields. It is a leaf
+	// lock: nothing else is acquired while it is held.
+	breakerMu sync.Mutex
+	breakers  map[ids.CoreID]*breaker
+
 	mon   *Monitor
 	homes homeTable
 
@@ -156,6 +168,7 @@ func New(tr transport.Transport, reg *registry.Registry, opts Options) (*Core, e
 		opts.RequestTimeout = defaultRequestTimeout
 	}
 	opts.Retry = opts.Retry.normalize()
+	opts.Breaker = opts.Breaker.normalize()
 	if opts.Logf == nil {
 		opts.Logf = log.Printf
 	}
@@ -171,8 +184,12 @@ func New(tr transport.Transport, reg *registry.Registry, opts Options) (*Core, e
 		byAnchor: make(map[any]ids.CompletID),
 		names:    make(map[string]*ref.Ref),
 		peers:    make(map[ids.CoreID]struct{}),
+		breakers: make(map[ids.CoreID]*breaker),
 	}
 	c.mon = newMonitor(c)
+	if ls, ok := tr.(transport.LogfSetter); ok {
+		ls.SetLogf(opts.Logf)
+	}
 	tr.SetHandler(c.handle)
 	return c, nil
 }

@@ -127,7 +127,8 @@ func (m *Monitor) SubscribeBuiltinComplet(event string, r *ref.Ref, method strin
 
 func isBuiltinEvent(event string) bool {
 	switch event {
-	case EventCompletArrived, EventCompletDeparted, EventCoreShutdown, EventCoreUnreachable, EventHopBudgetExceeded:
+	case EventCompletArrived, EventCompletDeparted, EventCoreShutdown, EventCoreUnreachable,
+		EventCoreReachable, EventChainRepaired, EventHopBudgetExceeded:
 		return true
 	default:
 		return false

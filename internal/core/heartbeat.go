@@ -16,6 +16,13 @@ import (
 // (so a flapping link produces one event per outage).
 const EventCoreUnreachable = "coreUnreachable"
 
+// EventCoreReachable fires when a previously-declared-unreachable peer
+// answers pings again — the recovery edge of EventCoreUnreachable, letting
+// subscribers observe the end of an outage (e.g. to move evacuated complets
+// back). It also fires when a peer's circuit breaker closes after being open
+// (see breaker.go), with Detail "circuit closed".
+const EventCoreReachable = "coreReachable"
+
 // Heartbeat actively probes peer cores and fires EventCoreUnreachable
 // through the monitor's event mechanism. Construct with Monitor.StartHeartbeat;
 // stop with Stop (idempotent).
@@ -82,13 +89,25 @@ func (m *Monitor) heartbeatLoop(peers []ids.CoreID, interval time.Duration, miss
 				if m.pingOnce(p, interval) {
 					if s.down {
 						s.down = false
+						m.fire(Event{
+							Name:   EventCoreReachable,
+							Source: p,
+							At:     time.Now(),
+						})
 					}
 					s.failures = 0
+					// A successful ping is the half-open probe that
+					// closes the peer's circuit breaker.
+					m.c.breakerReport(p, nil)
 					continue
 				}
 				s.failures++
 				if s.failures >= misses && !s.down {
 					s.down = true
+					// Open the circuit so request paths fail fast
+					// without burning deadlines of their own. The trip
+					// is silent: this loop owns the unreachable event.
+					m.c.breakerTrip(p)
 					m.fire(Event{
 						Name:   EventCoreUnreachable,
 						Source: p,

@@ -82,37 +82,12 @@ func (c *Core) reportHome(id ids.CompletID) {
 }
 
 // LocateViaHome resolves a complet's location through its home core in a
-// single round trip, bypassing tracker chains.
+// single round trip, bypassing tracker chains. See locateViaHomeCtx
+// (repair.go) for the context-first core, which chain repair also uses.
 func (c *Core) LocateViaHome(id ids.CompletID) (ids.CoreID, error) {
-	if id.Birth == c.id {
-		if loc, ok := c.homes.get(id); ok {
-			return loc, nil
-		}
-		// Never reported: if it is still here, that is the answer.
-		if _, ok := c.lookup(id); ok {
-			return c.id, nil
-		}
-		return "", fmt.Errorf("%w: %s (no home record)", ErrUnknownComplet, id)
-	}
-	payload, err := wire.EncodePayload(wire.HomeQuery{Target: id})
-	if err != nil {
-		return "", err
-	}
-	env, err := c.requestBG(id.Birth, wire.KindHomeQuery, payload)
-	if err != nil {
-		return "", fmt.Errorf("core: home query for %s: %w", id, err)
-	}
-	var reply wire.HomeQueryReply
-	if err := wire.DecodePayload(env.Payload, &reply); err != nil {
-		return "", err
-	}
-	if reply.Err != "" {
-		return "", fmt.Errorf("core: home query for %s: %s", id, reply.Err)
-	}
-	if !reply.Found {
-		return "", fmt.Errorf("%w: %s (home has no record)", ErrUnknownComplet, id)
-	}
-	return reply.Location, nil
+	ctx, cancel := c.withBudget(context.Background(), 0)
+	defer cancel()
+	return c.locateViaHomeCtx(ctx, id, ref.CallOptions{})
 }
 
 // InvokeViaHome invokes a method resolving the target through its home core

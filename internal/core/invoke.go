@@ -87,6 +87,7 @@ func (c *Core) invokeRef(ctx context.Context, r *ref.Ref, method string, args []
 // locally or forwarding along the tracker chain. It returns the encoded
 // results and the authoritative location of the target.
 func (c *Core) routeInvoke(ctx context.Context, target ids.CompletID, hint ids.CoreID, source ids.CompletID, method string, argBytes []byte, hops int, opts ref.CallOptions) ([]byte, ids.CoreID, error) {
+	repaired := false
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, "", fmt.Errorf("core: invoking %s.%s: %w", target, method, err)
@@ -112,6 +113,16 @@ func (c *Core) routeInvoke(ctx context.Context, target ids.CompletID, hint ids.C
 		}
 		resBytes, loc, err := c.forwardInvoke(ctx, next, target, source, method, argBytes, hops+attempt+1, opts)
 		if err != nil {
+			// Self-healing (repair.go): an unreachable next hop may just
+			// be a dead link in a stale chain. Re-resolve through the
+			// target's home core and retry once through the fresh
+			// location; on repair failure the original error stands.
+			if !repaired && repairable(err) {
+				if _, ok := c.repairChain(ctx, target, next, fmt.Sprintf("invoke %s.%s", target, method)); ok {
+					repaired = true
+					continue
+				}
+			}
 			return nil, "", err
 		}
 		// Chain shortening (§3.1): point our tracker straight at the

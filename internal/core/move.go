@@ -151,6 +151,7 @@ func (c *Core) MoveByIDCtx(ctx context.Context, target ids.CompletID, dest ids.C
 // deadline travels with the routed command, so every chain hop and the final
 // owner-side bundle shipment deduct from the caller's single budget.
 func (c *Core) moveCommand(ctx context.Context, target ids.CompletID, hint ids.CoreID, dest ids.CoreID, contMethod string, contArgs []byte, hops int, opts ref.CallOptions) error {
+	repaired := false
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("core: moving %s: %w", target, err)
@@ -182,6 +183,14 @@ func (c *Core) moveCommand(ctx context.Context, target ids.CompletID, hint ids.C
 		}
 		env, err := c.requestOpts(ctx, next, wire.KindMoveCmd, payload, opts)
 		if err != nil {
+			// Self-healing (repair.go): route around a dead chain hop by
+			// re-resolving through the target's home core, once.
+			if !repaired && repairable(err) {
+				if _, ok := c.repairChain(ctx, target, next, fmt.Sprintf("move %s", target)); ok {
+					repaired = true
+					continue
+				}
+			}
 			return fmt.Errorf("core: route move of %s via %s: %w", target, next, err)
 		}
 		var reply wire.MoveCommandReply

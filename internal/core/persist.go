@@ -141,6 +141,11 @@ func (c *Core) CheckpointFile(path string) error {
 // The core must have the same name the checkpoint was taken on (identities
 // embed the birth core) and must not already host complets with the same
 // IDs. Returns the number of complets restored.
+//
+// Restore is all-or-nothing: every entry and name binding is decoded and
+// validated before anything is installed, so a truncated or corrupted
+// checkpoint (a bad body after a valid header included) leaves the core
+// exactly as it was.
 func (c *Core) Restore(r io.Reader) (int, error) {
 	if c.isClosed() {
 		return 0, ErrClosed
@@ -155,35 +160,49 @@ func (c *Core) Restore(r io.Reader) (int, error) {
 	if file.Core != c.id {
 		return 0, fmt.Errorf("core: checkpoint belongs to core %q, this core is %q", file.Core, c.id)
 	}
-	// Never mint an ID the checkpointed core may have issued.
-	c.mint.Advance(file.MaxSeq)
 
-	restored := 0
+	// Phase 1: decode everything without touching the repository.
+	type restoredComplet struct {
+		entry   checkpointEntry
+		anchor  any
+		decoded []*ref.Ref
+	}
+	pending := make([]restoredComplet, 0, len(file.Entries))
 	for _, entry := range file.Entries {
 		if _, exists := c.lookup(entry.ID); exists {
-			return restored, fmt.Errorf("core: restore: complet %s already hosted", entry.ID)
+			return 0, fmt.Errorf("core: restore: complet %s already hosted", entry.ID)
 		}
 		anchor, decoded, err := decodeSnapshot(entry.Payload)
 		if err != nil {
-			return restored, fmt.Errorf("core: restore %s: %w", entry.ID, err)
+			return 0, fmt.Errorf("core: restore %s: %w", entry.ID, err)
 		}
-		for _, dr := range decoded {
-			dr.SetOwner(entry.ID)
-		}
-		c.bindDecoded(decoded)
-		c.install(entry.ID, entry.TypeName, anchor)
-		c.mon.fireBuiltin(EventCompletArrived, entry.ID, "restore")
-		restored++
+		pending = append(pending, restoredComplet{entry: entry, anchor: anchor, decoded: decoded})
 	}
+	names := make(map[string]*ref.Ref, len(file.Names))
 	for name, desc := range file.Names {
 		nr, err := ref.FromDescriptor(desc)
 		if err != nil {
-			return restored, fmt.Errorf("core: restore name %q: %w", name, err)
+			return 0, fmt.Errorf("core: restore name %q: %w", name, err)
 		}
+		names[name] = nr
+	}
+
+	// Phase 2: the checkpoint is sound; install it.
+	// Never mint an ID the checkpointed core may have issued.
+	c.mint.Advance(file.MaxSeq)
+	for _, rc := range pending {
+		for _, dr := range rc.decoded {
+			dr.SetOwner(rc.entry.ID)
+		}
+		c.bindDecoded(rc.decoded)
+		c.install(rc.entry.ID, rc.entry.TypeName, rc.anchor)
+		c.mon.fireBuiltin(EventCompletArrived, rc.entry.ID, "restore")
+	}
+	for name, nr := range names {
 		nr.Bind(c.binder())
 		c.setLocalName(name, nr)
 	}
-	return restored, nil
+	return len(pending), nil
 }
 
 // RestoreFile restores from a file path.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -220,5 +221,109 @@ func TestRestoredRefsAreOwnedAndBound(t *testing.T) {
 	}
 	if owner := entry.anchor.(*holder).Out.Owner(); owner != h.Target() {
 		t.Fatalf("restored ref owner = %v, want %v", owner, h.Target())
+	}
+}
+
+// TestRestoreCorruptedCheckpoint feeds Restore broken inputs: a truncated
+// stream (crash mid-write), pure garbage, and byte-flipped content. Every case
+// must return an error — never panic — and must leave the core empty, so a
+// later restore from the pristine checkpoint still works.
+func TestRestoreCorruptedCheckpoint(t *testing.T) {
+	cl := newCluster(t, "a")
+	a := cl.core("a")
+	for _, text := range []string{"one", "two"} {
+		if _, err := a.NewComplet("Msg", text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := a.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	flipped := append([]byte(nil), good...)
+	for i := len(flipped) / 2; i < len(flipped)/2+16 && i < len(flipped); i++ {
+		flipped[i] ^= 0xff
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated early", good[:8]},
+		{"truncated midway", good[:len(good)/2]},
+		{"garbage", []byte("this is definitely not a fargo checkpoint")},
+		{"byte-flipped", flipped},
+	}
+
+	a2 := restartCore(t, cl, "a")
+	for _, tc := range cases {
+		n, err := a2.Restore(bytes.NewReader(tc.data))
+		if err == nil {
+			t.Fatalf("%s: Restore accepted corrupted input", tc.name)
+		}
+		if n != 0 {
+			t.Fatalf("%s: Restore reported %d complets on error", tc.name, n)
+		}
+		if got := a2.CompletCount(); got != 0 {
+			t.Fatalf("%s: %d complets partially registered after failed restore", tc.name, got)
+		}
+	}
+
+	// The failures left no residue: the pristine checkpoint still restores.
+	n, err := a2.Restore(bytes.NewReader(good))
+	if err != nil {
+		t.Fatalf("pristine restore after failed attempts: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("restored %d complets, want 2", n)
+	}
+}
+
+// TestRestoreBadEntryIsAtomic builds a checkpoint whose outer structure is
+// valid (magic, core, names) but whose SECOND entry carries an undecodable
+// closure. Restore must reject the whole file and install nothing — a half
+// restored core would serve calls on complets its checkpoint never finished
+// validating.
+func TestRestoreBadEntryIsAtomic(t *testing.T) {
+	cl := newCluster(t, "a")
+	a := cl.core("a")
+	for _, text := range []string{"one", "two"} {
+		if _, err := a.NewComplet("Msg", text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := a.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var file checkpointFile
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&file); err != nil {
+		t.Fatal(err)
+	}
+	if len(file.Entries) != 2 {
+		t.Fatalf("checkpoint has %d entries, want 2", len(file.Entries))
+	}
+	file.Entries[1].Payload = []byte("corrupted closure bytes")
+	var bad bytes.Buffer
+	if err := gob.NewEncoder(&bad).Encode(file); err != nil {
+		t.Fatal(err)
+	}
+
+	a2 := restartCore(t, cl, "a")
+	n, err := a2.Restore(&bad)
+	if err == nil {
+		t.Fatal("Restore accepted a checkpoint with an undecodable entry")
+	}
+	if n != 0 {
+		t.Fatalf("Restore reported %d complets on error", n)
+	}
+	if got := a2.CompletCount(); got != 0 {
+		t.Fatalf("%d complets installed from a rejected checkpoint (not atomic)", got)
+	}
+	if _, ok := a2.Lookup("the-msg"); ok {
+		t.Fatal("name binding installed from a rejected checkpoint")
 	}
 }

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"fargo/internal/ids"
+	"fargo/internal/ref"
+	"fargo/internal/wire"
+)
+
+// Self-healing references. A tracker chain (§3.1) is only as alive as its
+// weakest hop: one crashed or partitioned core in the middle leaves every
+// reference routed through it permanently dead, even though the home-based
+// location service (homenaming.go) knows exactly where the target lives. When
+// an invocation or move fails with an unreachability cause, the routing loops
+// fall back to a home-core location query, repoint the local tracker at the
+// fresh answer, and retry once — bypassing the dead hop entirely. Surviving
+// cores with stale trackers heal the same way on their own next forwarding
+// failure, so the chain erodes into direct edges as it is exercised.
+//
+// Repair is attempted at most once per operation and the fallback query is
+// not retried, so a failed repair adds one cheap round trip (or a fail-fast
+// breaker rejection) to the original error, never a second full deadline.
+
+// EventChainRepaired fires at a core that healed its tracker for a complet by
+// re-resolving the location through the complet's home core after a chain hop
+// became unreachable. Detail is "<dead core> -> <new location>".
+const EventChainRepaired = "chainRepaired"
+
+// repairable reports whether an error is the kind chain repair can route
+// around: the next hop never answered. Remote verdicts, timeouts, and
+// cancellations are not repairable — the budget is spent or the answer is
+// final.
+func repairable(err error) bool {
+	return classifyCause(err) == CauseUnreachable
+}
+
+// repairChain attempts to heal this core's tracker for target after the hop
+// via dead failed unreachably. It resolves the target through its home core
+// (one round trip, no retries), repoints the tracker when the answer differs
+// from the dead hop, and fires EventChainRepaired. It returns the fresh
+// location and whether the caller should retry through it.
+func (c *Core) repairChain(ctx context.Context, target ids.CompletID, dead ids.CoreID, op string) (ids.CoreID, bool) {
+	if ctx.Err() != nil {
+		return "", false
+	}
+	loc, err := c.locateViaHomeCtx(ctx, target, ref.CallOptions{NoRetry: true})
+	if err != nil {
+		c.opts.Logf("fargo core %s: chain repair for %s after %s failed: home query: %v", c.id, target, dead, err)
+		return "", false
+	}
+	if loc == dead {
+		// The home agrees with the tracker: the target really lives on the
+		// unreachable core. Nothing to route around.
+		return "", false
+	}
+	if !c.repointTracker(target, loc) {
+		return "", false
+	}
+	c.opts.Logf("fargo core %s: chain repaired for %s: %s -> %s (%s)", c.id, target, dead, loc, op)
+	c.mon.fireBuiltin(EventChainRepaired, target, fmt.Sprintf("%s -> %s", dead, loc))
+	return loc, true
+}
+
+// repointTracker rewrites this core's tracker for the complet to point at
+// loc. Authoritative local state is never overwritten: a tracker that says
+// "hosted here" while the repository agrees stays local (the home record was
+// the stale party). Returns whether the tracker now points at loc.
+func (c *Core) repointTracker(target ids.CompletID, loc ids.CoreID) bool {
+	// Lock order: c.mu (inside lookup / trackerFor) strictly before the
+	// tracker's own mutex, matching install/remove.
+	_, hostedHere := c.lookup(target)
+	t := c.trackerFor(target, loc)
+	if loc == c.id {
+		if hostedHere {
+			t.setLocal()
+			return true
+		}
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.local && hostedHere {
+		return false
+	}
+	t.local, t.next = false, loc
+	return true
+}
+
+// locateViaHomeCtx resolves a complet's location through its home core in a
+// single round trip, under the caller's context and call options (the
+// context-first core of LocateViaHome).
+func (c *Core) locateViaHomeCtx(ctx context.Context, id ids.CompletID, opts ref.CallOptions) (ids.CoreID, error) {
+	if id.Birth == c.id {
+		if loc, ok := c.homes.get(id); ok {
+			return loc, nil
+		}
+		// Never reported: if it is still here, that is the answer.
+		if _, ok := c.lookup(id); ok {
+			return c.id, nil
+		}
+		return "", fmt.Errorf("%w: %s (no home record)", ErrUnknownComplet, id)
+	}
+	payload, err := wire.EncodePayload(wire.HomeQuery{Target: id})
+	if err != nil {
+		return "", err
+	}
+	env, err := c.requestOpts(ctx, id.Birth, wire.KindHomeQuery, payload, opts)
+	if err != nil {
+		return "", fmt.Errorf("core: home query for %s: %w", id, err)
+	}
+	var reply wire.HomeQueryReply
+	if err := wire.DecodePayload(env.Payload, &reply); err != nil {
+		return "", err
+	}
+	if reply.Err != "" {
+		return "", fmt.Errorf("core: home query for %s: %s", id, reply.Err)
+	}
+	if !reply.Found {
+		return "", fmt.Errorf("%w: %s (home has no record)", ErrUnknownComplet, id)
+	}
+	return reply.Location, nil
+}

@@ -150,6 +150,16 @@ func (c *Core) request(ctx context.Context, to ids.CoreID, kind wire.Kind, paylo
 // retried on transient failures with jittered exponential backoff; all other
 // kinds get exactly one attempt.
 func (c *Core) requestOpts(ctx context.Context, to ids.CoreID, kind wire.Kind, payload []byte, opts ref.CallOptions) (wire.Envelope, error) {
+	// Circuit breaker: fail fast when the peer is suspected down. Pings are
+	// exempt — they are the probes that close the circuit again. The breaker
+	// is fed the operation's final outcome (below), not per-attempt results,
+	// so one flapping-link operation that retries its way to success counts
+	// as a single success.
+	if kind != wire.KindPing {
+		if err := c.breakerAllow(to); err != nil {
+			return wire.Envelope{}, err
+		}
+	}
 	pol := c.opts.Retry
 	budget := 1
 	if idempotentKind(kind) && !opts.NoRetry {
@@ -180,6 +190,7 @@ func (c *Core) requestOpts(ctx context.Context, to ids.CoreID, kind wire.Kind, p
 		env, err := c.tr.Request(ctx, to, kind, payload)
 		if err == nil {
 			c.notePeer(to)
+			c.breakerReport(to, nil)
 			return env, nil
 		}
 		lastErr = err
@@ -187,6 +198,7 @@ func (c *Core) requestOpts(ctx context.Context, to ids.CoreID, kind wire.Kind, p
 			break
 		}
 	}
+	c.breakerReport(to, lastErr)
 	if attempts > 1 {
 		lastErr = &attemptsErr{n: attempts, err: lastErr}
 	}

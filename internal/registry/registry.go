@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"runtime/debug"
 	"sort"
 	"sync"
 )
@@ -149,12 +150,42 @@ func (r *Registry) Instantiate(name string, args []any) (any, error) {
 	return anchor, nil
 }
 
+// PanicError is returned by Invoke when the anchor method panicked. The
+// dispatcher recovers the panic so a buggy complet fails one invocation with
+// a diagnosable error instead of killing its whole hosting core; the stack
+// trace of the panicking goroutine is embedded in the message.
+type PanicError struct {
+	Method string
+	Value  any
+	Stack  string
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("registry: method %s panicked: %v\n%s", e.Method, e.Value, e.Stack)
+}
+
 // Invoke calls the named exported method on the anchor with the given
 // arguments. A trailing error return value is split off and returned as the
 // invocation error; all other return values are returned as the result
 // vector. Numeric arguments are converted when the value is convertible to
-// the parameter type (gob may widen integers across the wire).
-func Invoke(anchor any, method string, args []any) ([]any, error) {
+// the parameter type (gob may widen integers across the wire). A panic in the
+// method is recovered into a *PanicError.
+func Invoke(anchor any, method string, args []any) (results []any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			results = nil
+			err = &PanicError{
+				Method: fmt.Sprintf("%T.%s", anchor, method),
+				Value:  r,
+				Stack:  string(debug.Stack()),
+			}
+		}
+	}()
+	return invoke(anchor, method, args)
+}
+
+func invoke(anchor any, method string, args []any) ([]any, error) {
 	v := reflect.ValueOf(anchor)
 	if !v.IsValid() {
 		return nil, fmt.Errorf("registry: invoke %q on nil anchor", method)

@@ -278,3 +278,33 @@ func TestMethodsListing(t *testing.T) {
 		t.Fatal("Methods(nil) should be nil")
 	}
 }
+
+type bomb struct{}
+
+func (b *bomb) Explode() string { panic("registry test explosion") }
+func (b *bomb) Calm() string    { return "calm" }
+
+func TestInvokePanicRecovered(t *testing.T) {
+	results, err := Invoke(&bomb{}, "Explode", nil)
+	if results != nil {
+		t.Fatalf("results = %v, want nil after a panic", results)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Value != "registry test explosion" {
+		t.Fatalf("recovered value = %v", pe.Value)
+	}
+	if !strings.Contains(pe.Stack, "Explode") {
+		t.Fatal("stack trace does not mention the panicking method")
+	}
+	if !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("error message lacks panic diagnosis: %v", err)
+	}
+	// The dispatcher (and the anchor) keep working after a recovered panic.
+	results, err = Invoke(&bomb{}, "Calm", nil)
+	if err != nil || len(results) != 1 || results[0] != "calm" {
+		t.Fatalf("Invoke after panic = %v, %v", results, err)
+	}
+}

@@ -1,0 +1,213 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fargo/internal/ids"
+	"fargo/internal/netsim"
+	"fargo/internal/wire"
+)
+
+// faultyPair wires two Sim endpoints over one network and wraps a's outbound
+// side in the injector. b pongs every ping and counts deliveries.
+func faultyPair(t *testing.T) (*Faulty, *uint64) {
+	t.Helper()
+	net := netsim.NewNetwork(7)
+	t.Cleanup(net.Close)
+	ta, err := NewSim(net, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewSim(net, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered uint64
+	tb.SetHandler(func(_ context.Context, env wire.Envelope) (wire.Kind, []byte, error) {
+		atomic.AddUint64(&delivered, 1)
+		return wire.KindPong, nil, nil
+	})
+	f := NewFaulty(ta, 42)
+	t.Cleanup(func() { _ = f.Close(); _ = tb.Close() })
+	return f, &delivered
+}
+
+func TestFaultyPartitionFailsImmediately(t *testing.T) {
+	f, delivered := faultyPair(t)
+	f.Partition("b", true)
+
+	start := time.Now()
+	_, err := f.Request(context.Background(), "b", wire.KindPing, nil)
+	if !errors.Is(err, ErrInjectedPartition) {
+		t.Fatalf("err = %v, want ErrInjectedPartition", err)
+	}
+	if time.Since(start) > 200*time.Millisecond {
+		t.Fatal("partitioned request did not fail immediately")
+	}
+	if err := f.Notify("b", wire.KindPing, nil); !errors.Is(err, ErrInjectedPartition) {
+		t.Fatalf("notify err = %v, want ErrInjectedPartition", err)
+	}
+	if n := atomic.LoadUint64(delivered); n != 0 {
+		t.Fatalf("%d envelopes leaked through the partition", n)
+	}
+
+	// Healing the partition restores normal delivery.
+	f.Partition("b", false)
+	if _, err := f.Request(context.Background(), "b", wire.KindPing, nil); err != nil {
+		t.Fatalf("request after heal: %v", err)
+	}
+}
+
+func TestFaultyDropBlackholesUntilDeadline(t *testing.T) {
+	f, delivered := faultyPair(t)
+	f.SetDrop("b", 1.0) // every send vanishes
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f.Request(ctx, "b", wire.KindPing, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded (a drop is silence, not a bounce)", err)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("dropped request returned after %v; should hang to the deadline", elapsed)
+	}
+	if err := f.Notify("b", wire.KindPing, nil); err != nil {
+		t.Fatalf("dropped notify must look like success, got %v", err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if n := atomic.LoadUint64(delivered); n != 0 {
+		t.Fatalf("%d dropped envelopes were delivered", n)
+	}
+}
+
+func TestFaultyDelayAddsLatencyFloor(t *testing.T) {
+	f, _ := faultyPair(t)
+	f.SetDelay("b", 120*time.Millisecond)
+
+	start := time.Now()
+	if _, err := f.Request(context.Background(), "b", wire.KindPing, nil); err != nil {
+		t.Fatalf("delayed request: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 120*time.Millisecond {
+		t.Fatalf("request completed in %v, below the injected 120ms floor", elapsed)
+	}
+
+	// A context shorter than the delay must abort the wait.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := f.Request(ctx, "b", wire.KindPing, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestFaultyDuplicateDeliversTwice(t *testing.T) {
+	f, delivered := faultyPair(t)
+	f.SetDuplicate("b", 1.0)
+
+	if _, err := f.Request(context.Background(), "b", wire.KindPing, nil); err != nil {
+		t.Fatalf("duplicated request: %v", err)
+	}
+	// The duplicate is delivered in the background; give it a beat.
+	deadline := time.Now().Add(2 * time.Second)
+	for atomic.LoadUint64(delivered) < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := atomic.LoadUint64(delivered); n != 2 {
+		t.Fatalf("delivered %d times, want 2 (original + duplicate)", n)
+	}
+
+	atomic.StoreUint64(delivered, 0)
+	if err := f.Notify("b", wire.KindPing, nil); err != nil {
+		t.Fatalf("duplicated notify: %v", err)
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for atomic.LoadUint64(delivered) < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := atomic.LoadUint64(delivered); n != 2 {
+		t.Fatalf("notify delivered %d times, want 2", n)
+	}
+}
+
+func TestFaultyClearRestoresCleanPath(t *testing.T) {
+	f, _ := faultyPair(t)
+	f.Partition("b", true)
+	f.SetDrop("b", 1.0)
+	f.Clear("b")
+	if _, err := f.Request(context.Background(), "b", wire.KindPing, nil); err != nil {
+		t.Fatalf("request after Clear: %v", err)
+	}
+	f.SetDrop("b", 1.0)
+	f.ClearAll()
+	if _, err := f.Request(context.Background(), "b", wire.KindPing, nil); err != nil {
+		t.Fatalf("request after ClearAll: %v", err)
+	}
+}
+
+func TestFaultyIsPerPeer(t *testing.T) {
+	net := netsim.NewNetwork(7)
+	t.Cleanup(net.Close)
+	ta, err := NewSim(net, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pong := func(_ context.Context, env wire.Envelope) (wire.Kind, []byte, error) {
+		return wire.KindPong, nil, nil
+	}
+	for _, name := range []ids.CoreID{"b", "c"} {
+		tr, err := NewSim(net, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.SetHandler(pong)
+		t.Cleanup(func() { _ = tr.Close() })
+	}
+	f := NewFaulty(ta, 1)
+	t.Cleanup(func() { _ = f.Close() })
+
+	f.Partition("b", true)
+	if _, err := f.Request(context.Background(), "b", wire.KindPing, nil); !errors.Is(err, ErrInjectedPartition) {
+		t.Fatalf("b err = %v, want ErrInjectedPartition", err)
+	}
+	if _, err := f.Request(context.Background(), "c", wire.KindPing, nil); err != nil {
+		t.Fatalf("partition of b must not affect c: %v", err)
+	}
+}
+
+func TestFaultyOverTCP(t *testing.T) {
+	// The injector is transport-agnostic: same faults over real sockets.
+	book := NewAddrBook(nil)
+	ta, err := NewTCP("a", "127.0.0.1:0", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTCP("b", "127.0.0.1:0", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	book.Set("a", ta.Addr())
+	book.Set("b", tb.Addr())
+	var delivered uint64
+	tb.SetHandler(func(_ context.Context, env wire.Envelope) (wire.Kind, []byte, error) {
+		atomic.AddUint64(&delivered, 1)
+		return wire.KindPong, nil, nil
+	})
+	f := NewFaulty(ta, 99)
+	t.Cleanup(func() { _ = f.Close(); _ = tb.Close() })
+
+	if _, err := f.Request(context.Background(), "b", wire.KindPing, nil); err != nil {
+		t.Fatalf("clean TCP request through injector: %v", err)
+	}
+	f.Partition("b", true)
+	if _, err := f.Request(context.Background(), "b", wire.KindPing, nil); !errors.Is(err, ErrInjectedPartition) {
+		t.Fatalf("err = %v, want ErrInjectedPartition", err)
+	}
+	if n := atomic.LoadUint64(&delivered); n != 1 {
+		t.Fatalf("b handled %d requests, want exactly the pre-partition one", n)
+	}
+}

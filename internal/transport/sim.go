@@ -23,6 +23,7 @@ type Sim struct {
 	mu      sync.Mutex
 	handler Handler
 	closed  bool
+	logf    func(format string, args ...any)
 
 	quit chan struct{}
 	done chan struct{}
@@ -44,6 +45,7 @@ func NewSim(net *netsim.Network, self ids.CoreID) (*Sim, error) {
 		net:     net,
 		host:    host,
 		pending: newPending(),
+		logf:    log.Printf,
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
@@ -59,6 +61,22 @@ func (s *Sim) SetHandler(h Handler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handler = h
+}
+
+// SetLogf implements LogfSetter.
+func (s *Sim) SetLogf(logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = log.Printf
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logf = logf
+}
+
+func (s *Sim) logfFn() func(format string, args ...any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logf
 }
 
 // Request implements Transport.
@@ -123,7 +141,7 @@ func (s *Sim) pump() {
 		case msg := <-s.host.Recv():
 			env, err := wire.DecodeEnvelope(msg.Payload)
 			if err != nil {
-				log.Printf("fargo sim transport %s: dropping undecodable message from %s: %v", s.self, msg.From, err)
+				s.logfFn()("fargo sim transport %s: dropping undecodable message from %s: %v", s.self, msg.From, err)
 				continue
 			}
 			s.dispatch(env)
@@ -173,11 +191,11 @@ func (s *Sim) serve(h Handler, env wire.Envelope) {
 	reply := wire.Envelope{From: s.self, Req: env.Req, IsReply: true, Kind: kind, Payload: payload}
 	data, encErr := wire.EncodeEnvelope(reply)
 	if encErr != nil {
-		log.Printf("fargo sim transport %s: encode reply: %v", s.self, encErr)
+		s.logfFn()("fargo sim transport %s: encode reply: %v", s.self, encErr)
 		return
 	}
 	if sendErr := s.host.Send(env.From.String(), data); sendErr != nil {
-		log.Printf("fargo sim transport %s: reply to %s: %v", s.self, env.From, sendErr)
+		s.logfFn()("fargo sim transport %s: reply to %s: %v", s.self, env.From, sendErr)
 	}
 }
 

@@ -76,6 +76,7 @@ type TCP struct {
 
 	mu       sync.Mutex
 	handler  Handler
+	logf     func(format string, args ...any)
 	conns    map[ids.CoreID]*tcpConn
 	accepted map[net.Conn]struct{}
 	// inflight tracks which connection each outstanding request was sent
@@ -113,6 +114,7 @@ func NewTCP(self ids.CoreID, listenAddr string, book *AddrBook) (*TCP, error) {
 		book:     book,
 		ln:       ln,
 		pending:  newPending(),
+		logf:     log.Printf,
 		conns:    make(map[ids.CoreID]*tcpConn),
 		accepted: make(map[net.Conn]struct{}),
 		inflight: make(map[*tcpConn]map[ids.RequestID]struct{}),
@@ -136,6 +138,22 @@ func (t *TCP) SetHandler(h Handler) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.handler = h
+}
+
+// SetLogf implements LogfSetter.
+func (t *TCP) SetLogf(logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = log.Printf
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.logf = logf
+}
+
+func (t *TCP) logfFn() func(format string, args ...any) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.logf
 }
 
 func (t *TCP) acceptLoop() {
@@ -181,7 +199,7 @@ func (t *TCP) readLoop(c net.Conn) {
 	}
 	var h hello
 	if err := wire.DecodePayload(first, &h); err != nil {
-		log.Printf("fargo tcp %s: bad hello from %s: %v", t.self, c.RemoteAddr(), err)
+		t.logfFn()("fargo tcp %s: bad hello from %s: %v", t.self, c.RemoteAddr(), err)
 		return
 	}
 	if h.Addr != "" {
@@ -192,13 +210,13 @@ func (t *TCP) readLoop(c net.Conn) {
 		frame, err := readFrame(r)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !t.isClosed() {
-				log.Printf("fargo tcp %s: read from %s: %v", t.self, h.From, err)
+				t.logfFn()("fargo tcp %s: read from %s: %v", t.self, h.From, err)
 			}
 			return
 		}
 		env, err := wire.DecodeEnvelope(frame)
 		if err != nil {
-			log.Printf("fargo tcp %s: undecodable envelope from %s: %v", t.self, h.From, err)
+			t.logfFn()("fargo tcp %s: undecodable envelope from %s: %v", t.self, h.From, err)
 			continue
 		}
 		t.dispatch(env)
@@ -252,7 +270,7 @@ func (t *TCP) serve(h Handler, env wire.Envelope) {
 	}
 	reply := wire.Envelope{From: t.self, Req: env.Req, IsReply: true, Kind: kind, Payload: payload}
 	if _, err := t.send(env.From, reply); err != nil && !t.isClosed() {
-		log.Printf("fargo tcp %s: reply to %s: %v", t.self, env.From, err)
+		t.logfFn()("fargo tcp %s: reply to %s: %v", t.self, env.From, err)
 	}
 }
 

@@ -68,6 +68,15 @@ func stampDeadline(ctx context.Context, env *wire.Envelope) {
 	}
 }
 
+// LogfSetter is implemented by transports whose diagnostic output can be
+// redirected. The core threads its Options.Logf through this hook at
+// construction time so transport-level noise (undecodable envelopes, reply
+// failures) lands in the same log as everything else. Passing nil restores
+// the default standard-library logger.
+type LogfSetter interface {
+	SetLogf(logf func(format string, args ...any))
+}
+
 // Transport moves envelopes between cores.
 type Transport interface {
 	// Self returns the core ID this transport speaks for.
