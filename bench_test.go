@@ -263,6 +263,34 @@ func BenchmarkE5_ProfilingOverhead(b *testing.B) {
 	b.Run("on", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkTraceOverhead measures what the tracing subsystem adds to the
+// remote invocation path at three sampling rates: off (the near-zero-overhead
+// contract — one atomic load per entry point), 1% (production posture), and
+// 100% (debug posture, every hop records spans). Compare against E5's "off"
+// variant for the untraced baseline.
+func BenchmarkTraceOverhead(b *testing.B) {
+	run := func(b *testing.B, rate float64) {
+		u := benchUniverse(b, "a", "b")
+		a := benchCore(b, u, "a")
+		for _, name := range []string{"a", "b"} {
+			benchCore(b, u, name).Tracer().SetSampleRate(rate)
+		}
+		r, err := a.NewCompletAt("b", "Echo")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Invoke("Nop"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, 0) })
+	b.Run("sample=0.01", func(b *testing.B) { run(b, 0.01) })
+	b.Run("sample=1", func(b *testing.B) { run(b, 1) })
+}
+
 func BenchmarkE5_InstantCached(b *testing.B) {
 	u := benchUniverse(b, "a")
 	a := benchCore(b, u, "a")

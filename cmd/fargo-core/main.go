@@ -35,22 +35,36 @@ func main() {
 
 func run() error {
 	var (
-		name   = flag.String("name", "", "core name (required)")
-		listen = flag.String("listen", ":7100", "TCP listen address")
-		grace  = flag.Duration("grace", fargo.DefaultGrace, "shutdown grace period for complet evacuation")
-		peers  = cliutil.PeerFlags{}
+		name        = flag.String("name", "", "core name (required)")
+		listen      = flag.String("listen", ":7100", "TCP listen address")
+		grace       = flag.Duration("grace", fargo.DefaultGrace, "shutdown grace period for complet evacuation")
+		traceOut    = flag.String("trace-out", "", "write retained spans as Chrome trace_event JSON to this file at shutdown")
+		traceSample = flag.Float64("trace-sample", 0, "trace sampling rate in [0,1]; defaults to 1 when -trace-out is given")
+		peers       = cliutil.PeerFlags{}
 	)
 	flag.Var(peers, "peer", "peer core as name=host:port (repeatable)")
 	flag.Parse()
 	if *name == "" {
 		return fmt.Errorf("-name is required")
 	}
+	sampleSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "trace-sample" {
+			sampleSet = true
+		}
+	})
+	if *traceOut != "" && !sampleSet {
+		*traceSample = 1
+	}
+	if *traceSample < 0 || *traceSample > 1 {
+		return fmt.Errorf("-trace-sample must be in [0,1]")
+	}
 
 	reg := fargo.NewRegistry()
 	if err := demo.Register(reg); err != nil {
 		return err
 	}
-	c, addr, err := fargo.ListenTCP(*name, *listen, peers, reg, fargo.Options{})
+	c, addr, err := fargo.ListenTCP(*name, *listen, peers, reg, fargo.Options{TraceSampleRate: *traceSample})
 	if err != nil {
 		return err
 	}
@@ -65,5 +79,16 @@ func run() error {
 		return err
 	}
 	log.Printf("fargo-core %s: stopped after %v", *name, time.Since(start).Round(time.Millisecond))
+	if *traceOut != "" {
+		// Export after shutdown so evacuation moves are part of the dump.
+		data, err := c.ExportChromeTrace()
+		if err != nil {
+			return fmt.Errorf("export trace: %w", err)
+		}
+		if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		log.Printf("fargo-core %s: wrote Chrome trace to %s (load via chrome://tracing or ui.perfetto.dev)", *name, *traceOut)
+	}
 	return nil
 }

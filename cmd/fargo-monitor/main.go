@@ -10,6 +10,8 @@
 //
 // With -once the monitor prints a single snapshot and exits; otherwise it
 // re-renders on every event (and on a periodic refresh) until interrupted.
+// With -stats each render appends a metrics pane: one line per inspected core
+// summarizing its invocation/movement counters and latency percentiles.
 package main
 
 import (
@@ -23,9 +25,11 @@ import (
 
 	"fargo"
 	"fargo/internal/cliutil"
+	"fargo/internal/core"
 	"fargo/internal/demo"
 	"fargo/internal/ids"
 	"fargo/internal/layoutview"
+	"fargo/internal/wire"
 )
 
 func main() {
@@ -42,6 +46,7 @@ func run() error {
 		watch    = flag.String("watch", "", "comma-separated cores to inspect (default: all peers)")
 		once     = flag.Bool("once", false, "print one snapshot and exit")
 		interval = flag.Duration("interval", 5*time.Second, "periodic full refresh")
+		stats    = flag.Bool("stats", false, "append a per-core metrics pane to each render")
 		peers    = cliutil.PeerFlags{}
 	)
 	flag.Var(peers, "peer", "peer core as name=host:port (repeatable)")
@@ -72,17 +77,23 @@ func run() error {
 	}
 
 	view := layoutview.New(c, cores)
+	statsPane := func() string {
+		if !*stats {
+			return ""
+		}
+		return renderStatsPane(c, cores)
+	}
 	if *once {
 		if err := view.Refresh(); err != nil {
 			return err
 		}
-		fmt.Print(view.Render())
+		fmt.Print(view.Render() + statsPane())
 		return nil
 	}
 
 	render := func() {
 		// Clear screen + home, then the table (plain ANSI).
-		fmt.Print("\033[2J\033[H" + view.Render())
+		fmt.Print("\033[2J\033[H" + view.Render() + statsPane())
 	}
 	view.OnChange = render
 	if err := view.Start(); err != nil {
@@ -105,4 +116,41 @@ func run() error {
 			return nil
 		}
 	}
+}
+
+// renderStatsPane summarizes each inspected core's metrics on one line:
+// invocation counters, movement/repair totals, retries, breaker trips, and
+// the invoke latency p50/p95. Unreachable cores are reported, not fatal.
+func renderStatsPane(c *core.Core, cores []ids.CoreID) string {
+	var b strings.Builder
+	b.WriteString("\nmetrics:\n")
+	for _, at := range cores {
+		reply, err := c.StatsAt(at)
+		if err != nil {
+			fmt.Fprintf(&b, "  %-12s (unreachable: %v)\n", at, err)
+			continue
+		}
+		inv := reply.Counters["invoke_local_total"]
+		fwd := reply.Counters["invoke_forwarded_total"]
+		errs := reply.Counters["invoke_errors_total"]
+		moves := reply.Counters["moves_total"]
+		repairs := reply.Counters["chain_repairs_total"]
+		retries := reply.Counters["request_retries_total"]
+		opened := reply.Counters["breaker_opened_total"]
+		fmt.Fprintf(&b, "  %-12s inv=%d fwd=%d errs=%d moves=%d repairs=%d retries=%d breaker-open=%d%s\n",
+			at, inv, fwd, errs, moves, repairs, retries, opened, latencySummary(reply))
+	}
+	return b.String()
+}
+
+// latencySummary renders the invoke latency percentiles when any invocation
+// has been observed at the core.
+func latencySummary(reply wire.StatsQueryReply) string {
+	h, ok := reply.Histograms["invoke_latency_ns"]
+	if !ok || h.Count == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" lat(p50/p95)=%v/%v",
+		time.Duration(h.P50).Round(time.Microsecond),
+		time.Duration(h.P95).Round(time.Microsecond))
 }

@@ -34,16 +34,20 @@ func run() error {
 	var (
 		name   = flag.String("name", "shell", "shell core name")
 		listen = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		sample = flag.Float64("trace-sample", 0, "fraction of shell-rooted operations to trace (0..1)")
 		peers  = cliutil.PeerFlags{}
 	)
 	flag.Var(peers, "peer", "peer core as name=host:port (repeatable)")
 	flag.Parse()
+	if *sample < 0 || *sample > 1 {
+		return fmt.Errorf("-trace-sample %v out of range [0,1]", *sample)
+	}
 
 	reg := fargo.NewRegistry()
 	if err := demo.Register(reg); err != nil {
 		return err
 	}
-	c, addr, err := fargo.ListenTCP(*name, *listen, peers, reg, fargo.Options{})
+	c, addr, err := fargo.ListenTCP(*name, *listen, peers, reg, fargo.Options{TraceSampleRate: *sample})
 	if err != nil {
 		return err
 	}

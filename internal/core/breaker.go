@@ -109,6 +109,7 @@ func (c *Core) breakerAllow(peer ids.CoreID) error {
 			return nil
 		}
 	}
+	c.met.breakerRejected.Inc()
 	return fmt.Errorf("%w: %s", ErrPeerSuspected, peer)
 }
 
@@ -156,11 +157,13 @@ func (c *Core) breakerReport(peer ids.CoreID, err error) {
 	c.breakerMu.Unlock()
 
 	if opened {
+		c.met.breakerOpened.Inc()
 		c.opts.Logf("fargo core %s: circuit to %s opened after %d consecutive unreachable operations",
 			c.id, peer, c.opts.Breaker.Threshold)
 		c.mon.fire(Event{Name: EventCoreUnreachable, Source: peer, Detail: "circuit opened", At: time.Now()})
 	}
 	if closed {
+		c.met.breakerClosed.Inc()
 		c.opts.Logf("fargo core %s: circuit to %s closed (peer answering again)", c.id, peer)
 		c.mon.fire(Event{Name: EventCoreReachable, Source: peer, Detail: "circuit closed", At: time.Now()})
 	}
@@ -176,11 +179,15 @@ func (c *Core) breakerTrip(peer ids.CoreID) {
 	}
 	b := c.breakerFor(peer)
 	c.breakerMu.Lock()
-	defer c.breakerMu.Unlock()
-	if b.state != breakerOpen {
+	tripped := b.state != breakerOpen
+	if tripped {
 		b.state = breakerOpen
 		b.openedAt = time.Now()
 		b.probing = false
+	}
+	c.breakerMu.Unlock()
+	if tripped {
+		c.met.breakerOpened.Inc()
 	}
 }
 

@@ -15,8 +15,10 @@ import (
 	"time"
 
 	"fargo/internal/ids"
+	"fargo/internal/metrics"
 	"fargo/internal/ref"
 	"fargo/internal/registry"
+	"fargo/internal/trace"
 	"fargo/internal/transport"
 	"fargo/internal/wire"
 )
@@ -119,6 +121,15 @@ type Options struct {
 	// also threaded into the transport when it supports redirection
 	// (transport.LogfSetter).
 	Logf func(format string, args ...any)
+	// TraceSampleRate is the probability (0..1) that an operation entering
+	// the pipeline at this core (InvokeCtx, MoveCtx, ...) starts a
+	// distributed trace. Zero disables root sampling; the core still
+	// records spans for traces sampled by peers, so chains stay intact.
+	// Adjustable at runtime via Tracer().SetSampleRate.
+	TraceSampleRate float64
+	// TraceBufferSize caps completed spans retained by this core's
+	// collector (0 = trace.DefaultBufferSize).
+	TraceBufferSize int
 }
 
 // Core is a FarGo runtime instance.
@@ -155,6 +166,13 @@ type Core struct {
 	mon   *Monitor
 	homes homeTable
 
+	// Observability (observe.go): the tracer owns sampling and the span
+	// collector; the registry owns named instruments; met caches the
+	// hot-path instruments so request paths never hit the registry map.
+	tracer  *trace.Tracer
+	metrics *metrics.Registry
+	met     *coreMetrics
+
 	wg sync.WaitGroup
 }
 
@@ -187,8 +205,17 @@ func New(tr transport.Transport, reg *registry.Registry, opts Options) (*Core, e
 		breakers: make(map[ids.CoreID]*breaker),
 	}
 	c.mon = newMonitor(c)
+	c.tracer = trace.New(c.id.String(), trace.Options{
+		SampleRate: opts.TraceSampleRate,
+		BufferSize: opts.TraceBufferSize,
+	})
+	c.metrics = metrics.NewRegistry()
+	c.met = newCoreMetrics(c.metrics)
 	if ls, ok := tr.(transport.LogfSetter); ok {
 		ls.SetLogf(opts.Logf)
+	}
+	if ms, ok := tr.(transport.MetricsSetter); ok {
+		ms.SetMetrics(c.metrics)
 	}
 	tr.SetHandler(c.handle)
 	return c, nil
@@ -202,6 +229,13 @@ func (c *Core) Registry() *registry.Registry { return c.reg }
 
 // Monitor returns the core's monitoring facility (profiling and events).
 func (c *Core) Monitor() *Monitor { return c.mon }
+
+// Tracer returns the core's distributed tracer (sampling control and the
+// completed-span collector).
+func (c *Core) Tracer() *trace.Tracer { return c.tracer }
+
+// Metrics returns the core's metrics registry.
+func (c *Core) Metrics() *metrics.Registry { return c.metrics }
 
 // Shutdown announces the shutdown to peers (firing the coreShutdown event so
 // relocation policies can evacuate complets), waits grace time for resulting

@@ -56,6 +56,10 @@ func (c *Core) handle(ctx context.Context, env wire.Envelope) (wire.Kind, []byte
 		return c.handleHomeQuery(env)
 	case wire.KindCheckpoint:
 		return c.handleCheckpoint(env)
+	case wire.KindStatsQuery:
+		return c.handleStatsQuery(env)
+	case wire.KindTraceQuery:
+		return c.handleTraceQuery(env)
 	default:
 		return 0, nil, fmt.Errorf("core %s: unhandled envelope kind %s", c.id, env.Kind)
 	}

@@ -86,6 +86,7 @@ func (m *Monitor) heartbeatLoop(peers []ids.CoreID, interval time.Duration, miss
 		case <-ticker.C:
 			for _, p := range peers {
 				s := state[p]
+				m.c.met.hbProbes.Inc()
 				if m.pingOnce(p, interval) {
 					if s.down {
 						s.down = false
@@ -101,6 +102,7 @@ func (m *Monitor) heartbeatLoop(peers []ids.CoreID, interval time.Duration, miss
 					m.c.breakerReport(p, nil)
 					continue
 				}
+				m.c.met.hbFailures.Inc()
 				s.failures++
 				if s.failures >= misses && !s.down {
 					s.down = true
@@ -115,6 +117,13 @@ func (m *Monitor) heartbeatLoop(peers []ids.CoreID, interval time.Duration, miss
 					})
 				}
 			}
+			down := 0
+			for _, s := range state {
+				if s.down {
+					down++
+				}
+			}
+			m.c.met.peersDown.Set(float64(down))
 		case <-stop:
 			return
 		}

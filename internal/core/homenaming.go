@@ -109,7 +109,7 @@ func (c *Core) InvokeViaHome(target ids.CompletID, method string, args ...any) (
 	defer cancel()
 	var resBytes []byte
 	if loc == c.id {
-		resBytes, err = c.invokeLocal(target, method, argBytes)
+		resBytes, err = c.invokeLocal(ctx, target, method, argBytes)
 	} else {
 		resBytes, _, err = c.forwardInvoke(ctx, loc, target, ids.CompletID{}, method, argBytes, 0, ref.CallOptions{})
 	}

@@ -4,10 +4,13 @@ import (
 	"context"
 	"fmt"
 	"reflect"
+	"strconv"
+	"time"
 
 	"fargo/internal/ids"
 	"fargo/internal/ref"
 	"fargo/internal/registry"
+	"fargo/internal/trace"
 	"fargo/internal/wire"
 )
 
@@ -62,24 +65,42 @@ func (c *Core) invokeRef(ctx context.Context, r *ref.Ref, method string, args []
 		return nil, ErrClosed
 	}
 	target := r.Target()
-	op := fmt.Sprintf("invoke %s.%s", r.AnchorType(), method)
+	// Untyped references (raw IDs from the shell or scripts) name the op by
+	// target so traces and errors stay readable.
+	subject := r.AnchorType()
+	if subject == "" {
+		subject = target.String()
+	}
+	op := fmt.Sprintf("invoke %s.%s", subject, method)
 	ctx, cancel := c.withBudget(ctx, opts.Timeout)
 	defer cancel()
+	ctx, sp := c.tracer.StartSpan(ctx, op)
+	defer sp.Finish()
+	start := time.Now()
 	args = c.anchorsToRefs(args)
 	argBytes, _, err := wire.EncodeArgs(args)
 	if err != nil {
-		return nil, fmt.Errorf("core: encode args of %s: %w", op, err)
+		err = fmt.Errorf("core: encode args of %s: %w", op, err)
+		sp.SetError(err)
+		c.met.invokeErrs.Inc()
+		return nil, err
 	}
 	resBytes, loc, err := c.routeInvoke(ctx, target, r.Hint(), r.Owner(), method, argBytes, 0, opts)
 	if err != nil {
-		return nil, invokeErr(op, target, "", err)
+		err = invokeErr(op, target, "", err)
+		sp.SetError(err)
+		c.met.invokeErrs.Inc()
+		return nil, err
 	}
 	r.SetHint(loc)
 	results, decoded, err := wire.DecodeArgs(resBytes)
 	if err != nil {
+		sp.SetError(err)
+		c.met.invokeErrs.Inc()
 		return nil, err
 	}
 	c.bindDecoded(decoded)
+	c.met.invokeLatency.Observe(float64(time.Since(start).Nanoseconds()))
 	return results, nil
 }
 
@@ -98,7 +119,7 @@ func (c *Core) routeInvoke(ctx context.Context, target ids.CompletID, hint ids.C
 		t := c.trackerFor(target, hint)
 		local, next := t.point()
 		if local {
-			resBytes, err := c.invokeLocalFrom(target, source, method, argBytes)
+			resBytes, err := c.invokeLocalFrom(ctx, target, source, method, argBytes)
 			if err == errStaleLocal {
 				// The complet moved between the tracker read and
 				// the repository access; retry via the tracker.
@@ -175,14 +196,15 @@ func (c *Core) anchorsToRefs(args []any) []any {
 var errStaleLocal = fmt.Errorf("core: complet moved during dispatch")
 
 // invokeLocal executes an invocation with no particular source complet.
-func (c *Core) invokeLocal(target ids.CompletID, method string, argBytes []byte) ([]byte, error) {
-	return c.invokeLocalFrom(target, ids.CompletID{}, method, argBytes)
+func (c *Core) invokeLocal(ctx context.Context, target ids.CompletID, method string, argBytes []byte) ([]byte, error) {
+	return c.invokeLocalFrom(ctx, target, ids.CompletID{}, method, argBytes)
 }
 
 // invokeLocalFrom executes an invocation on a complet hosted by this core.
 // The argument bytes are decoded here, which realizes by-value passing for
-// both remote and co-located callers.
-func (c *Core) invokeLocalFrom(target, source ids.CompletID, method string, argBytes []byte) ([]byte, error) {
+// both remote and co-located callers. The context only feeds tracing (the
+// "exec" span of a traced operation); execution itself is not interruptible.
+func (c *Core) invokeLocalFrom(ctx context.Context, target, source ids.CompletID, method string, argBytes []byte) ([]byte, error) {
 	entry, ok := c.lookup(target)
 	if !ok {
 		return nil, errStaleLocal
@@ -193,8 +215,14 @@ func (c *Core) invokeLocalFrom(target, source ids.CompletID, method string, argB
 		return nil, errStaleLocal
 	}
 
+	var sp *trace.Span
+	if trace.Sampled(ctx) {
+		_, sp = c.tracer.ChildSpan(ctx, "exec "+entry.typeName+"."+method)
+	}
 	args, decoded, err := wire.DecodeArgs(argBytes)
 	if err != nil {
+		sp.SetError(err)
+		sp.Finish()
 		return nil, err
 	}
 	c.bindDecoded(decoded)
@@ -203,9 +231,14 @@ func (c *Core) invokeLocalFrom(target, source ids.CompletID, method string, argB
 	// ready for dispatch.
 	results, err := registry.Invoke(entry.anchor, method, args)
 	c.mon.recordInvocation(source, target, entry.typeName, method, len(argBytes))
+	c.met.invokeLocal.Inc()
 	if err != nil {
-		return nil, &methodError{err: fmt.Errorf("core: %s.%s: %w", entry.typeName, method, err)}
+		err = &methodError{err: fmt.Errorf("core: %s.%s: %w", entry.typeName, method, err)}
+		sp.SetError(err)
+		sp.Finish()
+		return nil, err
 	}
+	sp.Finish()
 	// Replace returned local anchors with references (complets are passed
 	// by reference, §2). Only pointer results can be anchors.
 	for i, res := range results {
@@ -252,6 +285,7 @@ func (c *Core) forwardInvoke(ctx context.Context, next ids.CoreID, target, sourc
 	if err != nil {
 		return nil, "", err
 	}
+	c.met.invokeFwd.Inc()
 	env, err := c.requestOpts(ctx, next, wire.KindInvoke, payload, opts)
 	if err != nil {
 		return nil, "", fmt.Errorf("core: forward %s.%s to %s: %w", target, method, next, err)
@@ -281,9 +315,18 @@ func (c *Core) handleInvoke(ctx context.Context, env wire.Envelope) (wire.Kind, 
 	if req.Hops > maxHops {
 		return 0, nil, c.tripHopBudget(fmt.Sprintf("invoke %s.%s", req.Target, req.Method), req.Target)
 	}
+	var sp *trace.Span
+	if trace.Sampled(ctx) {
+		ctx2, s := c.tracer.ChildSpan(ctx, "serve invoke "+req.Method)
+		ctx, sp = ctx2, s
+		sp.SetAttr("target", req.Target.String())
+		sp.SetAttr("hops", strconv.Itoa(req.Hops))
+	}
+	defer sp.Finish()
 	reply := wire.InvokeReply{Hops: req.Hops}
 	resBytes, loc, err := c.routeInvoke(ctx, req.Target, "", req.Source, req.Method, req.Args, req.Hops, ref.CallOptions{})
 	if err != nil {
+		sp.SetError(err)
 		reply.Err = err.Error()
 		// Ship our classification so the caller, hops away, still tells
 		// a downstream timeout or partition apart from an application

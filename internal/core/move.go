@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"time"
 
 	"fargo/internal/ids"
 	"fargo/internal/ref"
@@ -78,17 +80,27 @@ func (c *Core) MoveWithContinuationCtx(ctx context.Context, r *ref.Ref, dest ids
 	op := fmt.Sprintf("move %s to %s", r.Target(), dest)
 	ctx, cancel := c.withBudget(ctx, o.Timeout)
 	defer cancel()
+	ctx, sp := c.tracer.StartSpan(ctx, op)
+	defer sp.Finish()
+	start := time.Now()
 	var contArgs []byte
 	if method != "" {
 		var err error
 		contArgs, _, err = wire.EncodeArgs(c.anchorsToRefs(args))
 		if err != nil {
-			return fmt.Errorf("core: encode continuation args of %s: %w", op, err)
+			err = fmt.Errorf("core: encode continuation args of %s: %w", op, err)
+			sp.SetError(err)
+			c.met.moveErrs.Inc()
+			return err
 		}
 	}
 	if err := c.moveCommand(ctx, r.Target(), r.Hint(), dest, method, contArgs, 0, o); err != nil {
+		sp.SetError(err)
+		c.met.moveErrs.Inc()
 		return invokeErr(op, r.Target(), "", err)
 	}
+	c.met.moves.Inc()
+	c.met.moveLatency.Observe(float64(time.Since(start).Nanoseconds()))
 	r.SetHint(dest)
 	return nil
 }
@@ -119,9 +131,17 @@ func (c *Core) MoveSelf(anchor any, dest ids.CoreID, contMethod string, args []a
 		defer c.wg.Done()
 		ctx, cancel := c.withBudget(context.Background(), 0)
 		defer cancel()
+		ctx, sp := c.tracer.StartSpan(ctx, fmt.Sprintf("move-self %s to %s", self.Target(), dest))
+		defer sp.Finish()
+		start := time.Now()
 		if err := c.moveCommand(ctx, self.Target(), self.Hint(), dest, contMethod, contArgs, 0, ref.CallOptions{}); err != nil {
+			sp.SetError(err)
+			c.met.moveErrs.Inc()
 			c.opts.Logf("fargo core %s: self-move of %s to %s: %v", c.id, self.Target(), dest, err)
+			return
 		}
+		c.met.moves.Inc()
+		c.met.moveLatency.Observe(float64(time.Since(start).Nanoseconds()))
 	}()
 	return nil
 }
@@ -140,9 +160,16 @@ func (c *Core) MoveByIDCtx(ctx context.Context, target ids.CompletID, dest ids.C
 	o := ref.BuildCallOptions(opts)
 	ctx, cancel := c.withBudget(ctx, o.Timeout)
 	defer cancel()
+	ctx, sp := c.tracer.StartSpan(ctx, fmt.Sprintf("move %s to %s", target, dest))
+	defer sp.Finish()
+	start := time.Now()
 	if err := c.moveCommand(ctx, target, "", dest, "", nil, 0, o); err != nil {
+		sp.SetError(err)
+		c.met.moveErrs.Inc()
 		return invokeErr(fmt.Sprintf("move %s to %s", target, dest), target, "", err)
 	}
+	c.met.moves.Inc()
+	c.met.moveLatency.Observe(float64(time.Since(start).Nanoseconds()))
 	return nil
 }
 
@@ -215,8 +242,16 @@ func (c *Core) handleMoveCmd(ctx context.Context, env wire.Envelope) (wire.Kind,
 	if err := wire.DecodePayload(env.Payload, &req); err != nil {
 		return 0, nil, err
 	}
+	ctx, sp := c.tracer.ChildSpan(ctx, "serve move-cmd")
+	if sp != nil {
+		sp.SetAttr("target", req.Target.String())
+		sp.SetAttr("dest", req.Dest.String())
+		sp.SetAttr("hops", strconv.Itoa(req.Hops))
+	}
+	defer sp.Finish()
 	reply := wire.MoveCommandReply{}
 	if err := c.moveCommand(ctx, req.Target, "", req.Dest, req.ContinuationMethod, req.ContinuationArgs, req.Hops, ref.CallOptions{}); err != nil {
+		sp.SetError(err)
 		reply.Err = err.Error()
 	}
 	out, err := wire.EncodePayload(reply)
@@ -265,6 +300,12 @@ func (c *Core) moveLocal(ctx context.Context, rootID ids.CompletID, dest ids.Cor
 		return fmt.Errorf("core: moving %s: %w", rootID, err)
 	}
 
+	// The bundle span covers marshaling, pre-cloning of remote duplicate
+	// targets, and the single-message shipment; the receiver's installation
+	// span parents under it via the envelope's trace context.
+	ctx, bsp := c.tracer.ChildSpan(ctx, "move.bundle")
+	defer bsp.Finish()
+
 	var (
 		locked      []*complet
 		entries     []wire.BundleEntry
@@ -282,6 +323,7 @@ func (c *Core) moveLocal(ctx context.Context, rootID ids.CompletID, dest ids.Cor
 	}
 	fail := func(err error) error {
 		unlock()
+		bsp.SetError(err)
 		return err
 	}
 
@@ -402,6 +444,11 @@ func (c *Core) moveLocal(ctx context.Context, rootID ids.CompletID, dest ids.Cor
 	})
 	if err != nil {
 		return fail(err)
+	}
+	if bsp != nil {
+		bsp.SetAttr("dest", dest.String())
+		bsp.SetAttr("complets", strconv.Itoa(len(entries)))
+		bsp.SetAttr("bytes", strconv.Itoa(len(payload)))
 	}
 	env, err := c.requestOpts(ctx, dest, wire.KindMove, payload, opts)
 	if err != nil {
@@ -593,11 +640,21 @@ func (c *Core) handleMove(ctx context.Context, env wire.Envelope) (wire.Kind, []
 	if err := wire.DecodePayload(env.Payload, &req); err != nil {
 		return 0, nil, err
 	}
+	_, sp := c.tracer.ChildSpan(ctx, "move.install")
+	if sp != nil {
+		sp.SetAttr("from", env.From.String())
+		sp.SetAttr("complets", strconv.Itoa(len(req.Entries)))
+	}
+	defer sp.Finish()
 	var reply wire.MoveReply
 	if err := ctx.Err(); err != nil {
 		reply.Err = fmt.Sprintf("bundle refused: %v", err)
+		sp.SetError(err)
 	} else {
 		reply = c.installBundle(env.From, req)
+		if reply.Err != "" {
+			sp.SetAttr("error", reply.Err)
+		}
 	}
 	out, err := wire.EncodePayload(reply)
 	if err != nil {
@@ -750,7 +807,9 @@ func (c *Core) runContinuation(entry *complet, method string, argBytes []byte) {
 				return
 			}
 		}
-		if _, err := c.invokeLocal(entry.id, method, resBytes); err != nil {
+		ctx, cancel := c.withBudget(context.Background(), 0)
+		defer cancel()
+		if _, err := c.invokeLocal(ctx, entry.id, method, resBytes); err != nil {
 			c.opts.Logf("fargo core %s: continuation %s.%s: %v", c.id, entry.typeName, method, err)
 		}
 	}()

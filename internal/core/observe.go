@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"fargo/internal/ids"
+	"fargo/internal/metrics"
+	"fargo/internal/stats"
+	"fargo/internal/trace"
+	"fargo/internal/wire"
+)
+
+// coreMetrics caches the registry instruments touched on request paths, so
+// the pipeline bumps lock-free counters instead of taking the registry lock
+// per operation. Names follow the _total/_ns conventions the text dump
+// renders by.
+type coreMetrics struct {
+	invokeLocal   *stats.Counter
+	invokeFwd     *stats.Counter
+	invokeErrs    *stats.Counter
+	invokeLatency *stats.Histogram
+
+	moves       *stats.Counter
+	moveErrs    *stats.Counter
+	moveLatency *stats.Histogram
+
+	repairs     *stats.Counter
+	repairFails *stats.Counter
+
+	retries         *stats.Counter
+	breakerOpened   *stats.Counter
+	breakerClosed   *stats.Counter
+	breakerRejected *stats.Counter
+
+	hbProbes   *stats.Counter
+	hbFailures *stats.Counter
+	peersDown  *stats.Gauge
+}
+
+func newCoreMetrics(reg *metrics.Registry) *coreMetrics {
+	return &coreMetrics{
+		invokeLocal:   reg.Counter("invoke_local_total"),
+		invokeFwd:     reg.Counter("invoke_forwarded_total"),
+		invokeErrs:    reg.Counter("invoke_errors_total"),
+		invokeLatency: reg.Histogram("invoke_latency_ns"),
+
+		moves:       reg.Counter("moves_total"),
+		moveErrs:    reg.Counter("move_errors_total"),
+		moveLatency: reg.Histogram("move_latency_ns"),
+
+		repairs:     reg.Counter("chain_repairs_total"),
+		repairFails: reg.Counter("chain_repair_failures_total"),
+
+		retries:         reg.Counter("request_retries_total"),
+		breakerOpened:   reg.Counter("breaker_opened_total"),
+		breakerClosed:   reg.Counter("breaker_closed_total"),
+		breakerRejected: reg.Counter("breaker_rejected_total"),
+
+		hbProbes:   reg.Counter("heartbeat_probes_total"),
+		hbFailures: reg.Counter("heartbeat_failures_total"),
+		peersDown:  reg.Gauge("peers_down"),
+	}
+}
+
+// --- stats query ------------------------------------------------------------
+
+// statsReply snapshots this core's registry into the wire form.
+func (c *Core) statsReply() wire.StatsQueryReply {
+	snap := c.metrics.Snapshot()
+	reply := wire.StatsQueryReply{
+		Core:       c.id,
+		Counters:   snap.Counters,
+		Gauges:     snap.Gauges,
+		Histograms: make(map[string]wire.HistogramStat, len(snap.Histograms)),
+	}
+	for name, h := range snap.Histograms {
+		reply.Histograms[name] = wire.HistogramStat{
+			Count: h.Count, Sum: h.Sum, P50: h.P50, P95: h.P95, P99: h.P99,
+		}
+	}
+	return reply
+}
+
+// handleStatsQuery serves a metrics snapshot to a peer (shell, monitor).
+func (c *Core) handleStatsQuery(env wire.Envelope) (wire.Kind, []byte, error) {
+	out, err := wire.EncodePayload(c.statsReply())
+	if err != nil {
+		return 0, nil, err
+	}
+	return wire.KindStatsQueryReply, out, nil
+}
+
+// StatsAt fetches a core's metrics snapshot (this core's own when dest is
+// self).
+func (c *Core) StatsAt(dest ids.CoreID) (wire.StatsQueryReply, error) {
+	if dest == c.id || dest.Nil() {
+		return c.statsReply(), nil
+	}
+	if c.isClosed() {
+		return wire.StatsQueryReply{}, ErrClosed
+	}
+	payload, err := wire.EncodePayload(wire.StatsQuery{})
+	if err != nil {
+		return wire.StatsQueryReply{}, err
+	}
+	env, err := c.requestBG(dest, wire.KindStatsQuery, payload)
+	if err != nil {
+		return wire.StatsQueryReply{}, fmt.Errorf("core: stats of %s: %w", dest, err)
+	}
+	var reply wire.StatsQueryReply
+	if err := wire.DecodePayload(env.Payload, &reply); err != nil {
+		return wire.StatsQueryReply{}, err
+	}
+	if reply.Err != "" {
+		return wire.StatsQueryReply{}, &peerError{msg: fmt.Sprintf("core: stats of %s: %s", dest, reply.Err)}
+	}
+	return reply, nil
+}
+
+// FormatStats renders a stats reply as the plain-text dump the shell and
+// monitor print.
+func FormatStats(w io.Writer, reply wire.StatsQueryReply) {
+	snap := metrics.Snapshot{
+		Counters:   reply.Counters,
+		Gauges:     reply.Gauges,
+		Histograms: make(map[string]stats.HistogramSnapshot, len(reply.Histograms)),
+	}
+	for name, h := range reply.Histograms {
+		snap.Histograms[name] = stats.HistogramSnapshot{
+			Count: h.Count, Sum: h.Sum, P50: h.P50, P95: h.P95, P99: h.P99,
+		}
+	}
+	snap.WriteText(w)
+}
+
+// --- trace query ------------------------------------------------------------
+
+// maxTraceSummaries bounds a trace listing reply.
+const maxTraceSummaries = 32
+
+// handleTraceQuery serves either recent trace summaries (Trace == 0) or the
+// retained spans of one trace from this core's collector.
+func (c *Core) handleTraceQuery(env wire.Envelope) (wire.Kind, []byte, error) {
+	var req wire.TraceQuery
+	if err := wire.DecodePayload(env.Payload, &req); err != nil {
+		return 0, nil, err
+	}
+	reply := c.traceReply(req)
+	out, err := wire.EncodePayload(reply)
+	if err != nil {
+		return 0, nil, err
+	}
+	return wire.KindTraceQueryReply, out, nil
+}
+
+func (c *Core) traceReply(req wire.TraceQuery) wire.TraceQueryReply {
+	col := c.tracer.Collector()
+	if req.Trace == 0 {
+		max := req.Max
+		if max <= 0 {
+			max = maxTraceSummaries
+		}
+		sums := trace.Summarize(col.Snapshot(), max)
+		reply := wire.TraceQueryReply{Summaries: make([]wire.TraceSummary, 0, len(sums))}
+		for _, s := range sums {
+			reply.Summaries = append(reply.Summaries, wire.TraceSummary{
+				Trace:          uint64(s.Trace),
+				Root:           s.Root,
+				Spans:          s.Spans,
+				StartUnixNanos: s.Start.UnixNano(),
+				DurationNanos:  int64(s.Duration),
+			})
+		}
+		return reply
+	}
+	spans := col.TraceSpans(trace.TraceID(req.Trace))
+	reply := wire.TraceQueryReply{Spans: make([]wire.TraceSpan, 0, len(spans))}
+	for _, sp := range spans {
+		reply.Spans = append(reply.Spans, spanToWire(sp))
+	}
+	return reply
+}
+
+func spanToWire(sp trace.Span) wire.TraceSpan {
+	out := wire.TraceSpan{
+		Trace:          uint64(sp.Trace),
+		Span:           uint64(sp.ID),
+		Parent:         uint64(sp.Parent),
+		Name:           sp.Name,
+		Core:           ids.CoreID(sp.Core),
+		StartUnixNanos: sp.Start.UnixNano(),
+		DurationNanos:  int64(sp.Duration),
+		Err:            sp.Err,
+	}
+	for _, a := range sp.Attrs {
+		out.AttrKeys = append(out.AttrKeys, a.Key)
+		out.AttrVals = append(out.AttrVals, a.Value)
+	}
+	return out
+}
+
+// SpansFromWire converts shipped spans back to trace.Span for tree building
+// and export (merging replies from several cores is just appending slices).
+func SpansFromWire(in []wire.TraceSpan) []trace.Span {
+	out := make([]trace.Span, 0, len(in))
+	for _, w := range in {
+		sp := trace.Span{
+			Trace:    trace.TraceID(w.Trace),
+			ID:       trace.SpanID(w.Span),
+			Parent:   trace.SpanID(w.Parent),
+			Name:     w.Name,
+			Core:     w.Core.String(),
+			Start:    time.Unix(0, w.StartUnixNanos),
+			Duration: time.Duration(w.DurationNanos),
+			Err:      w.Err,
+		}
+		for i := range w.AttrKeys {
+			v := ""
+			if i < len(w.AttrVals) {
+				v = w.AttrVals[i]
+			}
+			sp.Attrs = append(sp.Attrs, trace.Attr{Key: w.AttrKeys[i], Value: v})
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// TracesAt lists recent traces retained at a core (max 0 = server default).
+func (c *Core) TracesAt(dest ids.CoreID, max int) ([]wire.TraceSummary, error) {
+	reply, err := c.traceQuery(dest, wire.TraceQuery{Max: max})
+	if err != nil {
+		return nil, err
+	}
+	return reply.Summaries, nil
+}
+
+// TraceAt fetches one trace's spans retained at a core. A full cross-core
+// view merges TraceAt results from every involved core (each collector only
+// holds the spans recorded there).
+func (c *Core) TraceAt(dest ids.CoreID, id trace.TraceID) ([]wire.TraceSpan, error) {
+	reply, err := c.traceQuery(dest, wire.TraceQuery{Trace: uint64(id)})
+	if err != nil {
+		return nil, err
+	}
+	return reply.Spans, nil
+}
+
+func (c *Core) traceQuery(dest ids.CoreID, req wire.TraceQuery) (wire.TraceQueryReply, error) {
+	if dest == c.id || dest.Nil() {
+		return c.traceReply(req), nil
+	}
+	if c.isClosed() {
+		return wire.TraceQueryReply{}, ErrClosed
+	}
+	payload, err := wire.EncodePayload(req)
+	if err != nil {
+		return wire.TraceQueryReply{}, err
+	}
+	env, err := c.requestBG(dest, wire.KindTraceQuery, payload)
+	if err != nil {
+		return wire.TraceQueryReply{}, fmt.Errorf("core: traces of %s: %w", dest, err)
+	}
+	var reply wire.TraceQueryReply
+	if err := wire.DecodePayload(env.Payload, &reply); err != nil {
+		return wire.TraceQueryReply{}, err
+	}
+	if reply.Err != "" {
+		return wire.TraceQueryReply{}, &peerError{msg: fmt.Sprintf("core: traces of %s: %s", dest, reply.Err)}
+	}
+	return reply, nil
+}
+
+// ExportChromeTrace renders this core's retained spans as Chrome trace_event
+// JSON (cmd/fargo-core --trace-out writes this at shutdown).
+func (c *Core) ExportChromeTrace() ([]byte, error) {
+	return trace.ExportChromeJSON(c.tracer.Collector().Snapshot())
+}
+
+// FormatTraceSummaries renders a trace listing for the shell.
+func FormatTraceSummaries(w io.Writer, sums []wire.TraceSummary) {
+	sorted := append([]wire.TraceSummary(nil), sums...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].StartUnixNanos > sorted[j].StartUnixNanos
+	})
+	for _, s := range sorted {
+		root := s.Root
+		if root == "" {
+			root = "(rooted elsewhere)"
+		}
+		fmt.Fprintf(w, "%s  %-40s %2d spans  %v  %s\n",
+			trace.TraceID(s.Trace), root, s.Spans,
+			time.Duration(s.DurationNanos).Round(time.Microsecond),
+			time.Unix(0, s.StartUnixNanos).Format("15:04:05.000"))
+	}
+}

@@ -45,19 +45,33 @@ func (c *Core) repairChain(ctx context.Context, target ids.CompletID, dead ids.C
 	if ctx.Err() != nil {
 		return "", false
 	}
+	ctx, sp := c.tracer.ChildSpan(ctx, "repair "+target.String())
+	if sp != nil {
+		sp.SetAttr("dead", dead.String())
+		sp.SetAttr("op", op)
+	}
+	defer sp.Finish()
 	loc, err := c.locateViaHomeCtx(ctx, target, ref.CallOptions{NoRetry: true})
 	if err != nil {
 		c.opts.Logf("fargo core %s: chain repair for %s after %s failed: home query: %v", c.id, target, dead, err)
+		sp.SetError(err)
+		c.met.repairFails.Inc()
 		return "", false
 	}
 	if loc == dead {
 		// The home agrees with the tracker: the target really lives on the
 		// unreachable core. Nothing to route around.
+		sp.SetAttr("verdict", "home agrees with dead hop")
+		c.met.repairFails.Inc()
 		return "", false
 	}
 	if !c.repointTracker(target, loc) {
+		sp.SetAttr("verdict", "tracker kept authoritative state")
+		c.met.repairFails.Inc()
 		return "", false
 	}
+	sp.SetAttr("repointed", loc.String())
+	c.met.repairs.Inc()
 	c.opts.Logf("fargo core %s: chain repaired for %s: %s -> %s (%s)", c.id, target, dead, loc, op)
 	c.mon.fireBuiltin(EventChainRepaired, target, fmt.Sprintf("%s -> %s", dead, loc))
 	return loc, true

@@ -74,7 +74,8 @@ func (p RetryPolicy) normalize() RetryPolicy {
 func idempotentKind(kind wire.Kind) bool {
 	switch kind {
 	case wire.KindLocate, wire.KindNameLookup, wire.KindCoreInfo,
-		wire.KindProfileQuery, wire.KindPing, wire.KindHomeQuery:
+		wire.KindProfileQuery, wire.KindPing, wire.KindHomeQuery,
+		wire.KindStatsQuery, wire.KindTraceQuery:
 		return true
 	}
 	return false
@@ -181,6 +182,7 @@ func (c *Core) requestOpts(ctx context.Context, to ids.CoreID, kind wire.Kind, p
 				// transient fault that put us here, not the sleep.
 				break
 			}
+			c.met.retries.Inc()
 			delay = time.Duration(float64(delay) * pol.Multiplier)
 			if delay > pol.MaxDelay {
 				delay = pol.MaxDelay

@@ -1,0 +1,194 @@
+// Package metrics implements the per-core metrics registry of the
+// observability subsystem: named counters, gauges, and latency histograms
+// built on the internal/stats kernels, with a consistent snapshot for remote
+// queries (fargo-shell `stats`, the monitor's metrics pane) and a plain-text
+// dump for humans.
+//
+// Instruments are get-or-create by name; hot paths fetch their instruments
+// once at construction and then touch only the lock-free stats kernels, so
+// the registry map lock never appears on a request path.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fargo/internal/stats"
+)
+
+// Registry holds one core's named instruments.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*stats.Counter
+	gauges   map[string]*stats.Gauge
+	hists    map[string]*stats.Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*stats.Counter),
+		gauges:   make(map[string]*stats.Gauge),
+		hists:    make(map[string]*stats.Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Nil-safe: a
+// nil registry returns a throwaway counter so instrumented code never has to
+// branch.
+func (r *Registry) Counter(name string) *stats.Counter {
+	if r == nil {
+		return &stats.Counter{}
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &stats.Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *stats.Gauge {
+	if r == nil {
+		return &stats.Gauge{}
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g = &stats.Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named latency histogram (nanosecond domain, standard
+// log buckets), creating it on first use. By convention histogram names end
+// in "_ns" so renderers know the unit.
+func (r *Registry) Histogram(name string) *stats.Histogram {
+	if r == nil {
+		return stats.NewLatencyHistogram()
+	}
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h = stats.NewLatencyHistogram()
+	r.hists[name] = h
+	return h
+}
+
+// Snapshot is a point-in-time view of every instrument.
+type Snapshot struct {
+	At         time.Time
+	Counters   map[string]uint64
+	Gauges     map[string]float64
+	Histograms map[string]stats.HistogramSnapshot
+}
+
+// Snapshot reads every instrument. Instruments are read one by one, so the
+// view is consistent per instrument, not across them — fine for monitoring.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		At:         time.Now(),
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]stats.HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	counters := make(map[string]*stats.Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*stats.Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*stats.Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		if val, _, ok := v.Value(); ok {
+			s.Gauges[k] = val
+		}
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.Snapshot()
+	}
+	return s
+}
+
+// WriteText renders the snapshot as a sorted plain-text dump, one instrument
+// per line. Histogram names ending in "_ns" render as durations.
+func (s Snapshot) WriteText(w io.Writer) {
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(w, "counter %-32s %d\n", k, s.Counters[k])
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(w, "gauge   %-32s %g\n", k, s.Gauges[k])
+	}
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Histograms[k]
+		if strings.HasSuffix(k, "_ns") {
+			fmt.Fprintf(w, "hist    %-32s count=%d mean=%v p50=%v p95=%v p99=%v\n",
+				k, h.Count, ns(h.Mean()), ns(h.P50), ns(h.P95), ns(h.P99))
+			continue
+		}
+		fmt.Fprintf(w, "hist    %-32s count=%d mean=%g p50=%g p95=%g p99=%g\n",
+			k, h.Count, h.Mean(), h.P50, h.P95, h.P99)
+	}
+}
+
+// ns renders a nanosecond quantity as a rounded duration.
+func ns(v float64) time.Duration {
+	return time.Duration(v).Round(time.Microsecond)
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGetOrCreateStable(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total")
+	c2 := r.Counter("x_total")
+	if c1 != c2 {
+		t.Fatalf("same name returned different counters")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatalf("same name returned different gauges")
+	}
+	if r.Histogram("h_ns") != r.Histogram("h_ns") {
+		t.Fatalf("same name returned different histograms")
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("a").Inc()
+	r.Gauge("b").Set(1)
+	r.Histogram("c_ns").Observe(1)
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestSnapshotAndText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("invoke_local_total").Add(3)
+	r.Gauge("peers_down").Set(2)
+	r.Histogram("invoke_latency_ns").ObserveDuration(5 * time.Millisecond)
+	r.Histogram("plain").Observe(7)
+
+	s := r.Snapshot()
+	if s.Counters["invoke_local_total"] != 3 {
+		t.Fatalf("counter missing from snapshot: %+v", s.Counters)
+	}
+	if s.Gauges["peers_down"] != 2 {
+		t.Fatalf("gauge missing from snapshot: %+v", s.Gauges)
+	}
+	if s.Histograms["invoke_latency_ns"].Count != 1 {
+		t.Fatalf("histogram missing from snapshot: %+v", s.Histograms)
+	}
+
+	var b strings.Builder
+	s.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"counter invoke_local_total", "3",
+		"gauge   peers_down", "2",
+		"hist    invoke_latency_ns", "count=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text dump missing %q:\n%s", want, out)
+		}
+	}
+	// Duration rendering for _ns histograms.
+	if !strings.Contains(out, "5ms") {
+		t.Fatalf("_ns histogram not rendered as duration:\n%s", out)
+	}
+}
+
+func TestUnsetGaugeOmitted(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("never_set")
+	if s := r.Snapshot(); len(s.Gauges) != 0 {
+		t.Fatalf("unset gauge leaked into snapshot: %+v", s.Gauges)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("c").Inc()
+				r.Histogram("h_ns").Observe(float64(i))
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Snapshot().Counters["c"]; got != 8*500 {
+		t.Fatalf("counter = %d, want %d", got, 8*500)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fargo/internal/core"
 	"fargo/internal/ids"
 	"fargo/internal/ref"
+	"fargo/internal/trace"
 )
 
 // Shell interprets administration commands against a live core.
@@ -40,6 +41,9 @@ const Help = `commands:
   name <core> <name> <id>        bind a logical name
   lookup <core> <name>           resolve a logical name
   profile <core> <svc> [args...] instant profiling measurement
+  stats <core>                   metrics snapshot (counters, gauges, latency histograms)
+  trace <core>                   list recent traces retained at a core
+  trace <core> <id> [core...]    span tree of one trace, merged across the given cores
   checkpoint <core> <path>       persist a core's complets to a file (on its host)
   watch <core...>                stream layout events
   help | quit`
@@ -188,6 +192,53 @@ func (s *Shell) Exec(line string) error {
 			return err
 		}
 		fmt.Fprintf(s.out, "%s(%s) = %g\n", args[1], strings.Join(args[2:], ","), v)
+		return nil
+	case "stats":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: stats <core>")
+		}
+		reply, err := s.c.StatsAt(ids.CoreID(args[0]))
+		if err != nil {
+			return err
+		}
+		core.FormatStats(s.out, reply)
+		return nil
+	case "trace":
+		if len(args) == 0 {
+			return fmt.Errorf("usage: trace <core> [id [core...]]")
+		}
+		if len(args) == 1 {
+			sums, err := s.c.TracesAt(ids.CoreID(args[0]), 0)
+			if err != nil {
+				return err
+			}
+			if len(sums) == 0 {
+				fmt.Fprintln(s.out, "(no traces retained; is sampling enabled?)")
+				return nil
+			}
+			core.FormatTraceSummaries(s.out, sums)
+			return nil
+		}
+		id, err := trace.ParseTraceID(args[1])
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		// Merge the trace's spans from the named core plus any extra cores:
+		// each collector only retains the spans recorded locally, so the
+		// cross-core tree needs every involved core queried.
+		var spans []trace.Span
+		for _, coreName := range append([]string{args[0]}, args[2:]...) {
+			wireSpans, err := s.c.TraceAt(ids.CoreID(coreName), id)
+			if err != nil {
+				return err
+			}
+			spans = append(spans, core.SpansFromWire(wireSpans)...)
+		}
+		if len(spans) == 0 {
+			fmt.Fprintf(s.out, "no spans for trace %s at the queried core(s)\n", id)
+			return nil
+		}
+		trace.FormatTree(s.out, spans)
 		return nil
 	case "checkpoint":
 		if len(args) != 2 {

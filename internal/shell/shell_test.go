@@ -172,6 +172,53 @@ func TestShellProfile(t *testing.T) {
 	}
 }
 
+func TestShellStatsAndTrace(t *testing.T) {
+	cores := testDeployment(t, "admin", "worker")
+	for _, c := range cores {
+		c.Tracer().SetSampleRate(1)
+	}
+	s, out := newShell(t, cores["admin"])
+	execLines(t, s,
+		"new worker Message traced",
+		"invoke worker/#1 Print",
+		"stats admin",
+		"stats worker",
+		"trace admin",
+	)
+	text := out.String()
+	for _, want := range []string{
+		"invoke_forwarded_total", // admin routed the invocation out
+		"invoke_local_total",     // worker executed it
+		"invoke_latency_ns",
+		"invoke worker/#1.Print", // the trace listing names the root by ID
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+
+	// The listing's first column is the trace ID; the span-tree form must
+	// merge admin's root with worker's serve/exec spans.
+	var id string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "invoke worker/#1.Print") {
+			id = strings.Fields(line)[0]
+			break
+		}
+	}
+	if id == "" {
+		t.Fatalf("no trace listing line found:\n%s", text)
+	}
+	s2, out2 := newShell(t, cores["admin"])
+	execLines(t, s2, "trace admin "+id+" worker")
+	tree := out2.String()
+	for _, want := range []string{"invoke worker/#1.Print", "serve invoke Print", "exec Message.Print"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("span tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
 func TestShellArgParsing(t *testing.T) {
 	args := ParseArgs([]string{"42", "3.5", "true", "false", `"quoted"`, "bare"})
 	if args[0] != 42 || args[1] != 3.5 || args[2] != true || args[3] != false ||

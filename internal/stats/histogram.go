@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed log-bucket histogram for latency-like measurements:
+// bucket upper bounds grow geometrically from Start by Factor, so a handful of
+// buckets covers microseconds through minutes with bounded relative error.
+// Observations land in lock-free atomic buckets; quantiles are estimated at
+// snapshot time by linear interpolation inside the bucket holding the target
+// rank. The zero value is NOT ready to use — construct with NewHistogram or
+// NewLatencyHistogram. Safe for concurrent use.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; values above the last clamp into it
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // math.Float64bits, updated by CAS
+}
+
+// NewHistogram builds a histogram whose first bucket covers (0, start] and
+// whose bounds grow by factor until n buckets exist. start must be positive,
+// factor > 1, and n >= 2.
+func NewHistogram(start, factor float64, n int) (*Histogram, error) {
+	if start <= 0 || factor <= 1 || n < 2 {
+		return nil, fmt.Errorf("stats: bad histogram shape (start=%v factor=%v n=%d)", start, factor, n)
+	}
+	h := &Histogram{bounds: make([]float64, n), counts: make([]atomic.Uint64, n)}
+	b := start
+	for i := 0; i < n; i++ {
+		h.bounds[i] = b
+		b *= factor
+	}
+	return h, nil
+}
+
+// NewLatencyHistogram returns the standard latency histogram used by the
+// metrics registry: values in nanoseconds, first bucket 1µs, doubling bounds,
+// 36 buckets (top bound ≈ 9.5 hours — everything slower overflows).
+func NewLatencyHistogram() *Histogram {
+	h, err := NewHistogram(1e3, 2, 36)
+	if err != nil {
+		panic(err) // unreachable: constants satisfy NewHistogram
+	}
+	return h
+}
+
+// Observe records one measurement. Negative values clamp to zero (first
+// bucket).
+func (h *Histogram) Observe(v float64) {
+	h.counts[h.bucket(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration as nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(float64(d.Nanoseconds())) }
+
+// bucket returns the index of the bucket v falls in; values above the last
+// bound clamp into the last bucket.
+func (h *Histogram) bucket(v float64) int {
+	// Binary search over ~36 bounds; cheaper than log() and allocation-free.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == len(h.bounds) {
+		return len(h.bounds) - 1
+	}
+	return lo
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram.
+type HistogramSnapshot struct {
+	Count uint64
+	Sum   float64
+	P50   float64
+	P95   float64
+	P99   float64
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Snapshot reads the histogram. Under concurrent writes the quantiles are
+// approximate (buckets are read one by one), which is fine for monitoring.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSnapshot{
+		Count: total,
+		Sum:   math.Float64frombits(h.sum.Load()),
+	}
+	s.P50 = quantile(h.bounds, counts, total, 0.50)
+	s.P95 = quantile(h.bounds, counts, total, 0.95)
+	s.P99 = quantile(h.bounds, counts, total, 0.99)
+	return s
+}
+
+// Quantile estimates a single quantile q in [0,1].
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	return quantile(h.bounds, counts, total, q)
+}
+
+// quantile walks the cumulative distribution to the bucket holding rank
+// q*total and interpolates linearly between the bucket's bounds.
+func quantile(bounds []float64, counts []uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			lower := 0.0
+			if i > 0 {
+				lower = bounds[i-1]
+			}
+			frac := (rank - cum) / float64(c)
+			return lower + frac*(bounds[i]-lower)
+		}
+		cum = next
+	}
+	return bounds[len(bounds)-1]
+}

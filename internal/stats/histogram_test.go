@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramShapeValidation(t *testing.T) {
+	cases := []struct {
+		start, factor float64
+		n             int
+	}{
+		{0, 2, 10},
+		{-1, 2, 10},
+		{1, 1, 10},
+		{1, 0.5, 10},
+		{1, 2, 1},
+	}
+	for _, c := range cases {
+		if _, err := NewHistogram(c.start, c.factor, c.n); err == nil {
+			t.Errorf("NewHistogram(%v, %v, %d): want error", c.start, c.factor, c.n)
+		}
+	}
+	if _, err := NewHistogram(1e3, 2, 36); err != nil {
+		t.Fatalf("valid shape rejected: %v", err)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewLatencyHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.P50 != 0 || s.P99 != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	if s.Mean() != 0 {
+		t.Fatalf("empty mean = %v, want 0", s.Mean())
+	}
+}
+
+func TestHistogramCountSumMean(t *testing.T) {
+	h, _ := NewHistogram(1, 2, 20)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.Sum != 5050 {
+		t.Fatalf("sum = %v, want 5050", s.Sum)
+	}
+	if s.Mean() != 50.5 {
+		t.Fatalf("mean = %v, want 50.5", s.Mean())
+	}
+}
+
+func TestHistogramQuantilesBounded(t *testing.T) {
+	// With log buckets the quantile estimate must land within the bucket of
+	// the true value: for factor 2, within 2x of the exact quantile.
+	h, _ := NewHistogram(1, 2, 24)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"p50", s.P50, 500},
+		{"p95", s.P95, 950},
+		{"p99", s.P99, 990},
+	}
+	for _, c := range checks {
+		if c.got < c.want/2 || c.got > c.want*2 {
+			t.Errorf("%s = %v, want within 2x of %v", c.name, c.got, c.want)
+		}
+	}
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99) {
+		t.Errorf("quantiles not monotone: p50=%v p95=%v p99=%v", s.P50, s.P95, s.P99)
+	}
+}
+
+func TestHistogramSingleBucketInterpolation(t *testing.T) {
+	// All mass in one bucket: quantiles interpolate inside its bounds.
+	h, _ := NewHistogram(1, 2, 10)
+	for i := 0; i < 100; i++ {
+		h.Observe(3) // bucket (2,4]
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		v := h.Quantile(q)
+		if v < 2 || v > 4 {
+			t.Errorf("q%v = %v, want within (2,4]", q, v)
+		}
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h, _ := NewHistogram(1, 2, 4) // bounds 1,2,4,8
+	h.Observe(-5)                 // clamps to first bucket
+	h.Observe(1e9)                // clamps to last bucket
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("count = %d, want 2", s.Count)
+	}
+	if p := h.Quantile(1); p > 8 {
+		t.Fatalf("q1 = %v, want <= last bound 8", p)
+	}
+	if p := h.Quantile(0); p < 0 || math.IsNaN(p) {
+		t.Fatalf("q0 = %v", p)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.ObserveDuration(3 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 3e6 {
+		t.Fatalf("snapshot = %+v, want count 1 sum 3e6", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewLatencyHistogram()
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(1000 + g*i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*per)
+	}
+	if s.Sum <= 0 {
+		t.Fatalf("sum = %v, want > 0", s.Sum)
+	}
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format ("Trace Event
+// Format", the JSON chrome://tracing and Perfetto consume). We emit complete
+// events (ph "X", microsecond ts/dur) plus process_name metadata mapping each
+// core to a pid row.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// ExportChromeJSON renders spans (from one collector or merged from several
+// cores) as Chrome trace_event JSON. Each core becomes a pid with a
+// process_name metadata record; within a core each trace gets its own tid row
+// so overlapping requests don't nest into each other.
+func ExportChromeJSON(spans []Span) ([]byte, error) {
+	// Stable pid per core name.
+	cores := make(map[string]int)
+	var names []string
+	for _, sp := range spans {
+		if _, ok := cores[sp.Core]; !ok {
+			cores[sp.Core] = 0
+			names = append(names, sp.Core)
+		}
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		cores[n] = i + 1
+	}
+
+	out := chromeTrace{TraceEvents: []chromeEvent{}}
+	for _, n := range names {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  cores[n],
+			Args: map[string]any{"name": "core " + n},
+		})
+	}
+
+	// tid per (core, trace), assigned in first-seen order within each core.
+	type coreTrace struct {
+		pid   int
+		trace TraceID
+	}
+	tids := make(map[coreTrace]int)
+	nextTid := make(map[int]int)
+	for _, sp := range spans {
+		pid := cores[sp.Core]
+		key := coreTrace{pid, sp.Trace}
+		tid, ok := tids[key]
+		if !ok {
+			nextTid[pid]++
+			tid = nextTid[pid]
+			tids[key] = tid
+		}
+		args := map[string]any{
+			"trace": sp.Trace.String(),
+			"span":  fmt.Sprintf("%016x", uint64(sp.ID)),
+		}
+		if sp.Parent != 0 {
+			args["parent"] = fmt.Sprintf("%016x", uint64(sp.Parent))
+		}
+		if sp.Err != "" {
+			args["error"] = sp.Err
+		}
+		for _, a := range sp.Attrs {
+			args[a.Key] = a.Value
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: sp.Name,
+			Cat:  "fargo",
+			Ph:   "X",
+			Ts:   float64(sp.Start.UnixNano()) / 1e3,
+			Dur:  float64(sp.Duration.Nanoseconds()) / 1e3,
+			Pid:  pid,
+			Tid:  tid,
+			Args: args,
+		})
+	}
+	return json.MarshalIndent(out, "", " ")
+}
+
+// Node is one span with its children resolved, for tree rendering.
+type Node struct {
+	Span     Span
+	Children []*Node
+}
+
+// BuildTree links spans into parent/child trees. Spans whose parent is zero
+// or absent from the slice become roots (a span can be absent when its core's
+// ring evicted it or only some cores were queried). Children sort by start
+// time.
+func BuildTree(spans []Span) []*Node {
+	nodes := make(map[SpanID]*Node, len(spans))
+	for i := range spans {
+		nodes[spans[i].ID] = &Node{Span: spans[i]}
+	}
+	var roots []*Node
+	for _, n := range nodes {
+		if n.Span.Parent != 0 {
+			if p, ok := nodes[n.Span.Parent]; ok && p != n {
+				p.Children = append(p.Children, n)
+				continue
+			}
+		}
+		roots = append(roots, n)
+	}
+	var sortNodes func(ns []*Node)
+	sortNodes = func(ns []*Node) {
+		sort.Slice(ns, func(i, j int) bool { return ns[i].Span.Start.Before(ns[j].Span.Start) })
+		for _, n := range ns {
+			sortNodes(n.Children)
+		}
+	}
+	sortNodes(roots)
+	return roots
+}
+
+// FormatTree writes an indented text rendering of the spans' trees — the
+// fargo-shell `trace <core> <id>` output.
+func FormatTree(w io.Writer, spans []Span) {
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		for i := 0; i < depth; i++ {
+			fmt.Fprint(w, "  ")
+		}
+		sp := n.Span
+		fmt.Fprintf(w, "%s @%s %v", sp.Name, sp.Core, sp.Duration.Round(1000))
+		if sp.Err != "" {
+			fmt.Fprintf(w, " ERR=%s", sp.Err)
+		}
+		for _, a := range sp.Attrs {
+			fmt.Fprintf(w, " %s=%s", a.Key, a.Value)
+		}
+		fmt.Fprintln(w)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range BuildTree(spans) {
+		walk(r, 0)
+	}
+}

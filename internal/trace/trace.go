@@ -1,0 +1,274 @@
+// Package trace implements the distributed tracing half of the observability
+// subsystem: causally linked spans that follow one logical operation — an
+// invocation routed along a tracker chain (§3.1), a movement bundle (§3.3), a
+// chain repair — across every core it touches. Trace context (trace ID,
+// parent span ID, sampled bit) rides on wire.Envelope next to the end-to-end
+// deadline, so the receiving core parents its spans under the sender's
+// without any extra messages.
+//
+// Sampling is decided once, at the operation's entry core, with probability
+// Options.SampleRate; downstream cores honor the inbound sampled bit
+// regardless of their own rate, so a trace is never truncated mid-chain.
+// When an operation is not sampled every span helper returns a nil *Span
+// whose methods no-op — the hot-path cost of disabled tracing is one atomic
+// load plus one context lookup.
+//
+// Completed spans land in a per-core sharded ring buffer (Collector) that is
+// queryable remotely (fargo-shell `trace`) and exportable as Chrome
+// trace_event JSON (ExportChromeJSON).
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one end-to-end trace; SpanID one span within it. Both
+// are nonzero for sampled operations.
+type (
+	TraceID uint64
+	SpanID  uint64
+)
+
+// String renders the ID the way the shell accepts it back (16 hex digits).
+func (t TraceID) String() string { return fmt.Sprintf("%016x", uint64(t)) }
+
+// ParseTraceID parses the hex form produced by TraceID.String.
+func ParseTraceID(s string) (TraceID, error) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("trace: bad trace id %q: %w", s, err)
+	}
+	return TraceID(v), nil
+}
+
+// SpanContext is the portion of a trace that travels: on a context.Context
+// within one core, and on wire.Envelope between cores.
+type SpanContext struct {
+	Trace   TraceID
+	Span    SpanID // the sender's current span = the receiver's parent
+	Sampled bool
+}
+
+type ctxKey struct{}
+
+// NewContext returns a context carrying the span context.
+func NewContext(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the span context, if any.
+func FromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(ctxKey{}).(SpanContext)
+	return sc, ok
+}
+
+// Sampled reports whether ctx belongs to a sampled trace. Call sites use it
+// to skip building span names for untraced operations.
+func Sampled(ctx context.Context) bool {
+	sc, ok := FromContext(ctx)
+	return ok && sc.Sampled
+}
+
+// Options configures a Tracer.
+type Options struct {
+	// SampleRate is the probability (0..1) that an operation ENTERING the
+	// pipeline at this core starts a new trace. Zero disables root
+	// sampling; spans are still recorded for traces a peer sampled.
+	SampleRate float64
+	// BufferSize caps the completed spans retained per core (default
+	// DefaultBufferSize; older spans are overwritten ring-style).
+	BufferSize int
+}
+
+// DefaultBufferSize is the per-core completed-span retention when
+// Options.BufferSize is zero.
+const DefaultBufferSize = 4096
+
+// Tracer makes sampling decisions, mints IDs, and owns the per-core span
+// collector. A nil *Tracer is valid and records nothing.
+type Tracer struct {
+	core string
+	// threshold is the sampling cut: a fresh pseudo-random uint64 below it
+	// means "sample". 0 = never, MaxUint64 = always. One atomic load
+	// gates the entire hot path when tracing is off.
+	threshold atomic.Uint64
+	rateBits  atomic.Uint64 // Float64bits of the configured rate, for SampleRate
+	seq       atomic.Uint64 // splitmix64 state for IDs and sampling rolls
+	col       *Collector
+}
+
+// New builds a tracer for the named core.
+func New(core string, opts Options) *Tracer {
+	t := &Tracer{core: core, col: NewCollector(opts.BufferSize)}
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err == nil {
+		t.seq.Store(binary.LittleEndian.Uint64(seed[:]))
+	}
+	t.SetSampleRate(opts.SampleRate)
+	return t
+}
+
+// SetSampleRate changes the root-sampling probability (clamped to 0..1) for
+// subsequent operations.
+func (t *Tracer) SetSampleRate(rate float64) {
+	if rate < 0 || math.IsNaN(rate) {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	t.rateBits.Store(math.Float64bits(rate))
+	switch {
+	case rate == 0:
+		t.threshold.Store(0)
+	case rate == 1:
+		t.threshold.Store(math.MaxUint64)
+	default:
+		t.threshold.Store(uint64(rate * float64(math.MaxUint64)))
+	}
+}
+
+// SampleRate returns the configured root-sampling probability.
+func (t *Tracer) SampleRate() float64 { return math.Float64frombits(t.rateBits.Load()) }
+
+// Collector returns the per-core completed-span store.
+func (t *Tracer) Collector() *Collector { return t.col }
+
+// Core returns the core name stamped on this tracer's spans.
+func (t *Tracer) Core() string { return t.core }
+
+// nextRand advances the tracer's splitmix64 stream. Lock-free (one atomic
+// add), unlike the global math/rand source.
+func (t *Tracer) nextRand() uint64 {
+	x := t.seq.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (t *Tracer) nextID() uint64 {
+	for {
+		if v := t.nextRand(); v != 0 {
+			return v
+		}
+	}
+}
+
+// StartSpan opens a span at a pipeline ENTRY point (InvokeCtx, MoveCtx, ...).
+// If ctx already carries a sampled trace — an operation nested under another
+// traced operation, or arriving from a peer — the span joins it as a child.
+// Otherwise the tracer rolls its sample rate and either roots a new trace or
+// returns (ctx, nil): a nil *Span is valid and all its methods no-op.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if sc, ok := FromContext(ctx); ok && sc.Sampled {
+		return t.child(ctx, sc, name)
+	}
+	if t == nil {
+		return ctx, nil
+	}
+	thr := t.threshold.Load()
+	if thr == 0 {
+		return ctx, nil
+	}
+	if thr != math.MaxUint64 && t.nextRand() >= thr {
+		return ctx, nil
+	}
+	sp := &Span{
+		Trace:  TraceID(t.nextID()),
+		ID:     SpanID(t.nextID()),
+		Name:   name,
+		Core:   t.core,
+		Start:  time.Now(),
+		tracer: t,
+	}
+	return NewContext(ctx, SpanContext{Trace: sp.Trace, Span: sp.ID, Sampled: true}), sp
+}
+
+// ChildSpan opens a span under the trace already on ctx, or returns
+// (ctx, nil) when the operation is untraced. Interior pipeline stages (serve,
+// exec, bundle, install, repair) use this so an unsampled root decision never
+// spawns orphan traces further down.
+func (t *Tracer) ChildSpan(ctx context.Context, name string) (context.Context, *Span) {
+	sc, ok := FromContext(ctx)
+	if !ok || !sc.Sampled {
+		return ctx, nil
+	}
+	return t.child(ctx, sc, name)
+}
+
+func (t *Tracer) child(ctx context.Context, sc SpanContext, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	sp := &Span{
+		Trace:  sc.Trace,
+		ID:     SpanID(t.nextID()),
+		Parent: sc.Span,
+		Name:   name,
+		Core:   t.core,
+		Start:  time.Now(),
+		tracer: t,
+	}
+	return NewContext(ctx, SpanContext{Trace: sp.Trace, Span: sp.ID, Sampled: true}), sp
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Span is one timed operation within a trace. Spans are owned by the
+// goroutine that started them until Finish, which copies them into the
+// collector; a nil *Span no-ops every method.
+type Span struct {
+	Trace    TraceID
+	ID       SpanID
+	Parent   SpanID // zero for trace roots
+	Name     string
+	Core     string
+	Start    time.Time
+	Duration time.Duration
+	Err      string
+	Attrs    []Attr
+
+	tracer *Tracer
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+}
+
+// SetError records the operation's failure on the span.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.Err = err.Error()
+}
+
+// Finish stamps the duration and hands the span to the collector. Safe to
+// call on a nil span; calling twice records twice (don't).
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.Duration = time.Since(s.Start)
+	if s.tracer != nil {
+		s.tracer.col.Record(*s)
+	}
+}

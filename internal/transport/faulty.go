@@ -7,9 +7,12 @@ import (
 	"log"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fargo/internal/ids"
+	"fargo/internal/metrics"
+	"fargo/internal/stats"
 	"fargo/internal/wire"
 )
 
@@ -47,10 +50,100 @@ type faultPlan struct {
 type Faulty struct {
 	inner Transport
 
+	// Injection counters are always on (a chaos run must be able to report
+	// what it actually injected) and mirrored into the core's metrics
+	// registry when one is attached via SetMetrics.
+	dropped     stats.Counter
+	delayed     stats.Counter
+	duplicated  stats.Counter
+	partitioned stats.Counter
+	met         atomic.Pointer[faultMetrics]
+
 	mu    sync.Mutex
 	rng   *rand.Rand
 	plans map[ids.CoreID]faultPlan
 	logf  func(format string, args ...any)
+}
+
+// faultMetrics caches the registry instruments mirroring the wrapper's own
+// counters.
+type faultMetrics struct {
+	dropped     *stats.Counter
+	delayed     *stats.Counter
+	duplicated  *stats.Counter
+	partitioned *stats.Counter
+}
+
+// FaultCounts reports how many faults the wrapper has injected since
+// construction. Messages both delayed and duplicated count under each.
+type FaultCounts struct {
+	// Dropped messages were silently lost (requests black-holed, notifies
+	// vanished).
+	Dropped uint64
+	// Delayed messages were shipped late by the configured per-peer delay.
+	Delayed uint64
+	// Duplicated messages were delivered twice.
+	Duplicated uint64
+	// Partitioned messages were refused outright (ErrInjectedPartition).
+	Partitioned uint64
+}
+
+// Counts returns the injection totals. Chaos tests assert against these; the
+// same numbers flow into the metrics registry as transport_fault_* counters.
+func (f *Faulty) Counts() FaultCounts {
+	return FaultCounts{
+		Dropped:     f.dropped.Value(),
+		Delayed:     f.delayed.Value(),
+		Duplicated:  f.duplicated.Value(),
+		Partitioned: f.partitioned.Value(),
+	}
+}
+
+// SetMetrics implements MetricsSetter: injected faults become
+// transport_fault_* counters, and the inner transport's traffic counters are
+// wired up too.
+func (f *Faulty) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		f.met.Store(nil)
+	} else {
+		f.met.Store(&faultMetrics{
+			dropped:     reg.Counter("transport_fault_dropped_total"),
+			delayed:     reg.Counter("transport_fault_delayed_total"),
+			duplicated:  reg.Counter("transport_fault_duplicated_total"),
+			partitioned: reg.Counter("transport_fault_partitioned_total"),
+		})
+	}
+	if ms, ok := f.inner.(MetricsSetter); ok {
+		ms.SetMetrics(reg)
+	}
+}
+
+func (f *Faulty) countDrop() {
+	f.dropped.Inc()
+	if m := f.met.Load(); m != nil {
+		m.dropped.Inc()
+	}
+}
+
+func (f *Faulty) countDelay() {
+	f.delayed.Inc()
+	if m := f.met.Load(); m != nil {
+		m.delayed.Inc()
+	}
+}
+
+func (f *Faulty) countDup() {
+	f.duplicated.Inc()
+	if m := f.met.Load(); m != nil {
+		m.duplicated.Inc()
+	}
+}
+
+func (f *Faulty) countPartition() {
+	f.partitioned.Inc()
+	if m := f.met.Load(); m != nil {
+		m.partitioned.Inc()
+	}
 }
 
 var _ Transport = (*Faulty)(nil)
@@ -163,9 +256,11 @@ func (f *Faulty) Close() error { return f.inner.Close() }
 func (f *Faulty) Request(ctx context.Context, to ids.CoreID, kind wire.Kind, payload []byte) (wire.Envelope, error) {
 	plan, drop, dup := f.decide(to)
 	if plan.partition {
+		f.countPartition()
 		return wire.Envelope{}, fmt.Errorf("faulty transport: request %s to %s: %w", kind, to, ErrInjectedPartition)
 	}
 	if plan.delay > 0 {
+		f.countDelay()
 		t := time.NewTimer(plan.delay)
 		select {
 		case <-t.C:
@@ -175,11 +270,13 @@ func (f *Faulty) Request(ctx context.Context, to ids.CoreID, kind wire.Kind, pay
 		}
 	}
 	if drop {
+		f.countDrop()
 		f.logfFn()("fargo faulty transport %s: dropping request %s to %s", f.Self(), kind, to)
 		<-ctx.Done()
 		return wire.Envelope{}, fmt.Errorf("faulty transport: request %s to %s dropped: %w", kind, to, ctx.Err())
 	}
 	if dup {
+		f.countDup()
 		f.logfFn()("fargo faulty transport %s: duplicating request %s to %s", f.Self(), kind, to)
 		go func() {
 			dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -196,17 +293,21 @@ func (f *Faulty) Request(ctx context.Context, to ids.CoreID, kind wire.Kind, pay
 func (f *Faulty) Notify(to ids.CoreID, kind wire.Kind, payload []byte) error {
 	plan, drop, dup := f.decide(to)
 	if plan.partition {
+		f.countPartition()
 		return fmt.Errorf("faulty transport: notify %s to %s: %w", kind, to, ErrInjectedPartition)
 	}
 	if drop {
+		f.countDrop()
 		f.logfFn()("fargo faulty transport %s: dropping notify %s to %s", f.Self(), kind, to)
 		return nil
 	}
 	sends := 1
 	if dup {
+		f.countDup()
 		sends = 2
 	}
 	if plan.delay > 0 {
+		f.countDelay()
 		go func() {
 			time.Sleep(plan.delay)
 			for i := 0; i < sends; i++ {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fargo/internal/ids"
+	"fargo/internal/metrics"
 	"fargo/internal/netsim"
 	"fargo/internal/wire"
 )
@@ -176,6 +177,70 @@ func TestFaultyIsPerPeer(t *testing.T) {
 	}
 	if _, err := f.Request(context.Background(), "c", wire.KindPing, nil); err != nil {
 		t.Fatalf("partition of b must not affect c: %v", err)
+	}
+}
+
+func TestFaultyCountsInjections(t *testing.T) {
+	f, _ := faultyPair(t)
+	reg := metrics.NewRegistry()
+	f.SetMetrics(reg)
+
+	// Partition: refused outright.
+	f.Partition("b", true)
+	if _, err := f.Request(context.Background(), "b", wire.KindPing, nil); !errors.Is(err, ErrInjectedPartition) {
+		t.Fatalf("err = %v, want ErrInjectedPartition", err)
+	}
+	f.Partition("b", false)
+
+	// Drop: a notify vanishes silently but is still counted.
+	f.SetDrop("b", 1.0)
+	if err := f.Notify("b", wire.KindPing, nil); err != nil {
+		t.Fatalf("dropped notify: %v", err)
+	}
+	f.Clear("b")
+
+	// Delay: shipped late.
+	f.SetDelay("b", 10*time.Millisecond)
+	if _, err := f.Request(context.Background(), "b", wire.KindPing, nil); err != nil {
+		t.Fatalf("delayed request: %v", err)
+	}
+	f.Clear("b")
+
+	// Duplicate: delivered twice.
+	f.SetDuplicate("b", 1.0)
+	if _, err := f.Request(context.Background(), "b", wire.KindPing, nil); err != nil {
+		t.Fatalf("duplicated request: %v", err)
+	}
+
+	got := f.Counts()
+	want := FaultCounts{Dropped: 1, Delayed: 1, Duplicated: 1, Partitioned: 1}
+	if got != want {
+		t.Fatalf("Counts() = %+v, want %+v", got, want)
+	}
+
+	// The same totals must appear in the attached registry.
+	snap := reg.Snapshot()
+	for name, want := range map[string]uint64{
+		"transport_fault_dropped_total":     1,
+		"transport_fault_delayed_total":     1,
+		"transport_fault_duplicated_total":  1,
+		"transport_fault_partitioned_total": 1,
+	} {
+		if snap.Counters[name] != want {
+			t.Errorf("registry counter %s = %d, want %d", name, snap.Counters[name], want)
+		}
+	}
+}
+
+func TestFaultyCountsBeforeSetMetrics(t *testing.T) {
+	// Counters are always on: injections before (or without) SetMetrics are
+	// still reported by Counts().
+	f, _ := faultyPair(t)
+	f.Partition("b", true)
+	_, _ = f.Request(context.Background(), "b", wire.KindPing, nil)
+	_ = f.Notify("b", wire.KindPing, nil)
+	if got := f.Counts().Partitioned; got != 2 {
+		t.Fatalf("Partitioned = %d, want 2", got)
 	}
 }
 

@@ -15,6 +15,8 @@ import (
 // Sim is a Transport over the netsim simulated network. One Sim wraps one
 // netsim host; core IDs double as host names.
 type Sim struct {
+	txMetricsHolder
+
 	self    ids.CoreID
 	net     *netsim.Network
 	host    *netsim.Host
@@ -90,6 +92,7 @@ func (s *Sim) Request(ctx context.Context, to ids.CoreID, kind wire.Kind, payloa
 	id, ch := s.pending.register()
 	env := wire.Envelope{From: s.self, Req: id, Kind: kind, Payload: payload}
 	stampDeadline(ctx, &env)
+	stampTrace(ctx, &env)
 	data, err := wire.EncodeEnvelope(env)
 	if err != nil {
 		s.pending.cancel(id)
@@ -99,6 +102,7 @@ func (s *Sim) Request(ctx context.Context, to ids.CoreID, kind wire.Kind, payloa
 		s.pending.cancel(id)
 		return wire.Envelope{}, fmt.Errorf("sim transport: send to %s: %w", to, err)
 	}
+	s.metrics().sent(len(data))
 	select {
 	case reply := <-ch:
 		if err := CheckReply(reply); err != nil {
@@ -130,6 +134,7 @@ func (s *Sim) Notify(to ids.CoreID, kind wire.Kind, payload []byte) error {
 	if err := s.host.Send(to.String(), data); err != nil {
 		return fmt.Errorf("sim transport: notify %s: %w", to, err)
 	}
+	s.metrics().sent(len(data))
 	return nil
 }
 
@@ -139,6 +144,7 @@ func (s *Sim) pump() {
 	for {
 		select {
 		case msg := <-s.host.Recv():
+			s.metrics().recv(len(msg.Payload))
 			env, err := wire.DecodeEnvelope(msg.Payload)
 			if err != nil {
 				s.logfFn()("fargo sim transport %s: dropping undecodable message from %s: %v", s.self, msg.From, err)
@@ -196,7 +202,9 @@ func (s *Sim) serve(h Handler, env wire.Envelope) {
 	}
 	if sendErr := s.host.Send(env.From.String(), data); sendErr != nil {
 		s.logfFn()("fargo sim transport %s: reply to %s: %v", s.self, env.From, sendErr)
+		return
 	}
+	s.metrics().sent(len(data))
 }
 
 // Close implements Transport. It stops the pump, waits for in-flight handler

@@ -69,6 +69,8 @@ func (b *AddrBook) Peers() []ids.CoreID {
 // carry a hello frame identifying the dialer, and learned addresses populate
 // the address book.
 type TCP struct {
+	txMetricsHolder
+
 	self    ids.CoreID
 	book    *AddrBook
 	ln      net.Listener
@@ -214,6 +216,7 @@ func (t *TCP) readLoop(c net.Conn) {
 			}
 			return
 		}
+		t.metrics().recv(len(frame))
 		env, err := wire.DecodeEnvelope(frame)
 		if err != nil {
 			t.logfFn()("fargo tcp %s: undecodable envelope from %s: %v", t.self, h.From, err)
@@ -287,6 +290,7 @@ func (t *TCP) Request(ctx context.Context, to ids.CoreID, kind wire.Kind, payloa
 	id, ch := t.pending.register()
 	env := wire.Envelope{From: t.self, Req: id, Kind: kind, Payload: payload}
 	stampDeadline(ctx, &env)
+	stampTrace(ctx, &env)
 	conn, err := t.send(to, env)
 	if err != nil {
 		t.pending.cancel(id)
@@ -358,8 +362,10 @@ func (t *TCP) send(to ids.CoreID, env wire.Envelope) (*tcpConn, error) {
 			t.dropConn(to, conn)
 			return nil, fmt.Errorf("tcp transport: send to %s after redial: %w", to, err2)
 		}
+		t.metrics().sent(len(data))
 		return conn, nil
 	}
+	t.metrics().sent(len(data))
 	return conn, nil
 }
 
@@ -423,6 +429,7 @@ func (t *TCP) conn(to ids.CoreID) (*tcpConn, error) {
 				t.dropConn(to, c)
 				return
 			}
+			t.metrics().recv(len(frame))
 			env, err := wire.DecodeEnvelope(frame)
 			if err != nil {
 				continue

@@ -19,9 +19,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fargo/internal/ids"
+	"fargo/internal/metrics"
+	"fargo/internal/stats"
+	"fargo/internal/trace"
 	"fargo/internal/wire"
 )
 
@@ -52,12 +56,21 @@ func (e *RemoteError) Error() string {
 type Handler func(ctx context.Context, env wire.Envelope) (wire.Kind, []byte, error)
 
 // handlerContext derives the serving context for an incoming request from
-// its wire deadline (context.Background when the request carries none).
+// its wire deadline (context.Background when the request carries none) and
+// its trace context, so spans the handler opens parent under the sender's.
 func handlerContext(env wire.Envelope) (context.Context, context.CancelFunc) {
-	if env.Deadline > 0 {
-		return context.WithDeadline(context.Background(), time.Unix(0, env.Deadline))
+	ctx := context.Background()
+	if env.TraceID != 0 && env.Sampled {
+		ctx = trace.NewContext(ctx, trace.SpanContext{
+			Trace:   trace.TraceID(env.TraceID),
+			Span:    trace.SpanID(env.Span),
+			Sampled: true,
+		})
 	}
-	return context.WithCancel(context.Background())
+	if env.Deadline > 0 {
+		return context.WithDeadline(ctx, time.Unix(0, env.Deadline))
+	}
+	return context.WithCancel(ctx)
 }
 
 // stampDeadline records the context's deadline (if any) on an outgoing
@@ -67,6 +80,74 @@ func stampDeadline(ctx context.Context, env *wire.Envelope) {
 		env.Deadline = dl.UnixNano()
 	}
 }
+
+// stampTrace records the context's sampled trace (if any) on an outgoing
+// request envelope so the receiver joins the trace. Untraced contexts leave
+// the envelope untouched — the common case costs one context lookup.
+func stampTrace(ctx context.Context, env *wire.Envelope) {
+	if sc, ok := trace.FromContext(ctx); ok && sc.Sampled {
+		env.TraceID = uint64(sc.Trace)
+		env.Span = uint64(sc.Span)
+		env.Sampled = true
+	}
+}
+
+// MetricsSetter is implemented by transports that can report traffic counters
+// into a core's metrics registry. The core threads its registry through this
+// hook at construction time, like Options.Logf via LogfSetter.
+type MetricsSetter interface {
+	SetMetrics(reg *metrics.Registry)
+}
+
+// txMetrics caches the registry's transport instruments so the per-message
+// cost is an atomic pointer load plus counter bumps, never a map lookup.
+type txMetrics struct {
+	sentMsgs  *stats.Counter
+	sentBytes *stats.Counter
+	recvMsgs  *stats.Counter
+	recvBytes *stats.Counter
+}
+
+func newTxMetrics(reg *metrics.Registry) *txMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &txMetrics{
+		sentMsgs:  reg.Counter("transport_sent_total"),
+		sentBytes: reg.Counter("transport_sent_bytes_total"),
+		recvMsgs:  reg.Counter("transport_recv_total"),
+		recvBytes: reg.Counter("transport_recv_bytes_total"),
+	}
+}
+
+func (m *txMetrics) sent(bytes int) {
+	if m == nil {
+		return
+	}
+	m.sentMsgs.Inc()
+	m.sentBytes.Add(uint64(bytes))
+}
+
+func (m *txMetrics) recv(bytes int) {
+	if m == nil {
+		return
+	}
+	m.recvMsgs.Inc()
+	m.recvBytes.Add(uint64(bytes))
+}
+
+// txMetricsHolder is the shared SetMetrics implementation embedded by Sim and
+// TCP.
+type txMetricsHolder struct {
+	met atomic.Pointer[txMetrics]
+}
+
+// SetMetrics implements MetricsSetter.
+func (h *txMetricsHolder) SetMetrics(reg *metrics.Registry) {
+	h.met.Store(newTxMetrics(reg))
+}
+
+func (h *txMetricsHolder) metrics() *txMetrics { return h.met.Load() }
 
 // LogfSetter is implemented by transports whose diagnostic output can be
 // redirected. The core threads its Options.Logf through this hook at

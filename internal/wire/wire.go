@@ -55,6 +55,10 @@ const (
 	KindHomeQueryReply
 	KindCheckpoint
 	KindCheckpointReply
+	KindStatsQuery
+	KindStatsQueryReply
+	KindTraceQuery
+	KindTraceQueryReply
 )
 
 // ErrorReply is the payload of a KindError envelope: a request failed in the
@@ -85,6 +89,8 @@ func (k Kind) String() string {
 		KindHomeUpdate: "home-update",
 		KindHomeQuery:  "home-query", KindHomeQueryReply: "home-query-reply",
 		KindCheckpoint: "checkpoint", KindCheckpointReply: "checkpoint-reply",
+		KindStatsQuery: "stats-query", KindStatsQueryReply: "stats-query-reply",
+		KindTraceQuery: "trace-query", KindTraceQueryReply: "trace-query-reply",
 	}
 	if s, ok := names[k]; ok {
 		return s
@@ -107,7 +113,15 @@ type Envelope struct {
 	// Cores on one host (netsim) share a clock; TCP deployments assume
 	// the loosely synchronized clocks of a LAN, the paper's setting.
 	Deadline int64
-	Payload  []byte
+	// TraceID/Span/Sampled carry the distributed-tracing context
+	// (internal/trace) of the request: the receiving core parents its
+	// spans under the sender's Span, so one trace follows the operation
+	// across every tracker-chain hop. All zero when the operation is
+	// untraced.
+	TraceID uint64
+	Span    uint64
+	Sampled bool
+	Payload []byte
 }
 
 // --- payload structs -------------------------------------------------------
@@ -398,6 +412,70 @@ type ProfileQuery struct {
 type ProfileQueryReply struct {
 	Value float64
 	Err   string
+}
+
+// StatsQuery asks a core for a snapshot of its metrics registry.
+type StatsQuery struct{}
+
+// HistogramStat is one histogram's snapshot in a StatsQueryReply (a plain
+// mirror of stats.HistogramSnapshot so wire stays free of stats types).
+type HistogramStat struct {
+	Count uint64
+	Sum   float64
+	P50   float64
+	P95   float64
+	P99   float64
+}
+
+// StatsQueryReply carries one core's metrics snapshot.
+type StatsQueryReply struct {
+	Core       ids.CoreID
+	Counters   map[string]uint64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramStat
+	Err        string
+}
+
+// TraceQuery asks a core's span collector either for recent trace summaries
+// (Trace == 0) or for the retained spans of one trace.
+type TraceQuery struct {
+	Trace uint64
+	// Max caps returned summaries (0 = collector default).
+	Max int
+}
+
+// TraceSummary describes one trace retained at the queried core.
+type TraceSummary struct {
+	Trace uint64
+	// Root is the root span's name when the queried core holds it ("" when
+	// the trace was rooted elsewhere).
+	Root           string
+	Spans          int
+	StartUnixNanos int64
+	DurationNanos  int64
+}
+
+// TraceSpan is one completed span shipped to a querier. Attributes travel as
+// parallel key/value slices (gob-friendly, order-preserving).
+type TraceSpan struct {
+	Trace          uint64
+	Span           uint64
+	Parent         uint64
+	Name           string
+	Core           ids.CoreID
+	StartUnixNanos int64
+	DurationNanos  int64
+	Err            string
+	AttrKeys       []string
+	AttrVals       []string
+}
+
+// TraceQueryReply answers a TraceQuery with summaries (listing) or spans
+// (single-trace fetch).
+type TraceQueryReply struct {
+	Summaries []TraceSummary
+	Spans     []TraceSpan
+	Err       string
 }
 
 // --- codec ------------------------------------------------------------------
