@@ -1,0 +1,73 @@
+// fargo-bench2json converts `go test -bench` text output into JSON, so CI
+// can persist benchmark results as an artifact and later runs can diff them:
+//
+//	go test -run=NONE -bench=. -benchmem . | fargo-bench2json -o BENCH.json
+//
+// Reads stdin (or -in file), writes an array of {name, iterations, ns_op,
+// bytes_op, allocs_op, extra} objects to stdout (or -o file). With -require
+// the conversion fails when no benchmark line was found — guarding CI against
+// a bench invocation that silently matched nothing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fargo/internal/benchjson"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fargo-bench2json:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in      = flag.String("in", "", "input file (default stdin)")
+		out     = flag.String("o", "", "output file (default stdout)")
+		require = flag.Bool("require", false, "fail when the input contains no benchmark results")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	results, err := benchjson.Parse(r)
+	if err != nil {
+		return err
+	}
+	if *require && len(results) == 0 {
+		return fmt.Errorf("no benchmark results in input")
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		w = f
+	}
+	if err := benchjson.Write(w, results); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "fargo-bench2json: wrote %d result(s) to %s\n", len(results), *out)
+	}
+	return nil
+}

@@ -4,7 +4,12 @@
 // Usage:
 //
 //	fargo-core -name accadia -listen :7101 \
-//	    -peer lehavim=host1:7102 -peer shell=host2:7103
+//	    -peer lehavim=host1:7102 -peer shell=host2:7103 \
+//	    -http :9120
+//
+// -http starts the ops plane: an embedded HTTP server with /metrics
+// (Prometheus), /healthz, /readyz, /layout, /trace, /flight and /debug/pprof.
+// Hostless addresses bind loopback; exposing the port is an explicit opt-in.
 //
 // The daemon registers the demo complet type set (Go binaries cannot load
 // classes dynamically; see DESIGN.md substitutions) and serves until
@@ -40,6 +45,7 @@ func run() error {
 		grace       = flag.Duration("grace", fargo.DefaultGrace, "shutdown grace period for complet evacuation")
 		traceOut    = flag.String("trace-out", "", "write retained spans as Chrome trace_event JSON to this file at shutdown")
 		traceSample = flag.Float64("trace-sample", 0, "trace sampling rate in [0,1]; defaults to 1 when -trace-out is given")
+		httpAddr    = flag.String("http", "", "ops-plane HTTP address (/metrics, /healthz, /readyz, /layout, /trace, /flight, /debug/pprof); hostless addresses like :9120 bind loopback")
 		peers       = cliutil.PeerFlags{}
 	)
 	flag.Var(peers, "peer", "peer core as name=host:port (repeatable)")
@@ -69,6 +75,14 @@ func run() error {
 		return err
 	}
 	log.Printf("fargo-core %s listening on %s (%d peers seeded)", *name, addr, len(peers))
+	if *httpAddr != "" {
+		// Started here rather than via Options.HTTPAddr so the bound
+		// address (which may use an ephemeral port) can be logged.
+		if _, err := fargo.StartOps(c, fargo.OpsOptions{Addr: *httpAddr, Logf: log.Printf}); err != nil {
+			_ = c.Shutdown(0)
+			return err
+		}
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -12,13 +12,25 @@
 // re-renders on every event (and on a periodic refresh) until interrupted.
 // With -stats each render appends a metrics pane: one line per inspected core
 // summarizing its invocation/movement counters and latency percentiles.
+//
+// With -scrape the monitor does not join the deployment at all: it reads a
+// core's ops plane over plain HTTP instead —
+//
+//	fargo-monitor -scrape http://127.0.0.1:9120 [-once] [-interval 2s]
+//
+// each round fetches /layout and /flight from the given base URL and renders
+// them; -once prints a single round and exits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -47,10 +59,15 @@ func run() error {
 		once     = flag.Bool("once", false, "print one snapshot and exit")
 		interval = flag.Duration("interval", 5*time.Second, "periodic full refresh")
 		stats    = flag.Bool("stats", false, "append a per-core metrics pane to each render")
+		scrape   = flag.String("scrape", "", "read one core's ops plane over HTTP (base URL, e.g. http://127.0.0.1:9120) instead of joining the deployment")
 		peers    = cliutil.PeerFlags{}
 	)
 	flag.Var(peers, "peer", "peer core as name=host:port (repeatable)")
 	flag.Parse()
+
+	if *scrape != "" {
+		return runScrape(strings.TrimRight(*scrape, "/"), *once, *interval)
+	}
 
 	reg := fargo.NewRegistry()
 	if err := demo.Register(reg); err != nil {
@@ -141,6 +158,144 @@ func renderStatsPane(c *core.Core, cores []ids.CoreID) string {
 			at, inv, fwd, errs, moves, repairs, retries, opened, latencySummary(reply))
 	}
 	return b.String()
+}
+
+// scrapeLayout / scrapeFlight mirror the ops plane's /layout and /flight JSON
+// bodies (internal/obs); only the fields the renderer uses are declared.
+type scrapeLayout struct {
+	Core     string `json:"core"`
+	Complets []struct {
+		ID       string   `json:"id"`
+		TypeName string   `json:"type"`
+		Names    []string `json:"names"`
+	} `json:"complets"`
+	Trackers []struct {
+		Complet string `json:"complet"`
+		Local   bool   `json:"local"`
+		Next    string `json:"next"`
+	} `json:"trackers"`
+	ChainLocal      int      `json:"chain_local"`
+	ChainForwarding int      `json:"chain_forwarding"`
+	Peers           []string `json:"peers"`
+	View            []struct {
+		Core    string `json:"core"`
+		Complet string `json:"complet"`
+	} `json:"view"`
+}
+
+type scrapeFlight struct {
+	Core   string `json:"core"`
+	Total  uint64 `json:"total"`
+	Events []struct {
+		Seq     uint64    `json:"seq"`
+		At      time.Time `json:"at"`
+		Kind    string    `json:"kind"`
+		Complet string    `json:"complet"`
+		Peer    string    `json:"peer"`
+		Detail  string    `json:"detail"`
+		Err     string    `json:"err"`
+	} `json:"events"`
+}
+
+// runScrape is the HTTP mode: it renders /layout and /flight from one core's
+// ops plane, periodically or once, without opening a FarGo transport.
+func runScrape(base string, once bool, interval time.Duration) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	round := func() error {
+		out, err := scrapeRound(client, base)
+		if err != nil {
+			return err
+		}
+		if !once {
+			fmt.Print("\033[2J\033[H")
+		}
+		fmt.Print(out)
+		return nil
+	}
+	if once {
+		return round()
+	}
+	if err := round(); err != nil {
+		fmt.Fprintf(os.Stderr, "scrape: %v\n", err)
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if err := round(); err != nil {
+				fmt.Fprintf(os.Stderr, "scrape: %v\n", err)
+			}
+		case <-stop:
+			return nil
+		}
+	}
+}
+
+// scrapeRound fetches and renders one /layout + /flight round.
+func scrapeRound(client *http.Client, base string) (string, error) {
+	var lay scrapeLayout
+	if err := fetchJSON(client, base+"/layout", &lay); err != nil {
+		return "", err
+	}
+	var fl scrapeFlight
+	if err := fetchJSON(client, base+"/flight?n=12", &fl); err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "core %s  (%d complet(s), trackers: %d local / %d forwarding)\n",
+		lay.Core, len(lay.Complets), lay.ChainLocal, lay.ChainForwarding)
+	sort.Slice(lay.Complets, func(i, j int) bool { return lay.Complets[i].ID < lay.Complets[j].ID })
+	for _, cp := range lay.Complets {
+		line := "  " + cp.ID + "  " + cp.TypeName
+		if len(cp.Names) > 0 {
+			line += "  (" + strings.Join(cp.Names, ", ") + ")"
+		}
+		fmt.Fprintln(&b, line)
+	}
+	if len(lay.View) > 0 {
+		fmt.Fprintln(&b, "view:")
+		for _, row := range lay.View {
+			fmt.Fprintf(&b, "  %-12s %s\n", row.Core, row.Complet)
+		}
+	}
+	fmt.Fprintf(&b, "flight (%d recorded, newest %d):\n", fl.Total, len(fl.Events))
+	for _, ev := range fl.Events {
+		ts := ev.At.Format("15:04:05.000")
+		fmt.Fprintf(&b, "  #%-5d %s %-13s", ev.Seq, ts, ev.Kind)
+		if ev.Complet != "" {
+			fmt.Fprintf(&b, " %s", ev.Complet)
+		}
+		if ev.Peer != "" {
+			fmt.Fprintf(&b, " peer=%s", ev.Peer)
+		}
+		if ev.Detail != "" {
+			fmt.Fprintf(&b, " %s", ev.Detail)
+		}
+		if ev.Err != "" {
+			fmt.Fprintf(&b, " ERR=%s", ev.Err)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String(), nil
+}
+
+// fetchJSON GETs url and decodes the JSON body into out, surfacing non-200
+// statuses as errors.
+func fetchJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // latencySummary renders the invoke latency percentiles when any invocation

@@ -65,6 +65,7 @@ import (
 	"fargo/internal/ids"
 	"fargo/internal/layoutview"
 	"fargo/internal/netsim"
+	"fargo/internal/obs"
 	"fargo/internal/ref"
 	"fargo/internal/registry"
 	"fargo/internal/script"
@@ -335,6 +336,9 @@ func (u *Universe) Close() {
 // address book (core name -> host:port); more peers are learned dynamically
 // from connection handshakes. The returned address is the bound listen
 // address (useful with ":0").
+//
+// When opts.HTTPAddr is non-empty, an ops plane (see StartOps) is started on
+// that address and tied to the core's shutdown.
 func ListenTCP(name, listenAddr string, peers map[string]string, reg *Registry, opts Options) (*Core, string, error) {
 	seed := make(map[ids.CoreID]string, len(peers))
 	for k, v := range peers {
@@ -349,7 +353,29 @@ func ListenTCP(name, listenAddr string, peers map[string]string, reg *Registry, 
 		_ = tr.Close()
 		return nil, "", err
 	}
+	if opts.HTTPAddr != "" {
+		if _, err := obs.Start(c, OpsOptions{Addr: opts.HTTPAddr}); err != nil {
+			_ = c.Shutdown(0)
+			return nil, "", err
+		}
+	}
 	return c, tr.Addr(), nil
+}
+
+// OpsServer is a running per-core ops plane: an embedded HTTP server exposing
+// /metrics (Prometheus), /healthz, /readyz, /layout, /trace, /flight and
+// /debug/pprof. See internal/obs for the endpoint contract and security note
+// (hostless addresses bind loopback).
+type OpsServer = obs.Server
+
+// OpsOptions configures an ops plane (StartOps).
+type OpsOptions = obs.Options
+
+// StartOps starts the ops plane for a core. It is called automatically by
+// ListenTCP when Options.HTTPAddr is set; call it directly to attach a
+// layout view or to serve a simulated core. The server closes with the core.
+func StartOps(c *Core, opts OpsOptions) (*OpsServer, error) {
+	return obs.Start(c, opts)
 }
 
 // ScriptValue is a positional argument for layout scripts: string, float64

@@ -1,0 +1,103 @@
+// Package benchjson parses the text output of `go test -bench` into a
+// machine-readable form, so CI can persist benchmark results (BENCH_PR4.json)
+// and later runs can diff them. It understands the standard benchmark result
+// line — name, iteration count, then unit-tagged values — including the
+// -benchmem columns and custom ReportMetric units.
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the full benchmark name including any -cpu suffix
+	// (BenchmarkE1_InvocationDirect-8).
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the ns/op value.
+	NsPerOp float64 `json:"ns_op"`
+	// BytesPerOp and AllocsPerOp are the -benchmem columns (0 when absent).
+	BytesPerOp  int64 `json:"bytes_op,omitempty"`
+	AllocsPerOp int64 `json:"allocs_op,omitempty"`
+	// Extra holds any remaining unit-tagged values (MB/s, custom
+	// ReportMetric units), keyed by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Parse reads `go test -bench` output and returns the benchmark results in
+// input order. Non-benchmark lines (PASS, ok, goos, test logs) are skipped.
+// A line starting with "Benchmark" that does not parse is an error — silent
+// skips would make an empty result file look like a passing bench run.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line needs at least name, iterations, value, unit; the
+		// bare "BenchmarkFoo" line ("--- BENCH:" headers land without the
+		// prefix) is not one.
+		if len(fields) < 4 {
+			if len(fields) == 1 {
+				continue // a benchmark name echoed alone (e.g. with -v)
+			}
+			return nil, fmt.Errorf("benchjson: malformed line %q", line)
+		}
+		res := Result{Name: fields[0]}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q: %w", line, err)
+		}
+		res.Iterations = n
+		sawNs := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value in %q: %w", line, err)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = val
+				sawNs = true
+			case "B/op":
+				res.BytesPerOp = int64(val)
+			case "allocs/op":
+				res.AllocsPerOp = int64(val)
+			default:
+				if res.Extra == nil {
+					res.Extra = make(map[string]float64)
+				}
+				res.Extra[unit] = val
+			}
+		}
+		if !sawNs {
+			return nil, fmt.Errorf("benchjson: no ns/op in %q", line)
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Write renders results as indented JSON (an array, stable field order).
+func Write(w io.Writer, results []Result) error {
+	if results == nil {
+		results = []Result{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

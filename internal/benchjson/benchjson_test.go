@@ -1,0 +1,89 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: fargo
+cpu: Intel Xeon
+BenchmarkE1_InvocationDirect-8      	  913846	      1269 ns/op	     312 B/op	       9 allocs/op
+BenchmarkE1_InvocationRefRemote-8   	    8318	    143907 ns/op
+BenchmarkE5_InstantCached-8         	 1000000	      51.5 ns/op	      87.1 MB/s	       0 B/op	       0 allocs/op
+PASS
+ok  	fargo	12.3s
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.Name != "BenchmarkE1_InvocationDirect-8" || r.Iterations != 913846 ||
+		r.NsPerOp != 1269 || r.BytesPerOp != 312 || r.AllocsPerOp != 9 {
+		t.Errorf("first result = %+v", r)
+	}
+	if r := results[1]; r.NsPerOp != 143907 || r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
+		t.Errorf("benchmem-less result = %+v", r)
+	}
+	if r := results[2]; r.NsPerOp != 51.5 || r.Extra["MB/s"] != 87.1 {
+		t.Errorf("fractional/extra result = %+v", r)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX-8 notanumber 12 ns/op",
+		"BenchmarkX-8 10 what ns/op",
+		"BenchmarkX-8 10 12 B/op", // a result line without ns/op
+	} {
+		if _, err := Parse(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("Parse(%q): expected error", bad)
+		}
+	}
+}
+
+func TestParseSkipsNoise(t *testing.T) {
+	results, err := Parse(strings.NewReader("PASS\nok fargo 1s\nBenchmarkAlone\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("results = %+v, want none", results)
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := Write(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	var back []Result
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, results) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, results)
+	}
+
+	// nil renders as an empty array, not JSON null.
+	buf.Reset()
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Fatalf("Write(nil) = %q", buf.String())
+	}
+}

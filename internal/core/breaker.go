@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"fargo/internal/flight"
 	"fargo/internal/ids"
 )
 
@@ -158,12 +159,15 @@ func (c *Core) breakerReport(peer ids.CoreID, err error) {
 
 	if opened {
 		c.met.breakerOpened.Inc()
+		c.flight.Record(flight.Event{Kind: flight.KindBreakerOpen, Peer: peer.String(),
+			Detail: fmt.Sprintf("after %d consecutive unreachable operations", c.opts.Breaker.Threshold)})
 		c.opts.Logf("fargo core %s: circuit to %s opened after %d consecutive unreachable operations",
 			c.id, peer, c.opts.Breaker.Threshold)
 		c.mon.fire(Event{Name: EventCoreUnreachable, Source: peer, Detail: "circuit opened", At: time.Now()})
 	}
 	if closed {
 		c.met.breakerClosed.Inc()
+		c.flight.Record(flight.Event{Kind: flight.KindBreakerClosed, Peer: peer.String()})
 		c.opts.Logf("fargo core %s: circuit to %s closed (peer answering again)", c.id, peer)
 		c.mon.fire(Event{Name: EventCoreReachable, Source: peer, Detail: "circuit closed", At: time.Now()})
 	}
@@ -188,6 +192,8 @@ func (c *Core) breakerTrip(peer ids.CoreID) {
 	c.breakerMu.Unlock()
 	if tripped {
 		c.met.breakerOpened.Inc()
+		c.flight.Record(flight.Event{Kind: flight.KindBreakerOpen, Peer: peer.String(),
+			Detail: "tripped by heartbeat"})
 	}
 }
 

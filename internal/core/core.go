@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"fargo/internal/flight"
 	"fargo/internal/ids"
 	"fargo/internal/metrics"
 	"fargo/internal/ref"
@@ -130,6 +131,14 @@ type Options struct {
 	// TraceBufferSize caps completed spans retained by this core's
 	// collector (0 = trace.DefaultBufferSize).
 	TraceBufferSize int
+	// HTTPAddr, when non-empty, asks the embedding layer (fargo.ListenTCP,
+	// cmd/fargo-core) to serve the ops plane — /metrics, /healthz, pprof,
+	// /layout, /flight — on this address. The core itself never opens the
+	// listener (internal/obs does), so simulated cores pay nothing.
+	HTTPAddr string
+	// FlightRecorderSize caps the layout flight recorder's ring (0 =
+	// flight.DefaultCapacity).
+	FlightRecorderSize int
 }
 
 // Core is a FarGo runtime instance.
@@ -173,6 +182,16 @@ type Core struct {
 	metrics *metrics.Registry
 	met     *coreMetrics
 
+	// Ops plane state (health.go): the flight recorder rings recent layout
+	// occurrences; suspects mirrors the heartbeat prober's down verdicts;
+	// movesInFlight counts owner-side bundles currently being shipped; and
+	// shutdownHooks run once when the core stops (obs server teardown).
+	flight        *flight.Recorder
+	healthMu      sync.Mutex
+	suspects      map[ids.CoreID]bool
+	movesInFlight int
+	shutdownHooks []func()
+
 	wg sync.WaitGroup
 }
 
@@ -203,6 +222,8 @@ func New(tr transport.Transport, reg *registry.Registry, opts Options) (*Core, e
 		names:    make(map[string]*ref.Ref),
 		peers:    make(map[ids.CoreID]struct{}),
 		breakers: make(map[ids.CoreID]*breaker),
+		flight:   flight.New(opts.FlightRecorderSize),
+		suspects: make(map[ids.CoreID]bool),
 	}
 	c.mon = newMonitor(c)
 	c.tracer = trace.New(c.id.String(), trace.Options{
@@ -271,6 +292,7 @@ func (c *Core) Shutdown(grace time.Duration) error {
 	c.mon.close()
 	err := c.tr.Close()
 	c.wg.Wait()
+	c.runShutdownHooks()
 	return err
 }
 
@@ -288,6 +310,7 @@ func (c *Core) ShutdownAbrupt() error {
 	c.mon.close()
 	err := c.tr.Close()
 	c.wg.Wait()
+	c.runShutdownHooks()
 	return err
 }
 
@@ -419,6 +442,34 @@ func (c *Core) TrackerTarget(id ids.CompletID) (ids.CoreID, bool) {
 		return c.id, true
 	}
 	return next, true
+}
+
+// TrackerInfo describes one entry of the core's tracker table for layout
+// introspection (the ops plane's /layout endpoint): where this core would
+// route a request for the complet next.
+type TrackerInfo struct {
+	Complet ids.CompletID
+	// Local is true when the complet is hosted here; Next is the chain's
+	// next hop otherwise.
+	Local bool
+	Next  ids.CoreID
+}
+
+// Trackers lists the core's tracker table, sorted by complet ID.
+func (c *Core) Trackers() []TrackerInfo {
+	c.mu.Lock()
+	out := make([]TrackerInfo, 0, len(c.trackers))
+	for id, t := range c.trackers {
+		local, next := t.point()
+		ti := TrackerInfo{Complet: id, Local: local}
+		if !local {
+			ti.Next = next
+		}
+		out = append(out, ti)
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Complet.String() < out[j].Complet.String() })
+	return out
 }
 
 // CompletCount returns the number of complets hosted by this core (the

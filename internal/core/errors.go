@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"fargo/internal/flight"
 	"fargo/internal/ids"
 	"fargo/internal/transport"
 )
@@ -155,6 +156,7 @@ func classifyCause(err error) Cause {
 // EventHopBudgetExceeded monitor event at this core and returns the typed
 // error.
 func (c *Core) tripHopBudget(op string, target ids.CompletID) error {
+	c.flight.Record(flight.Event{Kind: flight.KindHopBudget, Complet: target.String(), Detail: op})
 	c.mon.fireBuiltin(EventHopBudgetExceeded, target, op)
 	return fmt.Errorf("%w: %s", ErrTooManyHops, op)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"fargo/internal/flight"
 	"fargo/internal/ids"
 	"fargo/internal/ref"
 	"fargo/internal/wire"
@@ -350,13 +351,24 @@ func (m *Monitor) fire(ev Event) {
 // goroutine (§5: each monitoring event is asynchronously notified by
 // starting a new thread).
 func (m *Monitor) deliver(sub *subscription, ev Event) {
+	// The Add must happen under the same lock section that reads closed:
+	// close() flips closed under mu and only then Waits, so an Add here is
+	// guaranteed to precede the Wait — checking closed and Adding in two
+	// separate critical sections would race Add against Wait.
 	m.mu.Lock()
 	closed := m.closed
+	if !closed {
+		m.wg.Add(1)
+	}
 	m.mu.Unlock()
 	if closed {
 		return
 	}
-	m.wg.Add(1)
+	fev := flight.Event{Kind: flight.KindSubscription, Peer: ev.Source.String(), Detail: ev.Name}
+	if !ev.Complet.Nil() {
+		fev.Complet = ev.Complet.String()
+	}
+	m.c.flight.Record(fev)
 	go func() {
 		defer m.wg.Done()
 		switch {

@@ -60,6 +60,10 @@ func (c *Core) handle(ctx context.Context, env wire.Envelope) (wire.Kind, []byte
 		return c.handleStatsQuery(env)
 	case wire.KindTraceQuery:
 		return c.handleTraceQuery(env)
+	case wire.KindHealthQuery:
+		return c.handleHealthQuery(env)
+	case wire.KindFlightQuery:
+		return c.handleFlightQuery(env)
 	default:
 		return 0, nil, fmt.Errorf("core %s: unhandled envelope kind %s", c.id, env.Kind)
 	}

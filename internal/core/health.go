@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"fargo/internal/flight"
+	"fargo/internal/ids"
+	"fargo/internal/wire"
+)
+
+// Health and the flight recorder: the core-side state behind the ops plane's
+// /healthz, /readyz and /flight endpoints (internal/obs) and the shell's
+// `health`/`flight` commands (served over the wire protocol like stats).
+//
+// Liveness and readiness are distinct verdicts. A core is LIVE unless it has
+// shut down or the heartbeat prober currently declares every monitored peer
+// suspect — total isolation, the one failure a single core can self-diagnose.
+// A core is READY to take new work only when nothing is degraded: no suspect
+// peer, no open circuit, and no movement bundle in flight (an installing or
+// shipping bundle holds complet write locks, so invocations queue behind it).
+
+// Health is one core's point-in-time health verdict.
+type Health struct {
+	Core          ids.CoreID
+	Live          bool
+	Ready         bool
+	Closed        bool
+	MovesInFlight int
+	Complets      int
+	Peers         []wire.PeerHealth
+}
+
+// Flight returns the core's layout flight recorder. Callers may Record
+// application-level occurrences of their own; the runtime records movements,
+// chain repairs, breaker transitions, retries, hop-budget trips and
+// subscription deliveries.
+func (c *Core) Flight() *flight.Recorder { return c.flight }
+
+// OnShutdown registers fn to run exactly once when the core stops (both
+// graceful Shutdown and ShutdownAbrupt), after the transport closes. The
+// embedding layer uses it to tear down the ops HTTP server with the core.
+func (c *Core) OnShutdown(fn func()) {
+	if fn == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shutdownHooks = append(c.shutdownHooks, fn)
+}
+
+// runShutdownHooks runs and clears the registered hooks.
+func (c *Core) runShutdownHooks() {
+	c.mu.Lock()
+	hooks := c.shutdownHooks
+	c.shutdownHooks = nil
+	c.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
+// setSuspect records the heartbeat prober's verdict about a peer.
+func (c *Core) setSuspect(peer ids.CoreID, suspect bool) {
+	c.healthMu.Lock()
+	defer c.healthMu.Unlock()
+	if suspect {
+		c.suspects[peer] = true
+		return
+	}
+	delete(c.suspects, peer)
+}
+
+// moveStarted/moveFinished bracket one owner-side bundle shipment for the
+// readiness verdict.
+func (c *Core) moveStarted() {
+	c.healthMu.Lock()
+	c.movesInFlight++
+	c.healthMu.Unlock()
+}
+
+func (c *Core) moveFinished() {
+	c.healthMu.Lock()
+	c.movesInFlight--
+	c.healthMu.Unlock()
+}
+
+// Health computes the core's current health verdict.
+func (c *Core) Health() Health {
+	closed := c.isClosed()
+	peers := c.Peers()
+
+	c.healthMu.Lock()
+	moves := c.movesInFlight
+	suspects := make(map[ids.CoreID]bool, len(c.suspects))
+	for p := range c.suspects {
+		suspects[p] = true
+	}
+	c.healthMu.Unlock()
+
+	// Include monitored-but-never-messaged peers so an isolated core that
+	// only ever probed its peers still reports them.
+	known := make(map[ids.CoreID]struct{}, len(peers))
+	for _, p := range peers {
+		known[p] = struct{}{}
+	}
+	for p := range suspects {
+		if _, ok := known[p]; !ok {
+			peers = append(peers, p)
+		}
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+
+	h := Health{
+		Core:          c.id,
+		Closed:        closed,
+		MovesInFlight: moves,
+		Complets:      c.CompletCount(),
+		Peers:         make([]wire.PeerHealth, 0, len(peers)),
+	}
+	anySuspect, anyOpen := false, false
+	for _, p := range peers {
+		ph := wire.PeerHealth{
+			Core:    p,
+			Breaker: c.BreakerState(p),
+			Suspect: suspects[p],
+		}
+		if ph.Suspect {
+			anySuspect = true
+		}
+		if ph.Breaker == "open" {
+			anyOpen = true
+		}
+		h.Peers = append(h.Peers, ph)
+	}
+	monitored := len(suspects) > 0 // at least one peer currently suspect
+	allSuspect := monitored && len(suspects) >= len(peers) && len(peers) > 0
+	h.Live = !closed && !allSuspect
+	h.Ready = !closed && !anySuspect && !anyOpen && moves == 0
+	return h
+}
+
+// healthReply converts the verdict to the wire form.
+func (c *Core) healthReply() wire.HealthQueryReply {
+	h := c.Health()
+	return wire.HealthQueryReply{
+		Core:          h.Core,
+		Live:          h.Live,
+		Ready:         h.Ready,
+		Closed:        h.Closed,
+		MovesInFlight: h.MovesInFlight,
+		Complets:      h.Complets,
+		Peers:         h.Peers,
+	}
+}
+
+// handleHealthQuery serves the health verdict to a peer (shell, monitor).
+func (c *Core) handleHealthQuery(env wire.Envelope) (wire.Kind, []byte, error) {
+	out, err := wire.EncodePayload(c.healthReply())
+	if err != nil {
+		return 0, nil, err
+	}
+	return wire.KindHealthQueryReply, out, nil
+}
+
+// HealthAt fetches a core's health verdict (this core's own when dest is
+// self).
+func (c *Core) HealthAt(dest ids.CoreID) (wire.HealthQueryReply, error) {
+	if dest == c.id || dest.Nil() {
+		return c.healthReply(), nil
+	}
+	if c.isClosed() {
+		return wire.HealthQueryReply{}, ErrClosed
+	}
+	payload, err := wire.EncodePayload(wire.HealthQuery{})
+	if err != nil {
+		return wire.HealthQueryReply{}, err
+	}
+	env, err := c.requestBG(dest, wire.KindHealthQuery, payload)
+	if err != nil {
+		return wire.HealthQueryReply{}, fmt.Errorf("core: health of %s: %w", dest, err)
+	}
+	var reply wire.HealthQueryReply
+	if err := wire.DecodePayload(env.Payload, &reply); err != nil {
+		return wire.HealthQueryReply{}, err
+	}
+	if reply.Err != "" {
+		return wire.HealthQueryReply{}, &peerError{msg: fmt.Sprintf("core: health of %s: %s", dest, reply.Err)}
+	}
+	return reply, nil
+}
+
+// flightReply snapshots the recorder into the wire form.
+func (c *Core) flightReply(max int) wire.FlightQueryReply {
+	events := c.flight.Snapshot(max)
+	reply := wire.FlightQueryReply{
+		Core:   c.id,
+		Total:  c.flight.Total(),
+		Events: make([]wire.FlightEvent, 0, len(events)),
+	}
+	for _, ev := range events {
+		reply.Events = append(reply.Events, wire.FlightEvent{
+			Seq:           ev.Seq,
+			UnixNanos:     ev.At.UnixNano(),
+			Kind:          ev.Kind,
+			Complet:       ev.Complet,
+			Peer:          ev.Peer,
+			Detail:        ev.Detail,
+			DurationNanos: ev.DurationNanos,
+			Bytes:         ev.Bytes,
+			Err:           ev.Err,
+		})
+	}
+	return reply
+}
+
+// handleFlightQuery serves the flight ring to a peer.
+func (c *Core) handleFlightQuery(env wire.Envelope) (wire.Kind, []byte, error) {
+	var req wire.FlightQuery
+	if err := wire.DecodePayload(env.Payload, &req); err != nil {
+		return 0, nil, err
+	}
+	out, err := wire.EncodePayload(c.flightReply(req.Max))
+	if err != nil {
+		return 0, nil, err
+	}
+	return wire.KindFlightQueryReply, out, nil
+}
+
+// FlightAt fetches a core's flight-recorder ring (this core's own when dest
+// is self; max 0 = everything retained).
+func (c *Core) FlightAt(dest ids.CoreID, max int) (wire.FlightQueryReply, error) {
+	if dest == c.id || dest.Nil() {
+		return c.flightReply(max), nil
+	}
+	if c.isClosed() {
+		return wire.FlightQueryReply{}, ErrClosed
+	}
+	payload, err := wire.EncodePayload(wire.FlightQuery{Max: max})
+	if err != nil {
+		return wire.FlightQueryReply{}, err
+	}
+	env, err := c.requestBG(dest, wire.KindFlightQuery, payload)
+	if err != nil {
+		return wire.FlightQueryReply{}, fmt.Errorf("core: flight of %s: %w", dest, err)
+	}
+	var reply wire.FlightQueryReply
+	if err := wire.DecodePayload(env.Payload, &reply); err != nil {
+		return wire.FlightQueryReply{}, err
+	}
+	if reply.Err != "" {
+		return wire.FlightQueryReply{}, &peerError{msg: fmt.Sprintf("core: flight of %s: %s", dest, reply.Err)}
+	}
+	return reply, nil
+}

@@ -90,6 +90,7 @@ func (m *Monitor) heartbeatLoop(peers []ids.CoreID, interval time.Duration, miss
 				if m.pingOnce(p, interval) {
 					if s.down {
 						s.down = false
+						m.c.setSuspect(p, false)
 						m.fire(Event{
 							Name:   EventCoreReachable,
 							Source: p,
@@ -106,6 +107,7 @@ func (m *Monitor) heartbeatLoop(peers []ids.CoreID, interval time.Duration, miss
 				s.failures++
 				if s.failures >= misses && !s.down {
 					s.down = true
+					m.c.setSuspect(p, true)
 					// Open the circuit so request paths fail fast
 					// without burning deadlines of their own. The trip
 					// is silent: this loop owns the unreachable event.

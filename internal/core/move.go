@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"fargo/internal/flight"
 	"fargo/internal/ids"
 	"fargo/internal/ref"
 	"fargo/internal/wire"
@@ -299,6 +300,11 @@ func (c *Core) moveLocal(ctx context.Context, rootID ids.CompletID, dest ids.Cor
 		// finish; give up before locking anything.
 		return fmt.Errorf("core: moving %s: %w", rootID, err)
 	}
+	// The readiness verdict (health.go) reports a move in flight from here
+	// until the protocol finishes either way.
+	c.moveStarted()
+	defer c.moveFinished()
+	protoStart := time.Now()
 
 	// The bundle span covers marshaling, pre-cloning of remote duplicate
 	// targets, and the single-message shipment; the receiver's installation
@@ -324,6 +330,13 @@ func (c *Core) moveLocal(ctx context.Context, rootID ids.CompletID, dest ids.Cor
 	fail := func(err error) error {
 		unlock()
 		bsp.SetError(err)
+		c.flight.Record(flight.Event{
+			Kind:          flight.KindMoveFailed,
+			Complet:       rootID.String(),
+			Peer:          dest.String(),
+			DurationNanos: time.Since(protoStart).Nanoseconds(),
+			Err:           err.Error(),
+		})
 		return err
 	}
 
@@ -463,6 +476,14 @@ func (c *Core) moveLocal(ctx context.Context, rootID ids.CompletID, dest ids.Cor
 	}
 
 	// Success: flip trackers, mark entries gone, fire callbacks/events.
+	c.flight.Record(flight.Event{
+		Kind:          flight.KindMove,
+		Complet:       rootID.String(),
+		Peer:          dest.String(),
+		Bytes:         len(payload),
+		DurationNanos: time.Since(protoStart).Nanoseconds(),
+		Detail:        fmt.Sprintf("%d complet(s)", len(entries)),
+	})
 	for _, e := range locked {
 		e.gone = true
 	}

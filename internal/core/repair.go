@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"fargo/internal/flight"
 	"fargo/internal/ids"
 	"fargo/internal/ref"
 	"fargo/internal/wire"
@@ -51,27 +52,41 @@ func (c *Core) repairChain(ctx context.Context, target ids.CompletID, dead ids.C
 		sp.SetAttr("op", op)
 	}
 	defer sp.Finish()
+	repairFailed := func(why string, err error) {
+		c.met.repairFails.Inc()
+		ev := flight.Event{Kind: flight.KindRepairFailed, Complet: target.String(), Peer: dead.String(), Detail: why}
+		if err != nil {
+			ev.Err = err.Error()
+		}
+		c.flight.Record(ev)
+	}
 	loc, err := c.locateViaHomeCtx(ctx, target, ref.CallOptions{NoRetry: true})
 	if err != nil {
 		c.opts.Logf("fargo core %s: chain repair for %s after %s failed: home query: %v", c.id, target, dead, err)
 		sp.SetError(err)
-		c.met.repairFails.Inc()
+		repairFailed("home query failed", err)
 		return "", false
 	}
 	if loc == dead {
 		// The home agrees with the tracker: the target really lives on the
 		// unreachable core. Nothing to route around.
 		sp.SetAttr("verdict", "home agrees with dead hop")
-		c.met.repairFails.Inc()
+		repairFailed("home agrees with dead hop", nil)
 		return "", false
 	}
 	if !c.repointTracker(target, loc) {
 		sp.SetAttr("verdict", "tracker kept authoritative state")
-		c.met.repairFails.Inc()
+		repairFailed("tracker kept authoritative state", nil)
 		return "", false
 	}
 	sp.SetAttr("repointed", loc.String())
 	c.met.repairs.Inc()
+	c.flight.Record(flight.Event{
+		Kind:    flight.KindRepair,
+		Complet: target.String(),
+		Peer:    dead.String(),
+		Detail:  fmt.Sprintf("%s -> %s", dead, loc),
+	})
 	c.opts.Logf("fargo core %s: chain repaired for %s: %s -> %s (%s)", c.id, target, dead, loc, op)
 	c.mon.fireBuiltin(EventChainRepaired, target, fmt.Sprintf("%s -> %s", dead, loc))
 	return loc, true

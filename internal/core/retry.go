@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"time"
 
+	"fargo/internal/flight"
 	"fargo/internal/ids"
 	"fargo/internal/ref"
 	"fargo/internal/transport"
@@ -75,7 +76,8 @@ func idempotentKind(kind wire.Kind) bool {
 	switch kind {
 	case wire.KindLocate, wire.KindNameLookup, wire.KindCoreInfo,
 		wire.KindProfileQuery, wire.KindPing, wire.KindHomeQuery,
-		wire.KindStatsQuery, wire.KindTraceQuery:
+		wire.KindStatsQuery, wire.KindTraceQuery,
+		wire.KindHealthQuery, wire.KindFlightQuery:
 		return true
 	}
 	return false
@@ -183,6 +185,11 @@ func (c *Core) requestOpts(ctx context.Context, to ids.CoreID, kind wire.Kind, p
 				break
 			}
 			c.met.retries.Inc()
+			c.flight.Record(flight.Event{
+				Kind:   flight.KindRetry,
+				Peer:   to.String(),
+				Detail: fmt.Sprintf("%s attempt %d", kind, attempt+1),
+			})
 			delay = time.Duration(float64(delay) * pol.Multiplier)
 			if delay > pol.MaxDelay {
 				delay = pol.MaxDelay

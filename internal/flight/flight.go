@@ -1,0 +1,157 @@
+// Package flight implements the layout flight recorder: a bounded,
+// lock-cheap ring of the last N layout-relevant occurrences at one core —
+// movements (with duration and bundle size), tracker-chain repairs, circuit
+// breaker transitions, transparent retries, hop-budget trips, and
+// subscription firings. It answers the post-mortem question the live metrics
+// cannot: not "how many moves happened" but "which moves, in what order, and
+// why does the layout look the way it does now".
+//
+// The recorder is always on (recording is a mutex-guarded slice store, far
+// off any hot path's critical section) and strictly bounded, so it is safe
+// to leave enabled in production. Sequence numbers are per-recorder and
+// strictly monotonic: two events from the same core are causally ordered by
+// Seq even when their wall-clock timestamps collide.
+package flight
+
+import (
+	"sync"
+	"time"
+)
+
+// Event kinds recorded by the core.
+const (
+	// KindMove records one outgoing movement bundle: Complet is the moved
+	// root, Peer the destination, Bytes the bundle size, Duration the
+	// owner-side protocol time, Detail the complet count.
+	KindMove = "move"
+	// KindMoveFailed records a movement bundle that did not install.
+	KindMoveFailed = "moveFailed"
+	// KindRepair records a successful tracker-chain repair: Detail is
+	// "<dead hop> -> <new location>".
+	KindRepair = "repair"
+	// KindRepairFailed records a repair attempt that could not route around
+	// the dead hop.
+	KindRepairFailed = "repairFailed"
+	// KindBreakerOpen records a peer circuit opening (Peer names the
+	// suspected core).
+	KindBreakerOpen = "breakerOpen"
+	// KindBreakerClosed records a peer circuit closing again.
+	KindBreakerClosed = "breakerClosed"
+	// KindRetry records one transparent retry of an idempotent request
+	// (Peer is the destination, Detail the request kind and attempt).
+	KindRetry = "retry"
+	// KindHopBudget records a tracker-chain hop budget trip (Detail is the
+	// operation that exhausted it).
+	KindHopBudget = "hopBudget"
+	// KindSubscription records one monitoring-event delivery to a
+	// subscriber (Detail is the event name).
+	KindSubscription = "subscription"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	// Seq is the per-recorder causal sequence number (strictly monotonic).
+	Seq uint64 `json:"seq"`
+	// At is the wall-clock record time.
+	At time.Time `json:"at"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// Complet names the involved complet, when any.
+	Complet string `json:"complet,omitempty"`
+	// Peer names the involved peer core, when any.
+	Peer string `json:"peer,omitempty"`
+	// Detail carries kind-specific context.
+	Detail string `json:"detail,omitempty"`
+	// DurationNanos is the operation duration, when measured.
+	DurationNanos int64 `json:"duration_ns,omitempty"`
+	// Bytes is the payload size, when known (move bundles).
+	Bytes int `json:"bytes,omitempty"`
+	// Err is the failure message for *Failed kinds.
+	Err string `json:"err,omitempty"`
+}
+
+// DefaultCapacity is the ring size used when a Recorder is constructed with
+// a non-positive capacity.
+const DefaultCapacity = 512
+
+// Recorder is a bounded ring of Events. The zero value is not ready; use
+// New. All methods are nil-safe so instrumented code never branches.
+type Recorder struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // next sequence number (also the count of events ever seen)
+	head int    // index of the oldest retained event
+	n    int    // retained count
+}
+
+// New returns a recorder retaining the last capacity events
+// (DefaultCapacity when capacity <= 0).
+func New(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{buf: make([]Event, capacity)}
+}
+
+// Record stores one event, stamping Seq and (when zero) At. Oldest events
+// are evicted once the ring is full.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	if ev.At.IsZero() {
+		ev.At = time.Now()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ev.Seq = r.next
+	r.next++
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = ev
+		r.n++
+		return
+	}
+	r.buf[r.head] = ev
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+// Snapshot returns the retained events oldest-first. max > 0 limits the
+// result to the newest max events.
+func (r *Recorder) Snapshot(max int) []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.n
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]Event, n)
+	// The newest n events end at head+r.n-1.
+	start := r.head + r.n - n
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[(start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Len reports how many events are retained.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Total reports how many events were ever recorded (retained or evicted).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}

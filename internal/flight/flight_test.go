@@ -1,0 +1,108 @@
+package flight
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordAndSnapshotOrder(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Kind: KindMove, Detail: string(rune('a' + i))})
+	}
+	evs := r.Snapshot(0)
+	if len(evs) != 5 {
+		t.Fatalf("len = %d, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) {
+			t.Fatalf("seq[%d] = %d", i, ev.Seq)
+		}
+		if ev.At.IsZero() {
+			t.Fatalf("event %d has zero timestamp", i)
+		}
+		if i > 0 && evs[i].At.Before(evs[i-1].At) {
+			t.Fatalf("timestamps out of order at %d", i)
+		}
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Kind: KindRetry})
+	}
+	evs := r.Snapshot(0)
+	if len(evs) != 4 {
+		t.Fatalf("len = %d, want 4", len(evs))
+	}
+	if evs[0].Seq != 6 || evs[3].Seq != 9 {
+		t.Fatalf("retained seqs %d..%d, want 6..9", evs[0].Seq, evs[3].Seq)
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+}
+
+func TestSnapshotMax(t *testing.T) {
+	r := New(16)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Kind: KindMove})
+	}
+	evs := r.Snapshot(3)
+	if len(evs) != 3 {
+		t.Fatalf("len = %d, want 3", len(evs))
+	}
+	if evs[0].Seq != 7 || evs[2].Seq != 9 {
+		t.Fatalf("newest-3 seqs = %d..%d, want 7..9", evs[0].Seq, evs[2].Seq)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: KindMove}) // must not panic
+	if got := r.Snapshot(0); got != nil {
+		t.Fatalf("nil snapshot = %v", got)
+	}
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatal("nil recorder reports events")
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	r := New(0)
+	for i := 0; i < DefaultCapacity+10; i++ {
+		r.Record(Event{Kind: KindMove})
+	}
+	if r.Len() != DefaultCapacity {
+		t.Fatalf("Len = %d, want %d", r.Len(), DefaultCapacity)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	r := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(Event{Kind: KindRetry, At: time.Now()})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 800 {
+		t.Fatalf("Total = %d, want 800", r.Total())
+	}
+	evs := r.Snapshot(0)
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("seq gap at %d: %d -> %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

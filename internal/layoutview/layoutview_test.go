@@ -160,6 +160,133 @@ func TestCloseIdempotent(t *testing.T) {
 	v.Close()
 }
 
+// TestViewUnderFaultyTransport subjects the event path to chaos: the watched
+// cores' outbound messages to the viewer are randomly dropped and duplicated,
+// so the view sees an arbitrary subset of arrival/departure events, some
+// twice. The view must never corrupt — duplicated events are idempotent, and
+// one Refresh after the faults clear reconciles it exactly with the ground
+// truth.
+func TestViewUnderFaultyTransport(t *testing.T) {
+	net := netsim.NewNetwork(21)
+	mk := func(name string, seed int64) (*core.Core, *transport.Faulty) {
+		tr, err := transport.NewSim(net, ids.CoreID(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		faulty := transport.NewFaulty(tr, seed)
+		reg := registry.New()
+		if err := demo.Register(reg); err != nil {
+			t.Fatal(err)
+		}
+		c, err := core.New(faulty, reg, core.Options{RequestTimeout: 10 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, faulty
+	}
+	a, fa := mk("a", 31)
+	b, fb := mk("b", 32)
+	viewerTr, err := transport.NewSim(net, "viewer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viewerReg := registry.New()
+	if err := demo.Register(viewerReg); err != nil {
+		t.Fatal(err)
+	}
+	viewer, err := core.New(viewerTr, viewerReg, core.Options{RequestTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = a.Shutdown(0)
+		_ = b.Shutdown(0)
+		_ = viewer.Shutdown(0)
+		net.Close()
+	})
+
+	v := New(viewer, []ids.CoreID{"a", "b"})
+	if err := v.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+
+	// Only the event path (watched core -> viewer) is faulted; the a<->b
+	// move traffic stays clean so the ground truth keeps evolving.
+	fa.SetDrop("viewer", 0.4)
+	fa.SetDuplicate("viewer", 0.4)
+	fb.SetDrop("viewer", 0.4)
+	fb.SetDuplicate("viewer", 0.4)
+
+	// Churn: complets born on a, bounced between a and b.
+	var complets []ids.CompletID
+	for i := 0; i < 6; i++ {
+		r, err := a.NewComplet("Message", "chaos")
+		if err != nil {
+			t.Fatal(err)
+		}
+		complets = append(complets, r.Target())
+	}
+	for round := 0; round < 3; round++ {
+		for i, id := range complets {
+			from, to := a, ids.CoreID("b")
+			if (i+round)%2 == 1 {
+				from, to = b, "a"
+			}
+			// Some moves are no-ops when the complet is already at the
+			// destination after an odd number of bounces; ignore errors —
+			// the final Complets() calls are the ground truth.
+			_ = from.MoveByID(id, to)
+		}
+	}
+
+	// The chaos must actually have fired for the test to mean anything.
+	ca, cb := fa.Counts(), fb.Counts()
+	if ca.Dropped+cb.Dropped == 0 || ca.Duplicated+cb.Duplicated == 0 {
+		t.Fatalf("fault injection inert: a=%+v b=%+v", ca, cb)
+	}
+
+	// Heal and reconcile.
+	fa.ClearAll()
+	fb.ClearAll()
+	if err := v.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+
+	truth := make(map[ids.CompletID]ids.CoreID)
+	for _, c := range []*core.Core{a, b} {
+		for _, ci := range c.Complets() {
+			if prev, dup := truth[ci.ID]; dup {
+				t.Fatalf("complet %s hosted by both %s and %s", ci.ID, prev, c.ID())
+			}
+			truth[ci.ID] = c.ID()
+		}
+	}
+	if len(truth) != len(complets) {
+		t.Fatalf("ground truth lost complets: %d of %d", len(truth), len(complets))
+	}
+
+	snap := v.Snapshot()
+	seen := make(map[ids.CompletID]ids.CoreID)
+	for coreID, entries := range snap {
+		for _, e := range entries {
+			if prev, dup := seen[e.ID]; dup {
+				t.Errorf("view lists %s on both %s and %s", e.ID, prev, coreID)
+			}
+			seen[e.ID] = coreID
+		}
+	}
+	if len(seen) != len(truth) {
+		t.Errorf("view has %d entries, ground truth %d: view=%v truth=%v",
+			len(seen), len(truth), seen, truth)
+	}
+	for id, want := range truth {
+		if got, ok := seen[id]; !ok || got != want {
+			t.Errorf("view places %s at %v (%v), ground truth %s", id, got, ok, want)
+		}
+	}
+}
+
 func TestRefreshUnreachableCore(t *testing.T) {
 	cores := testCluster(t, "a", "viewer")
 	v := New(cores["viewer"], []ids.CoreID{"a", "ghost"})

@@ -39,9 +39,16 @@ func NewRegistry() *Registry {
 
 // Counter returns the named counter, creating it on first use. Nil-safe: a
 // nil registry returns a throwaway counter so instrumented code never has to
-// branch.
+// branch. Names are validated against the Prometheus rules at registration
+// time (see names.go): dotted names are normalized ('.' -> '_'); invalid
+// names — spaces, leading digits — are rejected by returning a detached
+// throwaway that never enters the registry or a scrape.
 func (r *Registry) Counter(name string) *stats.Counter {
 	if r == nil {
+		return &stats.Counter{}
+	}
+	var err error
+	if name, err = canonicalName(name); err != nil {
 		return &stats.Counter{}
 	}
 	r.mu.RLock()
@@ -60,9 +67,14 @@ func (r *Registry) Counter(name string) *stats.Counter {
 	return c
 }
 
-// Gauge returns the named gauge, creating it on first use.
+// Gauge returns the named gauge, creating it on first use. Naming follows
+// the same validation/normalization rules as Counter.
 func (r *Registry) Gauge(name string) *stats.Gauge {
 	if r == nil {
+		return &stats.Gauge{}
+	}
+	var err error
+	if name, err = canonicalName(name); err != nil {
 		return &stats.Gauge{}
 	}
 	r.mu.RLock()
@@ -83,9 +95,14 @@ func (r *Registry) Gauge(name string) *stats.Gauge {
 
 // Histogram returns the named latency histogram (nanosecond domain, standard
 // log buckets), creating it on first use. By convention histogram names end
-// in "_ns" so renderers know the unit.
+// in "_ns" so renderers know the unit. Naming follows the same
+// validation/normalization rules as Counter.
 func (r *Registry) Histogram(name string) *stats.Histogram {
 	if r == nil {
+		return stats.NewLatencyHistogram()
+	}
+	var err error
+	if name, err = canonicalName(name); err != nil {
 		return stats.NewLatencyHistogram()
 	}
 	r.mu.RLock()
@@ -102,6 +119,23 @@ func (r *Registry) Histogram(name string) *stats.Histogram {
 	h = stats.NewLatencyHistogram()
 	r.hists[name] = h
 	return h
+}
+
+// CounterWith returns the counter for (name, labels) — the labeled series
+// name{k="v",...}. Callers on hot paths should fetch the instrument once and
+// hold it, exactly as with Counter.
+func (r *Registry) CounterWith(name string, labels Labels) *stats.Counter {
+	return r.Counter(JoinLabels(name, labels))
+}
+
+// GaugeWith returns the gauge for (name, labels).
+func (r *Registry) GaugeWith(name string, labels Labels) *stats.Gauge {
+	return r.Gauge(JoinLabels(name, labels))
+}
+
+// HistogramWith returns the histogram for (name, labels).
+func (r *Registry) HistogramWith(name string, labels Labels) *stats.Histogram {
+	return r.Histogram(JoinLabels(name, labels))
 }
 
 // Snapshot is a point-in-time view of every instrument.

@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Metric naming. Instrument names follow the Prometheus data model so the
+// registry can be scraped without renaming: a base name matching
+// [a-zA-Z_:][a-zA-Z0-9_:]* optionally followed by a {k="v",...} label suffix
+// whose keys match [a-zA-Z_][a-zA-Z0-9_]*. Registration normalizes the
+// legacy dotted style ('.' becomes '_') and REJECTS names that cannot be
+// made valid — spaces, leading digits, exotic characters. Rejected
+// instruments are detached throwaways: they count locally for the caller
+// but never enter the registry, never appear in snapshots, and never reach
+// an exporter, so one bad name cannot corrupt the whole scrape.
+
+// ValidateName checks a metric name (base name plus optional label suffix)
+// against the Prometheus naming rules, after normalization. It returns nil
+// for names the registry accepts.
+func ValidateName(name string) error {
+	_, err := canonicalName(name)
+	return err
+}
+
+// canonicalName normalizes a name ('.' -> '_' in the base name and label
+// keys) and validates the result. The returned name is what the registry
+// stores under.
+func canonicalName(name string) (string, error) {
+	base, labels, err := splitLabels(name)
+	if err != nil {
+		return "", err
+	}
+	base = strings.ReplaceAll(base, ".", "_")
+	if err := validateBase(base); err != nil {
+		return "", err
+	}
+	if len(labels) == 0 {
+		return base, nil
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString(base)
+	sb.WriteByte('{')
+	for i, k := range keys {
+		ck := strings.ReplaceAll(k, ".", "_")
+		if err := validateLabelKey(ck); err != nil {
+			return "", err
+		}
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", ck, labels[k])
+	}
+	sb.WriteByte('}')
+	return sb.String(), nil
+}
+
+func validateBase(base string) error {
+	if base == "" {
+		return fmt.Errorf("metrics: empty metric name")
+	}
+	for i, r := range base {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return fmt.Errorf("metrics: name %q starts with a digit", base)
+			}
+		default:
+			return fmt.Errorf("metrics: name %q contains invalid character %q", base, r)
+		}
+	}
+	return nil
+}
+
+func validateLabelKey(k string) error {
+	if k == "" {
+		return fmt.Errorf("metrics: empty label key")
+	}
+	for i, r := range k {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return fmt.Errorf("metrics: label key %q starts with a digit", k)
+			}
+		default:
+			return fmt.Errorf("metrics: label key %q contains invalid character %q", k, r)
+		}
+	}
+	return nil
+}
+
+// Labels is a label set attached to an instrument. The registry renders a
+// (name, Labels) pair into one canonical string key, so two callers using
+// the same set share the instrument regardless of map iteration order.
+type Labels map[string]string
+
+// JoinLabels renders name plus labels in the canonical form the registry
+// and the Prometheus encoder use: base{k1="v1",k2="v2"} with keys sorted
+// and values quote-escaped. Empty labels return the name unchanged.
+func JoinLabels(name string, labels Labels) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", k, labels[k])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// splitLabels separates a canonical or caller-supplied name into its base
+// and parsed label set. Names without a suffix return nil labels.
+func splitLabels(full string) (base string, labels Labels, err error) {
+	i := strings.IndexByte(full, '{')
+	if i < 0 {
+		return full, nil, nil
+	}
+	if !strings.HasSuffix(full, "}") {
+		return "", nil, fmt.Errorf("metrics: name %q has an unterminated label suffix", full)
+	}
+	base = full[:i]
+	inner := full[i+1 : len(full)-1]
+	labels = Labels{}
+	for len(inner) > 0 {
+		eq := strings.IndexByte(inner, '=')
+		if eq < 0 {
+			return "", nil, fmt.Errorf("metrics: name %q has a malformed label suffix", full)
+		}
+		key := inner[:eq]
+		rest := inner[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return "", nil, fmt.Errorf("metrics: label value in %q is not quoted", full)
+		}
+		// Find the closing quote, honoring backslash escapes.
+		end := -1
+		for j := 1; j < len(rest); j++ {
+			if rest[j] == '\\' {
+				j++
+				continue
+			}
+			if rest[j] == '"' {
+				end = j
+				break
+			}
+		}
+		if end < 0 {
+			return "", nil, fmt.Errorf("metrics: label value in %q is unterminated", full)
+		}
+		var val string
+		if _, err := fmt.Sscanf(rest[:end+1], "%q", &val); err != nil {
+			val = rest[1:end]
+		}
+		labels[key] = val
+		inner = rest[end+1:]
+		if strings.HasPrefix(inner, ",") {
+			inner = inner[1:]
+		} else if len(inner) > 0 {
+			return "", nil, fmt.Errorf("metrics: name %q has a malformed label suffix", full)
+		}
+	}
+	return base, labels, nil
+}

@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateName(t *testing.T) {
+	valid := []string{
+		"invoke_local_total",
+		"transport_fault_dropped_total",
+		"transport_fault_delayed_total",
+		"transport_fault_duplicated_total",
+		"transport_fault_partitioned_total",
+		"invoke_latency_ns",
+		"peers_down",
+		"fargo:custom:metric",
+		"_leading_underscore",
+		"dotted.name.total", // normalizes, does not reject
+		`labeled_total{peer="b",kind="invoke"}`,
+	}
+	for _, name := range valid {
+		if err := ValidateName(name); err != nil {
+			t.Errorf("ValidateName(%q) = %v, want nil", name, err)
+		}
+	}
+	invalid := []string{
+		"",
+		"has space",
+		"9starts_with_digit",
+		"bad-dash",
+		"emoji_☃",
+		"unterminated{a=\"b\"",
+		`bad_label{9k="v"}`,
+		`bad_label{k-x="v"}`,
+	}
+	for _, name := range invalid {
+		if err := ValidateName(name); err == nil {
+			t.Errorf("ValidateName(%q) = nil, want error", name)
+		}
+	}
+}
+
+func TestCanonicalNameNormalizesDots(t *testing.T) {
+	got, err := canonicalName("fargo.invoke.total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "fargo_invoke_total" {
+		t.Fatalf("canonicalName = %q, want fargo_invoke_total", got)
+	}
+	got, err = canonicalName(`fargo.moves{src.core="a"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != `fargo_moves{src_core="a"}` {
+		t.Fatalf("canonicalName = %q", got)
+	}
+}
+
+func TestFaultCounterNamesRoundTrip(t *testing.T) {
+	// The transport fault-injection counters must survive validation
+	// unchanged and appear in the scrape under their exact names.
+	names := []string{
+		"transport_fault_dropped_total",
+		"transport_fault_delayed_total",
+		"transport_fault_duplicated_total",
+		"transport_fault_partitioned_total",
+	}
+	r := NewRegistry()
+	for _, n := range names {
+		canon, err := canonicalName(n)
+		if err != nil {
+			t.Fatalf("canonicalName(%q) = %v", n, err)
+		}
+		if canon != n {
+			t.Fatalf("canonicalName(%q) = %q, want unchanged", n, canon)
+		}
+		r.Counter(n).Inc()
+	}
+	snap := r.Snapshot()
+	var b strings.Builder
+	WritePrometheus(&b, snap)
+	for _, n := range names {
+		if snap.Counters[n] != 1 {
+			t.Fatalf("counter %q missing from snapshot", n)
+		}
+		if !strings.Contains(b.String(), n+" 1\n") {
+			t.Fatalf("counter %q missing from exposition:\n%s", n, b.String())
+		}
+	}
+}
+
+func TestInvalidNamesExcludedFromRegistry(t *testing.T) {
+	r := NewRegistry()
+	bad := r.Counter("has space")
+	bad.Add(7) // usable locally, but detached
+	r.Counter("9digits").Inc()
+	r.Gauge("also bad").Set(1)
+	r.Histogram("nope nope").Observe(1)
+	r.Counter("good_total").Inc()
+
+	snap := r.Snapshot()
+	if len(snap.Counters) != 1 || snap.Counters["good_total"] != 1 {
+		t.Fatalf("registry polluted by invalid names: %v", snap.Counters)
+	}
+	if len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatalf("invalid gauge/histogram entered registry: %v %v", snap.Gauges, snap.Histograms)
+	}
+	if bad.Value() != 7 {
+		t.Fatalf("detached counter not usable: %d", bad.Value())
+	}
+	// Two lookups of the same invalid name are distinct throwaways.
+	if r.Counter("has space") == bad {
+		t.Fatal("invalid name unexpectedly cached")
+	}
+}
+
+func TestJoinSplitLabelsRoundTrip(t *testing.T) {
+	full := JoinLabels("m_total", Labels{"b": `va"l`, "a": `x\y`})
+	base, labels, err := splitLabels(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != "m_total" {
+		t.Fatalf("base = %q", base)
+	}
+	if labels["a"] != `x\y` || labels["b"] != `va"l` {
+		t.Fatalf("labels did not round-trip: %#v", labels)
+	}
+}

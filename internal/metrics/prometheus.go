@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Prometheus text exposition (format version 0.0.4): the encoding the
+// /metrics endpoint serves. Counters and gauges render one sample per
+// series; histograms expand into the conventional cumulative _bucket series
+// plus _sum and _count. Output is deterministically ordered — families
+// sorted by base name, series sorted by their canonical label strings,
+// buckets ascending — so scrape diffs and golden tests are stable.
+
+// PrometheusContentType is the Content-Type of the exposition format.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format.
+func WritePrometheus(w io.Writer, s Snapshot) {
+	type series struct {
+		full string // canonical series name including labels
+		base string
+	}
+	group := func(names map[string]struct{}) (bases []string, byBase map[string][]series) {
+		byBase = make(map[string][]series)
+		for full := range names {
+			base, _, err := splitLabels(full)
+			if err != nil {
+				base = full
+			}
+			byBase[base] = append(byBase[base], series{full: full, base: base})
+		}
+		for _, list := range byBase {
+			sort.Slice(list, func(i, j int) bool { return list[i].full < list[j].full })
+		}
+		bases = make([]string, 0, len(byBase))
+		for b := range byBase {
+			bases = append(bases, b)
+		}
+		sort.Strings(bases)
+		return bases, byBase
+	}
+
+	counterNames := make(map[string]struct{}, len(s.Counters))
+	for name := range s.Counters {
+		counterNames[name] = struct{}{}
+	}
+	bases, byBase := group(counterNames)
+	for _, base := range bases {
+		fmt.Fprintf(w, "# TYPE %s counter\n", base)
+		for _, ser := range byBase[base] {
+			fmt.Fprintf(w, "%s %d\n", ser.full, s.Counters[ser.full])
+		}
+	}
+
+	gaugeNames := make(map[string]struct{}, len(s.Gauges))
+	for name := range s.Gauges {
+		gaugeNames[name] = struct{}{}
+	}
+	bases, byBase = group(gaugeNames)
+	for _, base := range bases {
+		fmt.Fprintf(w, "# TYPE %s gauge\n", base)
+		for _, ser := range byBase[base] {
+			fmt.Fprintf(w, "%s %s\n", ser.full, formatFloat(s.Gauges[ser.full]))
+		}
+	}
+
+	histNames := make(map[string]struct{}, len(s.Histograms))
+	for name := range s.Histograms {
+		histNames[name] = struct{}{}
+	}
+	bases, byBase = group(histNames)
+	for _, base := range bases {
+		fmt.Fprintf(w, "# TYPE %s histogram\n", base)
+		for _, ser := range byBase[base] {
+			writePrometheusHistogram(w, ser.full, s)
+		}
+	}
+}
+
+// writePrometheusHistogram expands one histogram series into cumulative
+// _bucket samples (le-labeled), _sum, and _count. Snapshots without bucket
+// data (e.g. reconstructed from wire replies) emit only _sum and _count.
+func writePrometheusHistogram(w io.Writer, full string, s Snapshot) {
+	h := s.Histograms[full]
+	base, labels, err := splitLabels(full)
+	if err != nil {
+		base, labels = full, nil
+	}
+	withLe := func(le string) string {
+		merged := Labels{"le": le}
+		for k, v := range labels {
+			merged[k] = v
+		}
+		return JoinLabels(base+"_bucket", merged)
+	}
+	if len(h.Bounds) == len(h.Buckets) {
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Buckets[i]
+			fmt.Fprintf(w, "%s %d\n", withLe(formatFloat(bound)), cum)
+		}
+	}
+	fmt.Fprintf(w, "%s %d\n", withLe("+Inf"), h.Count)
+	fmt.Fprintf(w, "%s %s\n", JoinLabels(base+"_sum", labels), formatFloat(h.Sum))
+	fmt.Fprintf(w, "%s %d\n", JoinLabels(base+"_count", labels), h.Count)
+}
+
+// formatFloat renders a sample value per the exposition format: shortest
+// round-trip representation, with Inf/NaN spelled the Prometheus way.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

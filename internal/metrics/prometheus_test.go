@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// expositionSample matches one sample line of the text exposition format:
+// name, optional {labels}, a value.
+var expositionSample = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+var expositionType = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$`)
+
+// parseExposition validates every line and returns sample name -> value.
+func parseExposition(t *testing.T, out string) map[string]string {
+	t.Helper()
+	samples := map[string]string{}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !expositionType.MatchString(line) {
+				t.Fatalf("bad comment line %q", line)
+			}
+			continue
+		}
+		if !expositionSample.MatchString(line) {
+			t.Fatalf("bad sample line %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		samples[line[:sp]] = line[sp+1:]
+	}
+	return samples
+}
+
+func TestWritePrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("invoke_local_total").Add(3)
+	r.Counter("transport_fault_dropped_total").Add(2)
+	r.Gauge("peers_down").Set(1)
+	r.Histogram("invoke_latency_ns").ObserveDuration(5 * time.Millisecond)
+	r.Histogram("invoke_latency_ns").ObserveDuration(20 * time.Microsecond)
+
+	var b strings.Builder
+	WritePrometheus(&b, r.Snapshot())
+	out := b.String()
+	samples := parseExposition(t, out)
+
+	if samples["invoke_local_total"] != "3" {
+		t.Fatalf("counter sample = %q", samples["invoke_local_total"])
+	}
+	if samples["transport_fault_dropped_total"] != "2" {
+		t.Fatalf("fault counter did not round-trip: %q", samples["transport_fault_dropped_total"])
+	}
+	if samples["peers_down"] != "1" {
+		t.Fatalf("gauge sample = %q", samples["peers_down"])
+	}
+	if samples["invoke_latency_ns_count"] != "2" {
+		t.Fatalf("histogram count = %q", samples["invoke_latency_ns_count"])
+	}
+	if !strings.Contains(out, "# TYPE invoke_latency_ns histogram") {
+		t.Fatalf("missing histogram TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, `invoke_latency_ns_bucket{le="+Inf"} 2`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+
+	// Buckets must be cumulative and non-decreasing, ending at count.
+	var prev uint64
+	buckets := 0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "invoke_latency_ns_bucket{") {
+			continue
+		}
+		buckets++
+		v, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket value in %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket series not cumulative at %q", line)
+		}
+		prev = v
+	}
+	if buckets < 3 {
+		t.Fatalf("expected full bucket series, got %d bucket lines", buckets)
+	}
+	if prev != 2 {
+		t.Fatalf("+Inf bucket = %d, want 2", prev)
+	}
+}
+
+func TestWritePrometheusLabels(t *testing.T) {
+	r := NewRegistry()
+	r.CounterWith("requests_total", Labels{"peer": "b", "kind": "invoke"}).Add(4)
+	r.CounterWith("requests_total", Labels{"kind": "invoke", "peer": "b"}).Add(1)
+	r.CounterWith("requests_total", Labels{"peer": "c", "kind": "move"}).Inc()
+
+	var b strings.Builder
+	WritePrometheus(&b, r.Snapshot())
+	out := b.String()
+	samples := parseExposition(t, out)
+
+	// Same label set in any order shares one series.
+	if got := samples[`requests_total{kind="invoke",peer="b"}`]; got != "5" {
+		t.Fatalf("labeled series = %q, want 5\n%s", got, out)
+	}
+	if got := samples[`requests_total{kind="move",peer="c"}`]; got != "1" {
+		t.Fatalf("labeled series = %q, want 1\n%s", got, out)
+	}
+	// One TYPE line per family, not per series.
+	if n := strings.Count(out, "# TYPE requests_total counter"); n != 1 {
+		t.Fatalf("TYPE lines for family = %d, want 1\n%s", n, out)
+	}
+}
+
+func TestPrometheusDeterministicOrder(t *testing.T) {
+	render := func() string {
+		r := NewRegistry()
+		for i := 0; i < 20; i++ {
+			r.Counter(fmt.Sprintf("c%02d_total", i)).Inc()
+			r.Gauge(fmt.Sprintf("g%02d", i)).Set(float64(i))
+		}
+		r.CounterWith("lbl_total", Labels{"a": "1"}).Inc()
+		r.CounterWith("lbl_total", Labels{"a": "2"}).Inc()
+		r.Histogram("h_ns").Observe(1500)
+		var b strings.Builder
+		WritePrometheus(&b, r.Snapshot())
+		return b.String()
+	}
+	first := render()
+	for i := 0; i < 5; i++ {
+		if got := render(); got != first {
+			t.Fatalf("exposition not deterministic:\n--- first ---\n%s\n--- run %d ---\n%s", first, i, got)
+		}
+	}
+	// Within each type section, family TYPE lines must appear sorted.
+	sections := map[string][]string{}
+	for _, line := range strings.Split(first, "\n") {
+		var base, typ string
+		if n, _ := fmt.Sscanf(line, "# TYPE %s %s", &base, &typ); n == 2 {
+			sections[typ] = append(sections[typ], base)
+		}
+	}
+	for typ, fams := range sections {
+		if !sort.StringsAreSorted(fams) {
+			t.Fatalf("%s families not sorted: %v", typ, fams)
+		}
+	}
+	if len(sections["counter"]) != 21 || len(sections["gauge"]) != 20 || len(sections["histogram"]) != 1 {
+		t.Fatalf("unexpected family counts: %v", sections)
+	}
+}
+
+func TestWriteTextDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 16; i++ {
+		r.Counter(fmt.Sprintf("c%02d_total", 15-i)).Inc()
+		r.Gauge(fmt.Sprintf("g%02d", 15-i)).Set(1)
+		r.Histogram(fmt.Sprintf("h%02d_ns", 15-i)).Observe(2000)
+	}
+	s := r.Snapshot()
+	var first strings.Builder
+	s.WriteText(&first)
+	for i := 0; i < 5; i++ {
+		var again strings.Builder
+		s.WriteText(&again)
+		if again.String() != first.String() {
+			t.Fatalf("text dump not deterministic")
+		}
+	}
+	// Lines within each section must be sorted by instrument name.
+	var counters []string
+	for _, line := range strings.Split(first.String(), "\n") {
+		if strings.HasPrefix(line, "counter ") {
+			counters = append(counters, line)
+		}
+	}
+	if len(counters) != 16 || !sort.StringsAreSorted(counters) {
+		t.Fatalf("counter section unsorted or incomplete: %v", counters)
+	}
+}

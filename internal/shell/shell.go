@@ -8,6 +8,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"time"
 
 	"fargo/internal/core"
 	"fargo/internal/ids"
@@ -42,6 +43,8 @@ const Help = `commands:
   lookup <core> <name>           resolve a logical name
   profile <core> <svc> [args...] instant profiling measurement
   stats <core>                   metrics snapshot (counters, gauges, latency histograms)
+  health <core>                  liveness/readiness verdict and per-peer breaker state
+  flight <core> [n]              flight recorder ring (newest n; default all retained)
   trace <core>                   list recent traces retained at a core
   trace <core> <id> [core...]    span tree of one trace, merged across the given cores
   checkpoint <core> <path>       persist a core's complets to a file (on its host)
@@ -202,6 +205,73 @@ func (s *Shell) Exec(line string) error {
 			return err
 		}
 		core.FormatStats(s.out, reply)
+		return nil
+	case "health":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: health <core>")
+		}
+		reply, err := s.c.HealthAt(ids.CoreID(args[0]))
+		if err != nil {
+			return err
+		}
+		verdict := func(ok bool) string {
+			if ok {
+				return "ok"
+			}
+			return "NOT ok"
+		}
+		fmt.Fprintf(s.out, "core %s: live=%s ready=%s closed=%v moves-in-flight=%d complets=%d\n",
+			reply.Core, verdict(reply.Live), verdict(reply.Ready),
+			reply.Closed, reply.MovesInFlight, reply.Complets)
+		for _, p := range reply.Peers {
+			suspect := ""
+			if p.Suspect {
+				suspect = " SUSPECT"
+			}
+			fmt.Fprintf(s.out, "  peer %-12s breaker=%s%s\n", p.Core, p.Breaker, suspect)
+		}
+		return nil
+	case "flight":
+		if len(args) < 1 || len(args) > 2 {
+			return fmt.Errorf("usage: flight <core> [n]")
+		}
+		max := 0
+		if len(args) == 2 {
+			n, err := strconv.Atoi(args[1])
+			if err != nil || n < 0 {
+				return fmt.Errorf("usage: flight <core> [n] (n must be a non-negative integer)")
+			}
+			max = n
+		}
+		reply, err := s.c.FlightAt(ids.CoreID(args[0]), max)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "core %s: %d event(s) recorded, showing %d\n",
+			reply.Core, reply.Total, len(reply.Events))
+		for _, ev := range reply.Events {
+			fmt.Fprintf(s.out, "  #%-5d %s %-13s", ev.Seq,
+				time.Unix(0, ev.UnixNanos).Format("15:04:05.000"), ev.Kind)
+			if ev.Complet != "" {
+				fmt.Fprintf(s.out, " %s", ev.Complet)
+			}
+			if ev.Peer != "" {
+				fmt.Fprintf(s.out, " peer=%s", ev.Peer)
+			}
+			if ev.Detail != "" {
+				fmt.Fprintf(s.out, " %s", ev.Detail)
+			}
+			if ev.DurationNanos > 0 {
+				fmt.Fprintf(s.out, " took=%v", time.Duration(ev.DurationNanos).Round(time.Microsecond))
+			}
+			if ev.Bytes > 0 {
+				fmt.Fprintf(s.out, " bytes=%d", ev.Bytes)
+			}
+			if ev.Err != "" {
+				fmt.Fprintf(s.out, " ERR=%s", ev.Err)
+			}
+			fmt.Fprintln(s.out)
+		}
 		return nil
 	case "trace":
 		if len(args) == 0 {

@@ -219,6 +219,36 @@ func TestShellStatsAndTrace(t *testing.T) {
 	}
 }
 
+func TestShellHealthAndFlight(t *testing.T) {
+	cores := testDeployment(t, "admin", "worker", "other")
+	s, out := newShell(t, cores["admin"])
+	execLines(t, s,
+		"new worker Message hi",
+		"move worker/#1 other",
+		"health worker",
+		"flight worker",
+		"flight worker 1",
+	)
+	text := out.String()
+	for _, want := range []string{
+		"core worker: live=ok ready=ok",
+		"event(s) recorded",
+		"move", // the forced move must appear in worker's flight ring
+		"peer=other",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+
+	// Bad arguments are reported, not executed.
+	for _, line := range []string{"health", "flight", "flight worker -1", "flight worker x"} {
+		if err := s.Exec(line); err == nil {
+			t.Errorf("Exec(%q): expected error", line)
+		}
+	}
+}
+
 func TestShellArgParsing(t *testing.T) {
 	args := ParseArgs([]string{"42", "3.5", "true", "false", `"quoted"`, "bare"})
 	if args[0] != 42 || args[1] != 3.5 || args[2] != true || args[3] != false ||

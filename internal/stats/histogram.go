@@ -90,6 +90,13 @@ type HistogramSnapshot struct {
 	P50   float64
 	P95   float64
 	P99   float64
+	// Bounds are the ascending bucket upper bounds and Buckets the
+	// per-bucket (non-cumulative) counts, parallel slices. They feed
+	// exporters that need the full distribution (Prometheus _bucket
+	// series); renderers that only want percentiles may ignore them, and
+	// snapshots reconstructed from wire replies leave them nil.
+	Bounds  []float64
+	Buckets []uint64
 }
 
 // Mean returns Sum/Count (0 when empty).
@@ -110,8 +117,10 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		total += counts[i]
 	}
 	s := HistogramSnapshot{
-		Count: total,
-		Sum:   math.Float64frombits(h.sum.Load()),
+		Count:   total,
+		Sum:     math.Float64frombits(h.sum.Load()),
+		Bounds:  append([]float64(nil), h.bounds...),
+		Buckets: counts,
 	}
 	s.P50 = quantile(h.bounds, counts, total, 0.50)
 	s.P95 = quantile(h.bounds, counts, total, 0.95)

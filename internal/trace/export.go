@@ -31,6 +31,17 @@ type chromeTrace struct {
 // process_name metadata record; within a core each trace gets its own tid row
 // so overlapping requests don't nest into each other.
 func ExportChromeJSON(spans []Span) ([]byte, error) {
+	return json.MarshalIndent(chromeTraceOf(spans), "", " ")
+}
+
+// WriteChromeJSON streams the same Chrome trace_event JSON to w without
+// buffering the whole document (the ops plane's /trace download uses it).
+func WriteChromeJSON(w io.Writer, spans []Span) error {
+	return json.NewEncoder(w).Encode(chromeTraceOf(spans))
+}
+
+// chromeTraceOf builds the trace_event document for a span set.
+func chromeTraceOf(spans []Span) chromeTrace {
 	// Stable pid per core name.
 	cores := make(map[string]int)
 	var names []string
@@ -95,7 +106,7 @@ func ExportChromeJSON(spans []Span) ([]byte, error) {
 			Args: args,
 		})
 	}
-	return json.MarshalIndent(out, "", " ")
+	return out
 }
 
 // Node is one span with its children resolved, for tree rendering.

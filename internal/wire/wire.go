@@ -59,6 +59,10 @@ const (
 	KindStatsQueryReply
 	KindTraceQuery
 	KindTraceQueryReply
+	KindHealthQuery
+	KindHealthQueryReply
+	KindFlightQuery
+	KindFlightQueryReply
 )
 
 // ErrorReply is the payload of a KindError envelope: a request failed in the
@@ -91,6 +95,8 @@ func (k Kind) String() string {
 		KindCheckpoint: "checkpoint", KindCheckpointReply: "checkpoint-reply",
 		KindStatsQuery: "stats-query", KindStatsQueryReply: "stats-query-reply",
 		KindTraceQuery: "trace-query", KindTraceQueryReply: "trace-query-reply",
+		KindHealthQuery: "health-query", KindHealthQueryReply: "health-query-reply",
+		KindFlightQuery: "flight-query", KindFlightQueryReply: "flight-query-reply",
 	}
 	if s, ok := names[k]; ok {
 		return s
@@ -476,6 +482,64 @@ type TraceQueryReply struct {
 	Summaries []TraceSummary
 	Spans     []TraceSpan
 	Err       string
+}
+
+// HealthQuery asks a core for its liveness/readiness verdict (the wire
+// counterpart of the ops plane's /healthz and /readyz endpoints, so shells
+// reach the same state over the fargo protocol).
+type HealthQuery struct{}
+
+// PeerHealth describes one peer as seen from the queried core: its circuit
+// state and whether the heartbeat prober currently declares it suspect.
+type PeerHealth struct {
+	Core    ids.CoreID
+	Breaker string // "closed" | "open" | "half-open"
+	Suspect bool
+}
+
+// HealthQueryReply answers a HealthQuery.
+type HealthQueryReply struct {
+	Core ids.CoreID
+	// Live is false when the core is shut down, or when every
+	// heartbeat-monitored peer is suspect (the core is isolated).
+	Live bool
+	// Ready is false while the core should not take new work: shut down,
+	// any suspect peer, any open breaker, or a movement in flight.
+	Ready         bool
+	Closed        bool
+	MovesInFlight int
+	Complets      int
+	Peers         []PeerHealth
+	Err           string
+}
+
+// FlightQuery asks a core for its flight-recorder ring (Max 0 = everything
+// retained).
+type FlightQuery struct {
+	Max int
+}
+
+// FlightEvent is one flight-recorder occurrence shipped to a querier (a
+// plain mirror of flight.Event so wire stays free of flight types).
+type FlightEvent struct {
+	Seq           uint64
+	UnixNanos     int64
+	Kind          string
+	Complet       string
+	Peer          string
+	Detail        string
+	DurationNanos int64
+	Bytes         int
+	Err           string
+}
+
+// FlightQueryReply answers a FlightQuery with the retained occurrences,
+// oldest first.
+type FlightQueryReply struct {
+	Core   ids.CoreID
+	Total  uint64 // occurrences ever recorded (ring may have evicted some)
+	Events []FlightEvent
+	Err    string
 }
 
 // --- codec ------------------------------------------------------------------
