@@ -48,6 +48,7 @@ func benchCore(b *testing.B, u *fargo.Universe, name string) *fargo.Core {
 
 func BenchmarkE1_InvocationDirect(b *testing.B) {
 	anchor := &demo.Echo{}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		anchor.Nop()
@@ -61,6 +62,7 @@ func BenchmarkE1_InvocationRefColocated(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := r.Invoke("Nop"); err != nil {
@@ -76,6 +78,7 @@ func BenchmarkE1_InvocationRefRemote(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := r.Invoke("Nop"); err != nil {
@@ -110,6 +113,7 @@ func BenchmarkE1_InvocationRefRemoteTCP(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := r.Invoke("Nop"); err != nil {
@@ -176,6 +180,7 @@ func BenchmarkE3_GroupMove(b *testing.B) {
 				}
 			}
 			cores := []fargo.CoreID{"y", "x"}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				from := benchCore(b, u, cores[(i+1)%2].String())
@@ -222,6 +227,7 @@ func BenchmarkE4_RelocatorMove(b *testing.B) {
 				b.Fatal(err)
 			}
 			cores := []fargo.CoreID{"y", "x"}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				from := benchCore(b, u, cores[(i+1)%2].String())
@@ -418,6 +424,7 @@ func BenchmarkE8_ParamCopy(b *testing.B) {
 		b.Run(fmt.Sprintf("bytes=%d", size), func(b *testing.B) {
 			payload := make([]byte, size)
 			b.SetBytes(int64(size))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := sink.Invoke("EchoBytes", payload); err != nil {
@@ -436,6 +443,7 @@ func BenchmarkE8_RefDegradeRoundtrip(b *testing.B) {
 		b.Fatal(err)
 	}
 	r := a.NewRefTo(sink.Target(), "Echo", "a")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		data, _, err := wire.EncodeArgs([]any{r})
@@ -596,6 +604,7 @@ func BenchmarkE12_MovePerHop(b *testing.B) {
 			}
 			cores := []fargo.CoreID{"y", "x"}
 			b.SetBytes(int64(size))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				from := benchCore(b, u, cores[(i+1)%2].String())

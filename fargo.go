@@ -45,7 +45,10 @@
 //	loc, err := north.LocateCompletCtx(ctx, msg.Target()) // LocateComplet
 //
 // The context-free methods remain and are thin wrappers: they run under the
-// core's Options.RequestTimeout as the default end-to-end budget. Per-call
+// core's Options.RequestTimeout as the default end-to-end budget. The same
+// pattern covers the ops queries — CoreInfoCtx, StatsAtCtx, HealthAtCtx,
+// FlightAtCtx, TracesAtCtx, TraceAtCtx, CheckpointRemoteCtx,
+// LocateViaHomeCtx and InvokeViaHomeCtx are the one-implementation forms. Per-call
 // options (WithTimeout, WithNoRetry, WithMaxAttempts) ride the ctx variants.
 // Failures surface as *InvokeError, whose Cause separates a deadline expiry
 // from a cancellation, a peer that answered with an error, and a peer that
@@ -70,6 +73,7 @@ import (
 	"fargo/internal/registry"
 	"fargo/internal/script"
 	"fargo/internal/transport"
+	"fargo/internal/wire"
 )
 
 // Core is a FarGo runtime instance hosting complets. See the methods of
@@ -121,6 +125,19 @@ type LinkProfile = netsim.LinkProfile
 
 // Options configures a core.
 type Options = core.Options
+
+// WireCodec is the pluggable serialization boundary of the transports
+// (Options.Codec): per-connection streaming sessions for TCP, self-framed
+// messages for the simulator. The default implementation is streaming gob.
+type WireCodec = wire.Codec
+
+// GobWireCodec returns the default gob wire codec (explicit form of leaving
+// Options.Codec nil).
+func GobWireCodec() WireCodec { return wire.Gob }
+
+// RegisterWireCodec registers an alternative wire codec so TCP peers dialing
+// with its preamble ID can be served. See wire.RegisterCodec.
+func RegisterWireCodec(c WireCodec) error { return wire.RegisterCodec(c) }
 
 // Built-in profiling services and events (see §4 of the paper).
 const (
@@ -262,7 +279,7 @@ func (u *Universe) NewCore(name string, opts ...Options) (*Core, error) {
 	if len(opts) == 1 {
 		o = opts[0]
 	}
-	tr, err := transport.NewSim(u.net, ids.CoreID(name))
+	tr, err := transport.NewSim(u.net, ids.CoreID(name), transport.WithCodec(o.Codec))
 	if err != nil {
 		return nil, err
 	}
@@ -286,7 +303,7 @@ func (u *Universe) NewCoreFaulty(name string, seed int64, opts ...Options) (*Cor
 	if len(opts) == 1 {
 		o = opts[0]
 	}
-	tr, err := transport.NewSim(u.net, ids.CoreID(name))
+	tr, err := transport.NewSim(u.net, ids.CoreID(name), transport.WithCodec(o.Codec))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -344,7 +361,7 @@ func ListenTCP(name, listenAddr string, peers map[string]string, reg *Registry, 
 	for k, v := range peers {
 		seed[ids.CoreID(k)] = v
 	}
-	tr, err := transport.NewTCP(ids.CoreID(name), listenAddr, transport.NewAddrBook(seed))
+	tr, err := transport.NewTCP(ids.CoreID(name), listenAddr, transport.NewAddrBook(seed), transport.WithCodec(opts.Codec))
 	if err != nil {
 		return nil, "", err
 	}

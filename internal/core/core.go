@@ -139,6 +139,12 @@ type Options struct {
 	// FlightRecorderSize caps the layout flight recorder's ring (0 =
 	// flight.DefaultCapacity).
 	FlightRecorderSize int
+	// Codec selects the wire serialization of the core's transport
+	// (wire.Codec); nil means the default streaming gob codec. The core
+	// itself never reads it — the embedding layer (fargo.ListenTCP,
+	// Universe.NewCore) threads it into the transport constructor via
+	// transport.WithCodec.
+	Codec wire.Codec
 }
 
 // Core is a FarGo runtime instance.

@@ -144,7 +144,7 @@ func classifyCause(err error) Cause {
 	if errors.As(err, &re) {
 		// A lost connection means the peer may never have seen the
 		// request: that is unreachability, not a remote verdict.
-		if re.Msg == transport.ErrConnLost {
+		if errors.Is(err, transport.ErrConnLost) {
 			return CauseUnreachable
 		}
 		return CauseRemote

@@ -128,15 +128,23 @@ func (c *Core) handleCoreInfo(env wire.Envelope) (wire.Kind, []byte, error) {
 }
 
 // CoreInfo fetches a peer core's description (shell and layout monitor
-// support).
+// support). It is a thin context.Background wrapper over CoreInfoCtx,
+// running under the core's default request budget; prefer the ctx form.
 func (c *Core) CoreInfo(dest ids.CoreID) (wire.CoreInfoReply, error) {
+	return c.CoreInfoCtx(context.Background(), dest)
+}
+
+// CoreInfoCtx fetches a peer core's description under the caller's context.
+func (c *Core) CoreInfoCtx(ctx context.Context, dest ids.CoreID) (wire.CoreInfoReply, error) {
 	if dest == c.id {
 		return wire.CoreInfoReply{Core: c.id, Complets: c.Complets(), Peers: c.Peers()}, nil
 	}
 	if c.isClosed() {
 		return wire.CoreInfoReply{}, ErrClosed
 	}
-	env, err := c.requestBG(dest, wire.KindCoreInfo, nil)
+	ctx, cancel := c.withBudget(ctx, 0)
+	defer cancel()
+	env, err := c.request(ctx, dest, wire.KindCoreInfo, nil)
 	if err != nil {
 		return wire.CoreInfoReply{}, fmt.Errorf("core: info of %s: %w", dest, err)
 	}

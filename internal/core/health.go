@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -164,8 +165,14 @@ func (c *Core) handleHealthQuery(env wire.Envelope) (wire.Kind, []byte, error) {
 }
 
 // HealthAt fetches a core's health verdict (this core's own when dest is
-// self).
+// self). It is a thin context.Background wrapper over HealthAtCtx, running
+// under the core's default request budget; prefer the ctx form.
 func (c *Core) HealthAt(dest ids.CoreID) (wire.HealthQueryReply, error) {
+	return c.HealthAtCtx(context.Background(), dest)
+}
+
+// HealthAtCtx fetches a core's health verdict under the caller's context.
+func (c *Core) HealthAtCtx(ctx context.Context, dest ids.CoreID) (wire.HealthQueryReply, error) {
 	if dest == c.id || dest.Nil() {
 		return c.healthReply(), nil
 	}
@@ -176,7 +183,9 @@ func (c *Core) HealthAt(dest ids.CoreID) (wire.HealthQueryReply, error) {
 	if err != nil {
 		return wire.HealthQueryReply{}, err
 	}
-	env, err := c.requestBG(dest, wire.KindHealthQuery, payload)
+	ctx, cancel := c.withBudget(ctx, 0)
+	defer cancel()
+	env, err := c.request(ctx, dest, wire.KindHealthQuery, payload)
 	if err != nil {
 		return wire.HealthQueryReply{}, fmt.Errorf("core: health of %s: %w", dest, err)
 	}
@@ -228,8 +237,16 @@ func (c *Core) handleFlightQuery(env wire.Envelope) (wire.Kind, []byte, error) {
 }
 
 // FlightAt fetches a core's flight-recorder ring (this core's own when dest
-// is self; max 0 = everything retained).
+// is self; max 0 = everything retained). It is a thin context.Background
+// wrapper over FlightAtCtx, running under the core's default request budget;
+// prefer the ctx form.
 func (c *Core) FlightAt(dest ids.CoreID, max int) (wire.FlightQueryReply, error) {
+	return c.FlightAtCtx(context.Background(), dest, max)
+}
+
+// FlightAtCtx fetches a core's flight-recorder ring under the caller's
+// context.
+func (c *Core) FlightAtCtx(ctx context.Context, dest ids.CoreID, max int) (wire.FlightQueryReply, error) {
 	if dest == c.id || dest.Nil() {
 		return c.flightReply(max), nil
 	}
@@ -240,7 +257,9 @@ func (c *Core) FlightAt(dest ids.CoreID, max int) (wire.FlightQueryReply, error)
 	if err != nil {
 		return wire.FlightQueryReply{}, err
 	}
-	env, err := c.requestBG(dest, wire.KindFlightQuery, payload)
+	ctx, cancel := c.withBudget(ctx, 0)
+	defer cancel()
+	env, err := c.request(ctx, dest, wire.KindFlightQuery, payload)
 	if err != nil {
 		return wire.FlightQueryReply{}, fmt.Errorf("core: flight of %s: %w", dest, err)
 	}

@@ -82,22 +82,39 @@ func (c *Core) reportHome(id ids.CompletID) {
 }
 
 // LocateViaHome resolves a complet's location through its home core in a
-// single round trip, bypassing tracker chains. See locateViaHomeCtx
-// (repair.go) for the context-first core, which chain repair also uses.
+// single round trip, bypassing tracker chains. It is a thin
+// context.Background wrapper over LocateViaHomeCtx; prefer the ctx form.
 func (c *Core) LocateViaHome(id ids.CompletID) (ids.CoreID, error) {
-	ctx, cancel := c.withBudget(context.Background(), 0)
+	return c.LocateViaHomeCtx(context.Background(), id)
+}
+
+// LocateViaHomeCtx resolves a complet's location through its home core under
+// the caller's context. See locateViaHomeCtx (repair.go) for the internal
+// core, which chain repair also uses.
+func (c *Core) LocateViaHomeCtx(ctx context.Context, id ids.CompletID) (ids.CoreID, error) {
+	ctx, cancel := c.withBudget(ctx, 0)
 	defer cancel()
 	return c.locateViaHomeCtx(ctx, id, ref.CallOptions{})
 }
 
 // InvokeViaHome invokes a method resolving the target through its home core
 // instead of tracker chains (E9's alternative invocation path for stale
-// references).
+// references). It is a thin context.Background wrapper over
+// InvokeViaHomeCtx; prefer the ctx form.
 func (c *Core) InvokeViaHome(target ids.CompletID, method string, args ...any) ([]any, error) {
+	return c.InvokeViaHomeCtx(context.Background(), target, method, args...)
+}
+
+// InvokeViaHomeCtx invokes a method resolving the target through its home
+// core under the caller's context: the home lookup and the invocation share
+// one end-to-end budget.
+func (c *Core) InvokeViaHomeCtx(ctx context.Context, target ids.CompletID, method string, args ...any) ([]any, error) {
 	if c.isClosed() {
 		return nil, ErrClosed
 	}
-	loc, err := c.LocateViaHome(target)
+	ctx, cancel := c.withBudget(ctx, 0)
+	defer cancel()
+	loc, err := c.locateViaHomeCtx(ctx, target, ref.CallOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -105,8 +122,6 @@ func (c *Core) InvokeViaHome(target ids.CompletID, method string, args ...any) (
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := c.withBudget(context.Background(), 0)
-	defer cancel()
 	var resBytes []byte
 	if loc == c.id {
 		resBytes, err = c.invokeLocal(ctx, target, method, argBytes)

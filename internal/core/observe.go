@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -94,8 +95,14 @@ func (c *Core) handleStatsQuery(env wire.Envelope) (wire.Kind, []byte, error) {
 }
 
 // StatsAt fetches a core's metrics snapshot (this core's own when dest is
-// self).
+// self). It is a thin context.Background wrapper over StatsAtCtx, running
+// under the core's default request budget; prefer the ctx form.
 func (c *Core) StatsAt(dest ids.CoreID) (wire.StatsQueryReply, error) {
+	return c.StatsAtCtx(context.Background(), dest)
+}
+
+// StatsAtCtx fetches a core's metrics snapshot under the caller's context.
+func (c *Core) StatsAtCtx(ctx context.Context, dest ids.CoreID) (wire.StatsQueryReply, error) {
 	if dest == c.id || dest.Nil() {
 		return c.statsReply(), nil
 	}
@@ -106,7 +113,9 @@ func (c *Core) StatsAt(dest ids.CoreID) (wire.StatsQueryReply, error) {
 	if err != nil {
 		return wire.StatsQueryReply{}, err
 	}
-	env, err := c.requestBG(dest, wire.KindStatsQuery, payload)
+	ctx, cancel := c.withBudget(ctx, 0)
+	defer cancel()
+	env, err := c.request(ctx, dest, wire.KindStatsQuery, payload)
 	if err != nil {
 		return wire.StatsQueryReply{}, fmt.Errorf("core: stats of %s: %w", dest, err)
 	}
@@ -230,8 +239,15 @@ func SpansFromWire(in []wire.TraceSpan) []trace.Span {
 }
 
 // TracesAt lists recent traces retained at a core (max 0 = server default).
+// Thin context.Background wrapper over TracesAtCtx; prefer the ctx form.
 func (c *Core) TracesAt(dest ids.CoreID, max int) ([]wire.TraceSummary, error) {
-	reply, err := c.traceQuery(dest, wire.TraceQuery{Max: max})
+	return c.TracesAtCtx(context.Background(), dest, max)
+}
+
+// TracesAtCtx lists recent traces retained at a core under the caller's
+// context.
+func (c *Core) TracesAtCtx(ctx context.Context, dest ids.CoreID, max int) ([]wire.TraceSummary, error) {
+	reply, err := c.traceQuery(ctx, dest, wire.TraceQuery{Max: max})
 	if err != nil {
 		return nil, err
 	}
@@ -240,16 +256,23 @@ func (c *Core) TracesAt(dest ids.CoreID, max int) ([]wire.TraceSummary, error) {
 
 // TraceAt fetches one trace's spans retained at a core. A full cross-core
 // view merges TraceAt results from every involved core (each collector only
-// holds the spans recorded there).
+// holds the spans recorded there). Thin context.Background wrapper over
+// TraceAtCtx; prefer the ctx form.
 func (c *Core) TraceAt(dest ids.CoreID, id trace.TraceID) ([]wire.TraceSpan, error) {
-	reply, err := c.traceQuery(dest, wire.TraceQuery{Trace: uint64(id)})
+	return c.TraceAtCtx(context.Background(), dest, id)
+}
+
+// TraceAtCtx fetches one trace's spans retained at a core under the
+// caller's context.
+func (c *Core) TraceAtCtx(ctx context.Context, dest ids.CoreID, id trace.TraceID) ([]wire.TraceSpan, error) {
+	reply, err := c.traceQuery(ctx, dest, wire.TraceQuery{Trace: uint64(id)})
 	if err != nil {
 		return nil, err
 	}
 	return reply.Spans, nil
 }
 
-func (c *Core) traceQuery(dest ids.CoreID, req wire.TraceQuery) (wire.TraceQueryReply, error) {
+func (c *Core) traceQuery(ctx context.Context, dest ids.CoreID, req wire.TraceQuery) (wire.TraceQueryReply, error) {
 	if dest == c.id || dest.Nil() {
 		return c.traceReply(req), nil
 	}
@@ -260,7 +283,9 @@ func (c *Core) traceQuery(dest ids.CoreID, req wire.TraceQuery) (wire.TraceQuery
 	if err != nil {
 		return wire.TraceQueryReply{}, err
 	}
-	env, err := c.requestBG(dest, wire.KindTraceQuery, payload)
+	ctx, cancel := c.withBudget(ctx, 0)
+	defer cancel()
+	env, err := c.request(ctx, dest, wire.KindTraceQuery, payload)
 	if err != nil {
 		return wire.TraceQueryReply{}, fmt.Errorf("core: traces of %s: %w", dest, err)
 	}

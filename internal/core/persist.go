@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -216,8 +217,16 @@ func (c *Core) RestoreFile(path string) (int, error) {
 }
 
 // CheckpointRemote asks a peer core to checkpoint itself to a file path on
-// ITS host, returning the number of complets captured.
+// ITS host, returning the number of complets captured. It is a thin
+// context.Background wrapper over CheckpointRemoteCtx, running under the
+// core's default request budget; prefer the ctx form.
 func (c *Core) CheckpointRemote(dest ids.CoreID, path string) (int, error) {
+	return c.CheckpointRemoteCtx(context.Background(), dest, path)
+}
+
+// CheckpointRemoteCtx asks a peer core to checkpoint itself under the
+// caller's context.
+func (c *Core) CheckpointRemoteCtx(ctx context.Context, dest ids.CoreID, path string) (int, error) {
 	if dest == c.id {
 		if err := c.CheckpointFile(path); err != nil {
 			return 0, err
@@ -231,7 +240,9 @@ func (c *Core) CheckpointRemote(dest ids.CoreID, path string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	env, err := c.requestBG(dest, wire.KindCheckpoint, payload)
+	ctx, cancel := c.withBudget(ctx, 0)
+	defer cancel()
+	env, err := c.request(ctx, dest, wire.KindCheckpoint, payload)
 	if err != nil {
 		return 0, fmt.Errorf("core: checkpoint %s: %w", dest, err)
 	}

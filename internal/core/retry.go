@@ -100,7 +100,7 @@ func transientFailure(err error) bool {
 	}
 	var re *transport.RemoteError
 	if errors.As(err, &re) {
-		return re.Msg == transport.ErrConnLost
+		return errors.Is(err, transport.ErrConnLost)
 	}
 	return true
 }

@@ -1,0 +1,42 @@
+package transport
+
+import "fargo/internal/wire"
+
+// Option configures a transport constructor (NewTCP, NewSim).
+type Option func(*options)
+
+type options struct {
+	codec wire.Codec
+}
+
+// WithCodec selects the wire codec the transport serializes envelopes with.
+// The default is wire.Gob. Every core of a deployment must have the codec
+// registered (wire.RegisterCodec): TCP dialers advertise the codec's ID in
+// the connection preamble and the accepting side resolves it by that ID, so
+// mixed-codec deployments interoperate as long as both sides know both
+// codecs. Passing nil keeps the default.
+func WithCodec(c wire.Codec) Option {
+	return func(o *options) {
+		if c != nil {
+			o.codec = c
+		}
+	}
+}
+
+func buildOptions(opts []Option) options {
+	o := options{codec: wire.Gob}
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&o)
+		}
+	}
+	return o
+}
+
+// CodecCarrier is implemented by transports that expose their wire codec
+// (TCP and Sim directly; Faulty forwards to its inner transport, wrapping
+// sessions transparently — fault injection operates on whole messages above
+// the serialization layer).
+type CodecCarrier interface {
+	Codec() wire.Codec
+}

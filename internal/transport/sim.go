@@ -14,6 +14,13 @@ import (
 
 // Sim is a Transport over the netsim simulated network. One Sim wraps one
 // netsim host; core IDs double as host names.
+//
+// Unlike TCP, Sim deliberately keeps SELF-FRAMED messages (each envelope
+// carries its own codec state) instead of streaming sessions: netsim is
+// message-granular, and hosts can be removed and re-added (core restarts)
+// which would desync a streaming session's descriptor state. Send buffers
+// come from the wire buffer pool — netsim copies payloads on Send, so the
+// buffer is returned immediately and steady-state sends allocate nothing.
 type Sim struct {
 	txMetricsHolder
 
@@ -21,6 +28,7 @@ type Sim struct {
 	net     *netsim.Network
 	host    *netsim.Host
 	pending *pending
+	codec   wire.Codec
 
 	mu      sync.Mutex
 	handler Handler
@@ -36,23 +44,44 @@ var _ Transport = (*Sim)(nil)
 
 // NewSim attaches a transport for the named core to the simulated network,
 // registering a host of the same name. Closing the transport unregisters the
-// host, so a restarted core can reuse the name.
-func NewSim(net *netsim.Network, self ids.CoreID) (*Sim, error) {
+// host, so a restarted core can reuse the name. Options select the wire
+// codec (WithCodec; gob by default).
+func NewSim(net *netsim.Network, self ids.CoreID, opts ...Option) (*Sim, error) {
 	host, err := net.AddHost(self.String())
 	if err != nil {
 		return nil, fmt.Errorf("sim transport: %w", err)
 	}
+	cfg := buildOptions(opts)
 	s := &Sim{
 		self:    self,
 		net:     net,
 		host:    host,
 		pending: newPending(),
+		codec:   cfg.codec,
 		logf:    log.Printf,
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
 	go s.pump()
 	return s, nil
+}
+
+// Codec implements CodecCarrier.
+func (s *Sim) Codec() wire.Codec { return s.codec }
+
+// sendEnv marshals the envelope self-framed into a pooled buffer and hands
+// it to the simulated host. netsim copies the payload, so the buffer is
+// recycled before returning; the bytes shipped are reported for metrics.
+func (s *Sim) sendEnv(to ids.CoreID, env *wire.Envelope) (int, error) {
+	buf := wire.GetBuffer()
+	defer wire.PutBuffer(buf)
+	if err := s.codec.MarshalEnvelope(env, buf); err != nil {
+		return 0, err
+	}
+	if err := s.host.Send(to.String(), buf.Bytes()); err != nil {
+		return 0, err
+	}
+	return buf.Len(), nil
 }
 
 // Self implements Transport.
@@ -93,16 +122,12 @@ func (s *Sim) Request(ctx context.Context, to ids.CoreID, kind wire.Kind, payloa
 	env := wire.Envelope{From: s.self, Req: id, Kind: kind, Payload: payload}
 	stampDeadline(ctx, &env)
 	stampTrace(ctx, &env)
-	data, err := wire.EncodeEnvelope(env)
+	n, err := s.sendEnv(to, &env)
 	if err != nil {
-		s.pending.cancel(id)
-		return wire.Envelope{}, err
-	}
-	if err := s.host.Send(to.String(), data); err != nil {
 		s.pending.cancel(id)
 		return wire.Envelope{}, fmt.Errorf("sim transport: send to %s: %w", to, err)
 	}
-	s.metrics().sent(len(data))
+	s.metrics().sent(n)
 	select {
 	case reply := <-ch:
 		if err := CheckReply(reply); err != nil {
@@ -127,14 +152,11 @@ func (s *Sim) Notify(to ids.CoreID, kind wire.Kind, payload []byte) error {
 		return ErrClosed
 	}
 	env := wire.Envelope{From: s.self, Kind: kind, Payload: payload}
-	data, err := wire.EncodeEnvelope(env)
+	n, err := s.sendEnv(to, &env)
 	if err != nil {
-		return err
-	}
-	if err := s.host.Send(to.String(), data); err != nil {
 		return fmt.Errorf("sim transport: notify %s: %w", to, err)
 	}
-	s.metrics().sent(len(data))
+	s.metrics().sent(n)
 	return nil
 }
 
@@ -145,7 +167,7 @@ func (s *Sim) pump() {
 		select {
 		case msg := <-s.host.Recv():
 			s.metrics().recv(len(msg.Payload))
-			env, err := wire.DecodeEnvelope(msg.Payload)
+			env, err := s.codec.UnmarshalEnvelope(msg.Payload)
 			if err != nil {
 				s.logfFn()("fargo sim transport %s: dropping undecodable message from %s: %v", s.self, msg.From, err)
 				continue
@@ -195,16 +217,12 @@ func (s *Sim) serve(h Handler, env wire.Envelope) {
 		payload, _ = wire.EncodePayload(wire.ErrorReply{Msg: err.Error()})
 	}
 	reply := wire.Envelope{From: s.self, Req: env.Req, IsReply: true, Kind: kind, Payload: payload}
-	data, encErr := wire.EncodeEnvelope(reply)
-	if encErr != nil {
-		s.logfFn()("fargo sim transport %s: encode reply: %v", s.self, encErr)
-		return
-	}
-	if sendErr := s.host.Send(env.From.String(), data); sendErr != nil {
+	n, sendErr := s.sendEnv(env.From, &reply)
+	if sendErr != nil {
 		s.logfFn()("fargo sim transport %s: reply to %s: %v", s.self, env.From, sendErr)
 		return
 	}
-	s.metrics().sent(len(data))
+	s.metrics().sent(n)
 }
 
 // Close implements Transport. It stops the pump, waits for in-flight handler

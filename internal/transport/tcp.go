@@ -1,9 +1,8 @@
 package transport
 
 import (
-	"bufio"
+	"bytes"
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -16,9 +15,11 @@ import (
 	"fargo/internal/wire"
 )
 
-// maxFrame bounds a single envelope frame (movement bundles can be large,
-// but a corrupt length prefix must not allocate unbounded memory).
-const maxFrame = 256 << 20 // 256 MiB
+// wireMagic opens every TCP connection, followed by the dialer's codec ID
+// byte. The preamble is read from the raw socket before any codec session
+// exists, so a peer speaking an unknown codec — or not speaking fargo at
+// all — is rejected before the first frame is parsed.
+var wireMagic = [4]byte{'F', 'G', 'W', '1'}
 
 // ErrUnknownPeer is returned when sending to a core with no known address.
 var ErrUnknownPeer = errors.New("transport: unknown peer address")
@@ -64,10 +65,12 @@ func (b *AddrBook) Peers() []ids.CoreID {
 	return out
 }
 
-// TCP is a Transport over real TCP connections with length-framed gob
-// envelopes. Outbound connections are cached per peer; inbound connections
-// carry a hello frame identifying the dialer, and learned addresses populate
-// the address book.
+// TCP is a Transport over real TCP connections with length-framed envelopes
+// serialized by a streaming codec session per connection (wire.Codec; gob by
+// default, so type descriptors cross the wire once per peer). Outbound
+// connections are cached per peer; inbound connections open with a
+// magic+codec preamble and a hello envelope identifying the dialer, and
+// learned addresses populate the address book.
 type TCP struct {
 	txMetricsHolder
 
@@ -75,6 +78,7 @@ type TCP struct {
 	book    *AddrBook
 	ln      net.Listener
 	pending *pending
+	codec   wire.Codec
 
 	mu       sync.Mutex
 	handler  Handler
@@ -92,21 +96,30 @@ type TCP struct {
 
 var _ Transport = (*TCP)(nil)
 
-// tcpConn is one outbound connection with a write lock (frames must not
-// interleave).
+// tcpConn is one outbound connection and its codec session, with a write
+// lock (frames must not interleave).
 type tcpConn struct {
-	mu sync.Mutex
-	c  net.Conn
-	w  *bufio.Writer
+	mu   sync.Mutex
+	c    net.Conn
+	sess wire.Session
 }
 
-// NewTCP starts a TCP transport listening on listenAddr. advertise is the
-// address peers should dial (usually listenAddr with a resolvable host); it
-// is sent in hello frames.
-func NewTCP(self ids.CoreID, listenAddr string, book *AddrBook) (*TCP, error) {
+// writeEnv appends one envelope to the connection's session stream and
+// returns the bytes written.
+func (c *tcpConn) writeEnv(env *wire.Envelope) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sess.EncodeEnvelope(env)
+}
+
+// NewTCP starts a TCP transport listening on listenAddr. The address peers
+// should dial (the bound listen address) is sent in hello envelopes. Options
+// select the wire codec (WithCodec; gob by default).
+func NewTCP(self ids.CoreID, listenAddr string, book *AddrBook, opts ...Option) (*TCP, error) {
 	if book == nil {
 		book = NewAddrBook(nil)
 	}
+	cfg := buildOptions(opts)
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("tcp transport: listen %s: %w", listenAddr, err)
@@ -116,6 +129,7 @@ func NewTCP(self ids.CoreID, listenAddr string, book *AddrBook) (*TCP, error) {
 		book:     book,
 		ln:       ln,
 		pending:  newPending(),
+		codec:    cfg.codec,
 		logf:     log.Printf,
 		conns:    make(map[ids.CoreID]*tcpConn),
 		accepted: make(map[net.Conn]struct{}),
@@ -125,6 +139,9 @@ func NewTCP(self ids.CoreID, listenAddr string, book *AddrBook) (*TCP, error) {
 	go t.acceptLoop()
 	return t, nil
 }
+
+// Codec implements CodecCarrier.
+func (t *TCP) Codec() wire.Codec { return t.codec }
 
 // Addr returns the transport's listening address.
 func (t *TCP) Addr() string { return t.ln.Addr().String() }
@@ -178,13 +195,17 @@ func (t *TCP) acceptLoop() {
 	}
 }
 
-// hello is the first frame on every connection, identifying the dialer.
+// hello is the payload of the KindHello envelope opening every connection,
+// identifying the dialer.
 type hello struct {
 	From ids.CoreID
 	Addr string // dialer's advertised listen address ("" if unknown)
 }
 
-// readLoop consumes frames from one inbound connection.
+// readLoop consumes envelopes from one inbound connection: preamble
+// (magic + codec ID), then a codec session whose first envelope must be the
+// hello. The session's codec is the DIALER's choice, resolved from the
+// registry — the accepting side does not need to share the dialer's default.
 func (t *TCP) readLoop(c net.Conn) {
 	defer t.wg.Done()
 	defer func() {
@@ -193,14 +214,32 @@ func (t *TCP) readLoop(c net.Conn) {
 		delete(t.accepted, c)
 		t.mu.Unlock()
 	}()
-	r := bufio.NewReader(c)
 
-	first, err := readFrame(r)
-	if err != nil {
+	var pre [5]byte
+	if _, err := io.ReadFull(c, pre[:]); err != nil {
+		return
+	}
+	if !bytes.Equal(pre[:4], wireMagic[:]) {
+		t.logfFn()("fargo tcp %s: bad preamble from %s", t.self, c.RemoteAddr())
+		return
+	}
+	codec, ok := wire.CodecByID(pre[4])
+	if !ok {
+		t.logfFn()("fargo tcp %s: unknown codec %q from %s", t.self, pre[4], c.RemoteAddr())
+		return
+	}
+	sess := codec.NewSession(c)
+
+	var henv wire.Envelope
+	if _, err := sess.DecodeEnvelope(&henv); err != nil {
+		return
+	}
+	if henv.Kind != wire.KindHello {
+		t.logfFn()("fargo tcp %s: expected hello from %s, got %s", t.self, c.RemoteAddr(), henv.Kind)
 		return
 	}
 	var h hello
-	if err := wire.DecodePayload(first, &h); err != nil {
+	if err := wire.DecodePayload(henv.Payload, &h); err != nil {
 		t.logfFn()("fargo tcp %s: bad hello from %s: %v", t.self, c.RemoteAddr(), err)
 		return
 	}
@@ -209,19 +248,20 @@ func (t *TCP) readLoop(c net.Conn) {
 	}
 
 	for {
-		frame, err := readFrame(r)
+		// Fresh envelope each message: gob does not clear fields absent
+		// from the wire, so reuse would leak state across messages.
+		var env wire.Envelope
+		n, err := sess.DecodeEnvelope(&env)
 		if err != nil {
+			// A decode error leaves the session stream in an undefined
+			// position, so the connection is dropped rather than resumed;
+			// the dialer redials with a fresh session.
 			if !errors.Is(err, io.EOF) && !t.isClosed() {
 				t.logfFn()("fargo tcp %s: read from %s: %v", t.self, h.From, err)
 			}
 			return
 		}
-		t.metrics().recv(len(frame))
-		env, err := wire.DecodeEnvelope(frame)
-		if err != nil {
-			t.logfFn()("fargo tcp %s: undecodable envelope from %s: %v", t.self, h.From, err)
-			continue
-		}
+		t.metrics().recv(n)
 		t.dispatch(env)
 	}
 }
@@ -277,10 +317,12 @@ func (t *TCP) serve(h Handler, env wire.Envelope) {
 	}
 }
 
-// ErrConnLost is the message of the RemoteError delivered to requests whose
-// underlying connection dropped before a reply arrived. Callers may retry
-// idempotent requests.
-const ErrConnLost = "connection lost before reply"
+// ErrConnLost is delivered (wrapped in a *RemoteError, matched via
+// errors.Is) to requests whose underlying connection dropped before a reply
+// arrived. Callers may retry idempotent requests. Its message is what
+// actually crosses the wire in the KindError payload; decodeErrorReply maps
+// it back to this sentinel.
+var ErrConnLost = errors.New("connection lost before reply")
 
 // Request implements Transport.
 func (t *TCP) Request(ctx context.Context, to ids.CoreID, kind wire.Kind, payload []byte) (wire.Envelope, error) {
@@ -340,32 +382,30 @@ func (t *TCP) Notify(to ids.CoreID, kind wire.Kind, payload []byte) error {
 }
 
 // send writes an envelope to the peer over the cached (or freshly dialed)
-// connection and returns the connection used. On a write error the connection
-// is dropped and one redial is attempted, masking stale connections after a
-// peer restart.
+// connection's session and returns the connection used. On a write error the
+// connection is dropped and one redial is attempted (a fresh connection gets
+// a fresh session), masking stale connections after a peer restart.
 func (t *TCP) send(to ids.CoreID, env wire.Envelope) (*tcpConn, error) {
-	data, err := wire.EncodeEnvelope(env)
-	if err != nil {
-		return nil, err
-	}
 	conn, err := t.conn(to)
 	if err != nil {
 		return nil, err
 	}
-	if err := conn.writeFrame(data); err != nil {
+	n, werr := conn.writeEnv(&env)
+	if werr != nil {
 		t.dropConn(to, conn)
 		conn, err2 := t.conn(to)
 		if err2 != nil {
-			return nil, fmt.Errorf("tcp transport: send to %s: %w", to, err)
+			return nil, fmt.Errorf("tcp transport: send to %s: %w", to, werr)
 		}
-		if err2 := conn.writeFrame(data); err2 != nil {
+		n, err2 = conn.writeEnv(&env)
+		if err2 != nil {
 			t.dropConn(to, conn)
 			return nil, fmt.Errorf("tcp transport: send to %s after redial: %w", to, err2)
 		}
-		t.metrics().sent(len(data))
+		t.metrics().sent(n)
 		return conn, nil
 	}
-	t.metrics().sent(len(data))
+	t.metrics().sent(n)
 	return conn, nil
 }
 
@@ -390,7 +430,14 @@ func (t *TCP) conn(to ids.CoreID) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tcp transport: dial %s (%s): %w", to, addr, err)
 	}
-	c := &tcpConn{c: raw, w: bufio.NewWriter(raw)}
+
+	// Preamble on the raw socket, then a codec session for everything else.
+	pre := [5]byte{wireMagic[0], wireMagic[1], wireMagic[2], wireMagic[3], t.codec.ID()}
+	if _, err := raw.Write(pre[:]); err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("tcp transport: preamble to %s: %w", to, err)
+	}
+	c := &tcpConn{c: raw, sess: t.codec.NewSession(raw)}
 
 	// Identify ourselves and read replies arriving on this connection.
 	helloBytes, err := wire.EncodePayload(hello{From: t.self, Addr: t.ln.Addr().String()})
@@ -398,7 +445,8 @@ func (t *TCP) conn(to ids.CoreID) (*tcpConn, error) {
 		raw.Close()
 		return nil, err
 	}
-	if err := c.writeFrame(helloBytes); err != nil {
+	henv := wire.Envelope{From: t.self, Kind: wire.KindHello, Payload: helloBytes}
+	if _, err := c.writeEnv(&henv); err != nil {
 		raw.Close()
 		return nil, fmt.Errorf("tcp transport: hello to %s: %w", to, err)
 	}
@@ -422,18 +470,16 @@ func (t *TCP) conn(to ids.CoreID) (*tcpConn, error) {
 	go func() {
 		defer t.wg.Done()
 		defer raw.Close()
-		r := bufio.NewReader(raw)
 		for {
-			frame, err := readFrame(r)
+			var env wire.Envelope
+			n, err := c.sess.DecodeEnvelope(&env)
 			if err != nil {
+				// EOF or a desynced stream either way: drop the
+				// connection and fail its in-flight requests fast.
 				t.dropConn(to, c)
 				return
 			}
-			t.metrics().recv(len(frame))
-			env, err := wire.DecodeEnvelope(frame)
-			if err != nil {
-				continue
-			}
+			t.metrics().recv(n)
 			t.dispatch(env)
 		}
 	}()
@@ -451,7 +497,7 @@ func (t *TCP) dropConn(to ids.CoreID, c *tcpConn) {
 	c.c.Close()
 	// Fail requests that were awaiting replies on this connection so they
 	// don't hang until their deadline.
-	payload, err := wire.EncodePayload(wire.ErrorReply{Msg: ErrConnLost})
+	payload, err := wire.EncodePayload(wire.ErrorReply{Msg: ErrConnLost.Error()})
 	if err != nil {
 		payload = nil
 	}
@@ -488,36 +534,4 @@ func (t *TCP) Close() error {
 	t.wg.Wait()
 	t.pending.failAll(t.self)
 	return nil
-}
-
-// writeFrame writes one length-prefixed frame.
-func (c *tcpConn) writeFrame(data []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
-	if _, err := c.w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := c.w.Write(data); err != nil {
-		return err
-	}
-	return c.w.Flush()
-}
-
-// readFrame reads one length-prefixed frame.
-func readFrame(r *bufio.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
-	}
-	return buf, nil
 }

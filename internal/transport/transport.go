@@ -40,12 +40,20 @@ var (
 type RemoteError struct {
 	Peer ids.CoreID
 	Msg  string
+	// cause is the local sentinel the wire message maps back to (ErrConnLost,
+	// ErrClosed), nil for application errors — it lets errors.Is see through
+	// the string-typed wire crossing.
+	cause error
 }
 
 // Error implements error.
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("remote error from %s: %s", e.Peer, e.Msg)
 }
+
+// Unwrap exposes the sentinel a transport-produced error reply maps to, so
+// errors.Is(err, ErrConnLost) works across the wire crossing.
+func (e *RemoteError) Unwrap() error { return e.cause }
 
 // Handler processes one incoming request envelope and returns the reply
 // payload kind and bytes. Handlers run on their own goroutines; returning an
@@ -220,22 +228,35 @@ func (p *pending) failAll(self ids.CoreID) {
 	waiters := p.wait
 	p.wait = make(map[ids.RequestID]chan wire.Envelope)
 	p.mu.Unlock()
+	if len(waiters) == 0 {
+		return
+	}
+	payload, err := wire.EncodePayload(wire.ErrorReply{Msg: ErrClosed.Error()})
+	if err != nil {
+		payload = nil
+	}
 	for id, ch := range waiters {
-		payload, err := wire.EncodePayload(wire.ErrorReply{Msg: ErrClosed.Error()})
-		if err != nil {
-			payload = nil
-		}
 		ch <- wire.Envelope{From: self, Req: id, IsReply: true, Kind: wire.KindError, Payload: payload}
 	}
 }
 
-// decodeErrorReply turns a KindError envelope into a RemoteError.
+// decodeErrorReply turns a KindError envelope into a RemoteError. Messages
+// the transport layer itself produces (a dropped connection, a closed
+// transport) are mapped back to their sentinels so callers match them with
+// errors.Is instead of string comparison.
 func decodeErrorReply(env wire.Envelope) error {
 	var er wire.ErrorReply
 	if err := wire.DecodePayload(env.Payload, &er); err != nil {
 		return &RemoteError{Peer: env.From, Msg: "undecodable error reply"}
 	}
-	return &RemoteError{Peer: env.From, Msg: er.Msg}
+	re := &RemoteError{Peer: env.From, Msg: er.Msg}
+	switch er.Msg {
+	case ErrConnLost.Error():
+		re.cause = ErrConnLost
+	case ErrClosed.Error():
+		re.cause = ErrClosed
+	}
+	return re
 }
 
 // CheckReply maps a reply envelope to an error when the peer's handler

@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"fargo/internal/ids"
+)
+
+func benchEnvelope() Envelope {
+	return Envelope{
+		From:    "core-a",
+		Req:     42,
+		Kind:    KindInvoke,
+		Payload: bytes.Repeat([]byte{0xab}, 256),
+	}
+}
+
+// BenchmarkSessionEnvelope measures the streaming hot path: one session,
+// descriptors on the wire once, then encode+decode per op.
+func BenchmarkSessionEnvelope(b *testing.B) {
+	env := benchEnvelope()
+	var stream bytes.Buffer
+	sess := Gob.NewSession(&stream)
+	// Prime the stream so descriptor transfer is outside the timed loop.
+	if _, err := sess.EncodeEnvelope(&env); err != nil {
+		b.Fatal(err)
+	}
+	var warm Envelope
+	if _, err := sess.DecodeEnvelope(&warm); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.EncodeEnvelope(&env); err != nil {
+			b.Fatal(err)
+		}
+		var got Envelope
+		if _, err := sess.DecodeEnvelope(&got); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelfFramedEnvelope measures the netsim regime: every message
+// carries its own descriptors, scratch space from the pool.
+func BenchmarkSelfFramedEnvelope(b *testing.B) {
+	env := benchEnvelope()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := GetBuffer()
+		if err := Gob.MarshalEnvelope(&env, buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Gob.UnmarshalEnvelope(buf.Bytes()); err != nil {
+			b.Fatal(err)
+		}
+		PutBuffer(buf)
+	}
+}
+
+func BenchmarkEncodePayload(b *testing.B) {
+	req := InvokeRequest{Target: ids.CompletID{Birth: "core-a", Seq: 7}, Method: "Print", Args: bytes.Repeat([]byte{1}, 128)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodePayload(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeArgs(b *testing.B) {
+	args := []any{42, "hello", 3.14, true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := EncodeArgs(args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

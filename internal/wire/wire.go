@@ -63,6 +63,10 @@ const (
 	KindHealthQueryReply
 	KindFlightQuery
 	KindFlightQueryReply
+	// KindHello is the first envelope of every TCP connection, identifying
+	// the dialer (payload: the transport's hello struct). New kinds append
+	// here — the enum's values are wire format.
+	KindHello
 )
 
 // ErrorReply is the payload of a KindError envelope: a request failed in the
@@ -97,6 +101,7 @@ func (k Kind) String() string {
 		KindTraceQuery: "trace-query", KindTraceQueryReply: "trace-query-reply",
 		KindHealthQuery: "health-query", KindHealthQueryReply: "health-query-reply",
 		KindFlightQuery: "flight-query", KindFlightQueryReply: "flight-query-reply",
+		KindHello: "hello",
 	}
 	if s, ok := names[k]; ok {
 		return s
@@ -555,13 +560,15 @@ func RegisterWireTypes() {
 }
 
 // EncodePayload gob-encodes a per-kind payload struct (no complet references
-// inside).
+// inside). Scratch space comes from the buffer pool; only an exact-size copy
+// of the result is allocated.
 func EncodePayload(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	buf := GetBuffer()
+	defer PutBuffer(buf)
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
 		return nil, fmt.Errorf("wire: encode payload %T: %w", v, err)
 	}
-	return buf.Bytes(), nil
+	return append([]byte(nil), buf.Bytes()...), nil
 }
 
 // DecodePayload decodes a payload encoded by EncodePayload.
@@ -572,23 +579,22 @@ func DecodePayload(data []byte, into any) error {
 	return nil
 }
 
-// EncodeEnvelope serializes an envelope for transports that frame messages
-// individually (the netsim transport).
+// EncodeEnvelope serializes a self-contained envelope with the default gob
+// codec. Transports on the hot path use Codec sessions (TCP) or
+// MarshalEnvelope with a pooled buffer (netsim) instead; this helper remains
+// for callers that want a standalone byte slice.
 func EncodeEnvelope(env Envelope) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
-		return nil, fmt.Errorf("wire: encode envelope: %w", err)
+	buf := GetBuffer()
+	defer PutBuffer(buf)
+	if err := Gob.MarshalEnvelope(&env, buf); err != nil {
+		return nil, err
 	}
-	return buf.Bytes(), nil
+	return append([]byte(nil), buf.Bytes()...), nil
 }
 
 // DecodeEnvelope deserializes an envelope encoded by EncodeEnvelope.
 func DecodeEnvelope(data []byte) (Envelope, error) {
-	var env Envelope
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
-		return Envelope{}, fmt.Errorf("wire: decode envelope: %w", err)
-	}
-	return env, nil
+	return Gob.UnmarshalEnvelope(data)
 }
 
 // EncodeArgs encodes an argument (or result) vector for parameter passing:
@@ -598,14 +604,15 @@ func DecodeEnvelope(data []byte) (Envelope, error) {
 func EncodeArgs(args []any) ([]byte, []*ref.Ref, error) {
 	RegisterWireTypes()
 	c := &ref.Collector{Mode: ref.ModeParam}
-	var buf bytes.Buffer
+	buf := GetBuffer()
+	defer PutBuffer(buf)
 	err := ref.WithCollector(c, func() error {
-		return gob.NewEncoder(&buf).Encode(argsVector{Args: args})
+		return gob.NewEncoder(buf).Encode(argsVector{Args: args})
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("wire: encode args: %w", err)
 	}
-	return buf.Bytes(), c.Encountered, nil
+	return append([]byte(nil), buf.Bytes()...), c.Encountered, nil
 }
 
 // DecodeArgs decodes an argument vector, returning the values and the
@@ -648,14 +655,15 @@ func DeepCopyArgs(args []any) ([]any, []*ref.Ref, error) {
 func EncodeClosure(anchor any, move ref.MoveContext, targetLocal func(ids.CompletID) bool) ([]byte, *ref.Collector, error) {
 	RegisterWireTypes()
 	c := &ref.Collector{Mode: ref.ModeMove, Move: move, TargetLocal: targetLocal}
-	var buf bytes.Buffer
+	buf := GetBuffer()
+	defer PutBuffer(buf)
 	err := ref.WithCollector(c, func() error {
-		return gob.NewEncoder(&buf).Encode(closureBox{Anchor: anchor})
+		return gob.NewEncoder(buf).Encode(closureBox{Anchor: anchor})
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("wire: encode closure of %s: %w", move.Source, err)
 	}
-	return buf.Bytes(), c, nil
+	return append([]byte(nil), buf.Bytes()...), c, nil
 }
 
 // DecodeClosure decodes a complet closure at the receiving core. It returns

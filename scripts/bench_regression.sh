@@ -1,0 +1,38 @@
+#!/bin/sh
+# bench_regression.sh — wire fast-path regression gate.
+#
+# Runs the two benchmarks the streaming-codec work targets (E1 remote
+# invocation over real TCP, E3 group movement over netsim), records the
+# results as BENCH_PR6.json via cmd/fargo-bench2json, and fails if
+# BenchmarkE1_InvocationRefRemoteTCP allocates more per op than the
+# pre-streaming baseline. The baseline (1212 allocs/op) is the per-frame
+# codec's figure measured before per-connection sessions landed; the
+# streaming path runs far below it, so trips mean a real regression, not
+# noise.
+set -eu
+cd "$(dirname "$0")/.."
+
+BASELINE_E1_ALLOCS=${BASELINE_E1_ALLOCS:-1212}
+OUT=${OUT:-BENCH_PR6.json}
+
+echo "== bench: E1 TCP + E3 group move (100x, -benchmem)"
+go test -run=NONE -bench='E1_InvocationRefRemoteTCP|E3_GroupMove' \
+    -benchtime=100x -benchmem . | tee bench_pr6.out
+
+go run ./cmd/fargo-bench2json -require -in bench_pr6.out -o "$OUT"
+echo "== wrote $OUT"
+
+allocs=$(awk '/^BenchmarkE1_InvocationRefRemoteTCP/ {
+    for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") print $i
+}' bench_pr6.out)
+if [ -z "$allocs" ]; then
+    echo "bench_regression: E1_InvocationRefRemoteTCP produced no allocs/op figure" >&2
+    exit 1
+fi
+
+echo "== E1 TCP allocs/op: $allocs (baseline: $BASELINE_E1_ALLOCS)"
+if [ "$allocs" -gt "$BASELINE_E1_ALLOCS" ]; then
+    echo "bench_regression: FAIL — $allocs allocs/op exceeds baseline $BASELINE_E1_ALLOCS" >&2
+    exit 1
+fi
+echo "bench_regression: OK"
