@@ -18,6 +18,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -46,6 +48,8 @@ func run() error {
 		traceOut    = flag.String("trace-out", "", "write retained spans as Chrome trace_event JSON to this file at shutdown")
 		traceSample = flag.Float64("trace-sample", 0, "trace sampling rate in [0,1]; defaults to 1 when -trace-out is given")
 		httpAddr    = flag.String("http", "", "ops-plane HTTP address (/metrics, /healthz, /readyz, /layout, /trace, /flight, /debug/pprof); hostless addresses like :9120 bind loopback")
+		journal     = flag.String("journal", "", "durable move-journal file: moves become two-phase and crash-recoverable (PREPARE/INSTALL/COMMIT); replayed on start")
+		restore     = flag.String("restore", "", "checkpoint file to restore on start (if it exists); with -journal, recovery reconciles it against the journal")
 		peers       = cliutil.PeerFlags{}
 	)
 	flag.Var(peers, "peer", "peer core as name=host:port (repeatable)")
@@ -70,11 +74,33 @@ func run() error {
 	if err := demo.Register(reg); err != nil {
 		return err
 	}
-	c, addr, err := fargo.ListenTCP(*name, *listen, peers, reg, fargo.Options{TraceSampleRate: *traceSample})
+	c, addr, err := fargo.ListenTCP(*name, *listen, peers, reg, fargo.Options{
+		TraceSampleRate: *traceSample,
+		JournalPath:     *journal,
+	})
 	if err != nil {
 		return err
 	}
 	log.Printf("fargo-core %s listening on %s (%d peers seeded)", *name, addr, len(peers))
+	if *restore != "" {
+		switch n, err := c.RestoreFile(*restore); {
+		case err == nil:
+			log.Printf("fargo-core %s: restored %d complet(s) from %s", *name, n, *restore)
+		case errors.Is(err, os.ErrNotExist):
+			log.Printf("fargo-core %s: no checkpoint at %s (fresh start)", *name, *restore)
+		default:
+			_ = c.Shutdown(0)
+			return fmt.Errorf("restore %s: %w", *restore, err)
+		}
+	} else if *journal != "" {
+		// No checkpoint to restore, but a journal may still hold in-flight
+		// moves from a previous run; resolve them now that peers may answer.
+		if rep, err := c.Recover(context.Background()); err != nil {
+			log.Printf("fargo-core %s: recovery: %v", *name, err)
+		} else if !rep.Empty() {
+			log.Printf("fargo-core %s: recovery: %s", *name, rep)
+		}
+	}
 	if *httpAddr != "" {
 		// Started here rather than via Options.HTTPAddr so the bound
 		// address (which may use an ephemeral port) can be logged.

@@ -215,6 +215,21 @@ func DefaultBreakerPolicy() BreakerPolicy { return core.DefaultBreakerPolicy() }
 // when a call is refused locally because the peer's circuit breaker is open.
 var ErrPeerSuspected = core.ErrPeerSuspected
 
+// ErrMoveInFlight is returned (match with errors.Is) when a move is refused
+// because a travelling complet already has a journaled move whose outcome is
+// unknown; Core.Recover resolves it once the destination answers.
+var ErrMoveInFlight = core.ErrMoveInFlight
+
+// RecoveryReport summarizes one Core.Recover run over the durable move
+// journal (Options.JournalPath): moves completed or rolled back after the
+// fact, stale copies released, complets re-installed from journaled bundles,
+// and moves still unresolved.
+type RecoveryReport = core.RecoveryReport
+
+// MoveStep identifies a stage of the two-phase movement protocol
+// (Core.SetMoveStepHook's crash-injection points for chaos testing).
+type MoveStep = core.MoveStep
+
 // FaultyTransport wraps any transport with per-peer fault injection — drop,
 // delay, duplication, and hard partitions — for chaos and recovery testing.
 // See Universe.NewCoreFaulty and transport.NewFaulty.

@@ -1,0 +1,288 @@
+// Package chaos is the kill/restart harness for the crash-safe movement
+// protocol (DESIGN.md §13). It runs a cluster of journal-enabled cores on a
+// simulated network, crashes a chosen core at any step of the movement
+// protocol (via core.SetMoveStepHook), restarts it from its journal and
+// checkpoint, drives recovery, and asserts the protocol's convergence
+// invariant: after recovery, exactly one live copy of each moved complet
+// survives, reachable through tracker chains and the home-based location
+// service.
+//
+// The harness is deliberately testing-free (methods return errors) so both
+// the package's own tests and ad-hoc experiments can drive it.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"fargo/internal/core"
+	"fargo/internal/ids"
+	"fargo/internal/netsim"
+	"fargo/internal/registry"
+	"fargo/internal/transport"
+)
+
+// Ball is the complet type the harness moves around. Its state (a label and
+// a poke counter) verifies that crash recovery preserves complet state, not
+// just existence.
+type Ball struct {
+	Label string
+	Pokes int
+}
+
+// Init is the constructor invoked by the registry.
+func (b *Ball) Init(label string) { b.Label = label }
+
+// Poke mutates and returns the counter (used to prove the survivor is live).
+func (b *Ball) Poke() int { b.Pokes++; return b.Pokes }
+
+// Get returns the label.
+func (b *Ball) Get() string { return b.Label }
+
+// requestTimeout keeps crash scenarios fast: a bundle whose acknowledgement
+// died hits its unknown-outcome path after this budget, not after 30s.
+const requestTimeout = 2 * time.Second
+
+// Harness is one chaos cluster.
+type Harness struct {
+	Net *netsim.Network
+	// Dir holds each core's journal (<name>.journal) and checkpoint
+	// (<name>.ckpt).
+	Dir   string
+	Cores map[ids.CoreID]*core.Core
+	// Faults, when fault injection was requested via NewWithFaults, maps
+	// each core to its transport.Faulty wrapper.
+	Faults map[ids.CoreID]*transport.Faulty
+	seed   int64
+	faulty bool
+}
+
+// New builds a cluster of journal-enabled cores with home tracking on a
+// simulated network. dir must exist; seed drives the simulated network (and
+// the fault wrappers, when enabled).
+func New(dir string, seed int64, names ...string) (*Harness, error) {
+	return build(dir, seed, false, names...)
+}
+
+// NewWithFaults is New with every core's transport wrapped in a
+// transport.Faulty seeded deterministically, so tests can inject message
+// duplication and partitions on top of crashes.
+func NewWithFaults(dir string, seed int64, names ...string) (*Harness, error) {
+	return build(dir, seed, true, names...)
+}
+
+func build(dir string, seed int64, faulty bool, names ...string) (*Harness, error) {
+	h := &Harness{
+		Net:    netsim.NewNetwork(seed),
+		Dir:    dir,
+		Cores:  make(map[ids.CoreID]*core.Core, len(names)),
+		Faults: make(map[ids.CoreID]*transport.Faulty),
+		seed:   seed,
+		faulty: faulty,
+	}
+	for _, name := range names {
+		if _, err := h.startCore(ids.CoreID(name)); err != nil {
+			h.Close()
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// registryFor builds the anchor registry every core (re)starts with.
+func registryFor() (*registry.Registry, error) {
+	reg := registry.New()
+	if err := reg.Register("Ball", (*Ball)(nil)); err != nil {
+		return nil, err
+	}
+	return reg, nil
+}
+
+// startCore attaches a fresh core under the given name: new sim transport
+// (registering the host), journal replay from its journal file, home
+// tracking on.
+func (h *Harness) startCore(name ids.CoreID) (*core.Core, error) {
+	var tr transport.Transport
+	str, err := transport.NewSim(h.Net, name)
+	if err != nil {
+		return nil, err
+	}
+	tr = str
+	if h.faulty {
+		f := transport.NewFaulty(tr, h.seed+int64(len(name)))
+		h.Faults[name] = f
+		tr = f
+	}
+	reg, err := registryFor()
+	if err != nil {
+		return nil, err
+	}
+	c, err := core.New(tr, reg, core.Options{
+		RequestTimeout: requestTimeout,
+		Breaker:        core.BreakerPolicy{Disable: true},
+		JournalPath:    h.JournalPath(name),
+		Logf:           func(string, ...any) {}, // chaos runs are log-heavy by design
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.EnableHomeTracking()
+	h.Cores[name] = c
+	return c, nil
+}
+
+// JournalPath returns the core's journal file path.
+func (h *Harness) JournalPath(name ids.CoreID) string {
+	return filepath.Join(h.Dir, string(name)+".journal")
+}
+
+// CheckpointPath returns the core's checkpoint file path.
+func (h *Harness) CheckpointPath(name ids.CoreID) string {
+	return filepath.Join(h.Dir, string(name)+".ckpt")
+}
+
+// Core returns a running core by name.
+func (h *Harness) Core(name ids.CoreID) *core.Core { return h.Cores[name] }
+
+// Checkpoint persists the core's repository to its checkpoint file
+// (atomically — see core.CheckpointFile).
+func (h *Harness) Checkpoint(name ids.CoreID) error {
+	return h.Cores[name].CheckpointFile(h.CheckpointPath(name))
+}
+
+// ArmCrash installs a crash hook on the victim: at the given protocol step
+// (for the given root, or any root when root is zero) the victim's host is
+// cut off the network — in-flight messages and replies die — and the core
+// stops journaling, exactly as a killed process would. Returns a function
+// reporting whether the crash fired.
+func (h *Harness) ArmCrash(victim ids.CoreID, step core.MoveStep, root ids.CompletID) func() bool {
+	// The hook runs on core-internal goroutines (destination-side steps fire
+	// on the transport handler; duplicated deliveries can fire it twice).
+	var fired atomic.Bool
+	h.Cores[victim].SetMoveStepHook(func(s core.MoveStep, r ids.CompletID) bool {
+		if s != step || (root != (ids.CompletID{}) && r != root) {
+			return false
+		}
+		fired.Store(true)
+		_ = h.Net.StopHost(victim.String())
+		return true
+	})
+	return fired.Load
+}
+
+// Kill completes a crash: the victim's (already network-dead) core is torn
+// down abruptly, as the process exiting would. The journal file survives
+// with exactly the records that were fsync'd before the crash.
+func (h *Harness) Kill(victim ids.CoreID) error {
+	c := h.Cores[victim]
+	if c == nil {
+		return fmt.Errorf("chaos: no core %q", victim)
+	}
+	delete(h.Cores, victim)
+	return c.ShutdownAbrupt()
+}
+
+// Restart brings a crashed core back: fresh transport and core under the
+// same name, journal replayed at construction, checkpoint restored when one
+// exists (which runs recovery automatically), explicit Recover otherwise.
+func (h *Harness) Restart(name ids.CoreID) (*core.Core, error) {
+	c, err := h.startCore(name)
+	if err != nil {
+		return nil, err
+	}
+	if _, statErr := os.Stat(h.CheckpointPath(name)); statErr == nil {
+		if _, err := c.RestoreFile(h.CheckpointPath(name)); err != nil {
+			return nil, fmt.Errorf("chaos: restore %s: %w", name, err)
+		}
+	} else {
+		if _, err := c.Recover(context.Background()); err != nil {
+			return nil, fmt.Errorf("chaos: recover %s: %w", name, err)
+		}
+	}
+	return c, nil
+}
+
+// RecoverAll runs Recover on every live core (sources resolve their pending
+// moves against restarted destinations) and returns the merged report.
+func (h *Harness) RecoverAll(ctx context.Context) (core.RecoveryReport, error) {
+	var merged core.RecoveryReport
+	for _, c := range h.Cores {
+		rep, err := c.Recover(ctx)
+		if err != nil {
+			return merged, err
+		}
+		merged.Completed = append(merged.Completed, rep.Completed...)
+		merged.RolledBack = append(merged.RolledBack, rep.RolledBack...)
+		merged.Released = append(merged.Released, rep.Released...)
+		merged.Reinstalled = append(merged.Reinstalled, rep.Reinstalled...)
+		merged.Unresolved = append(merged.Unresolved, rep.Unresolved...)
+	}
+	return merged, nil
+}
+
+// LiveCopies lists the cores currently hosting the complet (the convergence
+// invariant wants exactly one).
+func (h *Harness) LiveCopies(id ids.CompletID) []ids.CoreID {
+	var out []ids.CoreID
+	for name, c := range h.Cores {
+		for _, info := range c.Complets() {
+			if info.ID == id {
+				out = append(out, name)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// AssertConverged checks the convergence invariant for one complet: exactly
+// one live copy exists; every core's tracker chain resolves to it; the
+// home-based location service agrees; and the survivor answers an
+// invocation. Returns the hosting core on success.
+func (h *Harness) AssertConverged(ctx context.Context, id ids.CompletID) (ids.CoreID, error) {
+	copies := h.LiveCopies(id)
+	if len(copies) != 1 {
+		return "", fmt.Errorf("chaos: %s has %d live copies (%v), want exactly 1", id, len(copies), copies)
+	}
+	owner := copies[0]
+	for name, c := range h.Cores {
+		loc, err := c.LocateCompletCtx(ctx, id)
+		if err != nil {
+			return "", fmt.Errorf("chaos: locate %s from %s: %w", id, name, err)
+		}
+		if loc != owner {
+			return "", fmt.Errorf("chaos: %s locates %s at %s, owner is %s", name, id, loc, owner)
+		}
+	}
+	// Home-based naming: the birth core's home table must agree (it is
+	// repaired by recovery, not just by happy-path moves).
+	if home := h.Cores[id.Birth]; home != nil {
+		loc, err := home.LocateViaHomeCtx(ctx, id)
+		if err != nil {
+			return "", fmt.Errorf("chaos: home locate %s: %w", id, err)
+		}
+		if loc != owner {
+			return "", fmt.Errorf("chaos: home of %s says %s, owner is %s", id, loc, owner)
+		}
+	}
+	// The survivor must be live, not a ghost entry: poke it.
+	ownerCore := h.Cores[owner]
+	r := ownerCore.NewRefTo(id, "Ball", owner)
+	if _, err := r.InvokeCtx(ctx, "Poke"); err != nil {
+		return "", fmt.Errorf("chaos: poke survivor %s at %s: %w", id, owner, err)
+	}
+	return owner, nil
+}
+
+// Close tears the cluster down.
+func (h *Harness) Close() {
+	for name, c := range h.Cores {
+		_ = c.ShutdownAbrupt()
+		delete(h.Cores, name)
+	}
+	h.Net.Close()
+}

@@ -16,6 +16,7 @@ import (
 
 	"fargo/internal/flight"
 	"fargo/internal/ids"
+	"fargo/internal/journal"
 	"fargo/internal/metrics"
 	"fargo/internal/ref"
 	"fargo/internal/registry"
@@ -145,6 +146,14 @@ type Options struct {
 	// Universe.NewCore) threads it into the transport constructor via
 	// transport.WithCodec.
 	Codec wire.Codec
+	// JournalPath, when non-empty, enables the durable move journal
+	// (internal/journal) at that file path: the movement protocol becomes
+	// two-phase (PREPARE/INSTALL/COMMIT, DESIGN.md §13) with every phase
+	// fsync'd before it takes effect, and the recovery manager replays the
+	// journal on construction so Recover can converge in-flight moves
+	// after a crash. Empty disables journaling; the epoch-idempotence of
+	// installs remains active either way.
+	JournalPath string
 }
 
 // Core is a FarGo runtime instance.
@@ -198,7 +207,69 @@ type Core struct {
 	movesInFlight int
 	shutdownHooks []func()
 
+	// Crash-safe movement state (recovery.go). jn is the durable move
+	// journal (nil = journaling disabled). moveEpochs mints source-side
+	// move epochs; recMu guards every protocol table below it. recMu is a
+	// leaf-ish lock: journal appends happen under it (ordering protocol
+	// bookkeeping with durability), but no other Core lock is taken while
+	// it is held.
+	jn         *journal.Journal
+	moveEpochs ids.Sequencer
+	recMu      sync.Mutex
+	// pendingOut tracks source-side moves between PREPARE and
+	// COMMIT/ABORT, by epoch; pendingByComplet indexes them by travelling
+	// complet for the ErrMoveInFlight check.
+	pendingOut       map[uint64]*pendingMove
+	pendingByComplet map[ids.CompletID]uint64
+	// installedIn caches the reply of every epoch-stamped bundle this core
+	// installed (idempotent re-install); installOrder bounds it FIFO.
+	// installing marks epochs mid-installation (duplicate deliveries wait
+	// on installCond for the first delivery's verdict); refusedIn records
+	// epochs durably refused to a recovery probe.
+	installedIn  map[moveKey]wire.MoveReply
+	installOrder []moveKey
+	installing   map[moveKey]bool
+	installCond  *sync.Cond
+	refusedIn    map[moveKey]struct{}
+	// installRecs / departedTo carry each complet's journal-final
+	// disposition: the INSTALL record that last delivered it here (payload
+	// included, for re-installation), or the destination its last COMMIT
+	// shipped it to. Both are built at construction-time replay AND kept
+	// current by the runtime protocol (journalInstall, settleMove), so a
+	// Recover run at any time sees the journal's actual final word and
+	// never resurrects a copy that has since committed away.
+	installRecs map[ids.CompletID]installRec
+	departedTo  map[ids.CompletID]ids.CoreID
+	recovered   uint64 // moves completed by recovery
+	rolledBack  uint64 // moves rolled back by recovery
+	// moveHook is the chaos-test crash hook (SetMoveStepHook); crashed is
+	// set when the hook simulates a crash, silencing further journaling.
+	moveHook func(MoveStep, ids.CompletID) bool
+	crashed  bool
+
 	wg sync.WaitGroup
+}
+
+// pendingMove is one source-side move between PREPARE and COMMIT/ABORT.
+type pendingMove struct {
+	epoch    uint64
+	dest     ids.CoreID
+	root     ids.CompletID
+	complets []ids.CompletID
+}
+
+// moveKey identifies one movement attempt globally.
+type moveKey struct {
+	source ids.CoreID
+	epoch  uint64
+}
+
+// installRec pairs a journaled INSTALL record with its position in the
+// journal, so Restore can order the arrival against a checkpoint's
+// JournalSeq: whichever was written later holds the complet's fresher state.
+type installRec struct {
+	rec *journal.Record
+	at  uint64 // 0-based index of the record in the journal
 }
 
 // New constructs a core on the given transport. The registry holds the anchor
@@ -230,7 +301,16 @@ func New(tr transport.Transport, reg *registry.Registry, opts Options) (*Core, e
 		breakers: make(map[ids.CoreID]*breaker),
 		flight:   flight.New(opts.FlightRecorderSize),
 		suspects: make(map[ids.CoreID]bool),
+
+		pendingOut:       make(map[uint64]*pendingMove),
+		pendingByComplet: make(map[ids.CompletID]uint64),
+		installedIn:      make(map[moveKey]wire.MoveReply),
+		installing:       make(map[moveKey]bool),
+		refusedIn:        make(map[moveKey]struct{}),
+		installRecs:      make(map[ids.CompletID]installRec),
+		departedTo:       make(map[ids.CompletID]ids.CoreID),
 	}
+	c.installCond = sync.NewCond(&c.recMu)
 	c.mon = newMonitor(c)
 	c.tracer = trace.New(c.id.String(), trace.Options{
 		SampleRate: opts.TraceSampleRate,
@@ -243,6 +323,14 @@ func New(tr transport.Transport, reg *registry.Registry, opts Options) (*Core, e
 	}
 	if ms, ok := tr.(transport.MetricsSetter); ok {
 		ms.SetMetrics(c.metrics)
+	}
+	if opts.JournalPath != "" {
+		jn, records, err := journal.Open(opts.JournalPath)
+		if err != nil {
+			return nil, fmt.Errorf("core: move journal: %w", err)
+		}
+		c.jn = jn
+		c.replayJournal(records)
 	}
 	tr.SetHandler(c.handle)
 	return c, nil
@@ -299,6 +387,7 @@ func (c *Core) Shutdown(grace time.Duration) error {
 	err := c.tr.Close()
 	c.wg.Wait()
 	c.runShutdownHooks()
+	c.closeJournal()
 	return err
 }
 
@@ -317,6 +406,7 @@ func (c *Core) ShutdownAbrupt() error {
 	err := c.tr.Close()
 	c.wg.Wait()
 	c.runShutdownHooks()
+	c.closeJournal()
 	return err
 }
 

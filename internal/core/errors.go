@@ -16,6 +16,13 @@ import (
 // the typed error.
 var ErrTooManyHops = fmt.Errorf("core: hop budget exceeded: %w", ErrTrackingLoop)
 
+// ErrMoveInFlight is returned when a move of a complet is requested while a
+// previous move of the same complet has not committed or aborted yet — either
+// still shipping, or stranded by an unreachable destination until the
+// recovery manager resolves its outcome. Matched via errors.Is through the
+// returned *InvokeError.
+var ErrMoveInFlight = errors.New("core: move already in flight")
+
 // Cause classifies why a context-first pipeline operation failed.
 type Cause int
 
@@ -132,6 +139,10 @@ func classifyCause(err error) Cause {
 		return CauseCanceled
 	case errors.Is(err, ErrTooManyHops):
 		return CauseTooManyHops
+	case errors.Is(err, ErrMoveInFlight):
+		// The owning core refused to start a second move; the request was
+		// served and answered, so this is a verdict, not unreachability.
+		return CauseRemote
 	}
 	var pe *peerError
 	if errors.As(err, &pe) {

@@ -26,6 +26,8 @@ func (c *Core) handle(ctx context.Context, env wire.Envelope) (wire.Kind, []byte
 		return c.handleMove(ctx, env)
 	case wire.KindMoveCmd:
 		return c.handleMoveCmd(ctx, env)
+	case wire.KindMoveProbe:
+		return c.handleMoveProbe(env)
 	case wire.KindClone:
 		return c.handleClone(ctx, env)
 	case wire.KindNew:

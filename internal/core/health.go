@@ -30,6 +30,17 @@ type Health struct {
 	MovesInFlight int
 	Complets      int
 	Peers         []wire.PeerHealth
+	// JournalEnabled reports whether the durable move journal is attached;
+	// JournalRecords counts its appended records. PendingMoves counts
+	// journaled moves awaiting resolution (PREPARE without COMMIT/ABORT) —
+	// a non-zero value blocks readiness, because the stranded complets
+	// refuse further moves until recovery resolves them. MovesRecovered and
+	// MovesRolledBack count the recovery manager's outcomes since start.
+	JournalEnabled  bool
+	JournalRecords  uint64
+	PendingMoves    int
+	MovesRecovered  uint64
+	MovesRolledBack uint64
 }
 
 // Flight returns the core's layout flight recorder. Callers may Record
@@ -134,10 +145,11 @@ func (c *Core) Health() Health {
 		}
 		h.Peers = append(h.Peers, ph)
 	}
+	h.JournalEnabled, h.JournalRecords, h.PendingMoves, h.MovesRecovered, h.MovesRolledBack = c.recoverySnapshot()
 	monitored := len(suspects) > 0 // at least one peer currently suspect
 	allSuspect := monitored && len(suspects) >= len(peers) && len(peers) > 0
 	h.Live = !closed && !allSuspect
-	h.Ready = !closed && !anySuspect && !anyOpen && moves == 0
+	h.Ready = !closed && !anySuspect && !anyOpen && moves == 0 && h.PendingMoves == 0
 	return h
 }
 
@@ -145,13 +157,18 @@ func (c *Core) Health() Health {
 func (c *Core) healthReply() wire.HealthQueryReply {
 	h := c.Health()
 	return wire.HealthQueryReply{
-		Core:          h.Core,
-		Live:          h.Live,
-		Ready:         h.Ready,
-		Closed:        h.Closed,
-		MovesInFlight: h.MovesInFlight,
-		Complets:      h.Complets,
-		Peers:         h.Peers,
+		Core:            h.Core,
+		Live:            h.Live,
+		Ready:           h.Ready,
+		Closed:          h.Closed,
+		MovesInFlight:   h.MovesInFlight,
+		Complets:        h.Complets,
+		Peers:           h.Peers,
+		JournalEnabled:  h.JournalEnabled,
+		JournalRecords:  h.JournalRecords,
+		PendingMoves:    h.PendingMoves,
+		MovesRecovered:  h.MovesRecovered,
+		MovesRolledBack: h.MovesRolledBack,
 	}
 }
 

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"strings"
 	"time"
 
 	"fargo/internal/flight"
 	"fargo/internal/ids"
+	"fargo/internal/journal"
 	"fargo/internal/ref"
 	"fargo/internal/wire"
 )
@@ -226,6 +228,11 @@ func (c *Core) moveCommand(ctx context.Context, target ids.CompletID, hint ids.C
 			return err
 		}
 		if reply.Err != "" {
+			if strings.Contains(reply.Err, ErrMoveInFlight.Error()) {
+				// Resurface the owner's sentinel across the wire so
+				// errors.Is(err, ErrMoveInFlight) holds for routed moves too.
+				return fmt.Errorf("core: move %s: %w", target, ErrMoveInFlight)
+			}
 			return &peerError{msg: fmt.Sprintf("core: move %s: %s", target, reply.Err)}
 		}
 		// Refresh our tracker toward the destination (shorten refuses
@@ -447,16 +454,38 @@ func (c *Core) moveLocal(ctx context.Context, rootID ids.CompletID, dest ids.Cor
 
 	// One inter-core message for the whole bundle (§3.3). The remaining
 	// budget rides the envelope, so the receiver can refuse to start an
-	// installation it cannot finish in time.
+	// installation it cannot finish in time. The bundle carries a move
+	// epoch: the destination journals and installs at most once per epoch,
+	// and the two-phase records below (PREPARE before shipping, COMMIT after
+	// acknowledgement — DESIGN.md §13) let a crashed source converge to
+	// exactly one live copy on recovery.
+	pm := &pendingMove{epoch: c.moveEpochs.Next(), dest: dest, root: rootID}
+	for _, e := range entries {
+		if !e.Dup {
+			pm.complets = append(pm.complets, e.ID)
+		}
+	}
 	payload, err := wire.EncodePayload(wire.MoveRequest{
 		Entries:            entries,
 		ContinuationMethod: contMethod,
 		ContinuationArgs:   contArgs,
 		Names:              names,
 		PreDup:             preDup,
+		Epoch:              pm.epoch,
 	})
 	if err != nil {
 		return fail(err)
+	}
+	if c.stepCrash(StepBeforePrepare, rootID) {
+		return fail(errSimulatedCrash)
+	}
+	if err := c.prepareMove(pm); err != nil {
+		return fail(fmt.Errorf("core: move %s to %s: %w", rootID, dest, err))
+	}
+	if c.stepCrash(StepAfterPrepare, rootID) {
+		// A crash between PREPARE and the shipment leaves the move pending;
+		// recovery probes the destination and rolls it back.
+		return fail(errSimulatedCrash)
 	}
 	if bsp != nil {
 		bsp.SetAttr("dest", dest.String())
@@ -464,15 +493,63 @@ func (c *Core) moveLocal(ctx context.Context, rootID ids.CompletID, dest ids.Cor
 		bsp.SetAttr("bytes", strconv.Itoa(len(payload)))
 	}
 	env, err := c.requestOpts(ctx, dest, wire.KindMove, payload, opts)
-	if err != nil {
-		return fail(fmt.Errorf("core: move bundle to %s: %w", dest, err))
-	}
 	var reply wire.MoveReply
-	if err := wire.DecodePayload(env.Payload, &reply); err != nil {
-		return fail(err)
+	if err == nil {
+		if derr := wire.DecodePayload(env.Payload, &reply); derr != nil {
+			err = derr
+		}
 	}
-	if reply.Err != "" {
+	if err != nil {
+		if ctx.Err() != nil {
+			// The caller's budget died mid-shipment; it cannot wait for an
+			// outcome probe. Resolve in the background: the move stays
+			// pending (re-moves fail with ErrMoveInFlight) until the probe
+			// settles it — commit-and-release if the bundle installed,
+			// rollback if the destination durably refuses.
+			c.resolveAsync(pm)
+			return fail(fmt.Errorf("core: move bundle to %s: %w", dest, err))
+		}
+		// The outcome is unknown — the bundle (or its acknowledgement) was
+		// lost. Ask the destination directly before giving up.
+		committed, stillPending := c.resolveUnknownOutcome(dest, pm.epoch, rootID)
+		switch {
+		case committed:
+			// It installed; proceed exactly as if the ack had arrived.
+			if _, serr := c.settleMove(pm.epoch, journal.OpCommit); serr != nil {
+				return fail(fmt.Errorf("core: move %s to %s: commit: %w", rootID, dest, serr))
+			}
+		case stillPending:
+			// Unresolvable right now: the move stays pending (further moves
+			// of these complets fail with ErrMoveInFlight) until Recover
+			// reaches the destination.
+			return fail(fmt.Errorf("core: move bundle to %s: %w (outcome unknown; move left pending for recovery)", dest, err))
+		default:
+			// The destination durably refused the epoch: safe rollback.
+			if _, serr := c.settleMove(pm.epoch, journal.OpAbort); serr != nil {
+				return fail(fmt.Errorf("core: move %s to %s: abort: %w", rootID, dest, serr))
+			}
+			return fail(fmt.Errorf("core: move bundle to %s: %w", dest, err))
+		}
+	} else if reply.Err != "" {
+		// The destination answered with a verdict: it did not install.
+		if _, serr := c.settleMove(pm.epoch, journal.OpAbort); serr != nil {
+			return fail(fmt.Errorf("core: move %s to %s: abort: %w", rootID, dest, serr))
+		}
 		return fail(&peerError{msg: fmt.Sprintf("core: move bundle to %s: %s", dest, reply.Err)})
+	} else {
+		if c.stepCrash(StepAfterSend, rootID) {
+			// Crash between the ack and COMMIT: both sides hold a copy until
+			// recovery probes the destination and completes the move.
+			return fail(errSimulatedCrash)
+		}
+		if _, serr := c.settleMove(pm.epoch, journal.OpCommit); serr != nil {
+			return fail(fmt.Errorf("core: move %s to %s: commit: %w", rootID, dest, serr))
+		}
+	}
+	if c.stepCrash(StepAfterCommit, rootID) {
+		// Crash after COMMIT but before release: replaying the journal makes
+		// recovery release the stale local copies.
+		return fail(errSimulatedCrash)
 	}
 
 	// Success: flip trackers, mark entries gone, fire callbacks/events.
@@ -672,7 +749,7 @@ func (c *Core) handleMove(ctx context.Context, env wire.Envelope) (wire.Kind, []
 		reply.Err = fmt.Sprintf("bundle refused: %v", err)
 		sp.SetError(err)
 	} else {
-		reply = c.installBundle(env.From, req)
+		reply = c.installBundle(env.From, req, env.Payload)
 		if reply.Err != "" {
 			sp.SetAttr("error", reply.Err)
 		}
@@ -684,7 +761,26 @@ func (c *Core) handleMove(ctx context.Context, env wire.Envelope) (wire.Kind, []
 	return wire.KindMoveReply, out, nil
 }
 
-func (c *Core) installBundle(from ids.CoreID, req wire.MoveRequest) wire.MoveReply {
+// installBundle installs an arriving bundle. raw is the encoded MoveRequest
+// exactly as it travelled (journaled with the INSTALL record so recovery can
+// re-install after a crash). Epoch-stamped bundles install at most once: a
+// duplicate delivery gets the original reply, a delivery racing a recovery
+// probe's durable refusal is rejected.
+func (c *Core) installBundle(from ids.CoreID, req wire.MoveRequest, raw []byte) wire.MoveReply {
+	if req.Epoch != 0 {
+		key := moveKey{source: from, epoch: req.Epoch}
+		cached, claim := c.beginInstall(key)
+		if claim != claimRun {
+			return cached
+		}
+		reply := c.installBundleLocked(from, req, raw)
+		c.finishInstall(key, reply)
+		return reply
+	}
+	return c.installBundleLocked(from, req, raw)
+}
+
+func (c *Core) installBundleLocked(from ids.CoreID, req wire.MoveRequest, raw []byte) wire.MoveReply {
 	// Admission control (resource allocation, §7 future work): refuse the
 	// whole bundle when it does not fit; the sender keeps the complets.
 	if err := c.admit(len(req.Entries)); err != nil {
@@ -752,6 +848,30 @@ func (c *Core) installBundle(from ids.CoreID, req wire.MoveRequest) wire.MoveRep
 			}
 		}
 		c.bindDecoded(arrived[i].refs)
+	}
+
+	// Durability point (DESIGN.md §13): journal the INSTALL record — raw
+	// bundle included — before any complet activates, so a crash from here
+	// on can re-install the arrivals even from a checkpoint that predates
+	// them. A journal failure refuses the whole bundle; the sender keeps
+	// the complets.
+	if req.Epoch != 0 {
+		moved := make([]ids.CompletID, 0, len(arrived))
+		for _, a := range arrived {
+			if !a.dup {
+				moved = append(moved, a.id)
+			}
+		}
+		if err := c.journalInstall(from, req.Epoch, moved, raw); err != nil {
+			return wire.MoveReply{Err: fmt.Sprintf("journal install: %v", err)}
+		}
+		if len(moved) > 0 {
+			// Chaos crash point: INSTALL is durable, activation and the
+			// acknowledgement are not. The harness cuts the network here;
+			// installation proceeds (the reply dies in flight) and the
+			// restarted core re-installs from the journal.
+			c.stepCrash(StepAfterInstall, moved[0])
+		}
 	}
 
 	// Install complets and trackers.

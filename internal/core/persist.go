@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"fargo/internal/ids"
 	"fargo/internal/ref"
@@ -41,6 +42,12 @@ type checkpointFile struct {
 	MaxSeq  uint64
 	Entries []checkpointEntry
 	Names   map[string]ref.Descriptor
+	// JournalSeq is the move journal's record count when the checkpoint was
+	// taken (0 with journaling off). Restore uses it to order the
+	// checkpoint against journaled INSTALL records: an arrival journaled at
+	// or after this count is newer than the checkpoint, so the journal's
+	// payload — not the checkpoint entry — re-creates the complet.
+	JournalSeq uint64
 }
 
 // Checkpoint serializes all hosted complets and name bindings to w. Each
@@ -71,6 +78,9 @@ func (c *Core) Checkpoint(w io.Writer) error {
 		Magic: checkpointMagic,
 		Core:  c.id,
 		Names: names,
+	}
+	if enabled, records, _, _, _ := c.recoverySnapshot(); enabled {
+		file.JournalSeq = records
 	}
 	for _, e := range entries {
 		payload, err := c.snapshotComplet(e)
@@ -125,17 +135,41 @@ type snapshotBox struct {
 	Anchor any
 }
 
-// CheckpointFile checkpoints to a file path.
+// CheckpointFile checkpoints to a file path, atomically: the checkpoint is
+// written to a temp file in the same directory, fsync'd, and renamed over the
+// target. A crash mid-checkpoint therefore leaves the previous checkpoint
+// intact — there is never a moment where path holds a torn file.
 func (c *Core) CheckpointFile(path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("core: checkpoint file: %w", err)
 	}
-	defer f.Close()
-	if err := c.Checkpoint(f); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Sync()
+	if err := c.Checkpoint(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("core: sync checkpoint: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		return fail(fmt.Errorf("core: close checkpoint: %w", err))
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: publish checkpoint: %w", err)
+	}
+	// Persist the rename itself (the directory entry).
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // Restore installs the complets and names of a checkpoint into this core.
@@ -171,7 +205,21 @@ func (c *Core) Restore(r io.Reader) (int, error) {
 	pending := make([]restoredComplet, 0, len(file.Entries))
 	for _, entry := range file.Entries {
 		if _, exists := c.lookup(entry.ID); exists {
+			// A recovery probe (or the runtime protocol) may have installed
+			// this complet from a journaled INSTALL record before the
+			// checkpoint was restored (recovery.go); that live copy stays,
+			// the checkpoint entry is skipped. Anything else hosted under
+			// the same ID is a real conflict.
+			if c.hasInstallRec(entry.ID) {
+				continue
+			}
 			return 0, fmt.Errorf("core: restore: complet %s already hosted", entry.ID)
+		}
+		// The complet is absent, but if the journal recorded its arrival
+		// AFTER this checkpoint was taken, the journaled bundle is the
+		// fresher state: skip the entry and let Recover re-install it.
+		if c.installRecSupersedes(entry.ID, file.JournalSeq) {
+			continue
 		}
 		anchor, decoded, err := decodeSnapshot(entry.Payload)
 		if err != nil {
@@ -202,6 +250,21 @@ func (c *Core) Restore(r io.Reader) (int, error) {
 	for name, nr := range names {
 		nr.Bind(c.binder())
 		c.setLocalName(name, nr)
+	}
+
+	// With a move journal attached, reconcile the restored repository with
+	// the journal's more recent word — re-install arrivals the checkpoint
+	// missed, release copies whose move already committed, and try to
+	// resolve moves that were in flight when the core died. Unresolved moves
+	// (destination unreachable) stay pending; a later Recover call can
+	// finish them.
+	if c.jn != nil {
+		rep, err := c.Recover(context.Background())
+		if err != nil {
+			c.opts.Logf("fargo core %s: post-restore recovery: %v", c.id, err)
+		} else if !rep.Empty() {
+			c.opts.Logf("fargo core %s: post-restore recovery: %s", c.id, rep)
+		}
 	}
 	return len(pending), nil
 }

@@ -77,7 +77,7 @@ func idempotentKind(kind wire.Kind) bool {
 	case wire.KindLocate, wire.KindNameLookup, wire.KindCoreInfo,
 		wire.KindProfileQuery, wire.KindPing, wire.KindHomeQuery,
 		wire.KindStatsQuery, wire.KindTraceQuery,
-		wire.KindHealthQuery, wire.KindFlightQuery:
+		wire.KindHealthQuery, wire.KindFlightQuery, wire.KindMoveProbe:
 		return true
 	}
 	return false
@@ -154,11 +154,13 @@ func (c *Core) request(ctx context.Context, to ids.CoreID, kind wire.Kind, paylo
 // kinds get exactly one attempt.
 func (c *Core) requestOpts(ctx context.Context, to ids.CoreID, kind wire.Kind, payload []byte, opts ref.CallOptions) (wire.Envelope, error) {
 	// Circuit breaker: fail fast when the peer is suspected down. Pings are
-	// exempt — they are the probes that close the circuit again. The breaker
-	// is fed the operation's final outcome (below), not per-attempt results,
-	// so one flapping-link operation that retries its way to success counts
-	// as a single success.
-	if kind != wire.KindPing {
+	// exempt — they are the probes that close the circuit again — and so are
+	// move probes: recovery must be able to ask a just-restarted destination
+	// for a move's outcome while the breaker still remembers it as down. The
+	// breaker is fed the operation's final outcome (below), not per-attempt
+	// results, so one flapping-link operation that retries its way to success
+	// counts as a single success.
+	if kind != wire.KindPing && kind != wire.KindMoveProbe {
 		if err := c.breakerAllow(to); err != nil {
 			return wire.Envelope{}, err
 		}

@@ -46,6 +46,14 @@ const (
 	// KindSubscription records one monitoring-event delivery to a
 	// subscriber (Detail is the event name).
 	KindSubscription = "subscription"
+	// KindMoveRecovered records a move the recovery manager completed after
+	// a crash: the destination had installed, so the local copy was
+	// released and trackers repointed (Peer is the destination).
+	KindMoveRecovered = "moveRecovered"
+	// KindMoveRolledBack records a move the recovery manager rolled back:
+	// the destination durably refused the epoch, so the local copy stays
+	// authoritative.
+	KindMoveRolledBack = "moveRolledBack"
 )
 
 // Event is one recorded occurrence.

@@ -1,0 +1,274 @@
+// Package journal implements the per-core write-ahead move journal: an
+// append-only, fsync'd log of movement-protocol records that makes complet
+// relocation crash-safe. The source core journals PREPARE before shipping a
+// bundle and COMMIT (or ABORT) after the outcome is known; the destination
+// journals INSTALL — carrying the full bundle payload — before activating the
+// arrivals, and REFUSE when it promises a recovering source that an epoch
+// will never install. Replaying the journal on restart reconstructs exactly
+// which moves were in flight, so the recovery manager (internal/core) can
+// converge every complet back to one live copy.
+//
+// On-disk format: a fixed magic header followed by length-prefixed records —
+// 4-byte big-endian body length, 4-byte IEEE CRC32 of the body, then the
+// gob-encoded Record (internal/wire encoding). A torn or corrupt tail — the
+// expected state after a crash mid-append — is detected by the length/CRC
+// and replay stops cleanly at the last valid record; Open then truncates the
+// tail so subsequent appends extend a well-formed log.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"fargo/internal/ids"
+	"fargo/internal/wire"
+)
+
+// Magic identifies a fargo move journal.
+const Magic = "fargo-movejournal-1\n"
+
+// MaxRecord bounds one record body, guarding replay against a corrupt length
+// prefix claiming gigabytes. Matches the wire layer's frame bound.
+const MaxRecord = 256 << 20
+
+// ErrNotJournal is returned when a file does not start with the journal
+// magic.
+var ErrNotJournal = errors.New("journal: bad magic")
+
+// Op discriminates journal records — the states of the two-phase movement
+// protocol (DESIGN.md §13).
+type Op uint8
+
+const (
+	// OpPrepare: source side, appended before the bundle ships. The move
+	// (Epoch, Dest, Complets) is now in flight until a COMMIT or ABORT with
+	// the same epoch.
+	OpPrepare Op = iota + 1
+	// OpCommit: source side, appended after the destination acknowledged
+	// installation. The complets now live at Dest.
+	OpCommit
+	// OpAbort: source side, appended when the move definitively did not
+	// install (destination refused, or a recovery probe said so). The
+	// complets stay here.
+	OpAbort
+	// OpInstall: destination side, appended before the arrivals activate.
+	// Payload carries the raw encoded wire.MoveRequest so recovery can
+	// re-install the complets even when the last checkpoint predates the
+	// arrival.
+	OpInstall
+	// OpRefuse: destination side, a durable promise that the (Source,
+	// Epoch) move will never install here — made when a recovery probe asks
+	// about an epoch that has not installed, so a late bundle cannot
+	// resurrect a move the source already rolled back.
+	OpRefuse
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpPrepare:
+		return "prepare"
+	case OpCommit:
+		return "commit"
+	case OpAbort:
+		return "abort"
+	case OpInstall:
+		return "install"
+	case OpRefuse:
+		return "refuse"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Record is one journal entry.
+type Record struct {
+	Op Op
+	// Epoch is the move epoch, minted by the source core; (Source, Epoch)
+	// identifies one movement attempt globally.
+	Epoch uint64
+	// Source is the core that initiated the move (the journal owner for
+	// source-side records, the peer for destination-side ones).
+	Source ids.CoreID
+	// Dest is the destination core (source-side records).
+	Dest ids.CoreID
+	// Root is the complet whose move was requested.
+	Root ids.CompletID
+	// Complets lists every complet travelling in the bundle (the root plus
+	// pulled co-movers; duplicates are excluded — copies get fresh
+	// identities and are never the last live copy).
+	Complets []ids.CompletID
+	// Payload is the raw encoded wire.MoveRequest (OpInstall only).
+	Payload []byte
+	// UnixNanos is the append time.
+	UnixNanos int64
+}
+
+// Journal is an open, appendable move journal. Safe for concurrent use.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	n    uint64 // records in the file (replayed + appended)
+}
+
+// Open opens (creating if absent) the journal at path, replays every valid
+// record, truncates any torn tail, and returns the journal positioned for
+// appending along with the replayed records.
+func Open(path string) (*Journal, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: open: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: stat: %w", err)
+	}
+	if info.Size() == 0 {
+		if _, err := f.WriteString(Magic); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: write magic: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: sync magic: %w", err)
+		}
+		return &Journal{f: f, path: path}, nil, nil
+	}
+
+	records, valid, err := replay(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// A crash mid-append leaves a torn tail; cut it so new appends extend a
+	// well-formed log.
+	if valid < info.Size() {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: seek: %w", err)
+	}
+	return &Journal{f: f, path: path, n: uint64(len(records))}, records, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Records reports how many records the journal holds.
+func (j *Journal) Records() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Append durably appends one record: the frame is written and fsync'd before
+// Append returns, so a record the caller has seen succeed survives a crash.
+// A zero UnixNanos is stamped with the current time.
+func (j *Journal) Append(rec Record) error {
+	if j == nil {
+		return nil
+	}
+	if rec.UnixNanos == 0 {
+		rec.UnixNanos = time.Now().UnixNano()
+	}
+	body, err := wire.EncodePayload(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encode %s record: %w", rec.Op, err)
+	}
+	frame := make([]byte, 8+len(body))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body))
+	copy(frame[8:], body)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("journal: closed")
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("journal: append %s record: %w", rec.Op, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync %s record: %w", rec.Op, err)
+	}
+	j.n++
+	return nil
+}
+
+// Close closes the journal file. Further appends fail.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// Replay decodes every valid record from r. A truncated or corrupt tail ends
+// the replay cleanly — the records before it are returned with a nil error.
+// Only a missing/incorrect magic header is an error.
+func Replay(r io.Reader) ([]Record, error) {
+	records, _, err := replay(r)
+	return records, err
+}
+
+// replay reads records from r, returning them along with the byte offset of
+// the end of the last valid record.
+func replay(r io.Reader) ([]Record, int64, error) {
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrNotJournal, err)
+	}
+	if string(magic) != Magic {
+		return nil, 0, ErrNotJournal
+	}
+	var (
+		records []Record
+		valid   = int64(len(Magic))
+		header  [8]byte
+	)
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			return records, valid, nil // clean end or torn header
+		}
+		size := binary.BigEndian.Uint32(header[0:4])
+		sum := binary.BigEndian.Uint32(header[4:8])
+		if size == 0 || size > MaxRecord {
+			return records, valid, nil // corrupt length
+		}
+		body := make([]byte, size)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return records, valid, nil // torn body
+		}
+		if crc32.ChecksumIEEE(body) != sum {
+			return records, valid, nil // corrupt body
+		}
+		var rec Record
+		if err := wire.DecodePayload(body, &rec); err != nil {
+			return records, valid, nil // corrupt encoding with a lucky CRC
+		}
+		records = append(records, rec)
+		valid += int64(8 + len(body))
+	}
+}

@@ -137,6 +137,14 @@ type healthBody struct {
 	MovesInFlight int              `json:"moves_in_flight"`
 	Complets      int              `json:"complets"`
 	Peers         []peerHealthBody `json:"peers,omitempty"`
+	// Journal/recovery state (crash-safe moves, DESIGN.md §13). A non-zero
+	// pending_moves means journaled moves await resolution and blocks
+	// readiness.
+	JournalEnabled  bool   `json:"journal_enabled"`
+	JournalRecords  uint64 `json:"journal_records"`
+	PendingMoves    int    `json:"pending_moves"`
+	MovesRecovered  uint64 `json:"moves_recovered"`
+	MovesRolledBack uint64 `json:"moves_rolled_back"`
 }
 
 type peerHealthBody struct {
@@ -148,12 +156,17 @@ type peerHealthBody struct {
 func (s *Server) healthBody() (healthBody, core.Health) {
 	h := s.c.Health()
 	body := healthBody{
-		Core:          h.Core.String(),
-		Live:          h.Live,
-		Ready:         h.Ready,
-		Closed:        h.Closed,
-		MovesInFlight: h.MovesInFlight,
-		Complets:      h.Complets,
+		Core:            h.Core.String(),
+		Live:            h.Live,
+		Ready:           h.Ready,
+		Closed:          h.Closed,
+		MovesInFlight:   h.MovesInFlight,
+		Complets:        h.Complets,
+		JournalEnabled:  h.JournalEnabled,
+		JournalRecords:  h.JournalRecords,
+		PendingMoves:    h.PendingMoves,
+		MovesRecovered:  h.MovesRecovered,
+		MovesRolledBack: h.MovesRolledBack,
 	}
 	for _, p := range h.Peers {
 		body.Peers = append(body.Peers, peerHealthBody{

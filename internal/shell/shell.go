@@ -44,6 +44,7 @@ const Help = `commands:
   profile <core> <svc> [args...] instant profiling measurement
   stats <core>                   metrics snapshot (counters, gauges, latency histograms)
   health <core>                  liveness/readiness verdict and per-peer breaker state
+  recovery <core>                move-journal and crash-recovery state (pending moves)
   flight <core> [n]              flight recorder ring (newest n; default all retained)
   trace <core>                   list recent traces retained at a core
   trace <core> <id> [core...]    span tree of one trace, merged across the given cores
@@ -229,6 +230,24 @@ func (s *Shell) Exec(line string) error {
 				suspect = " SUSPECT"
 			}
 			fmt.Fprintf(s.out, "  peer %-12s breaker=%s%s\n", p.Core, p.Breaker, suspect)
+		}
+		return nil
+	case "recovery":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: recovery <core>")
+		}
+		reply, err := s.c.HealthAt(ids.CoreID(args[0]))
+		if err != nil {
+			return err
+		}
+		journal := "off"
+		if reply.JournalEnabled {
+			journal = fmt.Sprintf("on (%d records)", reply.JournalRecords)
+		}
+		fmt.Fprintf(s.out, "core %s: journal=%s pending-moves=%d recovered=%d rolled-back=%d\n",
+			reply.Core, journal, reply.PendingMoves, reply.MovesRecovered, reply.MovesRolledBack)
+		if reply.PendingMoves > 0 {
+			fmt.Fprintf(s.out, "  %d journaled move(s) await resolution; the core is not ready until they resolve\n", reply.PendingMoves)
 		}
 		return nil
 	case "flight":

@@ -226,12 +226,14 @@ func TestShellHealthAndFlight(t *testing.T) {
 		"new worker Message hi",
 		"move worker/#1 other",
 		"health worker",
+		"recovery worker",
 		"flight worker",
 		"flight worker 1",
 	)
 	text := out.String()
 	for _, want := range []string{
 		"core worker: live=ok ready=ok",
+		"core worker: journal=off pending-moves=0",
 		"event(s) recorded",
 		"move", // the forced move must appear in worker's flight ring
 		"peer=other",
@@ -242,7 +244,7 @@ func TestShellHealthAndFlight(t *testing.T) {
 	}
 
 	// Bad arguments are reported, not executed.
-	for _, line := range []string{"health", "flight", "flight worker -1", "flight worker x"} {
+	for _, line := range []string{"health", "recovery", "flight", "flight worker -1", "flight worker x"} {
 		if err := s.Exec(line); err == nil {
 			t.Errorf("Exec(%q): expected error", line)
 		}

@@ -67,6 +67,11 @@ const (
 	// the dialer (payload: the transport's hello struct). New kinds append
 	// here — the enum's values are wire format.
 	KindHello
+	// KindMoveProbe asks a move destination whether a given move epoch
+	// installed (crash recovery, DESIGN.md §13). A destination that answers
+	// "not installed" durably refuses the epoch, so the verdict is final.
+	KindMoveProbe
+	KindMoveProbeReply
 )
 
 // ErrorReply is the payload of a KindError envelope: a request failed in the
@@ -101,7 +106,8 @@ func (k Kind) String() string {
 		KindTraceQuery: "trace-query", KindTraceQueryReply: "trace-query-reply",
 		KindHealthQuery: "health-query", KindHealthQueryReply: "health-query-reply",
 		KindFlightQuery: "flight-query", KindFlightQueryReply: "flight-query-reply",
-		KindHello: "hello",
+		KindHello:     "hello",
+		KindMoveProbe: "move-probe", KindMoveProbeReply: "move-probe-reply",
 	}
 	if s, ok := names[k]; ok {
 		return s
@@ -198,6 +204,12 @@ type MoveRequest struct {
 	// (remote duplicate targets cloned by their owners) to the IDs of the
 	// installed copies, so Dup-flagged references bind to them.
 	PreDup map[ids.CompletID]ids.CompletID
+	// Epoch is the move epoch minted by the source: (sender, Epoch)
+	// identifies this movement attempt, making duplicate installs no-ops
+	// and letting a recovering source probe for the outcome. Zero for
+	// clone-only bundles (copies get fresh identities; replays are
+	// harmless there) and bundles from cores predating the move journal.
+	Epoch uint64
 }
 
 // MoveCommand asks the core owning Target to move it to Dest. Like
@@ -271,6 +283,33 @@ type MoveReply struct {
 	// DupMap maps original complet IDs to the fresh IDs assigned to their
 	// copies.
 	DupMap map[ids.CompletID]ids.CompletID
+	Err    string
+}
+
+// MoveProbe asks a destination core whether the (Source, Epoch) move
+// installed. The recovery manager sends it to resolve an in-flight PREPARE
+// after a crash or a lost acknowledgement (DESIGN.md §13).
+type MoveProbe struct {
+	// Source is the core that initiated the move (the prober, or the core
+	// a restarted prober recovered the journal of).
+	Source ids.CoreID
+	Epoch  uint64
+	// Root is the moved complet, for diagnostics and the Hosted answer.
+	Root ids.CompletID
+}
+
+// MoveProbeReply answers a MoveProbe. Exactly one of Installed /
+// InProgress / neither holds: Installed means the epoch's bundle activated
+// here (the source must commit); InProgress means installation is running
+// right now (the source must ask again); otherwise the destination has
+// durably refused the epoch — it will never install — and the source must
+// roll back.
+type MoveProbeReply struct {
+	Installed  bool
+	InProgress bool
+	// Hosted reports whether Root currently lives at the answering core
+	// (diagnostics; Installed is the protocol verdict).
+	Hosted bool
 	Err    string
 }
 
@@ -515,7 +554,18 @@ type HealthQueryReply struct {
 	MovesInFlight int
 	Complets      int
 	Peers         []PeerHealth
-	Err           string
+	// JournalEnabled reports whether the core runs with a durable move
+	// journal; JournalRecords counts its records.
+	JournalEnabled bool
+	JournalRecords uint64
+	// PendingMoves counts journaled moves whose outcome is still unknown
+	// (PREPARE without COMMIT/ABORT); a core is not Ready while any remain.
+	PendingMoves int
+	// MovesRecovered / MovesRolledBack count moves the recovery manager
+	// completed or rolled back since the core started.
+	MovesRecovered  uint64
+	MovesRolledBack uint64
+	Err             string
 }
 
 // FlightQuery asks a core for its flight-recorder ring (Max 0 = everything

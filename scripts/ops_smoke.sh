@@ -19,8 +19,10 @@ trap cleanup EXIT
 go build -o "$bin" ./cmd/fargo-core
 
 # -http 127.0.0.1:0 picks a free loopback port; the daemon logs the bound
-# address ("ops plane on http://127.0.0.1:NNNNN").
-"$bin" -name smoke -listen 127.0.0.1:0 -http 127.0.0.1:0 >"$log" 2>&1 &
+# address ("ops plane on http://127.0.0.1:NNNNN"). -journal exercises the
+# crash-safe movement protocol's journal plumbing end to end.
+"$bin" -name smoke -listen 127.0.0.1:0 -http 127.0.0.1:0 \
+    -journal "$workdir/smoke.journal" >"$log" 2>&1 &
 pid=$!
 
 base=""
@@ -74,5 +76,18 @@ curl -sS "$base/healthz" | grep -q '"live": true' || {
     echo "ops-smoke: /healthz does not report live" >&2; exit 1; }
 curl -sS "$base/flight" | grep -q '"events"' || {
     echo "ops-smoke: /flight has no events field" >&2; exit 1; }
+
+# The move journal must be attached (we started with -journal), with no moves
+# stuck pending — a fresh core with unresolved journaled moves would not be
+# safe to drive.
+health=$(curl -sS "$base/healthz")
+echo "$health" | grep -q '"journal_enabled": true' || {
+    echo "ops-smoke: /healthz does not report the move journal enabled" >&2
+    echo "$health" >&2; exit 1; }
+echo "$health" | grep -q '"pending_moves": 0' || {
+    echo "ops-smoke: /healthz reports journaled moves stuck pending" >&2
+    echo "$health" >&2; exit 1; }
+[ -f "$workdir/smoke.journal" ] || {
+    echo "ops-smoke: journal file was never created" >&2; exit 1; }
 
 echo "ops-smoke: all endpoints healthy"
