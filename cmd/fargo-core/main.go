@@ -50,6 +50,11 @@ func run() error {
 		httpAddr    = flag.String("http", "", "ops-plane HTTP address (/metrics, /healthz, /readyz, /layout, /trace, /flight, /debug/pprof); hostless addresses like :9120 bind loopback")
 		journal     = flag.String("journal", "", "durable move-journal file: moves become two-phase and crash-recoverable (PREPARE/INSTALL/COMMIT); replayed on start")
 		restore     = flag.String("restore", "", "checkpoint file to restore on start (if it exists); with -journal, recovery reconciles it against the journal")
+		planEvery   = flag.Duration("plan", 0, "autonomic layout planner interval (0 disables); plans over this core plus every -peer")
+		planDry     = flag.Bool("plan-dry-run", false, "planner records proposals without moving anything")
+		planMinGain = flag.Float64("plan-min-gain", 0, "minimum cross-core invocations/second a move must save (0 = default)")
+		planCool    = flag.Duration("plan-cooldown", 0, "per-complet cooldown after a planner move (0 = default)")
+		planMax     = flag.Int("plan-max-moves", 0, "max actuations per planning round (0 = default, negative = unlimited)")
 		peers       = cliutil.PeerFlags{}
 	)
 	flag.Var(peers, "peer", "peer core as name=host:port (repeatable)")
@@ -108,6 +113,24 @@ func run() error {
 			_ = c.Shutdown(0)
 			return err
 		}
+	}
+	if *planEvery > 0 || *planDry {
+		if _, err := fargo.StartPlanner(c, fargo.PlannerOptions{
+			Interval:         *planEvery,
+			DryRun:           *planDry,
+			MinGain:          *planMinGain,
+			Cooldown:         *planCool,
+			MaxMovesPerRound: *planMax,
+			Logf:             log.Printf,
+		}); err != nil {
+			_ = c.Shutdown(0)
+			return err
+		}
+		mode := "actuating"
+		if *planDry {
+			mode = "dry-run"
+		}
+		log.Printf("fargo-core %s: layout planner started (%s, interval %v)", *name, mode, *planEvery)
 	}
 
 	stop := make(chan os.Signal, 1)

@@ -1,17 +1,20 @@
-// Adaptive demonstrates monitoring-driven relocation (§4 of the paper, and
-// experiment E11): a client at an edge site invokes a server complet at a
-// datacenter. Mid-run, the WAN link between them degrades. A relocation
-// policy — expressed with the monitoring API, no changes to client or server
-// code — watches the invocation rate and the link bandwidth, and moves the
-// server next to the client when remote interaction becomes expensive.
+// Adaptive demonstrates autonomic, profiling-driven relocation (§4 of the
+// paper, and experiment E11): a client complet at an edge site invokes a
+// server complet at a datacenter. Mid-run, the WAN link between them
+// degrades. Instead of a hand-written relocation policy, the layout planner
+// (fargo.StartPlanner) watches the communication graph the profiling layer
+// builds — per-pair invocation rates keyed on complet identity — and moves
+// the server next to the client on its own: no policy code, no changes to
+// client or server.
 //
 // The program prints the mean invocation latency per phase: healthy link,
-// degraded link (static layout), and degraded link after the adaptive move.
+// degraded link (static layout), and degraded link after the planner's move.
 //
 //	go run ./examples/adaptive
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -35,6 +38,41 @@ func (s *KVServer) Put(k, v string) { s.Data[k] = v }
 // Get loads a value.
 func (s *KVServer) Get(k string) string { return s.Data[k] }
 
+// Client is the edge-side complet. It holds an owned reference to the
+// server, so its calls show up in the communication graph as a
+// (client, server) edge — the planner's raw signal.
+type Client struct {
+	Server *fargo.Ref
+	c      *fargo.Core
+}
+
+// SetCore gives the client its hosting core (CoreAware).
+func (cl *Client) SetCore(c *fargo.Core) { cl.c = c }
+
+// Init satisfies the complet contract.
+func (cl *Client) Init() {}
+
+// Wire stores the server reference and marks this complet as its owner, so
+// invocations through it are attributed to the (client, server) pair.
+func (cl *Client) Wire(r *fargo.Ref) error {
+	self, err := cl.c.RefOf(cl)
+	if err != nil {
+		return err
+	}
+	r.SetOwner(self.Target())
+	cl.Server = r
+	return nil
+}
+
+// Get reads a key through the owned server reference.
+func (cl *Client) Get(k string) (string, error) {
+	res, err := cl.Server.Invoke("Get", k)
+	if err != nil {
+		return "", err
+	}
+	return res[0].(string), nil
+}
+
 func main() {
 	if err := run(); err != nil {
 		log.Fatal(err)
@@ -47,8 +85,13 @@ func run() error {
 		return err
 	}
 	defer u.Close()
-	if err := u.Register("KVServer", (*KVServer)(nil)); err != nil {
-		return err
+	for name, proto := range map[string]any{
+		"KVServer": (*KVServer)(nil),
+		"Client":   (*Client)(nil),
+	} {
+		if err := u.Register(name, proto); err != nil {
+			return err
+		}
 	}
 	edge, err := u.NewCore("edge")
 	if err != nil {
@@ -72,11 +115,18 @@ func run() error {
 	if _, err := server.Invoke("Put", "greeting", "hello"); err != nil {
 		return err
 	}
+	client, err := edge.NewComplet("Client")
+	if err != nil {
+		return err
+	}
+	if _, err := client.Invoke("Wire", server); err != nil {
+		return err
+	}
 
 	measure := func(label string, n int) (time.Duration, error) {
 		start := time.Now()
 		for i := 0; i < n; i++ {
-			if _, err := server.Invoke("Get", "greeting"); err != nil {
+			if _, err := client.Invoke("Get", "greeting"); err != nil {
 				return 0, err
 			}
 		}
@@ -98,26 +148,30 @@ func run() error {
 		return err
 	}
 
-	// Relocation policy (runs at the edge, no application changes): when
-	// the server is still being called often while the link to its core
-	// is slow, co-locate it with the client.
-	mon := edge.Monitor()
-	rate, err := mon.InstantAt("dc", fargo.ServiceInvocationRate, server.Target().String())
+	// The autonomic loop: the planner collects the communication graph from
+	// both cores, sees the chatty cross-core (client, server) edge, and
+	// proposes co-location. The client is pinned — it is the deployment's
+	// anchor at the edge — so the server is the end that moves.
+	planner, err := fargo.StartPlanner(edge, fargo.PlannerOptions{
+		Cores:   []fargo.CoreID{"edge", "dc"},
+		Pinned:  []fargo.CompletID{client.Target()},
+		MinGain: 0.05,
+	})
 	if err != nil {
 		return err
 	}
-	lat, err := mon.Instant(fargo.ServiceLatency, "dc")
+	defer planner.Stop()
+
+	round, err := planner.RunOnce(context.Background())
 	if err != nil {
 		return err
 	}
-	fmt.Printf("policy: rate=%.1f/s latency=%.1fms -> ", rate, lat)
-	if rate > 1 && lat > 20 {
-		fmt.Println("relocating server to edge")
-		if err := edge.Move(server, "edge"); err != nil {
-			return err
-		}
-	} else {
-		fmt.Println("keeping layout")
+	for _, mv := range round.Proposal.Moves {
+		fmt.Printf("planner: move %s %s -> %s (gain %.1f/s)\n",
+			mv.Complet, mv.From, mv.To, mv.Gain)
+	}
+	if round.Applied == 0 {
+		fmt.Println("planner: kept the layout")
 	}
 
 	adaptive, err := measure("phase 3: degraded link, adaptive", 30)

@@ -69,6 +69,7 @@ import (
 	"fargo/internal/layoutview"
 	"fargo/internal/netsim"
 	"fargo/internal/obs"
+	"fargo/internal/plan"
 	"fargo/internal/ref"
 	"fargo/internal/registry"
 	"fargo/internal/script"
@@ -385,13 +386,59 @@ func ListenTCP(name, listenAddr string, peers map[string]string, reg *Registry, 
 		_ = tr.Close()
 		return nil, "", err
 	}
+	for id := range seed {
+		c.SeedPeers(id)
+	}
 	if opts.HTTPAddr != "" {
 		if _, err := obs.Start(c, OpsOptions{Addr: opts.HTTPAddr}); err != nil {
 			_ = c.Shutdown(0)
 			return nil, "", err
 		}
 	}
+	if opts.Planner != nil {
+		pc := opts.Planner
+		_, err := StartPlanner(c, PlannerOptions{
+			Cores:            pc.Cores,
+			Interval:         pc.Interval,
+			DryRun:           pc.DryRun,
+			MinGain:          pc.MinGain,
+			Cooldown:         pc.Cooldown,
+			MaxMovesPerRound: pc.MaxMovesPerRound,
+		})
+		if err != nil {
+			_ = c.Shutdown(0)
+			return nil, "", err
+		}
+	}
 	return c, tr.Addr(), nil
+}
+
+// Planner is a running autonomic layout planner (StartPlanner): a closed loop
+// that collects the communication graph of a set of cores, proposes moves
+// that co-locate chatty complets under capacity limits, and actuates them
+// through the journaled movement protocol. See internal/plan and DESIGN.md
+// §14.
+type Planner = plan.Planner
+
+// PlannerOptions configures a planner (StartPlanner).
+type PlannerOptions = plan.Options
+
+// PlannerConfig is the plain-data planner configuration carried by
+// Options.Planner; ListenTCP starts a planner from it. Programs wanting the
+// full option surface (pinning, logging) call StartPlanner directly.
+type PlannerConfig = core.PlannerConfig
+
+// PlannerStatus is a planner's introspection snapshot (Planner.Status, the
+// /plan ops endpoint, shell `plan status`).
+type PlannerStatus = plan.Status
+
+// StartPlanner attaches an autonomic layout planner to the core. With a
+// positive Interval the closed loop runs in the background until the core
+// shuts down; with Interval zero, rounds run only on demand (Planner.RunOnce,
+// shell `plan run`, the `plan` script action). A core has at most one
+// planner.
+func StartPlanner(c *Core, opts PlannerOptions) (*Planner, error) {
+	return plan.Start(c, opts)
 }
 
 // OpsServer is a running per-core ops plane: an embedded HTTP server exposing

@@ -154,6 +154,12 @@ type Options struct {
 	// after a crash. Empty disables journaling; the epoch-idempotence of
 	// installs remains active either way.
 	JournalPath string
+	// Planner, when non-nil, asks the embedding layer (fargo.ListenTCP,
+	// Universe.NewCore) to start the autonomic layout planner
+	// (internal/plan) on this core with the given configuration. The core
+	// itself never reads it — plan.Start does — so cores without a planner
+	// pay nothing.
+	Planner *PlannerConfig
 }
 
 // Core is a FarGo runtime instance.
@@ -426,6 +432,15 @@ func (c *Core) notePeer(p ids.CoreID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.peers[p] = struct{}{}
+}
+
+// SeedPeers records cores known from configuration (an address book) before
+// any wire contact, so surfaces that enumerate the deployment — the monitor's
+// peer list, the planner's dynamic membership — span it from startup.
+func (c *Core) SeedPeers(peers ...ids.CoreID) {
+	for _, p := range peers {
+		c.notePeer(p)
+	}
 }
 
 // Peers lists cores this core has communicated with.

@@ -149,13 +149,30 @@ type Monitor struct {
 	cache     map[profKey]cacheEntry
 	subs      map[string]*subscription
 	rateByDst map[ids.CompletID]*stats.RateMeter
-	rateByRef map[string]*stats.RateMeter // key: src + "\x00" + dst
+	pairs     map[pairKey]*pairMeter
 	countBy   map[ids.CompletID]*stats.Counter
 	bytesIn   stats.Counter
 	seq       ids.Sequencer
 	closed    bool
 
 	wg sync.WaitGroup
+}
+
+// pairKey identifies one directed reference edge (source complet → target
+// complet). Keying on complet identity — not on the observing core or any
+// tracker-local state — is what lets pair accounting survive relocation: when
+// the target moves, its meters travel in the movement bundle under the same
+// key (exportMeters/importMeters).
+type pairKey struct {
+	src, dst ids.CompletID
+}
+
+// pairMeter is the per-edge accounting: a windowed invocation-rate meter and
+// the cumulative argument bytes carried on the edge (the planner's cost model
+// weighs both).
+type pairMeter struct {
+	rate  *stats.RateMeter
+	bytes stats.Counter
 }
 
 func newMonitor(c *Core) *Monitor {
@@ -166,7 +183,7 @@ func newMonitor(c *Core) *Monitor {
 		cache:     make(map[profKey]cacheEntry),
 		subs:      make(map[string]*subscription),
 		rateByDst: make(map[ids.CompletID]*stats.RateMeter),
-		rateByRef: make(map[string]*stats.RateMeter),
+		pairs:     make(map[pairKey]*pairMeter),
 		countBy:   make(map[ids.CompletID]*stats.Counter),
 	}
 	m.services[ServiceCompletLoad] = m.svcCompletLoad
@@ -478,13 +495,17 @@ func (m *Monitor) svcInvocationRate(args []string) (float64, error) {
 		}
 		return meter.Rate(), nil
 	case 2:
+		// Keyed on parsed complet identity (not the raw strings), so the
+		// measurement is the same edge regardless of which core hosts the
+		// target right now.
+		key := pairKey{src: mustParseComplet(args[0]), dst: mustParseComplet(args[1])}
 		m.mu.Lock()
-		meter, ok := m.rateByRef[args[0]+"\x00"+args[1]]
+		pm, ok := m.pairs[key]
 		m.mu.Unlock()
 		if !ok {
 			return 0, nil
 		}
-		return meter.Rate(), nil
+		return pm.rate.Rate(), nil
 	default:
 		return 0, fmt.Errorf("monitor: invocationRate takes (target) or (source, target)")
 	}
@@ -553,21 +574,22 @@ func (m *Monitor) recordInvocation(source, target ids.CompletID, typeName, metho
 		ctr = &stats.Counter{}
 		m.countBy[target] = ctr
 	}
-	var refMeter *stats.RateMeter
+	var pm *pairMeter
 	if !source.Nil() {
-		key := source.String() + "\x00" + target.String()
-		refMeter, ok = m.rateByRef[key]
+		key := pairKey{src: source, dst: target}
+		pm, ok = m.pairs[key]
 		if !ok {
-			refMeter = stats.MustRateMeter(rateWindow, 20)
-			m.rateByRef[key] = refMeter
+			pm = &pairMeter{rate: stats.MustRateMeter(rateWindow, 20)}
+			m.pairs[key] = pm
 		}
 	}
 	m.mu.Unlock()
 
 	meter.Mark(1)
 	ctr.Inc()
-	if refMeter != nil {
-		refMeter.Mark(1)
+	if pm != nil {
+		pm.rate.Mark(1)
+		pm.bytes.Add(uint64(argBytes))
 	}
 	m.bytesIn.Add(uint64(argBytes))
 }
@@ -575,3 +597,137 @@ func (m *Monitor) recordInvocation(source, target ids.CompletID, typeName, metho
 // InvocationBytes returns the cumulative argument bytes received by this
 // core's invocation unit.
 func (m *Monitor) InvocationBytes() uint64 { return m.bytesIn.Value() }
+
+// --- planner support ---------------------------------------------------------
+
+// PairStats snapshots every per-reference meter observed at this core as
+// directed communication-graph edges, sorted deterministically. The layout
+// planner's collector aggregates these across member cores (DESIGN.md §14).
+func (m *Monitor) PairStats() []wire.PairStat {
+	m.mu.Lock()
+	keys := make([]pairKey, 0, len(m.pairs))
+	meters := make([]*pairMeter, 0, len(m.pairs))
+	for k, pm := range m.pairs {
+		keys = append(keys, k)
+		meters = append(meters, pm)
+	}
+	m.mu.Unlock()
+	out := make([]wire.PairStat, 0, len(keys))
+	for i, k := range keys {
+		pm := meters[i]
+		out = append(out, wire.PairStat{
+			Src:   k.src,
+			Dst:   k.dst,
+			Rate:  pm.rate.Rate(),
+			Count: pm.rate.Count(),
+			Bytes: pm.bytes.Value(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src.String() < out[j].Src.String()
+		}
+		return out[i].Dst.String() < out[j].Dst.String()
+	})
+	return out
+}
+
+// exportMeters snapshots the invocation-accounting state of the given
+// complets for shipment inside a movement bundle: their lifetime counts,
+// windowed counts, and the per-source pair meters whose destination is a
+// departing complet. Pair meters whose *source* departs stay put — they are
+// recorded at the core hosting the destination, which is not moving.
+func (m *Monitor) exportMeters(targets []ids.CompletID) []wire.MeterState {
+	if len(targets) == 0 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]wire.MeterState, 0, len(targets))
+	for _, t := range targets {
+		st := wire.MeterState{Target: t}
+		if ctr, ok := m.countBy[t]; ok {
+			st.Count = ctr.Value()
+		}
+		if meter, ok := m.rateByDst[t]; ok {
+			st.Window = meter.Count()
+		}
+		for k, pm := range m.pairs {
+			if k.dst != t {
+				continue
+			}
+			st.Pairs = append(st.Pairs, wire.PairMeterState{
+				Src:    k.src,
+				Window: pm.rate.Count(),
+				Bytes:  pm.bytes.Value(),
+			})
+		}
+		if st.Count == 0 && st.Window == 0 && len(st.Pairs) == 0 {
+			continue
+		}
+		sort.Slice(st.Pairs, func(i, j int) bool {
+			return st.Pairs[i].Src.String() < st.Pairs[j].Src.String()
+		})
+		out = append(out, st)
+	}
+	return out
+}
+
+// importMeters merges meter state shipped with a movement bundle into this
+// core's accounting, under the complets' unchanged identities. Windowed
+// counts land in the current bucket — a coarse placement within the window,
+// but the window total (what rates and the planner's edge weights read) is
+// exact.
+func (m *Monitor) importMeters(states []wire.MeterState) {
+	for _, st := range states {
+		m.mu.Lock()
+		meter, ok := m.rateByDst[st.Target]
+		if !ok {
+			meter = stats.MustRateMeter(rateWindow, 20)
+			m.rateByDst[st.Target] = meter
+		}
+		ctr, ok := m.countBy[st.Target]
+		if !ok {
+			ctr = &stats.Counter{}
+			m.countBy[st.Target] = ctr
+		}
+		pms := make([]*pairMeter, len(st.Pairs))
+		for i, p := range st.Pairs {
+			key := pairKey{src: p.Src, dst: st.Target}
+			pm, ok := m.pairs[key]
+			if !ok {
+				pm = &pairMeter{rate: stats.MustRateMeter(rateWindow, 20)}
+				m.pairs[key] = pm
+			}
+			pms[i] = pm
+		}
+		m.mu.Unlock()
+
+		if st.Window > 0 {
+			meter.Mark(st.Window)
+		}
+		ctr.Add(st.Count)
+		for i, p := range st.Pairs {
+			if p.Window > 0 {
+				pms[i].rate.Mark(p.Window)
+			}
+			pms[i].bytes.Add(p.Bytes)
+		}
+	}
+}
+
+// dropMeters discards the accounting of complets that moved away, so the
+// departed state is counted at exactly one core (its new host).
+func (m *Monitor) dropMeters(targets []ids.CompletID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, t := range targets {
+		delete(m.rateByDst, t)
+		delete(m.countBy, t)
+		for k := range m.pairs {
+			if k.dst == t {
+				delete(m.pairs, k)
+			}
+		}
+	}
+}

@@ -472,6 +472,10 @@ func (c *Core) moveLocal(ctx context.Context, rootID ids.CompletID, dest ids.Cor
 		Names:              names,
 		PreDup:             preDup,
 		Epoch:              pm.epoch,
+		// Invocation accounting travels with the complets (meters key on
+		// complet identity, so rates survive relocation); the departing
+		// copies are captured while their W-locks block new invocations.
+		Meters: c.mon.exportMeters(pm.complets),
 	})
 	if err != nil {
 		return fail(err)
@@ -565,6 +569,10 @@ func (c *Core) moveLocal(ctx context.Context, rootID ids.CompletID, dest ids.Cor
 		e.gone = true
 	}
 	unlock()
+	// The departed complets' accounting now lives at the destination
+	// (shipped with the bundle); dropping it here keeps every meter counted
+	// at exactly one core.
+	c.mon.dropMeters(pm.complets)
 	for _, e := range locked {
 		c.remove(e.id, dest)
 		if cb, ok := e.anchor.(PostDeparture); ok {
@@ -884,6 +892,11 @@ func (c *Core) installBundleLocked(from ids.CoreID, req wire.MoveRequest, raw []
 			c.reportHome(a.id)
 		}
 	}
+
+	// Merge the shipped invocation accounting under the complets' unchanged
+	// identities, so rates observed before the move keep informing the
+	// layout planner here.
+	c.mon.importMeters(req.Meters)
 
 	// Register carried names against the (tracking) references.
 	for name, idx := range req.Names {

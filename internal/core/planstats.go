@@ -1,0 +1,93 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"fargo/internal/ids"
+	"fargo/internal/wire"
+)
+
+// Planner statistics: the per-core snapshot consumed by the autonomic layout
+// planner's communication-graph collector (internal/plan, DESIGN.md §14).
+// Each core reports the complets it hosts, the per-pair invocation meters it
+// observed (recorded at the core hosting each pair's destination), its load
+// and its free capacity; the collector aggregates the snapshots into one
+// weighted graph keyed on complet identity.
+
+// PlannerConfig enables the autonomic layout planner on a core built through
+// the facade (fargo.Options.Planner). It is plain data — core cannot import
+// internal/plan — and mirrors plan.Options; see there for field semantics.
+type PlannerConfig struct {
+	// Cores lists the member cores of the planning domain. Empty means the
+	// facade fills in this core plus its seeded peers.
+	Cores []ids.CoreID
+	// Interval is the closed-loop period (0 = manual rounds only).
+	Interval time.Duration
+	// DryRun records proposals without moving anything.
+	DryRun bool
+	// MinGain is the minimum estimated cross-core invocations/second a move
+	// must eliminate to be worth actuating (oscillation damping).
+	MinGain float64
+	// Cooldown is how long a moved complet is exempt from further planning.
+	Cooldown time.Duration
+	// MaxMovesPerRound caps the actuations of one planning round.
+	MaxMovesPerRound int
+}
+
+// PlanStats snapshots this core for the planner's collector.
+func (c *Core) PlanStats() wire.PlanStatsQueryReply {
+	infos := c.Complets()
+	complets := make([]ids.CompletID, len(infos))
+	for i, info := range infos {
+		complets[i] = info.ID
+	}
+	return wire.PlanStatsQueryReply{
+		Core:         c.id,
+		Complets:     complets,
+		Pairs:        c.mon.PairStats(),
+		Load:         len(infos),
+		CapacityFree: c.capacityFree(),
+	}
+}
+
+// PlanStatsAt fetches a member core's planner snapshot. It is a thin
+// context.Background wrapper over PlanStatsAtCtx; prefer the ctx form.
+func (c *Core) PlanStatsAt(dest ids.CoreID) (wire.PlanStatsQueryReply, error) {
+	return c.PlanStatsAtCtx(context.Background(), dest)
+}
+
+// PlanStatsAtCtx fetches a member core's planner snapshot under the caller's
+// context.
+func (c *Core) PlanStatsAtCtx(ctx context.Context, dest ids.CoreID) (wire.PlanStatsQueryReply, error) {
+	if dest == c.id {
+		return c.PlanStats(), nil
+	}
+	if c.isClosed() {
+		return wire.PlanStatsQueryReply{}, ErrClosed
+	}
+	ctx, cancel := c.withBudget(ctx, 0)
+	defer cancel()
+	env, err := c.request(ctx, dest, wire.KindPlanStatsQuery, nil)
+	if err != nil {
+		return wire.PlanStatsQueryReply{}, fmt.Errorf("core: plan stats of %s: %w", dest, err)
+	}
+	var reply wire.PlanStatsQueryReply
+	if err := wire.DecodePayload(env.Payload, &reply); err != nil {
+		return wire.PlanStatsQueryReply{}, err
+	}
+	if reply.Err != "" {
+		return reply, fmt.Errorf("core: plan stats of %s: %s", dest, reply.Err)
+	}
+	return reply, nil
+}
+
+// handlePlanStats serves a planner-collector query.
+func (c *Core) handlePlanStats(wire.Envelope) (wire.Kind, []byte, error) {
+	out, err := wire.EncodePayload(c.PlanStats())
+	if err != nil {
+		return 0, nil, err
+	}
+	return wire.KindPlanStatsQueryReply, out, nil
+}

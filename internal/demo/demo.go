@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strings"
 
+	"fargo/internal/core"
 	"fargo/internal/ref"
 	"fargo/internal/registry"
 )
@@ -142,10 +143,17 @@ func (e *Echo) Join(parts []string, sep string) string { return strings.Join(par
 // demos.
 type Hub struct {
 	Refs []*ref.Ref
+	c    *core.Core
 }
+
+// SetCore gives the hub its hosting core (CoreAware) so attached
+// references can be attributed to it.
+func (h *Hub) SetCore(c *core.Core) { h.c = c }
 
 // Attach stores a reference after installing the relocator of the given
 // kind ("link", "pull", "duplicate", "stamp", or a registered custom kind).
+// The hub claims ownership of the reference, so calls through it show up as
+// (hub, target) edges in the communication graph the layout planner reads.
 func (h *Hub) Attach(r *ref.Ref, kind string) error {
 	if r == nil {
 		return fmt.Errorf("hub: nil reference")
@@ -156,6 +164,11 @@ func (h *Hub) Attach(r *ref.Ref, kind string) error {
 	}
 	if err := r.Meta().SetRelocator(reloc); err != nil {
 		return err
+	}
+	if h.c != nil {
+		if self, err := h.c.RefOf(h); err == nil {
+			r.SetOwner(self.Target())
+		}
 	}
 	h.Refs = append(h.Refs, r)
 	return nil

@@ -54,6 +54,13 @@ const (
 	// the destination durably refused the epoch, so the local copy stays
 	// authoritative.
 	KindMoveRolledBack = "moveRolledBack"
+	// KindPlanApplied records one planner-actuated move: Complet is the
+	// moved complet, Peer the destination, Detail the estimated gain.
+	KindPlanApplied = "planApplied"
+	// KindPlanSkipped records a planner decision not to act — dry-run,
+	// below the min-gain threshold, cooldown, capacity, or a failed
+	// actuation (Detail carries the reason).
+	KindPlanSkipped = "planSkipped"
 )
 
 // Event is one recorded occurrence.

@@ -31,6 +31,7 @@ import (
 	"fargo/internal/flight"
 	"fargo/internal/layoutview"
 	"fargo/internal/metrics"
+	"fargo/internal/plan"
 	"fargo/internal/trace"
 )
 
@@ -82,6 +83,7 @@ func Start(c *core.Core, opts Options) (*Server, error) {
 	mux.HandleFunc("/layout", s.handleLayout)
 	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/flight", s.handleFlight)
+	mux.HandleFunc("/plan", s.handlePlan)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -316,6 +318,27 @@ func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 	writeJSONStatus(w, body, true)
 }
 
+// planBody is the JSON served by /plan.
+type planBody struct {
+	Core    string       `json:"core"`
+	Enabled bool         `json:"enabled"`
+	Status  *plan.Status `json:"status,omitempty"`
+}
+
+// handlePlan serves the autonomic layout planner's introspection snapshot:
+// configuration, the last collected communication graph, the last proposal,
+// and the recent decisions. Read-only; rounds are driven by the planner's
+// loop, the shell, or scripts.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	body := planBody{Core: s.c.ID().String()}
+	if p, ok := plan.For(s.c); ok {
+		st := p.Status()
+		body.Enabled = true
+		body.Status = &st
+	}
+	writeJSONStatus(w, body, true)
+}
+
 // handleIndex lists the endpoints (human convenience).
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
@@ -330,6 +353,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"/layout        layout snapshot (JSON)",
 		"/trace         Chrome trace_event download",
 		"/flight        flight recorder ring (JSON; ?n= newest n)",
+		"/plan          layout planner status (JSON)",
 		"/debug/pprof/  Go profiles",
 	} {
 		fmt.Fprintln(w, ep)

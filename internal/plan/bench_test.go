@@ -1,0 +1,82 @@
+package plan
+
+import (
+	"context"
+	"testing"
+
+	"fargo/internal/ids"
+	"fargo/internal/ref"
+)
+
+// benchCrossMessages runs the seeded 3-core chatty-pair workload — each core
+// anchors a pinned front whose back starts on the WRONG core — and returns
+// the simulated-network message count crossing core boundaries during the
+// measured traffic phase. With planned=true the planner runs (non-dry-run)
+// until the layout settles, at most 5 rounds, before measuring.
+func benchCrossMessages(b *testing.B, planned bool) uint64 {
+	b.Helper()
+	names := []string{"c1", "c2", "c3"}
+	cl := newCluster(b, names...)
+	defer cl.close(false)
+	c1 := cl.core("c1")
+
+	var fronts []*ref.Ref
+	var pinned []ids.CompletID
+	for i, n := range names {
+		f, _ := cl.pairUp(c1, n, names[(i+1)%len(names)])
+		fronts = append(fronts, f)
+		pinned = append(pinned, f.Target())
+	}
+	drive(b, 30, fronts...)
+
+	if planned {
+		p, err := Start(c1, Options{Cores: []ids.CoreID{"c1", "c2", "c3"}, Pinned: pinned, MinGain: 0.05})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer p.Stop()
+		for i := 0; i < 5; i++ {
+			round, err := p.RunOnce(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(round.Proposal.Moves) == 0 {
+				break
+			}
+			drive(b, 5, fronts...)
+		}
+	}
+
+	cl.net.ResetStats()
+	drive(b, 50, fronts...)
+	var cross uint64
+	for _, from := range names {
+		for _, to := range names {
+			if from != to {
+				cross += cl.net.Stats(from, to).Messages
+			}
+		}
+	}
+	return cross
+}
+
+// BenchmarkPlannerConvergence measures the autonomic loop end to end: the
+// same seeded workload with the planner off and on. The planner must cut
+// cross-core messages by at least half (the irreducible remainder is the
+// driver's own calls to the pinned fronts). Reported metrics:
+// cross-msgs/op (planner on), baseline-cross-msgs/op (planner off) and
+// cross-reduction-% (averaged over iterations).
+func BenchmarkPlannerConvergence(b *testing.B) {
+	var on, off uint64
+	for i := 0; i < b.N; i++ {
+		off += benchCrossMessages(b, false)
+		on += benchCrossMessages(b, true)
+	}
+	if on*2 > off {
+		b.Fatalf("planner cut cross-core messages %d -> %d, want >= 50%% reduction", off, on)
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(on)/n, "cross-msgs/op")
+	b.ReportMetric(float64(off)/n, "baseline-cross-msgs/op")
+	b.ReportMetric(100*(1-float64(on)/float64(off)), "cross-reduction-%")
+}

@@ -1,0 +1,163 @@
+package plan
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fargo/internal/core"
+	"fargo/internal/ids"
+	"fargo/internal/netsim"
+)
+
+// newJournaledCluster is newCluster with durable move journals, disabled
+// breakers and home tracking on every core — the crash-recovery substrate.
+func newJournaledCluster(t testing.TB, names ...string) *cluster {
+	t.Helper()
+	cl := &cluster{
+		t:       t,
+		net:     netsim.NewNetwork(11),
+		dir:     t.TempDir(),
+		timeout: 2 * time.Second, // crashes make peers time out; keep rounds brisk
+		cores:   make(map[ids.CoreID]*core.Core, len(names)),
+	}
+	for _, name := range names {
+		cl.start(ids.CoreID(name))
+	}
+	t.Cleanup(func() { cl.close(true) })
+	return cl
+}
+
+// kill tears a (network-dead) core down abruptly, as its process exiting
+// would; restart brings a fresh core up under the same name and resolves its
+// journal.
+func (cl *cluster) kill(name string) {
+	cl.t.Helper()
+	id := ids.CoreID(name)
+	c := cl.cores[id]
+	delete(cl.cores, id)
+	_ = c.ShutdownAbrupt()
+}
+
+func (cl *cluster) ckptPath(name string) string {
+	return filepath.Join(cl.dir, name+".ckpt")
+}
+
+// restart brings a crashed core back: journal replayed at construction, then
+// the checkpoint restored when one exists (which reconciles it against the
+// journal), explicit recovery otherwise. The journal records only protocol
+// state — source-side complet payloads are durable via checkpoints, as in the
+// chaos harness.
+func (cl *cluster) restart(name string) *core.Core {
+	cl.t.Helper()
+	c := cl.start(ids.CoreID(name))
+	if _, err := os.Stat(cl.ckptPath(name)); err == nil {
+		if _, err := c.RestoreFile(cl.ckptPath(name)); err != nil {
+			cl.t.Fatalf("restore %s: %v", name, err)
+		}
+	} else if _, err := c.Recover(context.Background()); err != nil {
+		cl.t.Fatalf("recover %s: %v", name, err)
+	}
+	return c
+}
+
+func (cl *cluster) liveCopies(id ids.CompletID) []ids.CoreID {
+	var out []ids.CoreID
+	for name, c := range cl.cores {
+		for _, info := range c.Complets() {
+			if info.ID == id {
+				out = append(out, name)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestPlannerActuationCrashConverges: the move source crashes mid-actuation
+// (after the destination installed, before COMMIT). After restart and
+// recovery exactly one live copy of the moved complet exists, and the next
+// planning round still reaches the co-located layout.
+func TestPlannerActuationCrashConverges(t *testing.T) {
+	for _, step := range []core.MoveStep{core.StepAfterPrepare, core.StepAfterSend} {
+		t.Run(string(step), func(t *testing.T) {
+			cl := newJournaledCluster(t, "c1", "c2")
+			c1 := cl.core("c1")
+			f, b := cl.pairUp(c1, "c1", "c2")
+			drive(t, 30, f)
+
+			p, err := Start(c1, Options{
+				Cores:    []ids.CoreID{"c1", "c2"},
+				Pinned:   []ids.CompletID{f.Target()},
+				MinGain:  0.05,
+				Cooldown: time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Stop()
+
+			// Durable state of the move source = journal + checkpoint; take
+			// the checkpoint a real deployment's checkpoint policy would.
+			if err := cl.core("c2").CheckpointFile(cl.ckptPath("c2")); err != nil {
+				t.Fatal(err)
+			}
+
+			// Crash the move SOURCE (the back's host) at the given protocol
+			// step: the host drops off the network and stops journaling.
+			src := cl.core("c2")
+			src.SetMoveStepHook(func(s core.MoveStep, root ids.CompletID) bool {
+				if s != step || root != b.Target() {
+					return false
+				}
+				_ = cl.net.StopHost("c2")
+				return true
+			})
+
+			// The armed crash makes the actuation hang until its deadline;
+			// a short round budget keeps the test brisk.
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			round, err := p.RunOnce(ctx)
+			cancel()
+			if err != nil {
+				t.Fatalf("round with crash: %v", err)
+			}
+			if round.Applied != 0 || round.Failed == 0 {
+				t.Fatalf("round = %+v, want a failed actuation", round)
+			}
+
+			cl.kill("c2")
+			c2 := cl.restart("c2")
+			c2.SetMoveStepHook(nil)
+			// Sources resolve pending moves against the restarted world.
+			for _, c := range cl.cores {
+				if _, err := c.Recover(context.Background()); err != nil {
+					t.Fatalf("recover: %v", err)
+				}
+			}
+
+			copies := cl.liveCopies(b.Target())
+			if len(copies) != 1 {
+				t.Fatalf("after crash at %s: %d live copies (%v), want exactly 1", step, len(copies), copies)
+			}
+
+			// The loop keeps going: fresh traffic, next round, co-location.
+			drive(t, 30, f)
+			deadline := time.Now().Add(10 * time.Second)
+			for locate(t, c1, b) != "c1" {
+				if time.Now().After(deadline) {
+					t.Fatalf("planner did not converge after recovery; status %+v", p.Status())
+				}
+				if _, err := p.RunOnce(context.Background()); err != nil {
+					t.Fatalf("post-recovery round: %v", err)
+				}
+				drive(t, 5, f)
+			}
+			if n := len(cl.liveCopies(b.Target())); n != 1 {
+				t.Fatalf("converged layout has %d live copies", n)
+			}
+		})
+	}
+}

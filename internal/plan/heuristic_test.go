@@ -1,0 +1,211 @@
+package plan
+
+import (
+	"testing"
+	"time"
+
+	"fargo/internal/ids"
+)
+
+// Heuristic unit tests: propose() over hand-built graphs, no cores involved.
+
+func cid(n uint64) ids.CompletID { return ids.CompletID{Birth: "t", Seq: n} }
+
+func testPlanner(opts Options) *Planner {
+	if opts.Cooldown == 0 {
+		opts.Cooldown = DefaultCooldown
+	}
+	p := &Planner{
+		opts:      opts,
+		pinned:    make(map[ids.CompletID]bool),
+		lastMoved: make(map[ids.CompletID]time.Time),
+	}
+	for _, id := range opts.Pinned {
+		p.pinned[id] = true
+	}
+	return p
+}
+
+type tedge struct {
+	src, dst uint64
+	rate     float64
+}
+
+func testGraph(placement map[uint64]ids.CoreID, free map[ids.CoreID]int, edges ...tedge) *Graph {
+	g := &Graph{
+		At:        time.Unix(1000, 0),
+		Placement: make(map[ids.CompletID]ids.CoreID),
+		Edges:     make(map[pair]*Edge),
+		Load:      make(map[ids.CoreID]int),
+		Free:      free,
+	}
+	for n, c := range placement {
+		g.Placement[cid(n)] = c
+		g.Load[c]++
+		g.Cores = append(g.Cores, c)
+	}
+	if g.Free == nil {
+		g.Free = make(map[ids.CoreID]int)
+	}
+	for c := range g.Load {
+		if _, ok := g.Free[c]; !ok {
+			g.Free[c] = 1 << 30 // uncapped
+		}
+	}
+	for _, e := range edges {
+		key := pair{src: cid(e.src), dst: cid(e.dst)}
+		g.Edges[key] = &Edge{Src: key.src, Dst: key.dst, Rate: e.rate, Count: uint64(e.rate * 10)}
+	}
+	return g
+}
+
+func moveOf(t *testing.T, prop Proposal, complet uint64) Move {
+	t.Helper()
+	for _, m := range prop.Moves {
+		if m.Complet == cid(complet) {
+			return m
+		}
+	}
+	t.Fatalf("no proposed move for %s in %+v", cid(complet), prop.Moves)
+	return Move{}
+}
+
+func TestProposeColocatesChattyPair(t *testing.T) {
+	p := testPlanner(Options{MinGain: 0.1})
+	// 1 on A talks hard to 2 on B; 2 also talks lightly to 3 on B.
+	g := testGraph(map[uint64]ids.CoreID{1: "A", 2: "B", 3: "B"},
+		nil,
+		tedge{1, 2, 5},
+		tedge{2, 3, 1},
+	)
+	prop := p.propose(g, g.At)
+	if len(prop.Moves) != 1 {
+		t.Fatalf("moves = %+v, want exactly 1", prop.Moves)
+	}
+	// Moving 1 to B gains 5; moving 2 to A gains 5-1=4. 1 must move.
+	m := moveOf(t, prop, 1)
+	if m.From != "A" || m.To != "B" || m.Gain != 5 {
+		t.Fatalf("move = %+v, want 1: A->B gain 5", m)
+	}
+	if prop.CrossRate != 5 || prop.Savings != 5 {
+		t.Fatalf("crossRate=%v savings=%v, want 5 and 5", prop.CrossRate, prop.Savings)
+	}
+}
+
+func TestProposeRespectsPinning(t *testing.T) {
+	p := testPlanner(Options{MinGain: 0.1, Pinned: []ids.CompletID{cid(1)}})
+	g := testGraph(map[uint64]ids.CoreID{1: "A", 2: "B"}, nil, tedge{1, 2, 5})
+	prop := p.propose(g, g.At)
+	if len(prop.Moves) != 1 {
+		t.Fatalf("moves = %+v, want 1", prop.Moves)
+	}
+	// 1 is pinned, so the OTHER endpoint comes to it.
+	m := moveOf(t, prop, 2)
+	if m.To != "A" {
+		t.Fatalf("move = %+v, want 2 -> A", m)
+	}
+}
+
+func TestProposeRespectsCapacity(t *testing.T) {
+	p := testPlanner(Options{MinGain: 0.1, Pinned: []ids.CompletID{cid(1)}})
+	// A is full: the only legal endpoint (2, since 1 is pinned) cannot land.
+	g := testGraph(map[uint64]ids.CoreID{1: "A", 2: "B"},
+		map[ids.CoreID]int{"A": 0, "B": 1 << 30},
+		tedge{1, 2, 5})
+	prop := p.propose(g, g.At)
+	if len(prop.Moves) != 0 {
+		t.Fatalf("moves = %+v, want none (destination full)", prop.Moves)
+	}
+	// Capacity is consumed by earlier moves in the same round: two chatty
+	// pairs contend for one free slot on A.
+	p2 := testPlanner(Options{MinGain: 0.1, Pinned: []ids.CompletID{cid(1), cid(3)}})
+	g2 := testGraph(map[uint64]ids.CoreID{1: "A", 2: "B", 3: "A", 4: "B"},
+		map[ids.CoreID]int{"A": 1, "B": 1 << 30},
+		tedge{1, 2, 5}, tedge{3, 4, 4})
+	prop2 := p2.propose(g2, g2.At)
+	if len(prop2.Moves) != 1 {
+		t.Fatalf("moves = %+v, want exactly 1 (one free slot)", prop2.Moves)
+	}
+	if m := moveOf(t, prop2, 2); m.To != "A" {
+		t.Fatalf("move = %+v, want the heavier pair's endpoint 2 -> A", m)
+	}
+}
+
+func TestProposeRespectsCooldown(t *testing.T) {
+	p := testPlanner(Options{MinGain: 0.1, Pinned: []ids.CompletID{cid(1)}, Cooldown: time.Minute})
+	now := time.Unix(2000, 0)
+	p.lastMoved[cid(2)] = now.Add(-time.Second) // moved just now
+	g := testGraph(map[uint64]ids.CoreID{1: "A", 2: "B"}, nil, tedge{1, 2, 5})
+	if prop := p.propose(g, now); len(prop.Moves) != 0 {
+		t.Fatalf("moves = %+v, want none during cooldown", prop.Moves)
+	}
+	// Past the cooldown the move is proposed again.
+	if prop := p.propose(g, now.Add(2*time.Minute)); len(prop.Moves) != 1 {
+		t.Fatalf("want the move after cooldown expiry")
+	}
+}
+
+func TestProposeMinGainFiltersNoise(t *testing.T) {
+	p := testPlanner(Options{MinGain: 2})
+	g := testGraph(map[uint64]ids.CoreID{1: "A", 2: "B"}, nil, tedge{1, 2, 1.5})
+	if prop := p.propose(g, g.At); len(prop.Moves) != 0 {
+		t.Fatalf("moves = %+v, want none below min gain", prop.Moves)
+	}
+}
+
+func TestProposeMaxMovesPerRound(t *testing.T) {
+	p := testPlanner(Options{MinGain: 0.1, MaxMovesPerRound: 1,
+		Pinned: []ids.CompletID{cid(1), cid(3)}})
+	g := testGraph(map[uint64]ids.CoreID{1: "A", 2: "B", 3: "A", 4: "B"},
+		nil, tedge{1, 2, 5}, tedge{3, 4, 4})
+	prop := p.propose(g, g.At)
+	if len(prop.Moves) != 1 {
+		t.Fatalf("moves = %+v, want capped at 1", prop.Moves)
+	}
+	if m := moveOf(t, prop, 2); m.Gain != 5 {
+		t.Fatalf("move = %+v, want the heaviest edge first", m)
+	}
+}
+
+func TestProposeContractsChains(t *testing.T) {
+	// 1 (pinned, A) — 2 (B) — 3 (C): a pipeline strung across three cores.
+	// One pass should pull both movable stages onto A: after 2 -> A is
+	// tentatively applied, 3's attraction to A includes the 2-3 edge.
+	p := testPlanner(Options{MinGain: 0.1, Pinned: []ids.CompletID{cid(1)}})
+	g := testGraph(map[uint64]ids.CoreID{1: "A", 2: "B", 3: "C"},
+		nil, tedge{1, 2, 5}, tedge{2, 3, 3})
+	prop := p.propose(g, g.At)
+	if len(prop.Moves) != 2 {
+		t.Fatalf("moves = %+v, want 2 (chain contraction)", prop.Moves)
+	}
+	if m := moveOf(t, prop, 2); m.To != "A" {
+		t.Fatalf("stage 2: %+v, want -> A", m)
+	}
+	if m := moveOf(t, prop, 3); m.To != "A" {
+		t.Fatalf("stage 3: %+v, want -> A (follows contracted neighbor)", m)
+	}
+	if prop.Savings != 8 {
+		t.Fatalf("savings = %v, want 8 (both edges eliminated)", prop.Savings)
+	}
+}
+
+func TestProposeIsDeterministic(t *testing.T) {
+	p := testPlanner(Options{MinGain: 0.1})
+	build := func() *Graph {
+		return testGraph(map[uint64]ids.CoreID{1: "A", 2: "B", 3: "C", 4: "A", 5: "B"},
+			nil, tedge{1, 2, 3}, tedge{3, 4, 3}, tedge{5, 1, 2}, tedge{2, 3, 1})
+	}
+	first := p.propose(build(), time.Unix(1000, 0))
+	for i := 0; i < 10; i++ {
+		q := testPlanner(Options{MinGain: 0.1})
+		got := q.propose(build(), time.Unix(1000, 0))
+		if len(got.Moves) != len(first.Moves) {
+			t.Fatalf("run %d: %d moves, first had %d", i, len(got.Moves), len(first.Moves))
+		}
+		for j := range got.Moves {
+			if got.Moves[j] != first.Moves[j] {
+				t.Fatalf("run %d move %d: %+v != %+v (map iteration leaked in)", i, j, got.Moves[j], first.Moves[j])
+			}
+		}
+	}
+}

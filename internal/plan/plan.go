@@ -1,0 +1,533 @@
+// Package plan implements the autonomic layout planner: the closed loop the
+// paper's monitoring chapter points at but leaves to the application (§4 —
+// layout "driven automatically by monitoring data"). A planner attached to a
+// core periodically collects the communication graph of a set of member cores
+// (per-pair invocation meters keyed on complet identity, per-core load and
+// free capacity), runs a greedy edge-contraction heuristic that co-locates
+// chatty complets under capacity limits, and actuates the proposed moves
+// through the journaled two-phase movement protocol — so a crash mid-plan is
+// already safe. Hysteresis (per-complet cooldown) and a min-gain threshold
+// damp oscillation; dry-run mode records proposals without acting.
+//
+// See DESIGN.md §14 for the graph model, cost function and decision table.
+package plan
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"fargo/internal/core"
+	"fargo/internal/flight"
+	"fargo/internal/ids"
+	"fargo/internal/script"
+)
+
+// Defaults for zero Options fields.
+const (
+	DefaultMinGain          = 0.1 // invocations/second
+	DefaultCooldown         = 30 * time.Second
+	DefaultMaxMovesPerRound = 4
+	// defaultRoundBudget bounds one closed-loop round (collection plus
+	// actuation) when Interval does not.
+	defaultRoundBudget = 30 * time.Second
+)
+
+// Options configures a planner.
+type Options struct {
+	// Cores lists the member cores of the planning domain (the attached
+	// core included, usually first). Empty means dynamic membership: the
+	// attached core plus every peer it knows, re-resolved each round — so a
+	// planner started before the deployment finished joining grows with it.
+	Cores []ids.CoreID
+	// Interval is the closed-loop period. Zero disables the background
+	// loop; rounds then run only through RunOnce (tests, shell, scripts).
+	Interval time.Duration
+	// DryRun records proposals and decisions without moving anything.
+	DryRun bool
+	// MinGain is the minimum net cross-core invocations/second a move must
+	// eliminate to be actuated (0 = DefaultMinGain; oscillation damping —
+	// a complet ping-ponging between equally attractive cores never clears
+	// a positive threshold twice).
+	MinGain float64
+	// Cooldown exempts a complet from further planning for this long after
+	// the planner moved it (0 = DefaultCooldown; hysteresis).
+	Cooldown time.Duration
+	// MaxMovesPerRound caps actuations per round (0 = default; negative =
+	// unlimited).
+	MaxMovesPerRound int
+	// Pinned complets never move (anchors of the deployment: complets
+	// representing terminals, devices, or data that must stay put).
+	Pinned []ids.CompletID
+	// Logf receives diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Planner is one core's autonomic layout planner.
+type Planner struct {
+	c       *core.Core
+	opts    Options
+	dynamic bool // no explicit member list; follow the core's peer set
+
+	runMu sync.Mutex // serializes rounds (loop, shell, script, tests)
+
+	mu           sync.Mutex
+	pinned       map[ids.CompletID]bool
+	lastMoved    map[ids.CompletID]time.Time
+	rounds       uint64
+	applied      uint64
+	skipped      uint64
+	lastRun      time.Time
+	lastErr      string
+	lastGraph    *Graph
+	lastProposal Proposal
+	decisions    []Decision
+	stopped      bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// decisionRing caps the retained decision history.
+const decisionRing = 32
+
+// Decision is one retained planner verdict (newest last in Status).
+type Decision struct {
+	At      time.Time `json:"at"`
+	Complet string    `json:"complet"`
+	From    string    `json:"from"`
+	To      string    `json:"to"`
+	Gain    float64   `json:"gain"`
+	// Action is "applied", "dry-run" or "failed".
+	Action string `json:"action"`
+	Err    string `json:"err,omitempty"`
+}
+
+// planners maps cores to their planners, so layers that hold only a core
+// (obs, shell, the script action) can reach its planner without the core
+// importing this package.
+var planners = struct {
+	sync.Mutex
+	m map[*core.Core]*Planner
+}{m: make(map[*core.Core]*Planner)}
+
+// Start attaches a planner to the core and, when opts.Interval > 0, starts
+// its closed loop. The planner stops with the core. A core has at most one
+// planner.
+func Start(c *core.Core, opts Options) (*Planner, error) {
+	if c == nil {
+		return nil, fmt.Errorf("plan: nil core")
+	}
+	if opts.MinGain == 0 {
+		opts.MinGain = DefaultMinGain
+	}
+	if opts.MinGain < 0 {
+		opts.MinGain = 0
+	}
+	if opts.Cooldown == 0 {
+		opts.Cooldown = DefaultCooldown
+	}
+	if opts.MaxMovesPerRound == 0 {
+		opts.MaxMovesPerRound = DefaultMaxMovesPerRound
+	}
+	p := &Planner{
+		c:         c,
+		opts:      opts,
+		dynamic:   len(opts.Cores) == 0,
+		pinned:    make(map[ids.CompletID]bool, len(opts.Pinned)),
+		lastMoved: make(map[ids.CompletID]time.Time),
+		stop:      make(chan struct{}),
+	}
+	for _, id := range opts.Pinned {
+		p.pinned[id] = true
+	}
+
+	planners.Lock()
+	if _, dup := planners.m[c]; dup {
+		planners.Unlock()
+		return nil, fmt.Errorf("plan: core %s already has a planner", c.ID())
+	}
+	planners.m[c] = p
+	planners.Unlock()
+	c.OnShutdown(p.Stop)
+
+	if opts.Interval > 0 {
+		p.wg.Add(1)
+		go p.loop()
+	}
+	return p, nil
+}
+
+// members resolves the planning domain for a round: the configured list, or
+// — with dynamic membership — the attached core plus every peer it currently
+// knows.
+func (p *Planner) members() []ids.CoreID {
+	if !p.dynamic {
+		return p.opts.Cores
+	}
+	return append([]ids.CoreID{p.c.ID()}, p.c.Peers()...)
+}
+
+// For returns the planner attached to the core, if any.
+func For(c *core.Core) (*Planner, bool) {
+	planners.Lock()
+	defer planners.Unlock()
+	p, ok := planners.m[c]
+	return p, ok
+}
+
+// Stop ends the closed loop and detaches the planner from its core (a new
+// planner may then be attached). Idempotent; concurrent RunOnce calls finish
+// normally.
+func (p *Planner) Stop() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.stopped = true
+	p.mu.Unlock()
+	close(p.stop)
+	p.wg.Wait()
+	planners.Lock()
+	if planners.m[p.c] == p {
+		delete(planners.m, p.c)
+	}
+	planners.Unlock()
+}
+
+// Pin marks a complet immovable for this planner.
+func (p *Planner) Pin(id ids.CompletID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pinned[id] = true
+}
+
+func (p *Planner) logf(format string, args ...any) {
+	if p.opts.Logf != nil {
+		p.opts.Logf(format, args...)
+	}
+}
+
+// loop is the closed loop: one planning round per interval until Stop.
+func (p *Planner) loop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			budget := p.opts.Interval
+			if budget < defaultRoundBudget {
+				budget = defaultRoundBudget
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), budget)
+			if _, err := p.RunOnce(ctx); err != nil {
+				p.logf("plan %s: round: %v", p.c.ID(), err)
+			}
+			cancel()
+		}
+	}
+}
+
+// Round is the outcome of one RunOnce.
+type Round struct {
+	Proposal Proposal
+	// Applied and Failed count actuations; both stay zero in dry-run mode.
+	Applied int
+	Failed  int
+	DryRun  bool
+}
+
+// Propose collects a fresh graph and runs the heuristic WITHOUT acting,
+// regardless of the DryRun option — the read-only what-if used by the shell's
+// `plan dry-run` and the ops endpoint.
+func (p *Planner) Propose(ctx context.Context) (Proposal, error) {
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+	g, err := p.collect(ctx)
+	if err != nil {
+		return Proposal{}, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	prop := p.propose(g, time.Now())
+	p.lastGraph = g
+	p.lastProposal = prop
+	return prop, nil
+}
+
+// RunOnce executes one planning round: collect, propose, actuate (or record,
+// in dry-run mode). Rounds are serialized; the closed loop, the shell and
+// scripts share one sequence.
+func (p *Planner) RunOnce(ctx context.Context) (Round, error) {
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+
+	now := time.Now()
+	g, err := p.collect(ctx)
+	if err != nil {
+		p.mu.Lock()
+		p.lastErr = err.Error()
+		p.mu.Unlock()
+		return Round{}, err
+	}
+
+	p.mu.Lock()
+	prop := p.propose(g, now)
+	p.rounds++
+	p.lastRun = now
+	p.lastErr = ""
+	p.lastGraph = g
+	p.lastProposal = prop
+	dryRun := p.opts.DryRun
+	p.mu.Unlock()
+
+	round := Round{Proposal: prop, DryRun: dryRun}
+	for _, m := range prop.Moves {
+		if dryRun {
+			p.record(Decision{At: time.Now(), Complet: m.Complet.String(), From: m.From.String(), To: m.To.String(), Gain: m.Gain, Action: "dry-run"}, flight.Event{
+				Kind:    flight.KindPlanSkipped,
+				Complet: m.Complet.String(),
+				Peer:    m.To.String(),
+				Detail:  fmt.Sprintf("dry-run: gain %.3g/s", m.Gain),
+			})
+			continue
+		}
+		start := time.Now()
+		err := p.c.MoveByIDCtx(ctx, m.Complet, m.To)
+		if err != nil {
+			round.Failed++
+			p.mu.Lock()
+			p.skipped++
+			p.mu.Unlock()
+			p.record(Decision{At: time.Now(), Complet: m.Complet.String(), From: m.From.String(), To: m.To.String(), Gain: m.Gain, Action: "failed", Err: err.Error()}, flight.Event{
+				Kind:          flight.KindPlanSkipped,
+				Complet:       m.Complet.String(),
+				Peer:          m.To.String(),
+				DurationNanos: time.Since(start).Nanoseconds(),
+				Detail:        fmt.Sprintf("actuation failed (gain %.3g/s)", m.Gain),
+				Err:           err.Error(),
+			})
+			p.logf("plan %s: move %s %s -> %s: %v", p.c.ID(), m.Complet, m.From, m.To, err)
+			continue
+		}
+		round.Applied++
+		p.mu.Lock()
+		p.applied++
+		p.lastMoved[m.Complet] = time.Now()
+		p.mu.Unlock()
+		p.record(Decision{At: time.Now(), Complet: m.Complet.String(), From: m.From.String(), To: m.To.String(), Gain: m.Gain, Action: "applied"}, flight.Event{
+			Kind:          flight.KindPlanApplied,
+			Complet:       m.Complet.String(),
+			Peer:          m.To.String(),
+			DurationNanos: time.Since(start).Nanoseconds(),
+			Detail:        fmt.Sprintf("gain %.3g/s", m.Gain),
+		})
+	}
+	return round, nil
+}
+
+// record retains a decision and mirrors it to the flight recorder.
+func (p *Planner) record(d Decision, ev flight.Event) {
+	p.mu.Lock()
+	p.decisions = append(p.decisions, d)
+	if len(p.decisions) > decisionRing {
+		p.decisions = p.decisions[len(p.decisions)-decisionRing:]
+	}
+	p.mu.Unlock()
+	p.c.Flight().Record(ev)
+}
+
+// --- status -----------------------------------------------------------------
+
+// EdgeView is one graph edge in a Status, string-rendered for JSON and
+// shells.
+type EdgeView struct {
+	Src     string  `json:"src"`
+	Dst     string  `json:"dst"`
+	SrcCore string  `json:"srcCore,omitempty"`
+	DstCore string  `json:"dstCore,omitempty"`
+	Rate    float64 `json:"rate"`
+	Count   uint64  `json:"count"`
+	Bytes   uint64  `json:"bytes"`
+	Cross   bool    `json:"cross"`
+}
+
+// MoveView is one proposed move in a Status.
+type MoveView struct {
+	Complet string  `json:"complet"`
+	From    string  `json:"from"`
+	To      string  `json:"to"`
+	Gain    float64 `json:"gain"`
+}
+
+// GraphStatus summarizes the last collected graph.
+type GraphStatus struct {
+	At        time.Time      `json:"at"`
+	Complets  int            `json:"complets"`
+	CrossRate float64        `json:"crossRate"`
+	Load      map[string]int `json:"load"`
+	Free      map[string]int `json:"free"`
+	Edges     []EdgeView     `json:"edges"`
+	Missing   []string       `json:"missing,omitempty"`
+}
+
+// Status is the planner's introspection snapshot (/plan, shell `plan
+// status`).
+type Status struct {
+	Core             string       `json:"core"`
+	Cores            []string     `json:"cores"`
+	Running          bool         `json:"running"`
+	Interval         string       `json:"interval"`
+	DryRun           bool         `json:"dryRun"`
+	MinGain          float64      `json:"minGain"`
+	Cooldown         string       `json:"cooldown"`
+	MaxMovesPerRound int          `json:"maxMovesPerRound"`
+	Rounds           uint64       `json:"rounds"`
+	Applied          uint64       `json:"applied"`
+	Skipped          uint64       `json:"skipped"`
+	LastRun          *time.Time   `json:"lastRun,omitempty"`
+	LastErr          string       `json:"lastErr,omitempty"`
+	Graph            *GraphStatus `json:"graph,omitempty"`
+	Proposal         []MoveView   `json:"proposal,omitempty"`
+	Decisions        []Decision   `json:"decisions,omitempty"`
+}
+
+// Status snapshots the planner.
+func (p *Planner) Status() Status {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := Status{
+		Core:             p.c.ID().String(),
+		Running:          !p.stopped && p.opts.Interval > 0,
+		Interval:         p.opts.Interval.String(),
+		DryRun:           p.opts.DryRun,
+		MinGain:          p.opts.MinGain,
+		Cooldown:         p.opts.Cooldown.String(),
+		MaxMovesPerRound: p.opts.MaxMovesPerRound,
+		Rounds:           p.rounds,
+		Applied:          p.applied,
+		Skipped:          p.skipped,
+		LastErr:          p.lastErr,
+		Decisions:        append([]Decision(nil), p.decisions...),
+	}
+	for _, c := range p.members() {
+		st.Cores = append(st.Cores, c.String())
+	}
+	if !p.lastRun.IsZero() {
+		t := p.lastRun
+		st.LastRun = &t
+	}
+	if g := p.lastGraph; g != nil {
+		gs := &GraphStatus{
+			At:        g.At,
+			Complets:  len(g.Placement),
+			CrossRate: g.CrossRate(),
+			Load:      make(map[string]int, len(g.Load)),
+			Free:      make(map[string]int, len(g.Free)),
+		}
+		for c, l := range g.Load {
+			gs.Load[c.String()] = l
+		}
+		for c, f := range g.Free {
+			gs.Free[c.String()] = f
+		}
+		for _, m := range g.Missing {
+			gs.Missing = append(gs.Missing, m.String())
+		}
+		for pr, e := range g.Edges {
+			srcCore, dstCore := g.Placement[pr.src], g.Placement[pr.dst]
+			gs.Edges = append(gs.Edges, EdgeView{
+				Src:     pr.src.String(),
+				Dst:     pr.dst.String(),
+				SrcCore: srcCore.String(),
+				DstCore: dstCore.String(),
+				Rate:    e.Rate,
+				Count:   e.Count,
+				Bytes:   e.Bytes,
+				Cross:   !srcCore.Nil() && !dstCore.Nil() && srcCore != dstCore,
+			})
+		}
+		sort.Slice(gs.Edges, func(i, j int) bool {
+			if gs.Edges[i].Rate != gs.Edges[j].Rate {
+				return gs.Edges[i].Rate > gs.Edges[j].Rate
+			}
+			if gs.Edges[i].Src != gs.Edges[j].Src {
+				return gs.Edges[i].Src < gs.Edges[j].Src
+			}
+			return gs.Edges[i].Dst < gs.Edges[j].Dst
+		})
+		st.Graph = gs
+	}
+	for _, m := range p.lastProposal.Moves {
+		st.Proposal = append(st.Proposal, MoveView{Complet: m.Complet.String(), From: m.From.String(), To: m.To.String(), Gain: m.Gain})
+	}
+	return st
+}
+
+// --- script action ----------------------------------------------------------
+
+// The `plan` script action drives the planner of the core a script runs on:
+//
+//	plan()            one planning round (collect, propose, actuate)
+//	plan("run")       same
+//	plan("dry-run")   propose and log, without acting
+//	plan("status")    log a one-line summary
+//
+// Registered at package init; linking the planner (fargo does) makes the
+// action available to every script.
+func init() {
+	if err := script.RegisterAction("plan", planAction); err != nil {
+		panic(err)
+	}
+}
+
+func planAction(rt script.Runtime, args []script.Value) error {
+	mode := "run"
+	if len(args) > 0 {
+		s, ok := args[0].(string)
+		if !ok {
+			return fmt.Errorf("plan: argument must be \"run\", \"dry-run\" or \"status\"")
+		}
+		mode = s
+	}
+	cr, ok := rt.(interface{ Core() *core.Core })
+	if !ok {
+		return fmt.Errorf("plan: script runtime does not expose a core")
+	}
+	p, ok := For(cr.Core())
+	if !ok {
+		return fmt.Errorf("plan: no planner on core %s", rt.LocalCore())
+	}
+	switch mode {
+	case "run":
+		round, err := p.RunOnce(context.Background())
+		if err != nil {
+			return err
+		}
+		rt.Logf("plan: %d move(s) proposed, %d applied, %d failed (cross-rate %.3g/s, est. savings %.3g/s)",
+			len(round.Proposal.Moves), round.Applied, round.Failed, round.Proposal.CrossRate, round.Proposal.Savings)
+		return nil
+	case "dry-run":
+		prop, err := p.Propose(context.Background())
+		if err != nil {
+			return err
+		}
+		rt.Logf("plan: dry run — %d move(s) (cross-rate %.3g/s, est. savings %.3g/s)", len(prop.Moves), prop.CrossRate, prop.Savings)
+		for _, m := range prop.Moves {
+			rt.Logf("plan:   %s: %s -> %s (gain %.3g/s)", m.Complet, m.From, m.To, m.Gain)
+		}
+		return nil
+	case "status":
+		st := p.Status()
+		rt.Logf("plan: core %s, %d member(s), rounds %d, applied %d, skipped %d, dry-run %v", st.Core, len(st.Cores), st.Rounds, st.Applied, st.Skipped, st.DryRun)
+		return nil
+	default:
+		return fmt.Errorf("plan: unknown mode %q (want \"run\", \"dry-run\" or \"status\")", mode)
+	}
+}

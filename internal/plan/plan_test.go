@@ -1,0 +1,524 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fargo/internal/core"
+	"fargo/internal/flight"
+	"fargo/internal/ids"
+	"fargo/internal/netsim"
+	"fargo/internal/ref"
+	"fargo/internal/registry"
+	"fargo/internal/script"
+	"fargo/internal/transport"
+)
+
+// --- workload complets -------------------------------------------------------
+
+// front is the anchored end of a chatty pair: it holds an owned reference to
+// its back end, so invocations through it produce per-(front,back) meters at
+// the back's hosting core — the planner's raw signal.
+type front struct {
+	Name string
+	Out  *ref.Ref
+	c    *core.Core
+}
+
+func (f *front) SetCore(c *core.Core) { f.c = c }
+func (f *front) Init(name string)     { f.Name = name }
+
+// Wire stores the outgoing reference and marks this complet as its owner (the
+// runtime does that automatically for refs arriving in movement bundles;
+// explicitly wired refs opt in here).
+func (f *front) Wire(r *ref.Ref) error {
+	self, err := f.c.RefOf(f)
+	if err != nil {
+		return err
+	}
+	r.SetOwner(self.Target())
+	f.Out = r
+	return nil
+}
+
+func (f *front) Call() (int, error) {
+	if f.Out == nil {
+		return 0, errors.New("front: not wired")
+	}
+	res, err := f.Out.Invoke("Pong")
+	if err != nil {
+		return 0, err
+	}
+	return res[0].(int), nil
+}
+
+// back is the movable end of a chatty pair.
+type back struct{ N int }
+
+func (b *back) Init(string) {}
+func (b *back) Pong() int   { b.N++; return b.N }
+
+// --- cluster helper ----------------------------------------------------------
+
+type cluster struct {
+	t        testing.TB
+	net      *netsim.Network
+	dir      string        // journal dir; empty disables journaling
+	timeout  time.Duration // per-request budget; zero means 10s
+	cores    map[ids.CoreID]*core.Core
+	shutOnce sync.Once
+}
+
+// close tears the cluster down; safe to call more than once (benchmarks close
+// per iteration, the test Cleanup closes at the end regardless).
+func (cl *cluster) close(abrupt bool) {
+	cl.shutOnce.Do(func() {
+		for _, c := range cl.cores {
+			if abrupt {
+				_ = c.ShutdownAbrupt()
+			} else {
+				_ = c.Shutdown(0)
+			}
+		}
+		cl.net.Close()
+	})
+}
+
+func newTestRegistry(t testing.TB) *registry.Registry {
+	t.Helper()
+	reg := registry.New()
+	for name, proto := range map[string]any{
+		"Front": (*front)(nil),
+		"Back":  (*back)(nil),
+	} {
+		if err := reg.Register(name, proto); err != nil {
+			t.Fatalf("register %s: %v", name, err)
+		}
+	}
+	return reg
+}
+
+func newCluster(t testing.TB, names ...string) *cluster {
+	t.Helper()
+	cl := &cluster{
+		t:     t,
+		net:   netsim.NewNetwork(11),
+		cores: make(map[ids.CoreID]*core.Core, len(names)),
+	}
+	for _, name := range names {
+		cl.start(ids.CoreID(name))
+	}
+	t.Cleanup(func() { cl.close(false) })
+	return cl
+}
+
+func (cl *cluster) start(name ids.CoreID) *core.Core {
+	cl.t.Helper()
+	tr, err := transport.NewSim(cl.net, name)
+	if err != nil {
+		cl.t.Fatal(err)
+	}
+	timeout := cl.timeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	opts := core.Options{RequestTimeout: timeout, Logf: func(string, ...any) {}}
+	if cl.dir != "" {
+		opts.JournalPath = fmt.Sprintf("%s/%s.journal", cl.dir, name)
+		opts.Breaker = core.BreakerPolicy{Disable: true}
+	}
+	c, err := core.New(tr, newTestRegistry(cl.t), opts)
+	if err != nil {
+		cl.t.Fatal(err)
+	}
+	if cl.dir != "" {
+		c.EnableHomeTracking()
+	}
+	cl.cores[name] = c
+	return c
+}
+
+func (cl *cluster) core(name string) *core.Core { return cl.cores[ids.CoreID(name)] }
+
+// pairUp creates a pinned front on frontCore and its movable back on
+// backCore, wired with ownership, and returns both refs.
+func (cl *cluster) pairUp(api *core.Core, frontCore, backCore string) (f, b *ref.Ref) {
+	cl.t.Helper()
+	f, err := api.NewCompletAt(ids.CoreID(frontCore), "Front", "f-"+frontCore)
+	if err != nil {
+		cl.t.Fatal(err)
+	}
+	b, err = api.NewCompletAt(ids.CoreID(backCore), "Back", "b-"+frontCore)
+	if err != nil {
+		cl.t.Fatal(err)
+	}
+	if _, err := f.Invoke("Wire", b); err != nil {
+		cl.t.Fatal(err)
+	}
+	return f, b
+}
+
+func drive(t testing.TB, n int, fronts ...*ref.Ref) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		for _, f := range fronts {
+			if _, err := f.Invoke("Call"); err != nil {
+				t.Fatalf("drive: %v", err)
+			}
+		}
+	}
+}
+
+func locate(t testing.TB, c *core.Core, r *ref.Ref) ids.CoreID {
+	t.Helper()
+	loc, err := c.LocateComplet(r.Target())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loc
+}
+
+// --- closed-loop tests -------------------------------------------------------
+
+// TestPlannerConvergesChattyPairs is the headline acceptance scenario: three
+// cores, each with a pinned front whose chatty back was placed on the WRONG
+// core; within 5 rounds the planner co-locates every pair.
+func TestPlannerConvergesChattyPairs(t *testing.T) {
+	cl := newCluster(t, "c1", "c2", "c3")
+	c1 := cl.core("c1")
+	names := []string{"c1", "c2", "c3"}
+
+	var fronts, backs []*ref.Ref
+	var pinned []ids.CompletID
+	for i, n := range names {
+		f, b := cl.pairUp(c1, n, names[(i+1)%len(names)])
+		fronts, backs = append(fronts, f), append(backs, b)
+		pinned = append(pinned, f.Target())
+	}
+	drive(t, 30, fronts...)
+
+	p, err := Start(c1, Options{
+		Cores:   []ids.CoreID{"c1", "c2", "c3"},
+		Pinned:  pinned,
+		MinGain: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	colocated := func() bool {
+		for i := range fronts {
+			if locate(t, c1, fronts[i]) != locate(t, c1, backs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	rounds := 0
+	for ; rounds < 5 && !colocated(); rounds++ {
+		if _, err := p.RunOnce(context.Background()); err != nil {
+			t.Fatalf("round %d: %v", rounds+1, err)
+		}
+		drive(t, 5, fronts...)
+	}
+	if !colocated() {
+		st := p.Status()
+		t.Fatalf("not co-located after %d rounds; status: %+v", rounds, st)
+	}
+	t.Logf("converged in %d round(s)", rounds)
+
+	// Fronts never moved: they are the deployment's anchors.
+	for i, n := range names {
+		if got := locate(t, c1, fronts[i]); got != ids.CoreID(n) {
+			t.Fatalf("pinned front %d moved to %s", i, got)
+		}
+	}
+
+	// The cross-core rate the planner sees must have collapsed.
+	g, err := p.collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross := g.CrossRate(); cross != 0 {
+		t.Fatalf("cross rate after convergence = %v, want 0", cross)
+	}
+
+	// Applied moves were recorded in the flight ring.
+	applied := 0
+	for _, ev := range c1.Flight().Snapshot(0) {
+		if ev.Kind == flight.KindPlanApplied {
+			applied++
+		}
+	}
+	if applied == 0 {
+		t.Fatal("no planApplied flight events recorded")
+	}
+}
+
+// TestPlannerDryRunProposesWithoutActing: dry-run mode records decisions and
+// flight events but never moves a complet.
+func TestPlannerDryRunProposesWithoutActing(t *testing.T) {
+	cl := newCluster(t, "c1", "c2")
+	c1 := cl.core("c1")
+	f, b := cl.pairUp(c1, "c1", "c2")
+	drive(t, 30, f)
+
+	p, err := Start(c1, Options{
+		Cores:   []ids.CoreID{"c1", "c2"},
+		Pinned:  []ids.CompletID{f.Target()},
+		MinGain: 0.05,
+		DryRun:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	round, err := p.RunOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(round.Proposal.Moves) == 0 {
+		t.Fatal("dry run proposed nothing for a chatty cross-core pair")
+	}
+	if round.Applied != 0 || !round.DryRun {
+		t.Fatalf("round = %+v, want dry run with zero actuations", round)
+	}
+	if got := locate(t, c1, b); got != "c2" {
+		t.Fatalf("back moved to %s in dry-run mode", got)
+	}
+	st := p.Status()
+	if len(st.Decisions) == 0 || st.Decisions[0].Action != "dry-run" {
+		t.Fatalf("decisions = %+v, want dry-run entries", st.Decisions)
+	}
+	skipped := 0
+	for _, ev := range c1.Flight().Snapshot(0) {
+		if ev.Kind == flight.KindPlanSkipped {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("no planSkipped flight events for dry-run proposals")
+	}
+}
+
+// TestPlannerHysteresisDamping: after the planner co-locates a pair, further
+// rounds are quiescent — no oscillation even though the graph still has the
+// (now intra-core) heavy edge.
+func TestPlannerHysteresisDamping(t *testing.T) {
+	cl := newCluster(t, "c1", "c2")
+	c1 := cl.core("c1")
+	f, b := cl.pairUp(c1, "c1", "c2")
+	drive(t, 30, f)
+
+	p, err := Start(c1, Options{
+		Cores:   []ids.CoreID{"c1", "c2"},
+		Pinned:  []ids.CompletID{f.Target()},
+		MinGain: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	if _, err := p.RunOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := locate(t, c1, b); got != "c1" {
+		t.Fatalf("back at %s after round 1, want c1", got)
+	}
+	for i := 0; i < 3; i++ {
+		drive(t, 5, f)
+		round, err := p.RunOnce(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(round.Proposal.Moves) != 0 {
+			t.Fatalf("settled layout re-planned: %+v", round.Proposal.Moves)
+		}
+	}
+	st := p.Status()
+	if st.Applied != 1 {
+		t.Fatalf("applied = %d, want exactly 1", st.Applied)
+	}
+}
+
+// TestPlannerLifecycle covers the registry and the option plumbing.
+func TestPlannerLifecycle(t *testing.T) {
+	cl := newCluster(t, "c1", "c2")
+	c1 := cl.core("c1")
+
+	if _, ok := For(c1); ok {
+		t.Fatal("For before Start should miss")
+	}
+	p, err := Start(c1, Options{Cores: []ids.CoreID{"c1", "c2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := For(c1); !ok || got != p {
+		t.Fatal("For should return the started planner")
+	}
+	if _, err := Start(c1, Options{}); err == nil {
+		t.Fatal("second Start on the same core should fail")
+	}
+	st := p.Status()
+	if st.MinGain != DefaultMinGain || st.Cooldown != DefaultCooldown.String() ||
+		st.MaxMovesPerRound != DefaultMaxMovesPerRound {
+		t.Fatalf("defaults not applied: %+v", st)
+	}
+	if st.Running {
+		t.Fatal("planner with zero interval should not report running")
+	}
+	p.Stop()
+	p.Stop() // idempotent
+	if _, ok := For(c1); ok {
+		t.Fatal("For after Stop should miss")
+	}
+	// A fresh planner can attach after the old one detached.
+	p2, err := Start(c1, Options{Cores: []ids.CoreID{"c1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Stop()
+}
+
+// TestPlannerClosedLoop: a background planner with a short interval converges
+// without manual rounds.
+func TestPlannerClosedLoop(t *testing.T) {
+	cl := newCluster(t, "c1", "c2")
+	c1 := cl.core("c1")
+	f, b := cl.pairUp(c1, "c1", "c2")
+	drive(t, 30, f)
+
+	p, err := Start(c1, Options{
+		Cores:    []ids.CoreID{"c1", "c2"},
+		Pinned:   []ids.CompletID{f.Target()},
+		MinGain:  0.05,
+		Interval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for locate(t, c1, b) != "c1" {
+		if time.Now().After(deadline) {
+			t.Fatalf("closed loop did not converge; status %+v", p.Status())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPlannerCollectorToleratesMissingCore: a dead member degrades the graph
+// (reported in Missing) without failing the round.
+func TestPlannerCollectorToleratesMissingCore(t *testing.T) {
+	cl := newCluster(t, "c1", "c2")
+	c1 := cl.core("c1")
+	f, _ := cl.pairUp(c1, "c1", "c1")
+	drive(t, 10, f)
+
+	p, err := Start(c1, Options{Cores: []ids.CoreID{"c1", "c2", "ghost"}, MinGain: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	g, err := p.collect(ctx)
+	if err != nil {
+		t.Fatalf("collect with one dead member: %v", err)
+	}
+	if len(g.Missing) != 1 || g.Missing[0] != "ghost" {
+		t.Fatalf("Missing = %v, want [ghost]", g.Missing)
+	}
+	if _, ok := g.Load["c2"]; !ok {
+		t.Fatal("live member c2 not collected")
+	}
+}
+
+// TestPlannerDynamicMembership: with no configured member list the domain
+// follows the core's peer set round to round — a planner started before the
+// deployment finished joining still converges over cores it met later.
+func TestPlannerDynamicMembership(t *testing.T) {
+	cl := newCluster(t, "c1", "c2")
+	c1 := cl.core("c1")
+
+	p, err := Start(c1, Options{MinGain: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	if got := p.Status().Cores; len(got) != 1 || got[0] != "c1" {
+		t.Fatalf("members before any contact = %v, want just [c1]", got)
+	}
+
+	// Meeting c2 (complet creation + traffic) grows the domain.
+	f, b := cl.pairUp(c1, "c1", "c2")
+	p.Pin(f.Target())
+	drive(t, 30, f)
+	if got := p.Status().Cores; len(got) != 2 {
+		t.Fatalf("members after contact = %v, want [c1 c2]", got)
+	}
+
+	// And the planner acts across the discovered member.
+	if _, err := p.RunOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := locate(t, c1, b); got != "c1" {
+		t.Fatalf("back at %s after dynamic-membership round, want c1", got)
+	}
+}
+
+// TestPlanScriptAction drives the registered "plan" layout-script action
+// against a live planner: dry-run proposes without acting, run actuates, and
+// status/unknown modes behave.
+func TestPlanScriptAction(t *testing.T) {
+	cl := newCluster(t, "c1", "c2")
+	c1 := cl.core("c1")
+	f, b := cl.pairUp(c1, "c1", "c2")
+	drive(t, 30, f)
+
+	rt, err := script.NewCoreRuntime(c1, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := planAction(rt, nil); err == nil {
+		t.Fatal("plan action without a planner should fail")
+	}
+
+	p, err := Start(c1, Options{
+		Cores:   []ids.CoreID{"c1", "c2"},
+		Pinned:  []ids.CompletID{f.Target()},
+		MinGain: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	if err := planAction(rt, []script.Value{"dry-run"}); err != nil {
+		t.Fatalf("dry-run action: %v", err)
+	}
+	if got := locate(t, c1, b); got != "c2" {
+		t.Fatalf("dry-run action moved the back to %s", got)
+	}
+	if err := planAction(rt, []script.Value{"run"}); err != nil {
+		t.Fatalf("run action: %v", err)
+	}
+	if got := locate(t, c1, b); got != "c1" {
+		t.Fatalf("back at %s after run action, want c1", got)
+	}
+	if err := planAction(rt, []script.Value{"status"}); err != nil {
+		t.Fatalf("status action: %v", err)
+	}
+	if err := planAction(rt, []script.Value{"bogus"}); err == nil {
+		t.Fatal("unknown mode should fail")
+	}
+}

@@ -37,6 +37,11 @@ func NewCoreRuntime(c *core.Core, logf func(format string, args ...any)) (*CoreR
 // LocalCore implements Runtime.
 func (r *CoreRuntime) LocalCore() string { return r.c.ID().String() }
 
+// Core exposes the wrapped core. Registered actions that integrate deeper
+// than the Runtime surface (e.g. the planner's `plan` action) type-assert
+// their Runtime to interface{ Core() *core.Core } to reach it.
+func (r *CoreRuntime) Core() *core.Core { return r.c }
+
 // Logf implements Runtime.
 func (r *CoreRuntime) Logf(format string, args ...any) { r.logf(format, args...) }
 

@@ -4,6 +4,7 @@
 package shell
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -12,6 +13,7 @@ import (
 
 	"fargo/internal/core"
 	"fargo/internal/ids"
+	"fargo/internal/plan"
 	"fargo/internal/ref"
 	"fargo/internal/trace"
 )
@@ -45,6 +47,7 @@ const Help = `commands:
   stats <core>                   metrics snapshot (counters, gauges, latency histograms)
   health <core>                  liveness/readiness verdict and per-peer breaker state
   recovery <core>                move-journal and crash-recovery state (pending moves)
+  plan status|run|dry-run        layout planner: status, one round, or a what-if proposal
   flight <core> [n]              flight recorder ring (newest n; default all retained)
   trace <core>                   list recent traces retained at a core
   trace <core> <id> [core...]    span tree of one trace, merged across the given cores
@@ -250,6 +253,84 @@ func (s *Shell) Exec(line string) error {
 			fmt.Fprintf(s.out, "  %d journaled move(s) await resolution; the core is not ready until they resolve\n", reply.PendingMoves)
 		}
 		return nil
+	case "plan":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: plan status|run|dry-run")
+		}
+		p, ok := plan.For(s.c)
+		if !ok {
+			// The shell core hosts no planner of its own: start an ad-hoc
+			// one spanning the seeded peers (manual rounds only). The shell
+			// core is excluded so nothing is ever attracted onto it.
+			peers := s.c.Peers()
+			if len(peers) == 0 {
+				fmt.Fprintln(s.out, "no planner and no peer cores to plan over")
+				return nil
+			}
+			var err error
+			p, err = plan.Start(s.c, plan.Options{Cores: peers})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(s.out, "started ad-hoc planner over %d peer core(s)\n", len(peers))
+		}
+		switch args[0] {
+		case "status":
+			st := p.Status()
+			fmt.Fprintf(s.out, "planner on %s: running=%v dry-run=%v interval=%s min-gain=%g/s cooldown=%s max-moves=%d\n",
+				st.Core, st.Running, st.DryRun, st.Interval, st.MinGain, st.Cooldown, st.MaxMovesPerRound)
+			fmt.Fprintf(s.out, "  members: %s\n", strings.Join(st.Cores, ", "))
+			fmt.Fprintf(s.out, "  rounds=%d applied=%d skipped=%d", st.Rounds, st.Applied, st.Skipped)
+			if st.LastErr != "" {
+				fmt.Fprintf(s.out, " last-err=%q", st.LastErr)
+			}
+			fmt.Fprintln(s.out)
+			if st.Graph != nil {
+				fmt.Fprintf(s.out, "  graph: %d complet(s), %d edge(s), cross-rate %.3g/s\n",
+					st.Graph.Complets, len(st.Graph.Edges), st.Graph.CrossRate)
+				for _, e := range st.Graph.Edges {
+					marker := ""
+					if e.Cross {
+						marker = " CROSS"
+					}
+					fmt.Fprintf(s.out, "    %s@%s -> %s@%s  %.3g/s (%d in window, %d bytes)%s\n",
+						e.Src, e.SrcCore, e.Dst, e.DstCore, e.Rate, e.Count, e.Bytes, marker)
+				}
+			}
+			for _, d := range st.Decisions {
+				suffix := ""
+				if d.Err != "" {
+					suffix = " ERR=" + d.Err
+				}
+				fmt.Fprintf(s.out, "  %s %-8s %s: %s -> %s (gain %.3g/s)%s\n",
+					d.At.Format("15:04:05.000"), d.Action, d.Complet, d.From, d.To, d.Gain, suffix)
+			}
+			return nil
+		case "run":
+			round, err := p.RunOnce(context.Background())
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(s.out, "round: %d move(s) proposed, %d applied, %d failed (cross-rate %.3g/s, est. savings %.3g/s)\n",
+				len(round.Proposal.Moves), round.Applied, round.Failed, round.Proposal.CrossRate, round.Proposal.Savings)
+			for _, m := range round.Proposal.Moves {
+				fmt.Fprintf(s.out, "  %s: %s -> %s (gain %.3g/s)\n", m.Complet, m.From, m.To, m.Gain)
+			}
+			return nil
+		case "dry-run":
+			prop, err := p.Propose(context.Background())
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(s.out, "dry run: %d move(s) (cross-rate %.3g/s, est. savings %.3g/s)\n",
+				len(prop.Moves), prop.CrossRate, prop.Savings)
+			for _, m := range prop.Moves {
+				fmt.Fprintf(s.out, "  %s: %s -> %s (gain %.3g/s)\n", m.Complet, m.From, m.To, m.Gain)
+			}
+			return nil
+		default:
+			return fmt.Errorf("usage: plan status|run|dry-run")
+		}
 	case "flight":
 		if len(args) < 1 || len(args) > 2 {
 			return fmt.Errorf("usage: flight <core> [n]")

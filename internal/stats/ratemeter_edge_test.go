@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+// Edge cases of the sliding-window rate estimator under a controlled clock:
+// zero-duration ticks, sub-bucket ticks, idle gaps longer than the window,
+// and ring wrap-around.
+
+func meterAt(t *testing.T, window time.Duration, n int) (*RateMeter, *time.Time) {
+	t.Helper()
+	m := MustRateMeter(window, n)
+	now := time.Unix(100, 0)
+	m.SetClock(func() time.Time { return now })
+	return m, &now
+}
+
+func TestRateMeterZeroDurationTicks(t *testing.T) {
+	// Marks landing at the exact same instant must accumulate, not rotate
+	// the ring: advance() with zero elapsed time is a no-op.
+	m, _ := meterAt(t, 10*time.Second, 20)
+	for i := 0; i < 50; i++ {
+		m.Mark(1)
+	}
+	if got := m.Count(); got != 50 {
+		t.Fatalf("Count after 50 zero-duration marks = %d, want 50", got)
+	}
+	if got, want := m.Rate(), 5.0; got != want {
+		t.Fatalf("Rate = %v, want %v (50 events / 10s window)", got, want)
+	}
+}
+
+func TestRateMeterSubBucketTicksStayInOneBucket(t *testing.T) {
+	// Ticks smaller than one bucket (10s/20 = 500ms) never rotate; nothing
+	// is dropped and nothing double-counts.
+	m, now := meterAt(t, 10*time.Second, 20)
+	for i := 0; i < 10; i++ {
+		m.Mark(1)
+		*now = now.Add(49 * time.Millisecond)
+	}
+	if got := m.Count(); got != 10 {
+		t.Fatalf("Count = %d, want 10", got)
+	}
+}
+
+func TestRateMeterResetAfterIdleWindow(t *testing.T) {
+	// An idle gap of at least one full window clears every bucket: stale
+	// activity must not leak into the fresh epoch.
+	m, now := meterAt(t, 10*time.Second, 20)
+	m.Mark(100)
+	if got := m.Count(); got != 100 {
+		t.Fatalf("Count before idle = %d, want 100", got)
+	}
+	*now = now.Add(10 * time.Second) // exactly one window
+	if got := m.Count(); got != 0 {
+		t.Fatalf("Count after idle >= window = %d, want 0", got)
+	}
+	if got := m.Rate(); got != 0 {
+		t.Fatalf("Rate after idle = %v, want 0", got)
+	}
+	// The meter keeps working after the reset.
+	m.Mark(7)
+	if got := m.Count(); got != 7 {
+		t.Fatalf("Count after restart = %d, want 7", got)
+	}
+}
+
+func TestRateMeterGradualDecay(t *testing.T) {
+	// Events age out bucket by bucket as the window slides.
+	m, now := meterAt(t, 10*time.Second, 10) // 1s buckets
+	m.Mark(10)
+	*now = now.Add(5 * time.Second)
+	m.Mark(5)
+	if got := m.Count(); got != 15 {
+		t.Fatalf("Count mid-window = %d, want 15", got)
+	}
+	// 6 more seconds: the first batch (age 11s) is out, the second (6s) in.
+	*now = now.Add(6 * time.Second)
+	if got := m.Count(); got != 5 {
+		t.Fatalf("Count after first batch aged out = %d, want 5", got)
+	}
+	// 5 more: everything has aged out.
+	*now = now.Add(5 * time.Second)
+	if got := m.Count(); got != 0 {
+		t.Fatalf("Count after all aged out = %d, want 0", got)
+	}
+}
+
+func TestRateMeterWrapAround(t *testing.T) {
+	// Rotations crossing the ring boundary clear exactly the skipped
+	// buckets, not the surviving ones.
+	m, now := meterAt(t, 10*time.Second, 10)
+	m.Mark(3)
+	*now = now.Add(7 * time.Second)
+	m.Mark(4) // head at bucket 7
+	*now = now.Add(7 * time.Second)
+	// 14s after the first mark (gone), 7s after the second (still in).
+	if got := m.Count(); got != 4 {
+		t.Fatalf("Count across wrap = %d, want 4", got)
+	}
+}
+
+func TestEWMAResetForgetsHistory(t *testing.T) {
+	e := MustEWMA(0.25)
+	e.Record(100)
+	e.Record(100)
+	e.Reset()
+	if _, ok := e.Value(); ok {
+		t.Fatal("Value after Reset should report no samples")
+	}
+	if got := e.Samples(); got != 0 {
+		t.Fatalf("Samples after Reset = %d, want 0", got)
+	}
+	// The next sample initializes directly, unbiased by pre-reset history.
+	e.Record(4)
+	if v, ok := e.Value(); !ok || v != 4 {
+		t.Fatalf("first post-reset sample: %v, %v; want 4, true", v, ok)
+	}
+}

@@ -72,6 +72,12 @@ const (
 	// "not installed" durably refuses the epoch, so the verdict is final.
 	KindMoveProbe
 	KindMoveProbeReply
+	// KindPlanStatsQuery asks a core for the planner's view of it: hosted
+	// complets, per-pair invocation meters, load and free capacity. The
+	// communication-graph collector of the autonomic layout planner
+	// (internal/plan, DESIGN.md §14) aggregates these across member cores.
+	KindPlanStatsQuery
+	KindPlanStatsQueryReply
 )
 
 // ErrorReply is the payload of a KindError envelope: a request failed in the
@@ -108,6 +114,7 @@ func (k Kind) String() string {
 		KindFlightQuery: "flight-query", KindFlightQueryReply: "flight-query-reply",
 		KindHello:     "hello",
 		KindMoveProbe: "move-probe", KindMoveProbeReply: "move-probe-reply",
+		KindPlanStatsQuery: "plan-stats-query", KindPlanStatsQueryReply: "plan-stats-query-reply",
 	}
 	if s, ok := names[k]; ok {
 		return s
@@ -210,6 +217,30 @@ type MoveRequest struct {
 	// clone-only bundles (copies get fresh identities; replays are
 	// harmless there) and bundles from cores predating the move journal.
 	Epoch uint64
+	// Meters carries the source core's invocation-accounting state for the
+	// moved complets, so rates and counts keyed on complet identity survive
+	// relocation (the planner's graph edges must not reset on every move).
+	// The destination merges them into its monitor at install time; empty
+	// for bundles from cores predating the planner.
+	Meters []MeterState
+}
+
+// MeterState is the portable invocation-accounting state of one moved
+// complet: its lifetime invocation count, the invocations inside the current
+// rate window, and the same per source complet (the per-reference meters).
+type MeterState struct {
+	Target ids.CompletID
+	Count  uint64
+	Window uint64
+	Pairs  []PairMeterState
+}
+
+// PairMeterState is the windowed state of one (source → moved target)
+// reference meter.
+type PairMeterState struct {
+	Src    ids.CompletID
+	Window uint64
+	Bytes  uint64
 }
 
 // MoveCommand asks the core owning Target to move it to Dest. Like
@@ -595,6 +626,34 @@ type FlightQueryReply struct {
 	Total  uint64 // occurrences ever recorded (ring may have evicted some)
 	Events []FlightEvent
 	Err    string
+}
+
+// PlanStatsQuery asks a core for its planner statistics snapshot.
+type PlanStatsQuery struct{}
+
+// PairStat is one directed communication-graph edge as observed at the core
+// hosting Dst: invocations from Src to Dst in the current rate window.
+type PairStat struct {
+	Src  ids.CompletID
+	Dst  ids.CompletID
+	Rate float64 // invocations/second over the sliding window
+	// Count is the windowed invocation count backing Rate.
+	Count uint64
+	// Bytes is the cumulative argument bytes carried on this edge.
+	Bytes uint64
+}
+
+// PlanStatsQueryReply answers a PlanStatsQuery: everything the layout
+// planner's collector needs from one member core.
+type PlanStatsQueryReply struct {
+	Core     ids.CoreID
+	Complets []ids.CompletID
+	Pairs    []PairStat
+	// Load is the number of hosted complets; CapacityFree is the remaining
+	// admission capacity (a large sentinel when the core is uncapped).
+	Load         int
+	CapacityFree int
+	Err          string
 }
 
 // --- codec ------------------------------------------------------------------
