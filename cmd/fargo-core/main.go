@@ -55,6 +55,8 @@ func run() error {
 		planMinGain = flag.Float64("plan-min-gain", 0, "minimum cross-core invocations/second a move must save (0 = default)")
 		planCool    = flag.Duration("plan-cooldown", 0, "per-complet cooldown after a planner move (0 = default)")
 		planMax     = flag.Int("plan-max-moves", 0, "max actuations per planning round (0 = default, negative = unlimited)")
+		obsEvery    = flag.Duration("observatory", 0, "deployment observatory refresh interval (0 disables the background loop); pass -observatory 0s with -observatory-on to refresh on demand only")
+		obsOn       = flag.Bool("observatory-on", false, "host a deployment observatory on this core (refresh-on-demand; /cluster/ on the ops plane)")
 		peers       = cliutil.PeerFlags{}
 	)
 	flag.Var(peers, "peer", "peer core as name=host:port (repeatable)")
@@ -131,6 +133,20 @@ func run() error {
 			mode = "dry-run"
 		}
 		log.Printf("fargo-core %s: layout planner started (%s, interval %v)", *name, mode, *planEvery)
+	}
+	if *obsEvery > 0 || *obsOn {
+		if _, err := fargo.StartObservatory(c, fargo.ObservatoryOptions{
+			Interval: *obsEvery,
+			Logf:     log.Printf,
+		}); err != nil {
+			_ = c.Shutdown(0)
+			return err
+		}
+		mode := "refresh-on-demand"
+		if *obsEvery > 0 {
+			mode = fmt.Sprintf("interval %v", *obsEvery)
+		}
+		log.Printf("fargo-core %s: deployment observatory started (%s; /cluster/ on the ops plane)", *name, mode)
 	}
 
 	stop := make(chan os.Signal, 1)

@@ -13,6 +13,16 @@
 // With -stats each render appends a metrics pane: one line per inspected core
 // summarizing its invocation/movement counters and latency percentiles.
 //
+// With -web the monitor also hosts the deployment observatory and serves its
+// cluster view over HTTP —
+//
+//	fargo-monitor -name mon -peer a=host1:7101 -peer b=host2:7102 -watch a,b -web :9300
+//
+// opens http://127.0.0.1:9300/cluster/: a self-contained page with the layout
+// graph and a live timeline (SSE), plus /cluster/metrics (federated
+// Prometheus), /cluster/traces and /cluster/trace/{id} (stitched cross-core
+// traces).
+//
 // With -scrape the monitor does not join the deployment at all: it reads a
 // core's ops plane over plain HTTP instead —
 //
@@ -59,6 +69,7 @@ func run() error {
 		once     = flag.Bool("once", false, "print one snapshot and exit")
 		interval = flag.Duration("interval", 5*time.Second, "periodic full refresh")
 		stats    = flag.Bool("stats", false, "append a per-core metrics pane to each render")
+		web      = flag.String("web", "", "serve the cluster observatory web view at this HTTP address (layout graph + live SSE timeline under /cluster/); hostless addresses bind loopback")
 		scrape   = flag.String("scrape", "", "read one core's ops plane over HTTP (base URL, e.g. http://127.0.0.1:9120) instead of joining the deployment")
 		peers    = cliutil.PeerFlags{}
 	)
@@ -91,6 +102,21 @@ func run() error {
 	}
 	if len(cores) == 0 {
 		return fmt.Errorf("nothing to watch: give -watch or -peer flags")
+	}
+
+	if *web != "" {
+		// The monitor's embedded core hosts a deployment observatory over the
+		// inspected cores and serves its /cluster/ endpoints (self-contained
+		// HTML page, federated metrics, stitched traces, SSE timeline) from
+		// an ops plane bound at -web.
+		if _, err := fargo.StartObservatory(c, fargo.ObservatoryOptions{Cores: cores}); err != nil {
+			return err
+		}
+		srv, err := fargo.StartOps(c, fargo.OpsOptions{Addr: *web})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cluster view: http://%s/cluster/\n", srv.Addr())
 	}
 
 	view := layoutview.New(c, cores)

@@ -69,6 +69,7 @@ import (
 	"fargo/internal/layoutview"
 	"fargo/internal/netsim"
 	"fargo/internal/obs"
+	"fargo/internal/observatory"
 	"fargo/internal/plan"
 	"fargo/internal/ref"
 	"fargo/internal/registry"
@@ -410,6 +411,17 @@ func ListenTCP(name, listenAddr string, peers map[string]string, reg *Registry, 
 			return nil, "", err
 		}
 	}
+	if opts.Observatory != nil {
+		oc := opts.Observatory
+		_, err := StartObservatory(c, ObservatoryOptions{
+			Cores:    oc.Cores,
+			Interval: oc.Interval,
+		})
+		if err != nil {
+			_ = c.Shutdown(0)
+			return nil, "", err
+		}
+	}
 	return c, tr.Addr(), nil
 }
 
@@ -439,6 +451,29 @@ type PlannerStatus = plan.Status
 // planner.
 func StartPlanner(c *Core, opts PlannerOptions) (*Planner, error) {
 	return plan.Start(c, opts)
+}
+
+// Observatory is a running deployment observatory (StartObservatory): the
+// cluster-wide aggregation layer that federates every member core's metrics,
+// stitches cross-core traces into complete causal trees, and merges the
+// members' flight recorders into one globally ordered layout timeline. Any
+// core can host one; its endpoints appear under /cluster/ on that core's ops
+// plane. See internal/observatory and DESIGN.md §15.
+type Observatory = observatory.Observatory
+
+// ObservatoryOptions configures an observatory (StartObservatory).
+type ObservatoryOptions = observatory.Options
+
+// ObservatoryConfig is the plain-data observatory configuration carried by
+// Options.Observatory; ListenTCP starts an observatory from it.
+type ObservatoryConfig = core.ObservatoryConfig
+
+// StartObservatory attaches a deployment observatory to the core. With a
+// positive Interval it refreshes its cluster model in the background until
+// the core shuts down; with Interval zero every /cluster/ read refreshes on
+// demand with bounded staleness. A core has at most one observatory.
+func StartObservatory(c *Core, opts ObservatoryOptions) (*Observatory, error) {
+	return observatory.Start(c, opts)
 }
 
 // OpsServer is a running per-core ops plane: an embedded HTTP server exposing

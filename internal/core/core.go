@@ -160,6 +160,24 @@ type Options struct {
 	// itself never reads it — plan.Start does — so cores without a planner
 	// pay nothing.
 	Planner *PlannerConfig
+	// Observatory, when non-nil, asks the embedding layer (fargo.ListenTCP)
+	// to start the deployment observatory (internal/observatory) on this
+	// core: metrics federation, cluster-wide trace stitching, and the merged
+	// layout timeline served under /cluster/ on the ops plane. Plain data for
+	// the same reason as Planner — core cannot import internal/observatory.
+	Observatory *ObservatoryConfig
+}
+
+// ObservatoryConfig enables the deployment observatory on a core built
+// through the facade (fargo.Options.Observatory). Mirrors observatory.Options;
+// see there for field semantics.
+type ObservatoryConfig struct {
+	// Cores lists the member cores to observe. Empty means dynamic
+	// membership: this core plus whatever peers it knows.
+	Cores []ids.CoreID
+	// Interval is the background refresh period (0 = refresh on demand only,
+	// driven by HTTP reads).
+	Interval time.Duration
 }
 
 // Core is a FarGo runtime instance.

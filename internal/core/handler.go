@@ -68,6 +68,8 @@ func (c *Core) handle(ctx context.Context, env wire.Envelope) (wire.Kind, []byte
 		return c.handleFlightQuery(env)
 	case wire.KindPlanStatsQuery:
 		return c.handlePlanStats(env)
+	case wire.KindObsQuery:
+		return c.handleObsQuery(env)
 	default:
 		return 0, nil, fmt.Errorf("core %s: unhandled envelope kind %s", c.id, env.Kind)
 	}

@@ -216,8 +216,10 @@ func (c *Core) HealthAtCtx(ctx context.Context, dest ids.CoreID) (wire.HealthQue
 	return reply, nil
 }
 
-// flightReply snapshots the recorder into the wire form.
-func (c *Core) flightReply(max int) wire.FlightQueryReply {
+// flightReply snapshots the recorder into the wire form. afterSeq, when
+// nonzero, drops events with Seq <= afterSeq so incremental collectors (the
+// observatory's timeline loop) ship only unseen events.
+func (c *Core) flightReply(max int, afterSeq uint64) wire.FlightQueryReply {
 	events := c.flight.Snapshot(max)
 	reply := wire.FlightQueryReply{
 		Core:   c.id,
@@ -225,6 +227,9 @@ func (c *Core) flightReply(max int) wire.FlightQueryReply {
 		Events: make([]wire.FlightEvent, 0, len(events)),
 	}
 	for _, ev := range events {
+		if ev.Seq <= afterSeq {
+			continue
+		}
 		reply.Events = append(reply.Events, wire.FlightEvent{
 			Seq:           ev.Seq,
 			UnixNanos:     ev.At.UnixNano(),
@@ -246,7 +251,7 @@ func (c *Core) handleFlightQuery(env wire.Envelope) (wire.Kind, []byte, error) {
 	if err := wire.DecodePayload(env.Payload, &req); err != nil {
 		return 0, nil, err
 	}
-	out, err := wire.EncodePayload(c.flightReply(req.Max))
+	out, err := wire.EncodePayload(c.flightReply(req.Max, 0))
 	if err != nil {
 		return 0, nil, err
 	}
@@ -265,7 +270,7 @@ func (c *Core) FlightAt(dest ids.CoreID, max int) (wire.FlightQueryReply, error)
 // context.
 func (c *Core) FlightAtCtx(ctx context.Context, dest ids.CoreID, max int) (wire.FlightQueryReply, error) {
 	if dest == c.id || dest.Nil() {
-		return c.flightReply(max), nil
+		return c.flightReply(max, 0), nil
 	}
 	if c.isClosed() {
 		return wire.FlightQueryReply{}, ErrClosed

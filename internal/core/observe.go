@@ -80,6 +80,7 @@ func (c *Core) statsReply() wire.StatsQueryReply {
 	for name, h := range snap.Histograms {
 		reply.Histograms[name] = wire.HistogramStat{
 			Count: h.Count, Sum: h.Sum, P50: h.P50, P95: h.P95, P99: h.P99,
+			Bounds: h.Bounds, Buckets: h.Buckets,
 		}
 	}
 	return reply
@@ -140,6 +141,7 @@ func FormatStats(w io.Writer, reply wire.StatsQueryReply) {
 	for name, h := range reply.Histograms {
 		snap.Histograms[name] = stats.HistogramSnapshot{
 			Count: h.Count, Sum: h.Sum, P50: h.P50, P95: h.P95, P99: h.P99,
+			Bounds: h.Bounds, Buckets: h.Buckets,
 		}
 	}
 	snap.WriteText(w)
@@ -295,6 +297,81 @@ func (c *Core) traceQuery(ctx context.Context, dest ids.CoreID, req wire.TraceQu
 	}
 	if reply.Err != "" {
 		return wire.TraceQueryReply{}, &peerError{msg: fmt.Sprintf("core: traces of %s: %s", dest, reply.Err)}
+	}
+	return reply, nil
+}
+
+// --- batched observability query --------------------------------------------
+
+// obsReply composes the selected per-core observability slices into one
+// reply. It reuses the single-query builders, so the batched form can never
+// drift from the individual endpoints.
+func (c *Core) obsReply(req wire.ObsQuery) wire.ObsQueryReply {
+	reply := wire.ObsQueryReply{Core: c.id}
+	if req.Stats {
+		s := c.statsReply()
+		reply.Stats = &s
+	}
+	if req.Health {
+		h := c.healthReply()
+		reply.Health = &h
+	}
+	if req.Info {
+		reply.Info = &wire.CoreInfoReply{Core: c.id, Complets: c.Complets(), Peers: c.Peers()}
+	}
+	if req.Flight {
+		f := c.flightReply(req.FlightMax, req.FlightAfterSeq)
+		reply.Flight = &f
+	}
+	if req.Traces {
+		t := c.traceReply(wire.TraceQuery{Max: req.TraceMax})
+		reply.Traces = &t
+	}
+	if req.Trace != 0 {
+		reply.Spans = c.traceReply(wire.TraceQuery{Trace: req.Trace}).Spans
+	}
+	return reply
+}
+
+// handleObsQuery serves the batched observability query (the observatory's
+// one-round-trip-per-member refresh).
+func (c *Core) handleObsQuery(env wire.Envelope) (wire.Kind, []byte, error) {
+	var req wire.ObsQuery
+	if err := wire.DecodePayload(env.Payload, &req); err != nil {
+		return 0, nil, err
+	}
+	out, err := wire.EncodePayload(c.obsReply(req))
+	if err != nil {
+		return 0, nil, err
+	}
+	return wire.KindObsQueryReply, out, nil
+}
+
+// ObsAtCtx fetches the selected observability slices of a core in a single
+// round-trip (this core's own state when dest is self).
+func (c *Core) ObsAtCtx(ctx context.Context, dest ids.CoreID, req wire.ObsQuery) (wire.ObsQueryReply, error) {
+	if dest == c.id || dest.Nil() {
+		return c.obsReply(req), nil
+	}
+	if c.isClosed() {
+		return wire.ObsQueryReply{}, ErrClosed
+	}
+	payload, err := wire.EncodePayload(req)
+	if err != nil {
+		return wire.ObsQueryReply{}, err
+	}
+	ctx, cancel := c.withBudget(ctx, 0)
+	defer cancel()
+	env, err := c.request(ctx, dest, wire.KindObsQuery, payload)
+	if err != nil {
+		return wire.ObsQueryReply{}, fmt.Errorf("core: obs of %s: %w", dest, err)
+	}
+	var reply wire.ObsQueryReply
+	if err := wire.DecodePayload(env.Payload, &reply); err != nil {
+		return wire.ObsQueryReply{}, err
+	}
+	if reply.Err != "" {
+		return wire.ObsQueryReply{}, &peerError{msg: fmt.Sprintf("core: obs of %s: %s", dest, reply.Err)}
 	}
 	return reply, nil
 }

@@ -65,7 +65,9 @@ const (
 
 // Event is one recorded occurrence.
 type Event struct {
-	// Seq is the per-recorder causal sequence number (strictly monotonic).
+	// Seq is the per-recorder causal sequence number: strictly monotonic,
+	// starting at 1, so zero unambiguously means "no event" and "everything
+	// after Seq s" filters need no sentinel.
 	Seq uint64 `json:"seq"`
 	// At is the wall-clock record time.
 	At time.Time `json:"at"`
@@ -94,7 +96,7 @@ const DefaultCapacity = 512
 type Recorder struct {
 	mu   sync.Mutex
 	buf  []Event
-	next uint64 // next sequence number (also the count of events ever seen)
+	next uint64 // last assigned sequence number (also the count of events ever seen)
 	head int    // index of the oldest retained event
 	n    int    // retained count
 }
@@ -109,18 +111,22 @@ func New(capacity int) *Recorder {
 }
 
 // Record stores one event, stamping Seq and (when zero) At. Oldest events
-// are evicted once the ring is full.
+// are evicted once the ring is full. At is stamped under the same lock that
+// assigns Seq, so for runtime-stamped events Seq order and At order agree —
+// a merged cross-core timeline can sort by time without reordering any one
+// core's causal sequence. (Callers that pass their own At keep it and forgo
+// that guarantee.)
 func (r *Recorder) Record(ev Event) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if ev.At.IsZero() {
 		ev.At = time.Now()
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	ev.Seq = r.next
 	r.next++
+	ev.Seq = r.next
 	if r.n < len(r.buf) {
 		r.buf[(r.head+r.n)%len(r.buf)] = ev
 		r.n++

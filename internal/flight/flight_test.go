@@ -1,6 +1,7 @@
 package flight
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -16,7 +17,7 @@ func TestRecordAndSnapshotOrder(t *testing.T) {
 		t.Fatalf("len = %d, want 5", len(evs))
 	}
 	for i, ev := range evs {
-		if ev.Seq != uint64(i) {
+		if ev.Seq != uint64(i)+1 {
 			t.Fatalf("seq[%d] = %d", i, ev.Seq)
 		}
 		if ev.At.IsZero() {
@@ -37,8 +38,8 @@ func TestRingEviction(t *testing.T) {
 	if len(evs) != 4 {
 		t.Fatalf("len = %d, want 4", len(evs))
 	}
-	if evs[0].Seq != 6 || evs[3].Seq != 9 {
-		t.Fatalf("retained seqs %d..%d, want 6..9", evs[0].Seq, evs[3].Seq)
+	if evs[0].Seq != 7 || evs[3].Seq != 10 {
+		t.Fatalf("retained seqs %d..%d, want 7..10", evs[0].Seq, evs[3].Seq)
 	}
 	if r.Total() != 10 {
 		t.Fatalf("Total = %d, want 10", r.Total())
@@ -57,8 +58,8 @@ func TestSnapshotMax(t *testing.T) {
 	if len(evs) != 3 {
 		t.Fatalf("len = %d, want 3", len(evs))
 	}
-	if evs[0].Seq != 7 || evs[2].Seq != 9 {
-		t.Fatalf("newest-3 seqs = %d..%d, want 7..9", evs[0].Seq, evs[2].Seq)
+	if evs[0].Seq != 8 || evs[2].Seq != 10 {
+		t.Fatalf("newest-3 seqs = %d..%d, want 8..10", evs[0].Seq, evs[2].Seq)
 	}
 }
 
@@ -80,6 +81,75 @@ func TestDefaultCapacity(t *testing.T) {
 	}
 	if r.Len() != DefaultCapacity {
 		t.Fatalf("Len = %d, want %d", r.Len(), DefaultCapacity)
+	}
+}
+
+// TestConcurrentSnapshotDuringRecord hammers Record from several goroutines
+// while continuously snapshotting, and checks every snapshot for the ring's
+// read invariants: strictly ascending contiguous Seq (no duplicates, no torn
+// or half-evicted entries), non-decreasing At alongside Seq (Record stamps
+// both under one critical section), and internally consistent events (Detail
+// must match the Seq it was recorded with — a torn read would pair one
+// event's Seq with another's payload). Run with -race.
+func TestConcurrentSnapshotDuringRecord(t *testing.T) {
+	r := New(128)
+	const writers = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	recorded := make(map[string]bool) // Detail strings handed to Record
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d := fmt.Sprintf("w%d-%d", g, i)
+				mu.Lock()
+				recorded[d] = true
+				mu.Unlock()
+				r.Record(Event{Kind: KindRetry, Detail: d})
+			}
+		}(g)
+	}
+
+	deadline := time.Now().Add(200 * time.Millisecond)
+	snaps := 0
+	for time.Now().Before(deadline) {
+		evs := r.Snapshot(0)
+		snaps++
+		for i, ev := range evs {
+			if ev.Seq == 0 {
+				t.Fatalf("snapshot %d: event %d has unassigned Seq (torn entry): %+v", snaps, i, ev)
+			}
+			if i > 0 {
+				prev := evs[i-1]
+				if ev.Seq != prev.Seq+1 {
+					t.Fatalf("snapshot %d: seq %d -> %d (not contiguous)", snaps, prev.Seq, ev.Seq)
+				}
+				if ev.At.Before(prev.At) {
+					t.Fatalf("snapshot %d: At regresses between seq %d and %d", snaps, prev.Seq, ev.Seq)
+				}
+			}
+			if ev.Kind != KindRetry || ev.Detail == "" {
+				t.Fatalf("snapshot %d: torn event payload: %+v", snaps, ev)
+			}
+			mu.Lock()
+			ok := recorded[ev.Detail]
+			mu.Unlock()
+			if !ok {
+				t.Fatalf("snapshot %d: event carries a Detail never recorded: %q", snaps, ev.Detail)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if snaps < 10 {
+		t.Fatalf("only %d snapshots taken; hammer did not overlap appends", snaps)
 	}
 }
 

@@ -211,6 +211,50 @@ func (v *View) Snapshot() map[ids.CoreID][]Entry {
 	return out
 }
 
+// Row is one core's slice of a JSON layout rendering — the shared shape of
+// the ops plane's /layout view block and the observatory's /cluster/layout,
+// so scrapers and the cluster web page read one format.
+type Row struct {
+	Core      string    `json:"core"`
+	Reachable bool      `json:"reachable"`
+	Complets  []Complet `json:"complets"`
+}
+
+// Complet is one complet inside a Row.
+type Complet struct {
+	ID       string   `json:"id"`
+	TypeName string   `json:"type"`
+	Names    []string `json:"names,omitempty"`
+}
+
+// Rows renders the view as per-core rows, sorted by core, watched-but-empty
+// cores included. The view only models cores it could reach, so Reachable is
+// always true here; aggregators that track reachability themselves (the
+// observatory) build Rows directly.
+func (v *View) Rows() []Row {
+	snap := v.Snapshot()
+	cores := append([]ids.CoreID(nil), v.cores...)
+	seen := map[ids.CoreID]bool{}
+	for _, c := range cores {
+		seen[c] = true
+	}
+	for c := range snap {
+		if !seen[c] {
+			cores = append(cores, c)
+		}
+	}
+	sort.Slice(cores, func(i, j int) bool { return cores[i] < cores[j] })
+	rows := make([]Row, 0, len(cores))
+	for _, c := range cores {
+		row := Row{Core: c.String(), Reachable: true, Complets: []Complet{}}
+		for _, e := range snap[c] {
+			row.Complets = append(row.Complets, Complet{ID: e.ID.String(), TypeName: e.TypeName, Names: e.Names})
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
 // Render formats the layout as a text table (the terminal stand-in for
 // Figure 4).
 func (v *View) Render() string {

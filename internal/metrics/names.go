@@ -127,6 +127,28 @@ func JoinLabels(name string, labels Labels) string {
 	return sb.String()
 }
 
+// SplitName separates a canonical series name into its base name and parsed
+// label set (nil labels when the name has no suffix). Aggregators use it to
+// group per-core series of the same family.
+func SplitName(full string) (base string, labels Labels, err error) {
+	return splitLabels(full)
+}
+
+// WithLabel returns the canonical series name with one more label attached —
+// how the observatory stamps every federated series with its origin core.
+// An existing label under the same key is overwritten.
+func WithLabel(full, key, value string) (string, error) {
+	base, labels, err := splitLabels(full)
+	if err != nil {
+		return "", err
+	}
+	if labels == nil {
+		labels = Labels{}
+	}
+	labels[key] = value
+	return canonicalName(JoinLabels(base, labels))
+}
+
 // splitLabels separates a canonical or caller-supplied name into its base
 // and parsed label set. Names without a suffix return nil labels.
 func splitLabels(full string) (base string, labels Labels, err error) {

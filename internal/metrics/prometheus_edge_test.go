@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fargo/internal/stats"
+)
+
+// Exposition edge cases: escaping, empty registries, zero-observation
+// histograms, and the cumulative-bucket invariants of merged histograms (the
+// observatory's /cluster/metrics renders merged snapshots through this same
+// encoder).
+
+// TestPrometheusLabelValueEscaping: label values containing quotes,
+// backslashes and newlines must render escaped and round-trip through
+// SplitName unchanged.
+func TestPrometheusLabelValueEscaping(t *testing.T) {
+	hostile := `quote " backslash \ newline` + "\n" + `end`
+	full := JoinLabels("edge_total", Labels{"detail": hostile})
+	if strings.ContainsRune(full, '\n') {
+		t.Fatalf("canonical name %q carries a raw newline", full)
+	}
+	base, labels, err := SplitName(full)
+	if err != nil {
+		t.Fatalf("SplitName(%q): %v", full, err)
+	}
+	if base != "edge_total" || labels["detail"] != hostile {
+		t.Fatalf("round-trip lost the value: base=%q detail=%q", base, labels["detail"])
+	}
+
+	var buf bytes.Buffer
+	WritePrometheus(&buf, Snapshot{Counters: map[string]uint64{full: 7}})
+	page := buf.String()
+	if !strings.Contains(page, `\"`) || !strings.Contains(page, `\\`) || !strings.Contains(page, `\n`) {
+		t.Fatalf("exposition did not escape the label value:\n%s", page)
+	}
+	// One sample line, and it parses back.
+	for _, line := range strings.Split(strings.TrimSpace(page), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line[:strings.LastIndexByte(line, ' ')]
+		if _, _, err := SplitName(name); err != nil {
+			t.Fatalf("emitted series %q does not re-parse: %v", name, err)
+		}
+	}
+}
+
+// TestPrometheusRejectsHostileNames: names that cannot be made valid are
+// refused at registration, so they can never corrupt a scrape.
+func TestPrometheusRejectsHostileNames(t *testing.T) {
+	for _, name := range []string{
+		"", "7starts_with_digit", "has space", "emoji_☃", `inject{a="b"} 1` + "\nevil 2",
+	} {
+		if err := ValidateName(name); err == nil {
+			t.Fatalf("ValidateName(%q) accepted a hostile name", name)
+		}
+	}
+	// The legacy dotted style is normalized, not rejected.
+	if err := ValidateName("fargo.moves.total"); err != nil {
+		t.Fatalf("dotted name rejected: %v", err)
+	}
+}
+
+// TestPrometheusEmptyRegistry: a registry with no instruments produces an
+// empty page, not a malformed one.
+func TestPrometheusEmptyRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	WritePrometheus(&buf, NewRegistry().Snapshot())
+	if got := buf.String(); got != "" {
+		t.Fatalf("empty registry rendered %q, want empty output", got)
+	}
+}
+
+// TestPrometheusZeroObservationHistogram: a registered histogram nobody has
+// observed still renders a full, consistent family — every bucket 0, +Inf 0,
+// sum 0, count 0.
+func TestPrometheusZeroObservationHistogram(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("idle_latency_ns") // registered, never observed
+	var buf bytes.Buffer
+	WritePrometheus(&buf, reg.Snapshot())
+	page := buf.String()
+
+	if !strings.Contains(page, "# TYPE idle_latency_ns histogram") {
+		t.Fatalf("no histogram family emitted:\n%s", page)
+	}
+	buckets := parseBuckets(t, page, "idle_latency_ns")
+	if len(buckets) == 0 {
+		t.Fatal("zero-observation histogram emitted no _bucket series")
+	}
+	for _, c := range buckets {
+		if c != 0 {
+			t.Fatalf("zero-observation histogram has non-zero bucket: %v", buckets)
+		}
+	}
+	if !strings.Contains(page, "idle_latency_ns_sum 0\n") || !strings.Contains(page, "idle_latency_ns_count 0\n") {
+		t.Fatalf("sum/count not zero:\n%s", page)
+	}
+}
+
+// TestPrometheusMergedHistogramInvariants: a histogram merged across members
+// (the observatory's cluster_ families) must render cumulative bucket counts
+// that are monotone non-decreasing and end at the total count.
+func TestPrometheusMergedHistogramInvariants(t *testing.T) {
+	h1 := stats.NewLatencyHistogram()
+	h2 := stats.NewLatencyHistogram()
+	for i := 0; i < 100; i++ {
+		h1.Observe(float64(1000 * (i + 1)))  // 1µs..100µs
+		h2.Observe(float64(50000 * (i + 1))) // 50µs..5ms
+	}
+	merged := stats.MergeHistogramSnapshots([]stats.HistogramSnapshot{h1.Snapshot(), h2.Snapshot()})
+	if merged.Count != 200 {
+		t.Fatalf("merged Count = %d, want 200", merged.Count)
+	}
+
+	var buf bytes.Buffer
+	WritePrometheus(&buf, Snapshot{Histograms: map[string]stats.HistogramSnapshot{
+		"cluster_invoke_latency_ns": merged,
+	}})
+	page := buf.String()
+	buckets := parseBuckets(t, page, "cluster_invoke_latency_ns")
+	if len(buckets) < 2 {
+		t.Fatalf("merged histogram emitted %d buckets:\n%s", len(buckets), page)
+	}
+	var prev uint64
+	for i, c := range buckets {
+		if c < prev {
+			t.Fatalf("cumulative bucket %d decreased: %d after %d\n%s", i, c, prev, page)
+		}
+		prev = c
+	}
+	if last := buckets[len(buckets)-1]; last != merged.Count {
+		t.Fatalf("+Inf bucket = %d, want total count %d", last, merged.Count)
+	}
+}
+
+// parseBuckets extracts the cumulative _bucket sample values of one histogram
+// family, in emission (ascending-le) order.
+func parseBuckets(t *testing.T, page, family string) []uint64 {
+	t.Helper()
+	var out []uint64
+	for _, line := range strings.Split(page, "\n") {
+		if !strings.HasPrefix(line, family+"_bucket{") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseUint(line[sp+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", line, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -31,6 +31,7 @@ import (
 	"fargo/internal/flight"
 	"fargo/internal/layoutview"
 	"fargo/internal/metrics"
+	"fargo/internal/observatory"
 	"fargo/internal/plan"
 	"fargo/internal/trace"
 )
@@ -84,6 +85,8 @@ func Start(c *core.Core, opts Options) (*Server, error) {
 	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/flight", s.handleFlight)
 	mux.HandleFunc("/plan", s.handlePlan)
+	mux.HandleFunc("/cluster/", s.handleCluster)
+	mux.HandleFunc("/cluster", s.handleCluster)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -339,6 +342,19 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	writeJSONStatus(w, body, true)
 }
 
+// handleCluster routes /cluster/* to the deployment observatory attached to
+// this core, when one is (observatory.Start, fargo.StartObservatory, the
+// shell's `cluster` command, fargo-monitor -web). Resolution happens per
+// request, so the observatory may start before or after the ops plane.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	o, ok := observatory.For(s.c)
+	if !ok {
+		http.Error(w, "no observatory on this core (start one with fargo.StartObservatory, core option Observatory, or the shell's `cluster` command)", http.StatusNotFound)
+		return
+	}
+	o.ServeHTTP(w, r)
+}
+
 // handleIndex lists the endpoints (human convenience).
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
@@ -354,6 +370,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"/trace         Chrome trace_event download",
 		"/flight        flight recorder ring (JSON; ?n= newest n)",
 		"/plan          layout planner status (JSON)",
+		"/cluster/      deployment observatory (HTML; /cluster/metrics, /cluster/timeline, /cluster/trace/{id})",
 		"/debug/pprof/  Go profiles",
 	} {
 		fmt.Fprintln(w, ep)

@@ -13,6 +13,7 @@ import (
 	"fargo/internal/demo"
 	"fargo/internal/ids"
 	"fargo/internal/netsim"
+	"fargo/internal/observatory"
 	"fargo/internal/registry"
 	"fargo/internal/transport"
 )
@@ -415,5 +416,83 @@ func TestNormalizeAddr(t *testing.T) {
 func TestStartRejectsNilCore(t *testing.T) {
 	if _, err := Start(nil, Options{}); err == nil {
 		t.Fatal("Start(nil) must fail")
+	}
+}
+
+// TestClusterRoutesThroughOps: the ops plane routes /cluster/* to the
+// observatory attached to its core — 404 with a hint while none is attached,
+// the full endpoint family once one is. The metrics page must satisfy the
+// exposition grammar and carry per-core labels.
+func TestClusterRoutesThroughOps(t *testing.T) {
+	cl := newCluster(t, "a", "b")
+	a := cl.core("a")
+	srv, err := Start(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+
+	status, body := get(t, base+"/cluster/metrics")
+	if status != http.StatusNotFound || !strings.Contains(body, "no observatory") {
+		t.Fatalf("without observatory: status=%d body=%q, want 404 with hint", status, body)
+	}
+
+	o, err := observatory.Start(a, observatory.Options{Cores: []ids.CoreID{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Stop()
+
+	status, body = get(t, base+"/cluster/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/cluster/metrics status = %d, want 200: %s", status, body)
+	}
+	samples := checkExposition(t, body)
+	var labeled bool
+	for _, s := range samples {
+		if strings.Contains(s, `core="a"`) || strings.Contains(s, `core="b"`) {
+			labeled = true
+		}
+	}
+	if !labeled {
+		t.Fatalf("no per-core labeled sample in /cluster/metrics:\n%s", body)
+	}
+	if !strings.Contains(body, "cluster_members 2") {
+		t.Fatalf("derived gauge cluster_members missing:\n%s", body)
+	}
+
+	status, body = get(t, base+"/cluster/status")
+	if status != http.StatusOK {
+		t.Fatalf("/cluster/status status = %d: %s", status, body)
+	}
+	var st struct {
+		Partial bool   `json:"partial"`
+		Core    string `json:"core"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/cluster/status not JSON: %v\n%s", err, body)
+	}
+	if st.Partial || st.Core != "a" {
+		t.Fatalf("/cluster/status = %+v, want full view via a", st)
+	}
+
+	status, body = get(t, base+"/cluster/timeline?n=5")
+	if status != http.StatusOK {
+		t.Fatalf("/cluster/timeline status = %d: %s", status, body)
+	}
+	var tl struct {
+		Events []json.RawMessage `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &tl); err != nil {
+		t.Fatalf("/cluster/timeline not JSON: %v\n%s", err, body)
+	}
+
+	status, body = get(t, base+"/cluster/")
+	if status != http.StatusOK || !strings.Contains(body, "EventSource") {
+		t.Fatalf("/cluster/ page status=%d, want the self-contained HTML view", status)
+	}
+	status, body = get(t, base+"/")
+	if status != http.StatusOK || !strings.Contains(body, "/cluster/") {
+		t.Fatalf("index does not advertise /cluster/: %s", body)
 	}
 }

@@ -1,0 +1,331 @@
+package observatory
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"fargo/internal/layoutview"
+	"fargo/internal/metrics"
+	"fargo/internal/trace"
+)
+
+// HTTP surface. The observatory does not listen on its own: the per-core ops
+// plane (internal/obs) routes every /cluster/* request to the observatory
+// attached to its core, so any core that hosts both automatically grows the
+// cluster endpoints, and fargo-monitor -web serves the same handlers from
+// its embedded core.
+//
+//	/cluster/           self-contained HTML page (layout graph + live timeline)
+//	/cluster/status     membership and staleness (JSON; partial view flag)
+//	/cluster/metrics    federated Prometheus exposition
+//	/cluster/timeline   merged timeline (JSON; ?n= newest n; ?follow=1 = SSE)
+//	/cluster/traces     merged trace listing (JSON)
+//	/cluster/trace/{id} stitched trace (text tree; ?format=chrome|json)
+//	/cluster/layout     per-member complet placement (JSON)
+//
+// Every read serves the model of the last refresh after RefreshIfStale, so
+// an observatory without a background loop still answers with bounded
+// staleness and an idle one costs nothing.
+
+// ServeHTTP implements the /cluster/* endpoint family.
+func (o *Observatory) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimPrefix(r.URL.Path, "/cluster")
+	switch {
+	case path == "" || path == "/":
+		o.servePage(w, r)
+	case path == "/status":
+		o.serveStatus(w, r)
+	case path == "/metrics":
+		o.serveMetrics(w, r)
+	case path == "/timeline":
+		o.serveTimeline(w, r)
+	case path == "/traces":
+		o.serveTraces(w, r)
+	case strings.HasPrefix(path, "/trace/"):
+		o.serveTrace(w, r, strings.TrimPrefix(path, "/trace/"))
+	case path == "/layout":
+		o.serveLayout(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (o *Observatory) refreshForRead(r *http.Request) {
+	ctx, cancel := contextTimeout(r, o.opts.RefreshTimeout)
+	defer cancel()
+	if err := o.RefreshIfStale(ctx); err != nil {
+		o.logf("observatory %s: read refresh: %v", o.c.ID(), err)
+	}
+}
+
+// contextTimeout bounds request-driven work by both the client connection
+// and the observatory's refresh budget.
+func contextTimeout(r *http.Request, d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), d)
+}
+
+func (o *Observatory) serveStatus(w http.ResponseWriter, r *http.Request) {
+	o.refreshForRead(r)
+	writeJSON(w, o.Status())
+}
+
+func (o *Observatory) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	o.refreshForRead(r)
+	w.Header().Set("Content-Type", metrics.PrometheusContentType)
+	metrics.WritePrometheus(w, o.ClusterSnapshot())
+}
+
+// timelineBody is the JSON served by /cluster/timeline.
+type timelineBody struct {
+	Core    string   `json:"core"`
+	Partial bool     `json:"partial"`
+	Events  []Event  `json:"events"`
+	Members []string `json:"unreachable,omitempty"`
+}
+
+func (o *Observatory) serveTimeline(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("follow") != "" || r.Header.Get("Accept") == "text/event-stream" {
+		o.serveTimelineSSE(w, r)
+		return
+	}
+	o.refreshForRead(r)
+	max := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		max = n
+	}
+	st := o.Status()
+	body := timelineBody{Core: st.Core, Partial: st.Partial, Members: st.Unreachable, Events: o.Timeline(max)}
+	if body.Events == nil {
+		body.Events = []Event{}
+	}
+	writeJSON(w, body)
+}
+
+// serveTimelineSSE streams the merged timeline as text/event-stream: the
+// retained backlog first (so a late viewer sees history), then every event
+// as it merges. While the stream is open the handler keeps the model fresh
+// itself, so SSE works with or without a background refresh loop.
+func (o *Observatory) serveTimelineSSE(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	backlog, ch, cancel := o.Subscribe(256)
+	defer cancel()
+
+	replay := 64
+	if q := r.URL.Query().Get("replay"); q != "" {
+		if n, err := strconv.Atoi(q); err == nil && n >= 0 {
+			replay = n
+		}
+	}
+	if len(backlog) > replay {
+		backlog = backlog[len(backlog)-replay:]
+	}
+	for _, ev := range backlog {
+		writeSSE(w, ev)
+	}
+	fl.Flush()
+
+	tick := time.NewTicker(o.opts.StaleAfter)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return // observatory stopped
+			}
+			writeSSE(w, ev)
+			fl.Flush()
+		case <-tick.C:
+			ctx, cancelRefresh := contextTimeout(r, o.opts.RefreshTimeout)
+			err := o.RefreshIfStale(ctx)
+			cancelRefresh()
+			if err != nil {
+				o.logf("observatory %s: sse refresh: %v", o.c.ID(), err)
+			}
+			// Comment line: keeps idle connections alive and flushes
+			// intermediaries.
+			fmt.Fprint(w, ": tick\n\n")
+			fl.Flush()
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, ev Event) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: timeline\ndata: %s\n\n", data)
+}
+
+// tracesBody is the JSON served by /cluster/traces.
+type tracesBody struct {
+	Core        string       `json:"core"`
+	Partial     bool         `json:"partial"`
+	Unreachable []string     `json:"unreachable,omitempty"`
+	Traces      []TraceEntry `json:"traces"`
+}
+
+func (o *Observatory) serveTraces(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := contextTimeout(r, o.opts.RefreshTimeout)
+	defer cancel()
+	entries, unreachable, err := o.Traces(ctx, 0)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	body := tracesBody{Core: o.c.ID().String(), Partial: len(unreachable) > 0, Traces: entries}
+	if body.Traces == nil {
+		body.Traces = []TraceEntry{}
+	}
+	for _, u := range unreachable {
+		body.Unreachable = append(body.Unreachable, u.String())
+	}
+	writeJSON(w, body)
+}
+
+func (o *Observatory) serveTrace(w http.ResponseWriter, r *http.Request, rawID string) {
+	id, err := trace.ParseTraceID(rawID)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := contextTimeout(r, o.opts.RefreshTimeout)
+	defer cancel()
+	st, err := o.Stitch(ctx, id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf("attachment; filename=%q", "fargo-cluster-trace-"+id.String()+".json"))
+		if err := trace.WriteChromeJSON(w, st.Spans); err != nil {
+			o.logf("observatory %s: chrome export: %v", o.c.ID(), err)
+		}
+	case "json":
+		writeJSON(w, stitchedBody(st))
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "trace %s: %d span(s) across %s\n", id, len(st.Spans), strings.Join(st.Cores, ", "))
+		if len(st.Unreachable) > 0 {
+			fmt.Fprintf(w, "PARTIAL: %d member(s) unreachable:", len(st.Unreachable))
+			for _, u := range st.Unreachable {
+				fmt.Fprintf(w, " %s", u)
+			}
+			fmt.Fprintln(w)
+		}
+		if len(st.Orphans) > 0 {
+			fmt.Fprintf(w, "%d orphaned span(s) (parent missing; promoted to roots)\n", len(st.Orphans))
+		}
+		fmt.Fprintln(w)
+		trace.FormatTree(w, st.Spans)
+	}
+}
+
+// stitchedJSON is the ?format=json rendering of a stitched trace.
+type stitchedJSON struct {
+	Trace       string     `json:"trace"`
+	Cores       []string   `json:"cores"`
+	Spans       []spanJSON `json:"spans"`
+	Orphans     []string   `json:"orphans,omitempty"`
+	Unreachable []string   `json:"unreachable,omitempty"`
+	Partial     bool       `json:"partial"`
+}
+
+type spanJSON struct {
+	ID       string `json:"id"`
+	Parent   string `json:"parent,omitempty"`
+	Name     string `json:"name"`
+	Core     string `json:"core"`
+	Start    int64  `json:"start_unix_ns"`
+	Duration int64  `json:"duration_ns"`
+	Err      string `json:"err,omitempty"`
+}
+
+func stitchedBody(st Stitched) stitchedJSON {
+	body := stitchedJSON{
+		Trace:   st.Trace.String(),
+		Cores:   st.Cores,
+		Partial: len(st.Unreachable) > 0,
+		Spans:   make([]spanJSON, 0, len(st.Spans)),
+	}
+	for _, sp := range st.Spans {
+		sj := spanJSON{
+			ID:       fmt.Sprintf("%016x", uint64(sp.ID)),
+			Name:     sp.Name,
+			Core:     sp.Core,
+			Start:    sp.Start.UnixNano(),
+			Duration: sp.Duration.Nanoseconds(),
+			Err:      sp.Err,
+		}
+		if sp.Parent != 0 {
+			sj.Parent = fmt.Sprintf("%016x", uint64(sp.Parent))
+		}
+		body.Spans = append(body.Spans, sj)
+	}
+	for _, sp := range st.Orphans {
+		body.Orphans = append(body.Orphans, fmt.Sprintf("%016x", uint64(sp.ID)))
+	}
+	for _, u := range st.Unreachable {
+		body.Unreachable = append(body.Unreachable, u.String())
+	}
+	return body
+}
+
+// layoutBody is the JSON served by /cluster/layout: complet placement per
+// member from the last refresh, rows in the shared layoutview.Row shape.
+type layoutBody struct {
+	Core    string           `json:"core"`
+	Partial bool             `json:"partial"`
+	Cores   []layoutview.Row `json:"cores"`
+}
+
+func (o *Observatory) serveLayout(w http.ResponseWriter, r *http.Request) {
+	o.refreshForRead(r)
+	o.mu.Lock()
+	body := layoutBody{Core: o.c.ID().String(), Cores: []layoutview.Row{}}
+	for _, id := range memberKeys(o.members) {
+		m := o.members[id]
+		row := layoutview.Row{Core: id.String(), Reachable: m.reachable, Complets: []layoutview.Complet{}}
+		if !m.reachable {
+			body.Partial = true
+		}
+		if m.info != nil {
+			for _, ci := range m.info.Complets {
+				row.Complets = append(row.Complets, layoutview.Complet{ID: ci.ID.String(), TypeName: ci.TypeName, Names: ci.Names})
+			}
+		}
+		body.Cores = append(body.Cores, row)
+	}
+	o.mu.Unlock()
+	writeJSON(w, body)
+}
+
+func writeJSON(w http.ResponseWriter, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}

@@ -1,0 +1,135 @@
+package observatory
+
+import "net/http"
+
+// servePage serves the cluster view: the stand-in for the paper's Figure 4
+// graphical monitor, rendered deployment-wide. One self-contained HTML
+// document — styles and script inline, no external assets, so it works on an
+// air-gapped operations host — showing the layout graph (one box per member
+// core, complet chips inside, unreachable members flagged) above a scrolling
+// live timeline fed by the /cluster/timeline SSE stream.
+func (o *Observatory) servePage(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(clusterPage))
+}
+
+const clusterPage = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>fargo cluster observatory</title>
+<style>
+  body { font-family: ui-monospace, SFMono-Regular, Menlo, monospace;
+         margin: 0; background: #10141a; color: #d7dde6; }
+  header { padding: 10px 16px; background: #161c26; border-bottom: 1px solid #2a3342;
+           display: flex; gap: 16px; align-items: baseline; }
+  header h1 { font-size: 15px; margin: 0; color: #7fd1b9; }
+  header .meta { font-size: 12px; color: #8b97a8; }
+  header .partial { color: #e8a640; font-weight: bold; }
+  #layout { display: flex; flex-wrap: wrap; gap: 12px; padding: 14px 16px; }
+  .corebox { min-width: 180px; border: 1px solid #2a3342; border-radius: 6px;
+             background: #161c26; }
+  .corebox.down { border-color: #a84848; opacity: 0.75; }
+  .corebox h2 { font-size: 13px; margin: 0; padding: 6px 10px;
+                border-bottom: 1px solid #2a3342; color: #9ec1e8; }
+  .corebox.down h2::after { content: " (unreachable)"; color: #e07a7a; font-size: 11px; }
+  .chips { padding: 8px 10px; display: flex; flex-wrap: wrap; gap: 6px; min-height: 18px; }
+  .chip { font-size: 11px; padding: 2px 8px; border-radius: 10px;
+          background: #233048; color: #cfe3ff; border: 1px solid #33476b; }
+  .chip .t { color: #7fd1b9; }
+  #tl-wrap { border-top: 1px solid #2a3342; }
+  #tl-wrap h2 { font-size: 13px; margin: 0; padding: 8px 16px; color: #9ec1e8; }
+  #timeline { list-style: none; margin: 0; padding: 0 16px 16px;
+              max-height: 45vh; overflow-y: auto; font-size: 12px; }
+  #timeline li { padding: 2px 0; border-bottom: 1px solid #1b2230; white-space: nowrap; }
+  .merge { color: #5c6b80; }
+  .core { color: #9ec1e8; }
+  .kind { font-weight: bold; }
+  .kind.planApplied { color: #7fd1b9; }
+  .kind.planSkipped { color: #8b97a8; }
+  .kind.move, .kind.moveRecovered { color: #c7a3e8; }
+  .kind.moveFailed, .kind.repairFailed, .kind.breakerOpen { color: #e07a7a; }
+  .kind.repair, .kind.breakerClosed { color: #e8d27a; }
+  .detail { color: #8b97a8; }
+</style>
+</head>
+<body>
+<header>
+  <h1>fargo cluster observatory</h1>
+  <span class="meta" id="meta">connecting&hellip;</span>
+  <span class="partial" id="partial"></span>
+</header>
+<div id="layout"></div>
+<div id="tl-wrap">
+  <h2>timeline</h2>
+  <ul id="timeline"></ul>
+</div>
+<script>
+(function () {
+  "use strict";
+  var MAXROWS = 300;
+  var tl = document.getElementById("timeline");
+
+  function esc(s) {
+    return String(s == null ? "" : s).replace(/[&<>"]/g, function (c) {
+      return { "&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;" }[c];
+    });
+  }
+
+  function renderLayout(body) {
+    var root = document.getElementById("layout");
+    root.innerHTML = "";
+    (body.cores || []).forEach(function (row) {
+      var box = document.createElement("div");
+      box.className = "corebox" + (row.reachable ? "" : " down");
+      var chips = (row.complets || []).map(function (c) {
+        var label = (c.names && c.names.length) ? c.names.join(",") : c.id;
+        return '<span class="chip" title="' + esc(c.id) + '">' +
+               esc(label) + ' <span class="t">' + esc(c.type) + "</span></span>";
+      }).join("");
+      box.innerHTML = "<h2>" + esc(row.core) + "</h2><div class=\"chips\">" +
+                      (chips || "&nbsp;") + "</div>";
+      root.appendChild(box);
+    });
+  }
+
+  function renderStatus(st) {
+    var up = (st.members || []).filter(function (m) { return m.reachable; }).length;
+    document.getElementById("meta").textContent =
+      "via " + st.core + " · " + up + "/" + (st.members || []).length +
+      " member(s) up · merge clock " + st.mergeClock +
+      " · cross-rate " + (st.crossCoreInvokeRate || 0).toFixed(2) + "/s";
+    document.getElementById("partial").textContent =
+      st.partial ? "PARTIAL VIEW: " + (st.unreachable || []).join(", ") + " unreachable" : "";
+  }
+
+  function poll() {
+    fetch("/cluster/layout").then(function (r) { return r.json(); })
+      .then(renderLayout).catch(function () {});
+    fetch("/cluster/status").then(function (r) { return r.json(); })
+      .then(renderStatus).catch(function () {});
+  }
+  poll();
+  setInterval(poll, 2000);
+
+  function addEvent(ev) {
+    var li = document.createElement("li");
+    var when = new Date(ev.at).toISOString().substr(11, 12);
+    li.innerHTML = '<span class="merge">#' + ev.merge + "</span> " + when +
+      ' <span class="core">' + esc(ev.core) + "</span>" +
+      ' <span class="kind ' + esc(ev.kind) + '">' + esc(ev.kind) + "</span> " +
+      esc(ev.complet || "") + (ev.peer ? " &rarr; " + esc(ev.peer) : "") +
+      ' <span class="detail">' + esc(ev.detail || ev.err || "") + "</span>";
+    tl.insertBefore(li, tl.firstChild);
+    while (tl.children.length > MAXROWS) tl.removeChild(tl.lastChild);
+  }
+
+  var es = new EventSource("/cluster/timeline?follow=1");
+  es.addEventListener("timeline", function (msg) {
+    try { addEvent(JSON.parse(msg.data)); } catch (e) {}
+  });
+})();
+</script>
+</body>
+</html>
+`

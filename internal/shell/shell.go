@@ -13,6 +13,8 @@ import (
 
 	"fargo/internal/core"
 	"fargo/internal/ids"
+	"fargo/internal/metrics"
+	"fargo/internal/observatory"
 	"fargo/internal/plan"
 	"fargo/internal/ref"
 	"fargo/internal/trace"
@@ -48,6 +50,11 @@ const Help = `commands:
   health <core>                  liveness/readiness verdict and per-peer breaker state
   recovery <core>                move-journal and crash-recovery state (pending moves)
   plan status|run|dry-run        layout planner: status, one round, or a what-if proposal
+  cluster status                 deployment observatory: membership, staleness, partial flag
+  cluster metrics                federated Prometheus exposition across every member
+  cluster timeline [n]           globally ordered layout timeline (newest n)
+  cluster traces                 merged trace listing across the deployment
+  cluster trace <id>             stitch one trace into its cross-core causal tree
   flight <core> [n]              flight recorder ring (newest n; default all retained)
   trace <core>                   list recent traces retained at a core
   trace <core> <id> [core...]    span tree of one trace, merged across the given cores
@@ -330,6 +337,129 @@ func (s *Shell) Exec(line string) error {
 			return nil
 		default:
 			return fmt.Errorf("usage: plan status|run|dry-run")
+		}
+	case "cluster":
+		if len(args) == 0 {
+			return fmt.Errorf("usage: cluster status|metrics|timeline [n]|traces|trace <id>")
+		}
+		o, ok := observatory.For(s.c)
+		if !ok {
+			// The shell core hosts no observatory of its own: start an ad-hoc
+			// one with dynamic membership (this core plus every peer it
+			// knows), refresh-on-demand only.
+			var err error
+			o, err = observatory.Start(s.c, observatory.Options{})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(s.out, "started ad-hoc observatory (this core + known peers)")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		switch args[0] {
+		case "status":
+			if err := o.Refresh(ctx); err != nil {
+				return err
+			}
+			st := o.Status()
+			fmt.Fprintf(s.out, "observatory on %s: %d member(s), refreshes=%d merge-clock=%d cross-rate=%.3g/s\n",
+				st.Core, len(st.Members), st.Refreshes, st.MergeClock, st.CrossRate)
+			if st.Partial {
+				fmt.Fprintf(s.out, "  PARTIAL VIEW: unreachable: %s\n", strings.Join(st.Unreachable, ", "))
+			}
+			for _, m := range st.Members {
+				mark := "up"
+				if !m.Reachable {
+					mark = "DOWN"
+				}
+				fmt.Fprintf(s.out, "  %-12s %-4s live=%v ready=%v complets=%d moves=%d suspects=%d",
+					m.Core, mark, m.Live, m.Ready, m.Complets, m.Moves, m.Suspects)
+				if m.Err != "" {
+					fmt.Fprintf(s.out, " err=%q", m.Err)
+				}
+				fmt.Fprintln(s.out)
+			}
+			return nil
+		case "metrics":
+			if err := o.Refresh(ctx); err != nil {
+				return err
+			}
+			metrics.WritePrometheus(s.out, o.ClusterSnapshot())
+			return nil
+		case "timeline":
+			max := 0
+			if len(args) == 2 {
+				n, err := strconv.Atoi(args[1])
+				if err != nil || n < 0 {
+					return fmt.Errorf("usage: cluster timeline [n] (n must be a non-negative integer)")
+				}
+				max = n
+			}
+			if err := o.Refresh(ctx); err != nil {
+				return err
+			}
+			events := o.Timeline(max)
+			if len(events) == 0 {
+				fmt.Fprintln(s.out, "(timeline empty)")
+				return nil
+			}
+			for _, ev := range events {
+				fmt.Fprintf(s.out, "#%-5d %s %-12s %-14s", ev.Merge, ev.At.Format("15:04:05.000"), ev.Core, ev.Kind)
+				if ev.Complet != "" {
+					fmt.Fprintf(s.out, " %s", ev.Complet)
+				}
+				if ev.Peer != "" {
+					fmt.Fprintf(s.out, " -> %s", ev.Peer)
+				}
+				if ev.Detail != "" {
+					fmt.Fprintf(s.out, " %s", ev.Detail)
+				}
+				if ev.Err != "" {
+					fmt.Fprintf(s.out, " ERR=%s", ev.Err)
+				}
+				fmt.Fprintln(s.out)
+			}
+			return nil
+		case "traces":
+			entries, unreachable, err := o.Traces(ctx, 0)
+			if err != nil {
+				return err
+			}
+			if len(unreachable) > 0 {
+				fmt.Fprintf(s.out, "PARTIAL: %d member(s) unreachable\n", len(unreachable))
+			}
+			if len(entries) == 0 {
+				fmt.Fprintln(s.out, "(no traces retained anywhere)")
+				return nil
+			}
+			for _, e := range entries {
+				fmt.Fprintf(s.out, "%s  %4d span(s)  cores=%s  %s  %s\n",
+					e.ID, e.Spans, strings.Join(e.Cores, ","), e.Start.Format("15:04:05.000"), e.Root)
+			}
+			return nil
+		case "trace":
+			if len(args) != 2 {
+				return fmt.Errorf("usage: cluster trace <id>")
+			}
+			id, err := trace.ParseTraceID(args[1])
+			if err != nil {
+				return err
+			}
+			st, err := o.Stitch(ctx, id)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(s.out, "trace %s: %d span(s) across %s\n", id, len(st.Spans), strings.Join(st.Cores, ", "))
+			if len(st.Unreachable) > 0 {
+				fmt.Fprintf(s.out, "PARTIAL: %d member(s) unreachable\n", len(st.Unreachable))
+			}
+			if len(st.Orphans) > 0 {
+				fmt.Fprintf(s.out, "%d orphaned span(s) (parent missing; promoted to roots)\n", len(st.Orphans))
+			}
+			trace.FormatTree(s.out, st.Spans)
+			return nil
+		default:
+			return fmt.Errorf("usage: cluster status|metrics|timeline [n]|traces|trace <id>")
 		}
 	case "flight":
 		if len(args) < 1 || len(args) > 2 {

@@ -1,0 +1,71 @@
+package stats
+
+// Cross-core aggregation helpers for the deployment observatory
+// (internal/observatory, DESIGN.md §15). Log-bucket histograms merge exactly
+// when their layouts agree: bucket counts add, and quantiles are re-estimated
+// from the merged distribution. Averaging per-core quantiles would be wrong
+// (quantiles do not compose); merging buckets is.
+
+// MergeHistogramSnapshots merges per-core snapshots of the same logical
+// histogram into one deployment-wide snapshot.
+//
+// Count and Sum always add. When every non-empty part carries the same bucket
+// layout (identical Bounds — true for all registry histograms, which share
+// NewLatencyHistogram's shape), the buckets add element-wise and the
+// quantiles are re-estimated from the merged distribution. When layouts
+// disagree or a part lacks buckets (a reply from a core predating bucket
+// shipping), the merged snapshot keeps no buckets and falls back to
+// count-weighted quantile averages — approximate, and flagged as such by the
+// nil Bounds.
+func MergeHistogramSnapshots(parts []HistogramSnapshot) HistogramSnapshot {
+	var out HistogramSnapshot
+	bucketsOK := true
+	for _, p := range parts {
+		out.Count += p.Count
+		out.Sum += p.Sum
+		if p.Count == 0 && len(p.Buckets) == 0 {
+			continue // empty part constrains nothing
+		}
+		switch {
+		case len(p.Bounds) == 0 || len(p.Bounds) != len(p.Buckets):
+			bucketsOK = false
+		case out.Bounds == nil:
+			out.Bounds = append([]float64(nil), p.Bounds...)
+			out.Buckets = append([]uint64(nil), p.Buckets...)
+		case !sameBounds(out.Bounds, p.Bounds):
+			bucketsOK = false
+		default:
+			for i, c := range p.Buckets {
+				out.Buckets[i] += c
+			}
+		}
+	}
+	if bucketsOK && len(out.Bounds) > 0 {
+		out.P50 = quantile(out.Bounds, out.Buckets, out.Count, 0.50)
+		out.P95 = quantile(out.Bounds, out.Buckets, out.Count, 0.95)
+		out.P99 = quantile(out.Bounds, out.Buckets, out.Count, 0.99)
+		return out
+	}
+	out.Bounds, out.Buckets = nil, nil
+	if out.Count > 0 {
+		for _, p := range parts {
+			w := float64(p.Count) / float64(out.Count)
+			out.P50 += w * p.P50
+			out.P95 += w * p.P95
+			out.P99 += w * p.P99
+		}
+	}
+	return out
+}
+
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -145,6 +145,45 @@ func BuildTree(spans []Span) []*Node {
 	return roots
 }
 
+// Orphans returns the spans that claim a parent absent from the slice — the
+// holes of a stitched cross-core trace. A non-empty result after merging
+// every member's shards means either a core's ring evicted part of the trace
+// or a member was unreachable during stitching; the observatory reports the
+// count so a rendered tree's completeness is never silently ambiguous.
+// BuildTree promotes these spans to roots, so they still render.
+func Orphans(spans []Span) []Span {
+	present := make(map[SpanID]struct{}, len(spans))
+	for _, sp := range spans {
+		present[sp.ID] = struct{}{}
+	}
+	var out []Span
+	for _, sp := range spans {
+		if sp.Parent == 0 {
+			continue
+		}
+		if _, ok := present[sp.Parent]; !ok {
+			out = append(out, sp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Dedupe collapses duplicate span records (same span observed via more than
+// one member reply) keeping the first occurrence, preserving order.
+func Dedupe(spans []Span) []Span {
+	seen := make(map[SpanID]struct{}, len(spans))
+	out := spans[:0:0]
+	for _, sp := range spans {
+		if _, ok := seen[sp.ID]; ok {
+			continue
+		}
+		seen[sp.ID] = struct{}{}
+		out = append(out, sp)
+	}
+	return out
+}
+
 // FormatTree writes an indented text rendering of the spans' trees — the
 // fargo-shell `trace <core> <id>` output.
 func FormatTree(w io.Writer, spans []Span) {

@@ -78,6 +78,12 @@ const (
 	// (internal/plan, DESIGN.md §14) aggregates these across member cores.
 	KindPlanStatsQuery
 	KindPlanStatsQueryReply
+	// KindObsQuery batches the observability queries (stats, health, flight,
+	// traces, core info) into one round-trip, so the deployment observatory's
+	// per-core refresh (internal/observatory, DESIGN.md §15) costs one
+	// request per member instead of three or four.
+	KindObsQuery
+	KindObsQueryReply
 )
 
 // ErrorReply is the payload of a KindError envelope: a request failed in the
@@ -115,6 +121,7 @@ func (k Kind) String() string {
 		KindHello:     "hello",
 		KindMoveProbe: "move-probe", KindMoveProbeReply: "move-probe-reply",
 		KindPlanStatsQuery: "plan-stats-query", KindPlanStatsQueryReply: "plan-stats-query-reply",
+		KindObsQuery: "obs-query", KindObsQueryReply: "obs-query-reply",
 	}
 	if s, ok := names[k]; ok {
 		return s
@@ -506,6 +513,12 @@ type HistogramStat struct {
 	P50   float64
 	P95   float64
 	P99   float64
+	// Bounds/Buckets carry the log-scale bucket layout (parallel slices,
+	// non-cumulative counts) so aggregators can merge histograms bucket-wise
+	// instead of averaging quantiles. Empty when the sender predates the
+	// observatory (gob leaves absent fields zero).
+	Bounds  []float64
+	Buckets []uint64
 }
 
 // StatsQueryReply carries one core's metrics snapshot.
@@ -654,6 +667,42 @@ type PlanStatsQueryReply struct {
 	Load         int
 	CapacityFree int
 	Err          string
+}
+
+// ObsQuery batches the per-core observability queries into one round-trip.
+// Each selector asks for one slice of the core's state; the reply carries a
+// pointer per selected slice (nil when not requested). The deployment
+// observatory refreshes every member with a single ObsQuery instead of
+// separate stats/health/flight/trace requests.
+type ObsQuery struct {
+	Stats  bool
+	Health bool
+	Info   bool
+	Flight bool
+	// FlightMax caps returned flight events (0 = everything retained).
+	FlightMax int
+	// FlightAfterSeq skips events with Seq <= this value, so incremental
+	// timeline pulls ship only what the collector has not seen yet.
+	FlightAfterSeq uint64
+	Traces         bool
+	// TraceMax caps returned trace summaries (0 = server default).
+	TraceMax int
+	// Trace, when nonzero, additionally fetches that trace's retained spans
+	// (for cluster-wide trace stitching).
+	Trace uint64
+}
+
+// ObsQueryReply answers an ObsQuery. Slices of state the query did not select
+// are nil; Spans carries the single-trace fetch when ObsQuery.Trace was set.
+type ObsQueryReply struct {
+	Core   ids.CoreID
+	Stats  *StatsQueryReply
+	Health *HealthQueryReply
+	Info   *CoreInfoReply
+	Flight *FlightQueryReply
+	Traces *TraceQueryReply
+	Spans  []TraceSpan
+	Err    string
 }
 
 // --- codec ------------------------------------------------------------------

@@ -15,6 +15,22 @@ cd "$(dirname "$0")/.."
 BASELINE_E1_ALLOCS=${BASELINE_E1_ALLOCS:-1212}
 OUT=${OUT:-BENCH_PR6.json}
 
+# The repo tracks one bench artifact per perf-bearing PR so the trajectory is
+# reconstructable from any checkout. A missing artifact means a PR shipped
+# without committing its figures — fail loudly instead of silently thinning
+# the record. Extend this list when a new BENCH_PRn.json lands.
+EXPECTED_ARTIFACTS="BENCH_PR6.json BENCH_PR8.json BENCH_PR9.json"
+missing=0
+for f in $EXPECTED_ARTIFACTS; do
+    if [ ! -s "$f" ]; then
+        echo "bench_regression: FAIL — expected bench artifact $f is missing or empty" >&2
+        echo "  (regenerate it: see the matching CI job or EXPERIMENTS.md, and commit it)" >&2
+        missing=1
+    fi
+done
+[ "$missing" -eq 0 ] || exit 1
+echo "== bench artifacts present: $EXPECTED_ARTIFACTS"
+
 echo "== bench: E1 TCP + E3 group move (100x, -benchmem)"
 go test -run=NONE -bench='E1_InvocationRefRemoteTCP|E3_GroupMove' \
     -benchtime=100x -benchmem . | tee bench_pr6.out
