@@ -100,7 +100,7 @@ type Observatory struct {
 	members     map[ids.CoreID]*member
 	clock       uint64 // Lamport-style merge clock (total order of ingested events)
 	timeline    []Event
-	subs        map[chan Event]struct{}
+	subs        map[*subscriber]struct{}
 	refreshes   uint64
 	lastRefresh time.Time
 	// cross-rate derivation state: forwarded-invocation total and stamp of
@@ -146,7 +146,7 @@ func Start(c *core.Core, opts Options) (*Observatory, error) {
 		opts:    opts,
 		dynamic: len(opts.Cores) == 0,
 		members: make(map[ids.CoreID]*member),
-		subs:    make(map[chan Event]struct{}),
+		subs:    make(map[*subscriber]struct{}),
 		stop:    make(chan struct{}),
 	}
 	observatories.Lock()
@@ -182,16 +182,19 @@ func (o *Observatory) Stop() {
 		return
 	}
 	o.stopped = true
-	subs := make([]chan Event, 0, len(o.subs))
-	for ch := range o.subs {
-		subs = append(subs, ch)
+	subs := make([]*subscriber, 0, len(o.subs))
+	for s := range o.subs {
+		subs = append(subs, s)
 	}
-	o.subs = make(map[chan Event]struct{})
+	o.subs = make(map[*subscriber]struct{})
 	o.mu.Unlock()
 	close(o.stop)
 	o.wg.Wait()
-	for _, ch := range subs {
-		close(ch)
+	// An HTTP-driven Refresh may still hold a pre-Stop snapshot of these
+	// subscribers; subscriber.close/send are mutually excluded per-sub, so
+	// closing here can never race a send into a panic.
+	for _, s := range subs {
+		s.close()
 	}
 	observatories.Lock()
 	if observatories.m[o.c] == o {
@@ -318,6 +321,15 @@ func (o *Observatory) Refresh(ctx context.Context) error {
 		st.stats = a.reply.Stats
 		st.health = a.reply.Health
 		st.info = a.reply.Info
+		if f := a.reply.Flight; f != nil && f.Total < st.lastSeq {
+			// Seq regression: the member's recorder restarted (Total counts
+			// every occurrence ever recorded there, so it can only shrink
+			// across a core restart). The events it DID record were filtered
+			// out on the wire by the stale FlightAfterSeq high-water; reset
+			// it so the next refresh picks the restarted member's timeline
+			// back up instead of dropping it forever.
+			st.lastSeq = 0
+		}
 		if f := a.reply.Flight; f != nil && len(f.Events) > 0 {
 			batch := make([]Event, 0, len(f.Events))
 			for _, ev := range f.Events {
@@ -357,20 +369,20 @@ func (o *Observatory) Refresh(ctx context.Context) error {
 	o.refreshes++
 	o.lastRefresh = now
 	o.deriveCrossRate(now)
-	subs := make([]chan Event, 0, len(o.subs))
-	for ch := range o.subs {
-		subs = append(subs, ch)
+	subs := make([]*subscriber, 0, len(o.subs))
+	for s := range o.subs {
+		subs = append(subs, s)
 	}
 	o.mu.Unlock()
 
 	// Fan out to SSE subscribers outside the lock; a slow subscriber drops
-	// events from its own channel, never stalls the refresh.
+	// events from its own channel, never stalls the refresh. The snapshot
+	// may be stale — a subscriber canceled (or Stop ran) since o.mu was
+	// released — but subscriber.send checks the closed flag under the
+	// per-sub mutex, so it never sends on a closed channel.
 	for _, ev := range delivered {
-		for _, ch := range subs {
-			select {
-			case ch <- ev:
-			default:
-			}
+		for _, s := range subs {
+			s.send(ev)
 		}
 	}
 	return nil

@@ -19,6 +19,7 @@ import (
 	"fargo/internal/plan"
 	"fargo/internal/ref"
 	"fargo/internal/registry"
+	"fargo/internal/trace"
 	"fargo/internal/transport"
 )
 
@@ -206,6 +207,35 @@ func TestStitchCrossCoreTrace(t *testing.T) {
 	}
 	if len(entry.Cores) != 3 {
 		t.Fatalf("listing cores = %v, want shards on all of a, b, c", entry.Cores)
+	}
+
+	// The merged entry's bounds are the union of the per-core shards —
+	// earliest start to latest end — regardless of merge order.
+	var wantStart, wantEnd time.Time
+	for _, name := range []string{"a", "b", "c"} {
+		sums, err := a.TracesAtCtx(ctx, ids.CoreID(name), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range sums {
+			if trace.TraceID(s.Trace) != entry.Trace {
+				continue
+			}
+			start := time.Unix(0, s.StartUnixNanos)
+			end := start.Add(time.Duration(s.DurationNanos))
+			if wantStart.IsZero() || start.Before(wantStart) {
+				wantStart = start
+			}
+			if end.After(wantEnd) {
+				wantEnd = end
+			}
+		}
+	}
+	if !entry.Start.Equal(wantStart) {
+		t.Fatalf("listing Start = %v, want earliest shard start %v", entry.Start, wantStart)
+	}
+	if want := wantEnd.Sub(wantStart).Nanoseconds(); entry.DurationNanos != want {
+		t.Fatalf("listing DurationNanos = %d, want maxEnd-minStart = %d", entry.DurationNanos, want)
 	}
 
 	st, err := o.Stitch(ctx, entry.Trace)
@@ -635,6 +665,186 @@ func TestStatusAndDynamicMembership(t *testing.T) {
 	}
 	if st.Partial {
 		t.Fatalf("Partial = true with all members up: %+v", st)
+	}
+}
+
+// --- subscriber lifecycle ----------------------------------------------------
+
+// TestSubscribeCancelIdempotent: cancel is documented safe; calling it twice,
+// after Stop, or on a subscription taken from a stopped observatory must all
+// be no-ops, never a close-of-closed panic.
+func TestSubscribeCancelIdempotent(t *testing.T) {
+	cl := newCluster(t, 0, "a")
+	o, err := Start(cl.core("a"), Options{Cores: coreIDs("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ch, cancel := o.Subscribe(4)
+	cancel()
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Fatal("channel delivered after cancel")
+	}
+	_, ch2, cancel2 := o.Subscribe(4)
+	o.Stop()
+	if _, ok := <-ch2; ok {
+		t.Fatal("channel delivered after Stop")
+	}
+	cancel2() // Stop already closed the channel
+	cancel2()
+	_, ch3, cancel3 := o.Subscribe(4)
+	if _, ok := <-ch3; ok {
+		t.Fatal("subscription on a stopped observatory delivered an event")
+	}
+	cancel3()
+}
+
+// TestSubscribeRefreshStopRace hammers the subscriber lifecycle against
+// refresh fan-outs: cancels (and double-cancels) race live deliveries, and
+// Stop races an in-flight Refresh — the send-on-closed-channel window the
+// per-subscriber closed flag removes. Run under -race.
+func TestSubscribeRefreshStopRace(t *testing.T) {
+	cl := newCluster(t, 0, "a", "b")
+	a := cl.core("a")
+	ctx := ctxFor(t)
+	o, err := Start(a, Options{Cores: coreIDs("a", "b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.NewComplet("Msg", "racer")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Workload: keep the flight recorders busy so refreshes deliver events.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		loc := ids.CoreID("a")
+		next := map[ids.CoreID]ids.CoreID{"a": "b", "b": "a"}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			dst := next[loc]
+			if err := cl.cores[loc].MoveByID(r.Target(), dst); err != nil {
+				return
+			}
+			loc = dst
+		}
+	}()
+	// Refresher: keeps fanning out past Stop, like an HTTP-driven refresh.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = o.Refresh(ctx)
+		}
+	}()
+	// Churning subscribers: subscribe, maybe drain one event, cancel twice.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, ch, cancel := o.Subscribe(1)
+				select {
+				case <-ch:
+				default:
+				}
+				cancel()
+				cancel()
+			}
+		}()
+	}
+	time.Sleep(200 * time.Millisecond)
+	o.Stop() // races the still-running refresher and subscriber churn
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// TestMemberRestartResetsSeqHighWater: a member whose flight recorder
+// restarted (Seq counter reset) must not be filtered out forever by the
+// observatory's stale per-member high-water mark — the Total regression in
+// its reply resets the mark, and the following refresh merges its events
+// again.
+func TestMemberRestartResetsSeqHighWater(t *testing.T) {
+	cl := newCluster(t, 0, "a", "b")
+	a := cl.core("a")
+	ctx := ctxFor(t)
+	o, err := Start(a, Options{Cores: coreIDs("a", "b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Stop()
+	r, err := a.NewComplet("Msg", "phoenix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Move(r, "b"); err != nil {
+		t.Fatal(err)
+	}
+	// b initiates a move so ITS flight recorder holds events.
+	if err := cl.core("b").MoveByID(r.Target(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	bID := ids.CoreID("b")
+	o.mu.Lock()
+	mb := o.members[bID]
+	if mb == nil || mb.lastSeq == 0 {
+		o.mu.Unlock()
+		t.Fatal("no flight events merged from b before the simulated restart")
+	}
+	// Simulate b having restarted: its recorder's Seq space is reset, so the
+	// retained high water is far beyond anything b will ever report again.
+	mb.lastSeq = 1 << 40
+	o.mu.Unlock()
+
+	// The next refresh sees Total < lastSeq and resets the high water (the
+	// reply's events were filtered by the stale mark, so none merge yet).
+	if err := o.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	o.mu.Lock()
+	got := o.members[bID].lastSeq
+	o.mu.Unlock()
+	if got >= 1<<40 {
+		t.Fatalf("lastSeq = %d after Seq regression, want reset", got)
+	}
+	// The refresh after that pulls b's events from the reset mark.
+	countB := func() int {
+		n := 0
+		for _, ev := range o.Timeline(0) {
+			if ev.Core == "b" {
+				n++
+			}
+		}
+		return n
+	}
+	before := countB()
+	if err := o.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if after := countB(); after <= before {
+		t.Fatalf("timeline holds %d events from b after restart recovery, want > %d", after, before)
 	}
 }
 

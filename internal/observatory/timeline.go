@@ -1,6 +1,9 @@
 package observatory
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // The merged timeline. Each member's flight recorder already carries a
 // per-core causal order (strictly monotonic Seq, stamped under the same lock
@@ -87,38 +90,69 @@ func (o *Observatory) Timeline(max int) []Event {
 	return out
 }
 
+// subscriber is one live timeline consumer. A Refresh fans out to a snapshot
+// of the subs map taken under o.mu, so by the time it sends, a concurrent
+// cancel (client disconnect) or Stop may already have removed the
+// subscriber; the per-subscriber mutex and closed flag make that safe —
+// every send and the (single) close happen under mu, so a send can never hit
+// a closed channel.
+type subscriber struct {
+	mu     sync.Mutex
+	ch     chan Event
+	closed bool
+}
+
+// send delivers ev without blocking; a full buffer drops the event, a closed
+// subscriber ignores it.
+func (s *subscriber) send(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	select {
+	case s.ch <- ev:
+	default:
+	}
+}
+
+// close closes the channel exactly once; extra calls are no-ops.
+func (s *subscriber) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+}
+
 // Subscribe registers a live timeline consumer: backlog is the retained
 // timeline at subscription time (replayed so a late consumer sees history),
 // and ch delivers every event merged afterwards. A consumer that falls
 // behind its channel buffer loses events (delivery never blocks a refresh).
-// cancel unregisters and closes ch; the channel also closes when the
+// cancel unregisters and closes ch; it is idempotent and safe to call
+// concurrently with refreshes and Stop. The channel also closes when the
 // observatory stops.
 func (o *Observatory) Subscribe(buf int) (backlog []Event, ch <-chan Event, cancel func()) {
 	if buf <= 0 {
 		buf = 256
 	}
-	c := make(chan Event, buf)
+	s := &subscriber{ch: make(chan Event, buf)}
+	cancel = func() {
+		o.mu.Lock()
+		delete(o.subs, s)
+		o.mu.Unlock()
+		s.close()
+	}
 	o.mu.Lock()
 	backlog = make([]Event, len(o.timeline))
 	copy(backlog, o.timeline)
 	if o.stopped {
 		o.mu.Unlock()
-		close(c)
-		return backlog, c, func() {}
+		s.close()
+		return backlog, s.ch, cancel
 	}
-	o.subs[c] = struct{}{}
+	o.subs[s] = struct{}{}
 	o.mu.Unlock()
-	var once bool
-	cancel = func() {
-		o.mu.Lock()
-		if _, ok := o.subs[c]; ok {
-			delete(o.subs, c)
-			once = true
-		}
-		o.mu.Unlock()
-		if once {
-			close(c)
-		}
-	}
-	return backlog, c, cancel
+	return backlog, s.ch, cancel
 }

@@ -95,7 +95,19 @@ func (o *Observatory) Traces(ctx context.Context, max int) ([]TraceEntry, []ids.
 		return nil, unreachable, fmt.Errorf("observatory: no member answered the trace listing (%d unreachable)", len(unreachable))
 	}
 	byID := make(map[trace.TraceID]*TraceEntry)
-	for id, reply := range replies {
+	// The merged duration must be order-independent (replies is a map):
+	// track the max end per trace separately and derive DurationNanos only
+	// once every shard has widened both bounds. Iterate members in sorted
+	// order anyway so the whole merge is deterministic across identical
+	// inputs.
+	maxEnd := make(map[trace.TraceID]time.Time)
+	memberIDs := make([]ids.CoreID, 0, len(replies))
+	for id := range replies {
+		memberIDs = append(memberIDs, id)
+	}
+	sort.Slice(memberIDs, func(i, j int) bool { return memberIDs[i] < memberIDs[j] })
+	for _, id := range memberIDs {
+		reply := replies[id]
 		if reply.Traces == nil {
 			continue
 		}
@@ -116,13 +128,16 @@ func (o *Observatory) Traces(ctx context.Context, max int) ([]TraceEntry, []ids.
 			if start.Before(e.Start) {
 				e.Start = start
 			}
-			if d := end.Sub(e.Start).Nanoseconds(); d > e.DurationNanos {
-				e.DurationNanos = d
+			if end.After(maxEnd[tid]) {
+				maxEnd[tid] = end
 			}
 		}
 	}
 	out := make([]TraceEntry, 0, len(byID))
-	for _, e := range byID {
+	for id, e := range byID {
+		if d := maxEnd[id].Sub(e.Start).Nanoseconds(); d > 0 {
+			e.DurationNanos = d
+		}
 		sort.Strings(e.Cores)
 		out = append(out, *e)
 	}

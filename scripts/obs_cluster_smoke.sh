@@ -111,7 +111,21 @@ fetch() {
 }
 
 # --- federated metrics -------------------------------------------------------
-metrics=$(fetch /cluster/metrics)
+# Let the model settle first: a member can miss one on-demand refresh window
+# (connection still warming, staleness coalescing), so poll until every live
+# core's series are present — then run the hard assertions once, for good
+# error output.
+metrics=""
+for _ in $(seq 1 30); do
+    metrics=$(fetch /cluster/metrics)
+    if echo "$metrics" | grep -q 'core="a"' &&
+        echo "$metrics" | grep -q 'core="b"' &&
+        echo "$metrics" | grep -q 'core="c"' &&
+        echo "$metrics" | grep -q '^cluster_members_up 3$'; then
+        break
+    fi
+    sleep 0.5
+done
 echo "$metrics" | grep -q '^# TYPE ' || {
     echo "obs-cluster-smoke: /cluster/metrics has no TYPE lines" >&2; exit 1; }
 echo "$metrics" | grep -Eq '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? (NaN|[-+]?Inf|[0-9])' || {
