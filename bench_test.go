@@ -615,3 +615,42 @@ func BenchmarkE12_MovePerHop(b *testing.B) {
 		})
 	}
 }
+
+// --- PR10: per-method instrument overhead -------------------------------------
+
+// BenchmarkPerMethodInstrumentOverhead measures what the always-on per-method
+// SLO instruments (latency histogram, call/error counters, in-flight gauge
+// per (complet, method); DESIGN.md §16) add to the E1 colocated invoke hot
+// path. The "off" arm disables them via Options.DisablePerMethodStats; the
+// "on" arm is the default configuration. scripts/bench_regression.sh gates
+// the on/off ns-per-op ratio at ≤ 1.10 (the acceptance bound of the
+// telemetry PR).
+func BenchmarkPerMethodInstrumentOverhead(b *testing.B) {
+	run := func(b *testing.B, disable bool) {
+		u, err := fargo.NewUniverse(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer u.Close()
+		if err := demo.Register(u.RegistryHandle()); err != nil {
+			b.Fatal(err)
+		}
+		a, err := u.NewCore("a", fargo.Options{DisablePerMethodStats: disable})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := a.NewComplet("Echo")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Invoke("Nop"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, true) })
+	b.Run("on", func(b *testing.B) { run(b, false) })
+}

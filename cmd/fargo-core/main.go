@@ -57,6 +57,8 @@ func run() error {
 		planMax     = flag.Int("plan-max-moves", 0, "max actuations per planning round (0 = default, negative = unlimited)")
 		obsEvery    = flag.Duration("observatory", 0, "deployment observatory refresh interval (0 disables the background loop); pass -observatory 0s with -observatory-on to refresh on demand only")
 		obsOn       = flag.Bool("observatory-on", false, "host a deployment observatory on this core (refresh-on-demand; /cluster/ on the ops plane)")
+		alertsFile  = flag.String("alerts", "", "alert rules file: starts the cluster alert engine with these rules (served at /alerts; cluster_ series need -observatory-on)")
+		alertEvery  = flag.Duration("alerts-interval", 0, "alert evaluation interval (0 = 1s default)")
 		peers       = cliutil.PeerFlags{}
 	)
 	flag.Var(peers, "peer", "peer core as name=host:port (repeatable)")
@@ -147,6 +149,27 @@ func run() error {
 			mode = fmt.Sprintf("interval %v", *obsEvery)
 		}
 		log.Printf("fargo-core %s: deployment observatory started (%s; /cluster/ on the ops plane)", *name, mode)
+	}
+	if *alertsFile != "" {
+		src, err := os.ReadFile(*alertsFile)
+		if err != nil {
+			_ = c.Shutdown(0)
+			return fmt.Errorf("read alert rules: %w", err)
+		}
+		rules, err := fargo.ParseAlertRules(string(src))
+		if err != nil {
+			_ = c.Shutdown(0)
+			return fmt.Errorf("parse alert rules %s: %w", *alertsFile, err)
+		}
+		if _, err := fargo.StartAlerts(c, fargo.AlertOptions{
+			Rules:    rules,
+			Interval: *alertEvery,
+			Logf:     log.Printf,
+		}); err != nil {
+			_ = c.Shutdown(0)
+			return err
+		}
+		log.Printf("fargo-core %s: alert engine started (%d rule(s) from %s)", *name, len(rules), *alertsFile)
 	}
 
 	stop := make(chan os.Signal, 1)

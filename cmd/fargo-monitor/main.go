@@ -70,6 +70,7 @@ func run() error {
 		interval = flag.Duration("interval", 5*time.Second, "periodic full refresh")
 		stats    = flag.Bool("stats", false, "append a per-core metrics pane to each render")
 		web      = flag.String("web", "", "serve the cluster observatory web view at this HTTP address (layout graph + live SSE timeline under /cluster/); hostless addresses bind loopback")
+		alerts   = flag.String("alerts", "", "alert rules file: run the cluster alert engine on the monitor core (needs -web; firing alerts show on /cluster/ and /cluster/alerts)")
 		scrape   = flag.String("scrape", "", "read one core's ops plane over HTTP (base URL, e.g. http://127.0.0.1:9120) instead of joining the deployment")
 		peers    = cliutil.PeerFlags{}
 	)
@@ -117,6 +118,23 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "cluster view: http://%s/cluster/\n", srv.Addr())
+	}
+	if *alerts != "" {
+		if *web == "" {
+			return fmt.Errorf("-alerts needs -web (the engine evaluates cluster_ series via the observatory)")
+		}
+		src, err := os.ReadFile(*alerts)
+		if err != nil {
+			return fmt.Errorf("read alert rules: %w", err)
+		}
+		rules, err := fargo.ParseAlertRules(string(src))
+		if err != nil {
+			return fmt.Errorf("parse alert rules %s: %w", *alerts, err)
+		}
+		if _, err := fargo.StartAlerts(c, fargo.AlertOptions{Rules: rules}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "alert engine: %d rule(s) from %s\n", len(rules), *alerts)
 	}
 
 	view := layoutview.New(c, cores)

@@ -64,6 +64,7 @@ import (
 	"fmt"
 	"time"
 
+	"fargo/internal/alert"
 	"fargo/internal/core"
 	"fargo/internal/ids"
 	"fargo/internal/layoutview"
@@ -474,6 +475,44 @@ type ObservatoryConfig = core.ObservatoryConfig
 // demand with bounded staleness. A core has at most one observatory.
 func StartObservatory(c *Core, opts ObservatoryOptions) (*Observatory, error) {
 	return observatory.Start(c, opts)
+}
+
+// AlertEngine is a running cluster alert engine (StartAlerts): a periodic
+// evaluator of declarative SLO rules — thresholds, absence checks, and
+// burn rates over latency histograms — against the core's local metrics and,
+// through a co-hosted observatory, the cluster_-prefixed federated series.
+// Transitions surface as alertFiring/alertResolved flight events (merged into
+// /cluster/timeline), fire `on alert` script rules, and are served at /alerts
+// and /cluster/alerts. See internal/alert and DESIGN.md §16.
+type AlertEngine = alert.Engine
+
+// AlertRule is one declarative alert rule (AlertOptions.Rules); build rules
+// programmatically or parse them from the rules-file grammar with
+// ParseAlertRules.
+type AlertRule = alert.Rule
+
+// AlertOptions configures an alert engine (StartAlerts).
+type AlertOptions = alert.Options
+
+// AlertEvent is a firing/resolution notification (AlertEngine.Subscribe).
+type AlertEvent = alert.Event
+
+// AlertRuleStatus is one rule's evaluation state (AlertEngine.Status, the
+// /alerts ops endpoint, shell `alerts`).
+type AlertRuleStatus = alert.RuleStatus
+
+// ParseAlertRules parses the alert rules-file grammar (one rule per line;
+// see internal/alert):
+//
+//	alert slow-echo burnrate invoke_latency_ns above 50ms > 0.2 window 1m for 10s
+//	alert no-members absent cluster_members_up for 30s
+func ParseAlertRules(src string) ([]AlertRule, error) { return alert.ParseRules(src) }
+
+// StartAlerts attaches an alert engine to the core. With Interval zero rules
+// evaluate every second; a negative Interval disables the loop (evaluation on
+// demand via AlertEngine.EvalOnce). A core has at most one engine.
+func StartAlerts(c *Core, opts AlertOptions) (*AlertEngine, error) {
+	return alert.Start(c, opts)
 }
 
 // OpsServer is a running per-core ops plane: an embedded HTTP server exposing

@@ -1,0 +1,598 @@
+// Package alert implements the cluster alert engine: declarative SLO rules
+// evaluated against the core's own metrics registry AND against the
+// cluster_-federated series of its observatory, with firing/resolution
+// hysteresis, flight-recorder events that interleave with moves and repairs
+// on the merged timeline, and subscriptions that let §4.3 layout scripts
+// react to alerts (`on alert(...)`) the way they react to core failures.
+//
+// The engine is deliberately a consumer of the existing observability
+// stack, not a new collection path: local rules read metrics.Registry
+// snapshots, cluster_ rules read the observatory's federated model (one
+// batched ObsQuery per member, already bounded and partial-tolerant), and
+// alert transitions are ordinary flight events — so /cluster/timeline shows
+// "latency alert fired, planner moved the complet, alert resolved" as one
+// causally ordered story.
+package alert
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"fargo/internal/core"
+	"fargo/internal/flight"
+	"fargo/internal/metrics"
+	"fargo/internal/observatory"
+	"fargo/internal/stats"
+)
+
+// Defaults for zero Options fields.
+const (
+	// DefaultInterval is the evaluation period when Options.Interval is 0.
+	DefaultInterval = time.Second
+	// DefaultWindow is the burn-rate window when a rule leaves Window 0.
+	DefaultWindow = time.Minute
+)
+
+// Options configures an engine.
+type Options struct {
+	// Rules is the rule set (see ParseRules for the file grammar).
+	Rules []Rule
+	// Interval is the evaluation period: 0 means DefaultInterval, negative
+	// disables the loop entirely (tests drive the engine with EvalOnce).
+	Interval time.Duration
+	// EvalTimeout bounds one evaluation's observatory refresh (0 = the
+	// observatory's own refresh timeout governs).
+	EvalTimeout time.Duration
+	// Logf receives diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Event is one alert transition delivered to subscribers.
+type Event struct {
+	// Rule is the rule name.
+	Rule string `json:"rule"`
+	// Firing is true when the rule fired, false when it resolved.
+	Firing bool `json:"firing"`
+	// Value is the evaluated value at the transition.
+	Value float64 `json:"value"`
+	// At is the transition time.
+	At time.Time `json:"at"`
+	// Detail is the human-readable transition summary (also the flight
+	// event detail).
+	Detail string `json:"detail"`
+}
+
+// Rule states.
+const (
+	StateInactive  = "inactive"
+	StatePending   = "pending" // condition true, waiting out For
+	StateFiring    = "firing"
+	StateResolving = "resolving" // firing, resolve condition true, waiting out ResolveFor
+)
+
+// burnObs is one cumulative burn-rate observation.
+type burnObs struct {
+	at    time.Time
+	above float64
+	total float64
+}
+
+// ruleState is the mutable evaluation state of one rule.
+type ruleState struct {
+	rule    Rule
+	state   string
+	since   time.Time // entry time of the current state
+	value   float64
+	present bool
+	firedAt time.Time
+	firings uint64
+	// :rate derivation state.
+	prevRaw  float64
+	prevAt   time.Time
+	havePrev bool
+	// burn-rate ring: cumulative (above, total) observations, newest last.
+	burn []burnObs
+}
+
+// RuleStatus is one rule's introspection row.
+type RuleStatus struct {
+	Rule    Rule       `json:"rule"`
+	State   string     `json:"state"`
+	Value   float64    `json:"value"`
+	Present bool       `json:"present"`
+	Since   *time.Time `json:"since,omitempty"`
+	FiredAt *time.Time `json:"firedAt,omitempty"`
+	Firings uint64     `json:"firings"`
+}
+
+// Engine evaluates a rule set against one core.
+type Engine struct {
+	c    *core.Core
+	opts Options
+
+	mu      sync.Mutex
+	rules   []*ruleState
+	subs    map[int]func(Event)
+	nextSub int
+	evals   uint64
+	lastAt  time.Time
+	stopped bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// engines maps cores to their alert engines, so layers that hold only a core
+// (obs, shell, the script runtime) reach the engine without the core
+// importing this package — the same pattern as plan.For and observatory.For.
+var engines = struct {
+	sync.Mutex
+	m map[*core.Core]*Engine
+}{m: make(map[*core.Core]*Engine)}
+
+// Start attaches an engine to the core and starts its evaluation loop
+// (unless opts.Interval < 0). The engine stops with the core. A core has at
+// most one engine.
+func Start(c *core.Core, opts Options) (*Engine, error) {
+	if c == nil {
+		return nil, fmt.Errorf("alert: nil core")
+	}
+	if opts.Interval == 0 {
+		opts.Interval = DefaultInterval
+	}
+	e := &Engine{
+		c:    c,
+		opts: opts,
+		subs: make(map[int]func(Event)),
+		stop: make(chan struct{}),
+	}
+	for i := range opts.Rules {
+		r := opts.Rules[i]
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		if r.Cond == CondBurnRate && r.Window == 0 {
+			r.Window = DefaultWindow
+		}
+		e.rules = append(e.rules, &ruleState{rule: r, state: StateInactive})
+	}
+	engines.Lock()
+	if _, dup := engines.m[c]; dup {
+		engines.Unlock()
+		return nil, fmt.Errorf("alert: core %s already has an alert engine", c.ID())
+	}
+	engines.m[c] = e
+	engines.Unlock()
+	c.OnShutdown(e.Stop)
+
+	if opts.Interval > 0 {
+		e.wg.Add(1)
+		go e.loop()
+	}
+	return e, nil
+}
+
+// For returns the engine attached to the core, if any.
+func For(c *core.Core) (*Engine, bool) {
+	engines.Lock()
+	defer engines.Unlock()
+	e, ok := engines.m[c]
+	return e, ok
+}
+
+// Stop ends the loop and detaches the engine from its core. Idempotent.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	e.mu.Unlock()
+	close(e.stop)
+	e.wg.Wait()
+	engines.Lock()
+	if engines.m[e.c] == e {
+		delete(engines.m, e.c)
+	}
+	engines.Unlock()
+}
+
+// Core returns the attached core.
+func (e *Engine) Core() *core.Core { return e.c }
+
+// Rules returns the configured rules.
+func (e *Engine) Rules() []Rule {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Rule, len(e.rules))
+	for i, rs := range e.rules {
+		out[i] = rs.rule
+	}
+	return out
+}
+
+// Subscribe registers fn for every alert transition. The returned cancel
+// func unregisters it. fn runs on the evaluation goroutine — keep it cheap
+// (the script runtime hands off to its own event queue).
+func (e *Engine) Subscribe(fn func(Event)) func() {
+	e.mu.Lock()
+	id := e.nextSub
+	e.nextSub++
+	e.subs[id] = fn
+	e.mu.Unlock()
+	return func() {
+		e.mu.Lock()
+		delete(e.subs, id)
+		e.mu.Unlock()
+	}
+}
+
+// Status snapshots every rule's evaluation state, rules-file order.
+func (e *Engine) Status() []RuleStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]RuleStatus, 0, len(e.rules))
+	for _, rs := range e.rules {
+		st := RuleStatus{
+			Rule:    rs.rule,
+			State:   rs.state,
+			Value:   rs.value,
+			Present: rs.present,
+			Firings: rs.firings,
+		}
+		if !rs.since.IsZero() {
+			t := rs.since
+			st.Since = &t
+		}
+		if !rs.firedAt.IsZero() {
+			t := rs.firedAt
+			st.FiredAt = &t
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// Firing returns the names of currently firing rules (resolving counts as
+// still firing), rules-file order.
+func (e *Engine) Firing() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []string
+	for _, rs := range e.rules {
+		if rs.state == StateFiring || rs.state == StateResolving {
+			out = append(out, rs.rule.Name)
+		}
+	}
+	return out
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.opts.Logf != nil {
+		e.opts.Logf(format, args...)
+	}
+}
+
+// loop is the background evaluator.
+func (e *Engine) loop() {
+	defer e.wg.Done()
+	t := time.NewTicker(e.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-t.C:
+			ctx := context.Background()
+			if e.opts.EvalTimeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, e.opts.EvalTimeout)
+				e.EvalOnce(ctx)
+				cancel()
+			} else {
+				e.EvalOnce(ctx)
+			}
+		}
+	}
+}
+
+// EvalOnce runs one evaluation pass at the current time. Exported so tests
+// (and one-shot tooling) can drive the engine without a loop.
+func (e *Engine) EvalOnce(ctx context.Context) {
+	e.evalAt(ctx, time.Now())
+}
+
+// evalAt is the evaluation pass: collect the local registry snapshot (and,
+// when any rule needs one, the observatory's federated snapshot), evaluate
+// every rule, run its state machine, and emit transitions — as flight
+// events (so they interleave on /cluster/timeline) and to subscribers.
+func (e *Engine) evalAt(ctx context.Context, now time.Time) {
+	local := e.c.Metrics().Snapshot()
+	var cluster metrics.Snapshot
+	if e.needsCluster() {
+		if o, ok := observatory.For(e.c); ok {
+			if err := o.RefreshIfStale(ctx); err != nil {
+				e.logf("alert %s: observatory refresh: %v", e.c.ID(), err)
+			}
+			cluster = o.ClusterSnapshot()
+		} else {
+			e.logf("alert %s: cluster_ rules configured but the core has no observatory", e.c.ID())
+		}
+	}
+
+	var events []Event
+	e.mu.Lock()
+	for _, rs := range e.rules {
+		snap := &local
+		if strings.HasPrefix(rs.rule.Series, "cluster_") {
+			snap = &cluster
+		}
+		e.observe(rs, snap, now)
+		if ev, ok := step(rs, now); ok {
+			events = append(events, ev)
+		}
+	}
+	e.evals++
+	e.lastAt = now
+	subs := make([]func(Event), 0, len(e.subs))
+	for _, fn := range e.subs {
+		subs = append(subs, fn)
+	}
+	e.mu.Unlock()
+
+	for _, ev := range events {
+		kind := flight.KindAlertFiring
+		if !ev.Firing {
+			kind = flight.KindAlertResolved
+		}
+		e.c.Flight().Record(flight.Event{Kind: kind, At: ev.At, Detail: ev.Detail})
+		e.logf("alert %s: %s", e.c.ID(), ev.Detail)
+		for _, fn := range subs {
+			fn(ev)
+		}
+	}
+}
+
+// needsCluster reports whether any rule reads a federated series.
+func (e *Engine) needsCluster() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, rs := range e.rules {
+		if strings.HasPrefix(rs.rule.Series, "cluster_") {
+			return true
+		}
+	}
+	return false
+}
+
+// observe evaluates the rule's selector against the snapshot, updating
+// rs.value and rs.present. Caller holds e.mu.
+func (e *Engine) observe(rs *ruleState, snap *metrics.Snapshot, now time.Time) {
+	if rs.rule.Cond == CondBurnRate {
+		e.observeBurnRate(rs, snap, now)
+		return
+	}
+	name := rs.rule.Series
+	field := rs.rule.Field
+	if h, ok := snap.Histograms[name]; ok {
+		rs.present = true
+		switch field {
+		case "p50":
+			rs.value = h.P50
+		case "p99":
+			rs.value = h.P99
+		case "mean":
+			rs.value = h.Mean()
+		case "count":
+			rs.value = float64(h.Count)
+		case "sum":
+			rs.value = h.Sum
+		case "rate":
+			rs.value = rs.ratePerSec(float64(h.Count), now)
+		default: // "", "p95", "value"
+			rs.value = h.P95
+		}
+		return
+	}
+	if v, ok := snap.Counters[name]; ok {
+		rs.present = true
+		if field == "rate" {
+			rs.value = rs.ratePerSec(float64(v), now)
+		} else {
+			rs.value = float64(v)
+		}
+		return
+	}
+	if v, ok := snap.Gauges[name]; ok {
+		rs.present = true
+		if field == "rate" {
+			rs.value = rs.ratePerSec(v, now)
+		} else {
+			rs.value = v
+		}
+		return
+	}
+	rs.present = false
+	rs.value = 0
+}
+
+// ratePerSec turns successive cumulative observations into a per-second
+// rate. The first observation (and any counter regression, e.g. a restarted
+// member) yields 0.
+func (rs *ruleState) ratePerSec(raw float64, now time.Time) float64 {
+	defer func() { rs.prevRaw, rs.prevAt, rs.havePrev = raw, now, true }()
+	if !rs.havePrev || raw < rs.prevRaw {
+		return 0
+	}
+	dt := now.Sub(rs.prevAt).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return (raw - rs.prevRaw) / dt
+}
+
+// observeBurnRate computes the windowed fraction of histogram samples above
+// the rule's Bound from cumulative bucket-count deltas. Lifetime quantiles
+// never decay — a burst of slowness raises p95 forever under light traffic —
+// but the burn rate is a delta over Window, so it returns to zero once the
+// slowness stops, which is what lets burn-rate alerts resolve.
+func (e *Engine) observeBurnRate(rs *ruleState, snap *metrics.Snapshot, now time.Time) {
+	h, ok := snap.Histograms[rs.rule.Series]
+	if !ok {
+		rs.present = false
+		rs.value = 0
+		return
+	}
+	rs.present = true
+	obs := burnObs{at: now, above: countAbove(h, rs.rule.Bound), total: float64(h.Count)}
+	if n := len(rs.burn); n > 0 && (obs.total < rs.burn[n-1].total || obs.above < rs.burn[n-1].above) {
+		// Cumulative regression: the underlying histogram restarted (member
+		// churn in a federated series). Start the window over.
+		rs.burn = rs.burn[:0]
+	}
+	rs.burn = append(rs.burn, obs)
+	// Evict down to one baseline observation at or beyond the window edge.
+	cutoff := now.Add(-rs.rule.Window)
+	for len(rs.burn) >= 2 && !rs.burn[1].at.After(cutoff) {
+		rs.burn = rs.burn[1:]
+	}
+	first, last := rs.burn[0], rs.burn[len(rs.burn)-1]
+	dTotal := last.total - first.total
+	if dTotal <= 0 {
+		rs.value = 0
+		return
+	}
+	rs.value = (last.above - first.above) / dTotal
+}
+
+// countAbove estimates how many of the snapshot's samples exceeded bound,
+// interpolating linearly inside the straddling bucket (the same assumption
+// the quantile estimator makes).
+func countAbove(h stats.HistogramSnapshot, bound float64) float64 {
+	var above float64
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.Bounds[i-1]
+		}
+		upper := h.Bounds[i]
+		switch {
+		case lower >= bound:
+			above += float64(c)
+		case upper > bound:
+			above += float64(c) * (upper - bound) / (upper - lower)
+		}
+	}
+	return above
+}
+
+// step runs one rule's state machine and returns the transition event, if
+// the rule fired or resolved this pass. Caller holds e.mu.
+func step(rs *ruleState, now time.Time) (Event, bool) {
+	cond := condTrue(rs)
+	resolve := resolveTrue(rs, cond)
+	switch rs.state {
+	case StateInactive:
+		if cond {
+			rs.state, rs.since = StatePending, now
+		}
+	case StatePending:
+		if !cond {
+			rs.state, rs.since = StateInactive, now
+		}
+	case StateFiring:
+		if resolve {
+			rs.state, rs.since = StateResolving, now
+		}
+	case StateResolving:
+		if !resolve {
+			rs.state, rs.since = StateFiring, now
+		}
+	}
+	switch rs.state {
+	case StatePending:
+		if now.Sub(rs.since) >= rs.rule.For {
+			rs.state, rs.since = StateFiring, now
+			rs.firedAt = now
+			rs.firings++
+			return Event{
+				Rule:   rs.rule.Name,
+				Firing: true,
+				Value:  rs.value,
+				At:     now,
+				Detail: fmt.Sprintf("%s: %s (value %.4g)", rs.rule.Name, condDescription(rs.rule), rs.value),
+			}, true
+		}
+	case StateResolving:
+		if now.Sub(rs.since) >= rs.rule.ResolveFor {
+			rs.state, rs.since = StateInactive, now
+			return Event{
+				Rule:   rs.rule.Name,
+				Firing: false,
+				Value:  rs.value,
+				At:     now,
+				Detail: fmt.Sprintf("%s: resolved (value %.4g)", rs.rule.Name, rs.value),
+			}, true
+		}
+	}
+	return Event{}, false
+}
+
+// condTrue evaluates the firing condition against the last observation.
+func condTrue(rs *ruleState) bool {
+	r := rs.rule
+	if r.Cond == CondAbsence {
+		return !rs.present
+	}
+	return rs.present && cmp(rs.value, r.Op, r.Value)
+}
+
+// resolveTrue evaluates the resolve condition: the explicit hysteresis
+// condition when the rule has one, otherwise simply "no longer firing".
+func resolveTrue(rs *ruleState, cond bool) bool {
+	r := rs.rule
+	if r.Cond == CondAbsence {
+		return rs.present
+	}
+	if r.ResolveValue != nil {
+		return rs.present && cmp(rs.value, r.ResolveOp, *r.ResolveValue)
+	}
+	return !cond
+}
+
+func cmp(v float64, op string, threshold float64) bool {
+	switch op {
+	case ">":
+		return v > threshold
+	case ">=":
+		return v >= threshold
+	case "<":
+		return v < threshold
+	case "<=":
+		return v <= threshold
+	}
+	return false
+}
+
+// condDescription renders the firing condition for event details.
+func condDescription(r Rule) string {
+	sel := r.Series
+	if r.Field != "" {
+		sel += ":" + r.Field
+	}
+	switch r.Cond {
+	case CondAbsence:
+		return fmt.Sprintf("%s absent", sel)
+	case CondBurnRate:
+		return fmt.Sprintf("burnrate(%s above %.4g) %s %.4g over %s", sel, r.Bound, r.Op, r.Value, r.Window)
+	default:
+		return fmt.Sprintf("%s %s %.4g", sel, r.Op, r.Value)
+	}
+}

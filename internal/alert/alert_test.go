@@ -1,0 +1,499 @@
+package alert
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fargo/internal/core"
+	"fargo/internal/flight"
+	"fargo/internal/ids"
+	"fargo/internal/netsim"
+	"fargo/internal/observatory"
+	"fargo/internal/registry"
+	"fargo/internal/transport"
+)
+
+// --- harness -----------------------------------------------------------------
+
+type msg struct{ Text string }
+
+func (m *msg) Init(text string) { m.Text = text }
+func (m *msg) Print() string    { return m.Text }
+
+type cluster struct {
+	t        testing.TB
+	net      *netsim.Network
+	cores    map[ids.CoreID]*core.Core
+	faults   map[ids.CoreID]*transport.Faulty
+	shutOnce sync.Once
+}
+
+func (cl *cluster) close() {
+	cl.shutOnce.Do(func() {
+		for _, c := range cl.cores {
+			_ = c.Shutdown(0)
+		}
+		cl.net.Close()
+	})
+}
+
+// newCluster builds named cores over one simulated network, each behind a
+// fault-injecting transport wrapper so latency tests can slow peers down.
+func newCluster(t testing.TB, names ...string) *cluster {
+	t.Helper()
+	cl := &cluster{
+		t:      t,
+		net:    netsim.NewNetwork(7),
+		cores:  make(map[ids.CoreID]*core.Core, len(names)),
+		faults: make(map[ids.CoreID]*transport.Faulty, len(names)),
+	}
+	for _, name := range names {
+		id := ids.CoreID(name)
+		reg := registry.New()
+		if err := reg.Register("Msg", (*msg)(nil)); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := transport.NewSim(cl.net, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faulty := transport.NewFaulty(tr, 1)
+		faulty.SetLogf(func(string, ...any) {})
+		c, err := core.New(faulty, reg, core.Options{
+			RequestTimeout: 10 * time.Second,
+			Logf:           func(string, ...any) {},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.cores[id] = c
+		cl.faults[id] = faulty
+	}
+	t.Cleanup(cl.close)
+	return cl
+}
+
+func (cl *cluster) core(name string) *core.Core { return cl.cores[ids.CoreID(name)] }
+
+// manualEngine starts a loop-less engine (tests drive evalAt directly).
+func manualEngine(t *testing.T, c *core.Core, rules ...Rule) *Engine {
+	t.Helper()
+	e, err := Start(c, Options{Rules: rules, Interval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Stop)
+	return e
+}
+
+// collect subscribes and returns a pointer to the growing transition log.
+func collect(e *Engine) *[]Event {
+	var mu sync.Mutex
+	var events []Event
+	e.Subscribe(func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	return &events
+}
+
+func flightKinds(c *core.Core) []string {
+	var kinds []string
+	for _, ev := range c.Flight().Snapshot(0) {
+		if ev.Kind == flight.KindAlertFiring || ev.Kind == flight.KindAlertResolved {
+			kinds = append(kinds, ev.Kind)
+		}
+	}
+	return kinds
+}
+
+// --- grammar -----------------------------------------------------------------
+
+func TestParseRules(t *testing.T) {
+	src := `
+# SLO rules for the demo deployment.
+alert slow-print on method_latency_ns{method="Print",type="Msg"}:p99 > 50ms for 10s resolve < 10ms resolveFor 30s
+alert no-scrapes absent cluster_invoke_latency_ns for 1m
+alert burn burnrate cluster_method_latency_ns above 5ms > 0.25 window 2m for 5s
+alert plain on queue_depth >= 100
+`
+	rules, err := ParseRules(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 4 {
+		t.Fatalf("parsed %d rules, want 4", len(rules))
+	}
+
+	r := rules[0]
+	if r.Cond != CondThreshold || r.Field != "p99" || r.Op != ">" || r.Value != 50e6 {
+		t.Fatalf("slow-print = %+v", r)
+	}
+	if r.Series != `method_latency_ns{method="Print",type="Msg"}` {
+		t.Fatalf("slow-print series = %q", r.Series)
+	}
+	if r.For != 10*time.Second || r.ResolveFor != 30*time.Second {
+		t.Fatalf("slow-print holds = %v / %v", r.For, r.ResolveFor)
+	}
+	if r.ResolveValue == nil || *r.ResolveValue != 10e6 || r.ResolveOp != "<" {
+		t.Fatalf("slow-print resolve = %v %v", r.ResolveOp, r.ResolveValue)
+	}
+
+	if r := rules[1]; r.Cond != CondAbsence || r.Series != "cluster_invoke_latency_ns" || r.For != time.Minute {
+		t.Fatalf("no-scrapes = %+v", r)
+	}
+	if r := rules[2]; r.Cond != CondBurnRate || r.Bound != 5e6 || r.Value != 0.25 || r.Window != 2*time.Minute {
+		t.Fatalf("burn = %+v", r)
+	}
+	if r := rules[3]; r.Cond != CondThreshold || r.Op != ">=" || r.Value != 100 || r.Field != "" {
+		t.Fatalf("plain = %+v", r)
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	for _, bad := range []string{
+		"alert",                                  // truncated
+		"alert x maybe foo > 1",                  // unknown condition
+		"alert x on foo ~ 1",                     // bad op
+		"alert x on foo > banana",                // bad value
+		"alert x on foo > 1 whenever 3s",         // unknown clause
+		"alert x on foo > 1 for soon",            // bad duration
+		"alert x on foo{bad > 1",                 // malformed selector
+		"alert x on 9foo > 1",                    // invalid metric name
+		"alert a on foo > 1\nalert a on bar > 2", // duplicate name
+	} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Errorf("ParseRules(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSelectorCanonicalization(t *testing.T) {
+	// Label order in the rules file is irrelevant: both spellings canonicalize
+	// to the registry's own sorted form.
+	a, err := ParseRules(`alert x on m{b="2",a="1"}:p50 > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseRules(`alert x on m{a="1",b="2"}:p50 > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Series != b[0].Series || a[0].Series != `m{a="1",b="2"}` {
+		t.Fatalf("series = %q vs %q", a[0].Series, b[0].Series)
+	}
+}
+
+// --- state machine -----------------------------------------------------------
+
+// Threshold rule with For-hold and resolve hysteresis: fires only after the
+// condition held for For, resolves only after the resolve condition held for
+// ResolveFor, and oscillation between the two thresholds does not flap.
+func TestThresholdHoldAndHysteresis(t *testing.T) {
+	cl := newCluster(t, "a")
+	a := cl.core("a")
+	resolveBelow := 5.0
+	e := manualEngine(t, a, Rule{
+		Name:         "depth",
+		Cond:         CondThreshold,
+		Series:       "queue_depth",
+		Op:           ">",
+		Value:        10,
+		For:          10 * time.Second,
+		ResolveOp:    "<",
+		ResolveValue: &resolveBelow,
+		ResolveFor:   10 * time.Second,
+	})
+	events := collect(e)
+	g := a.Metrics().Gauge("queue_depth")
+	ctx := context.Background()
+	t0 := time.Now()
+
+	g.Set(20)
+	e.evalAt(ctx, t0)
+	if st := e.Status()[0]; st.State != StatePending {
+		t.Fatalf("after first breach: state = %s, want pending", st.State)
+	}
+	// A dip before For elapses cancels the pending alert.
+	g.Set(1)
+	e.evalAt(ctx, t0.Add(5*time.Second))
+	if st := e.Status()[0]; st.State != StateInactive {
+		t.Fatalf("after dip: state = %s, want inactive", st.State)
+	}
+	// Breach again and hold it out.
+	g.Set(20)
+	e.evalAt(ctx, t0.Add(6*time.Second))
+	e.evalAt(ctx, t0.Add(17*time.Second))
+	if st := e.Status()[0]; st.State != StateFiring {
+		t.Fatalf("after hold: state = %s, want firing", st.State)
+	}
+	if len(*events) != 1 || !(*events)[0].Firing || (*events)[0].Rule != "depth" {
+		t.Fatalf("events = %+v, want one firing", *events)
+	}
+	if got := e.Firing(); len(got) != 1 || got[0] != "depth" {
+		t.Fatalf("Firing() = %v", got)
+	}
+
+	// Hysteresis: dropping below the firing threshold but above the resolve
+	// threshold keeps the alert firing.
+	g.Set(7)
+	e.evalAt(ctx, t0.Add(18*time.Second))
+	e.evalAt(ctx, t0.Add(40*time.Second))
+	if st := e.Status()[0]; st.State != StateFiring {
+		t.Fatalf("between thresholds: state = %s, want firing", st.State)
+	}
+	// Below the resolve threshold, but bouncing back resets the resolve hold.
+	g.Set(1)
+	e.evalAt(ctx, t0.Add(41*time.Second))
+	g.Set(7)
+	e.evalAt(ctx, t0.Add(45*time.Second))
+	g.Set(1)
+	e.evalAt(ctx, t0.Add(46*time.Second))
+	e.evalAt(ctx, t0.Add(50*time.Second))
+	if st := e.Status()[0]; st.State != StateResolving {
+		t.Fatalf("resolve hold reset: state = %s, want resolving (reset at 46s)", st.State)
+	}
+	e.evalAt(ctx, t0.Add(57*time.Second))
+	if st := e.Status()[0]; st.State != StateInactive {
+		t.Fatalf("after resolve hold: state = %s, want inactive", st.State)
+	}
+	if len(*events) != 2 || (*events)[1].Firing {
+		t.Fatalf("events = %+v, want firing then resolved", *events)
+	}
+
+	// Both transitions are flight events, so they interleave with moves and
+	// repairs on the merged timeline.
+	kinds := flightKinds(a)
+	if len(kinds) != 2 || kinds[0] != flight.KindAlertFiring || kinds[1] != flight.KindAlertResolved {
+		t.Fatalf("flight kinds = %v", kinds)
+	}
+}
+
+// Absence rules fire while the series does not exist and resolve once it
+// appears.
+func TestAbsenceRule(t *testing.T) {
+	cl := newCluster(t, "a")
+	a := cl.core("a")
+	e := manualEngine(t, a, Rule{Name: "gone", Cond: CondAbsence, Series: "heartbeat_total"})
+	ctx := context.Background()
+	t0 := time.Now()
+
+	e.evalAt(ctx, t0)
+	if st := e.Status()[0]; st.State != StateFiring {
+		t.Fatalf("absent series: state = %s, want firing (For 0)", st.State)
+	}
+	a.Metrics().Counter("heartbeat_total").Inc()
+	e.evalAt(ctx, t0.Add(time.Second))
+	if st := e.Status()[0]; st.State != StateInactive {
+		t.Fatalf("series appeared: state = %s, want inactive", st.State)
+	}
+}
+
+// :rate turns a cumulative counter into a per-second rate between passes.
+func TestCounterRateField(t *testing.T) {
+	cl := newCluster(t, "a")
+	a := cl.core("a")
+	e := manualEngine(t, a, Rule{
+		Name: "hot", Cond: CondThreshold, Series: "ticks_total", Field: "rate", Op: ">", Value: 50,
+	})
+	ctx := context.Background()
+	t0 := time.Now()
+	c := a.Metrics().Counter("ticks_total")
+
+	c.Add(1000)
+	e.evalAt(ctx, t0) // first pass: no previous observation, rate 0
+	if st := e.Status()[0]; st.State != StateInactive {
+		t.Fatalf("first pass: state = %s, want inactive", st.State)
+	}
+	c.Add(1000) // 1000 in 10s = 100/s
+	e.evalAt(ctx, t0.Add(10*time.Second))
+	if st := e.Status()[0]; st.State != StateFiring || st.Value != 100 {
+		t.Fatalf("second pass: state = %s value = %v, want firing at 100", st.State, st.Value)
+	}
+	e.evalAt(ctx, t0.Add(20*time.Second)) // no new ticks: rate 0, resolves
+	if st := e.Status()[0]; st.State != StateInactive {
+		t.Fatalf("idle pass: state = %s, want inactive", st.State)
+	}
+}
+
+// --- burn rate under injected latency ----------------------------------------
+
+// The headline resolvability scenario: latency injected at the transport
+// drives the burn rate over threshold and the alert fires; clearing the fault
+// lets fresh fast traffic push the windowed burn rate back down, and the
+// alert resolves — something a lifetime-quantile threshold can never do.
+func TestBurnRateFiresAndResolvesUnderFaultyTransport(t *testing.T) {
+	cl := newCluster(t, "a", "b")
+	a := cl.core("a")
+	r, err := a.NewCompletAt("b", "Msg", "hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := manualEngine(t, a, Rule{
+		Name:   "slow-invokes",
+		Cond:   CondBurnRate,
+		Series: "invoke_latency_ns",
+		Bound:  10e6, // 10ms
+		Op:     ">",
+		Value:  0.5,
+		Window: 5 * time.Second,
+	})
+	events := collect(e)
+	ctx := context.Background()
+	t0 := time.Now()
+	e.evalAt(ctx, t0) // baseline observation
+
+	cl.faults["a"].SetDelay("b", 30*time.Millisecond)
+	for i := 0; i < 5; i++ {
+		if _, err := r.Invoke("Print"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.evalAt(ctx, t0.Add(time.Second))
+	st := e.Status()[0]
+	if st.State != StateFiring {
+		t.Fatalf("slow traffic: state = %s value = %v, want firing", st.State, st.Value)
+	}
+	if st.Value <= 0.5 {
+		t.Fatalf("burn rate = %v, want > 0.5", st.Value)
+	}
+
+	// Heal the transport; fast traffic in a fresh window dilutes the burn
+	// rate to ~0 even though the lifetime p95 stays stuck at ~30ms.
+	cl.faults["a"].Clear("b")
+	for i := 0; i < 40; i++ {
+		if _, err := r.Invoke("Print"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.evalAt(ctx, t0.Add(30*time.Second)) // old window evicted: delta covers only fast traffic
+	if st := e.Status()[0]; st.State != StateInactive {
+		t.Fatalf("after recovery: state = %s value = %v, want inactive", st.State, st.Value)
+	}
+	if len(*events) != 2 || !(*events)[0].Firing || (*events)[1].Firing {
+		t.Fatalf("events = %+v, want fire then resolve", *events)
+	}
+	kinds := flightKinds(a)
+	if len(kinds) != 2 || kinds[0] != flight.KindAlertFiring || kinds[1] != flight.KindAlertResolved {
+		t.Fatalf("flight kinds = %v", kinds)
+	}
+}
+
+// --- cluster_ selectors ------------------------------------------------------
+
+// cluster_ selectors resolve through the core's observatory: the rule reads
+// the federated model, not any local series.
+func TestClusterSelectorThroughObservatory(t *testing.T) {
+	cl := newCluster(t, "a", "b", "c")
+	a := cl.core("a")
+	o, err := observatory.Start(a, observatory.Options{
+		Cores: []ids.CoreID{"a", "b", "c"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Stop()
+	e := manualEngine(t, a, Rule{
+		Name: "quorum", Cond: CondThreshold, Series: "cluster_members_up", Op: "<", Value: 3,
+	})
+	ctx := context.Background()
+	t0 := time.Now()
+
+	e.evalAt(ctx, t0)
+	if st := e.Status()[0]; st.State != StateInactive {
+		t.Fatalf("full membership: state = %s (value %v, present %v), want inactive", st.State, st.Value, st.Present)
+	}
+	// Kill c; the next refresh flags it unreachable and the rule fires.
+	_ = cl.core("c").Shutdown(0)
+	waitFor(t, 5*time.Second, func() bool {
+		_ = o.Refresh(ctx)
+		e.evalAt(ctx, time.Now())
+		return e.Status()[0].State == StateFiring
+	})
+}
+
+// A cluster_ rule on a core with no observatory sees an absent series — it
+// must not panic, and an absence rule catches the misconfiguration.
+func TestClusterSelectorWithoutObservatory(t *testing.T) {
+	cl := newCluster(t, "a")
+	a := cl.core("a")
+	e := manualEngine(t, a, Rule{
+		Name: "blind", Cond: CondAbsence, Series: "cluster_members",
+	})
+	e.evalAt(context.Background(), time.Now())
+	if st := e.Status()[0]; st.State != StateFiring || st.Present {
+		t.Fatalf("no observatory: state = %s present = %v, want firing/absent", st.State, st.Present)
+	}
+}
+
+// --- engine lifecycle --------------------------------------------------------
+
+func TestEngineRegistryAndLifecycle(t *testing.T) {
+	cl := newCluster(t, "a")
+	a := cl.core("a")
+	e, err := Start(a, Options{Interval: -1, Rules: []Rule{
+		{Name: "x", Cond: CondThreshold, Series: "foo", Op: ">", Value: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := For(a); !ok || got != e {
+		t.Fatalf("For = %v, %v", got, ok)
+	}
+	if _, err := Start(a, Options{Interval: -1}); err == nil {
+		t.Fatal("second engine on the same core accepted")
+	}
+	e.Stop()
+	if _, ok := For(a); ok {
+		t.Fatal("engine still registered after Stop")
+	}
+	if _, err := Start(a, Options{Interval: -1}); err != nil {
+		t.Fatalf("re-attach after Stop: %v", err)
+	}
+}
+
+func TestStartRejectsBadRule(t *testing.T) {
+	cl := newCluster(t, "a")
+	if _, err := Start(cl.core("a"), Options{Interval: -1, Rules: []Rule{
+		{Name: "bad", Cond: CondThreshold, Series: "foo", Op: "~", Value: 1},
+	}}); err == nil || !strings.Contains(err.Error(), "bad op") {
+		t.Fatalf("bad rule accepted: %v", err)
+	}
+}
+
+// The background loop evaluates without manual driving.
+func TestEngineLoop(t *testing.T) {
+	cl := newCluster(t, "a")
+	a := cl.core("a")
+	a.Metrics().Gauge("pressure").Set(9)
+	e, err := Start(a, Options{Interval: 10 * time.Millisecond, Rules: []Rule{
+		{Name: "pressure", Cond: CondThreshold, Series: "pressure", Op: ">", Value: 5},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Stop()
+	waitFor(t, 5*time.Second, func() bool {
+		return len(e.Firing()) == 1
+	})
+	a.Metrics().Gauge("pressure").Set(1)
+	waitFor(t, 5*time.Second, func() bool {
+		return len(e.Firing()) == 0
+	})
+}
+
+func waitFor(t testing.TB, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

@@ -1,0 +1,280 @@
+// Rule types and the declarative rules grammar. A rules file is line
+// oriented, whitespace tokenized, '#' to end of line is a comment:
+//
+//	alert <name> on <selector> <op> <value> [for <dur>] [resolve <op> <value>] [resolveFor <dur>]
+//	alert <name> absent <selector> [for <dur>]
+//	alert <name> burnrate <selector> [above <bound>] <op> <value> [window <dur>] [for <dur>] [resolveFor <dur>]
+//
+// A selector names one series — local (`invoke_latency_ns`) or federated
+// (`cluster_invoke_latency_ns`, resolved through the core's observatory) —
+// optionally with labels (`method_latency_ns{method="Print"}`) and an
+// optional field suffix (`:p50 :p95 :p99 :mean :count :sum :rate :value`).
+// Histogram selectors default to :p95, counters and gauges to :value.
+// Because lines are whitespace tokenized, a selector must be a single token:
+// label values containing spaces are not expressible in a rules file (build
+// such rules programmatically instead).
+//
+// Values parse as plain floats or as Go durations ("50ms" means 5e7 — the
+// nanosecond scale every fargo latency series uses).
+package alert
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"fargo/internal/metrics"
+)
+
+// Condition kinds.
+const (
+	// CondThreshold fires while `series <op> value` holds.
+	CondThreshold = "threshold"
+	// CondAbsence fires while the series does not exist (a core that stopped
+	// scraping, a complet whose meters vanished).
+	CondAbsence = "absence"
+	// CondBurnRate fires while the windowed fraction of histogram samples
+	// above Bound satisfies `<op> value`. Unlike lifetime quantiles (which
+	// never decay), the burn rate is computed from bucket-count deltas over
+	// Window, so it falls back to zero when the slowness stops — the
+	// condition that makes alerts resolvable.
+	CondBurnRate = "burnrate"
+)
+
+// Field suffixes a selector may carry.
+var validFields = map[string]bool{
+	"p50": true, "p95": true, "p99": true, "mean": true,
+	"count": true, "sum": true, "rate": true, "value": true,
+}
+
+// Rule is one declarative alert rule.
+type Rule struct {
+	// Name identifies the rule in events, status, and script triggers.
+	Name string `json:"name"`
+	// Cond is one of the Cond* kinds.
+	Cond string `json:"cond"`
+	// Series is the canonicalized selector (base name plus sorted labels,
+	// without the field suffix).
+	Series string `json:"series"`
+	// Field picks the series facet: p50/p95/p99/mean/count/sum for
+	// histograms, value/rate for counters and gauges. Empty means the
+	// type-dependent default (histogram p95, otherwise value).
+	Field string `json:"field,omitempty"`
+	// Op compares the evaluated value against Value: > >= < <=.
+	Op string `json:"op,omitempty"`
+	// Value is the firing threshold (for burnrate: a fraction in [0,1]).
+	Value float64 `json:"value,omitempty"`
+	// For is how long the condition must hold before the rule fires.
+	For time.Duration `json:"for,omitempty"`
+	// ResolveOp/ResolveValue, when set, replace "condition false" as the
+	// resolve condition — hysteresis, so a value oscillating around the
+	// firing threshold does not flap the alert.
+	ResolveOp    string   `json:"resolveOp,omitempty"`
+	ResolveValue *float64 `json:"resolveValue,omitempty"`
+	// ResolveFor is how long the resolve condition must hold before a firing
+	// rule resolves.
+	ResolveFor time.Duration `json:"resolveFor,omitempty"`
+	// Window is the burn-rate observation window (default DefaultWindow).
+	Window time.Duration `json:"window,omitempty"`
+	// Bound is the burn-rate latency bound: a sample counts as "bad" when it
+	// lands above Bound (nanoseconds for fargo latency series).
+	Bound float64 `json:"bound,omitempty"`
+}
+
+// Validate normalizes the rule and reports grammar-level errors.
+func (r *Rule) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("alert: rule without a name")
+	}
+	switch r.Cond {
+	case CondThreshold, CondBurnRate:
+		if !validOp(r.Op) {
+			return fmt.Errorf("alert %s: bad op %q (want > >= < <=)", r.Name, r.Op)
+		}
+	case CondAbsence:
+		// No op.
+	default:
+		return fmt.Errorf("alert %s: unknown condition %q", r.Name, r.Cond)
+	}
+	if r.ResolveValue != nil && !validOp(r.ResolveOp) {
+		return fmt.Errorf("alert %s: bad resolve op %q", r.Name, r.ResolveOp)
+	}
+	series, field, err := splitSelector(r.Series)
+	if err != nil {
+		return fmt.Errorf("alert %s: %v", r.Name, err)
+	}
+	r.Series = series
+	if field != "" {
+		if r.Field != "" && r.Field != field {
+			return fmt.Errorf("alert %s: field given twice (%q and %q)", r.Name, r.Field, field)
+		}
+		r.Field = field
+	}
+	if r.Field != "" && !validFields[r.Field] {
+		return fmt.Errorf("alert %s: unknown field %q", r.Name, r.Field)
+	}
+	return nil
+}
+
+func validOp(op string) bool {
+	switch op {
+	case ">", ">=", "<", "<=":
+		return true
+	}
+	return false
+}
+
+// splitSelector strips a trailing :field suffix (only when it is a known
+// field keyword — label values keep their colons) and canonicalizes the
+// series name through the metrics name grammar, so a rule matches the
+// registry's own spelling regardless of label order in the rules file.
+func splitSelector(sel string) (series, field string, err error) {
+	if sel == "" {
+		return "", "", fmt.Errorf("empty selector")
+	}
+	if i := strings.LastIndex(sel, ":"); i >= 0 && !strings.Contains(sel[i:], "}") {
+		if suffix := sel[i+1:]; validFields[suffix] {
+			field = suffix
+			sel = sel[:i]
+		}
+	}
+	base, labels, err := metrics.SplitName(sel)
+	if err != nil {
+		return "", "", fmt.Errorf("bad selector %q: %v", sel, err)
+	}
+	series = metrics.JoinLabels(base, labels)
+	if err := metrics.ValidateName(series); err != nil {
+		return "", "", fmt.Errorf("bad selector %q: %v", sel, err)
+	}
+	return series, field, nil
+}
+
+// ParseRules parses a rules file. Line errors carry the 1-based line number.
+func ParseRules(src string) ([]Rule, error) {
+	var rules []Rule
+	seen := make(map[string]bool)
+	for ln, line := range strings.Split(src, "\n") {
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		rule, err := parseRuleLine(fields)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln+1, err)
+		}
+		if seen[rule.Name] {
+			return nil, fmt.Errorf("line %d: duplicate rule %q", ln+1, rule.Name)
+		}
+		seen[rule.Name] = true
+		rules = append(rules, rule)
+	}
+	return rules, nil
+}
+
+// parseRuleLine parses one tokenized rule line.
+func parseRuleLine(f []string) (Rule, error) {
+	if f[0] != "alert" || len(f) < 4 {
+		return Rule{}, fmt.Errorf("want `alert <name> on|absent|burnrate <selector> ...`, got %q", strings.Join(f, " "))
+	}
+	r := Rule{Name: f[1]}
+	rest := f[3:]
+	switch f[2] {
+	case "on":
+		r.Cond = CondThreshold
+		r.Series = rest[0]
+		rest = rest[1:]
+		var err error
+		if rest, err = parseCmp(&r.Op, &r.Value, rest); err != nil {
+			return Rule{}, fmt.Errorf("rule %s: %v", r.Name, err)
+		}
+	case "absent":
+		r.Cond = CondAbsence
+		r.Series = rest[0]
+		rest = rest[1:]
+	case "burnrate":
+		r.Cond = CondBurnRate
+		r.Series = rest[0]
+		rest = rest[1:]
+		if len(rest) >= 2 && rest[0] == "above" {
+			v, err := parseValue(rest[1])
+			if err != nil {
+				return Rule{}, fmt.Errorf("rule %s: bad bound %q: %v", r.Name, rest[1], err)
+			}
+			r.Bound = v
+			rest = rest[2:]
+		}
+		var err error
+		if rest, err = parseCmp(&r.Op, &r.Value, rest); err != nil {
+			return Rule{}, fmt.Errorf("rule %s: %v", r.Name, err)
+		}
+	default:
+		return Rule{}, fmt.Errorf("rule %s: unknown condition %q (want on, absent or burnrate)", r.Name, f[2])
+	}
+
+	// Trailing clauses, any order.
+	for len(rest) > 0 {
+		switch rest[0] {
+		case "for", "resolveFor", "window":
+			if len(rest) < 2 {
+				return Rule{}, fmt.Errorf("rule %s: %s needs a duration", r.Name, rest[0])
+			}
+			d, err := time.ParseDuration(rest[1])
+			if err != nil {
+				return Rule{}, fmt.Errorf("rule %s: bad %s duration %q: %v", r.Name, rest[0], rest[1], err)
+			}
+			switch rest[0] {
+			case "for":
+				r.For = d
+			case "resolveFor":
+				r.ResolveFor = d
+			case "window":
+				r.Window = d
+			}
+			rest = rest[2:]
+		case "resolve":
+			rest = rest[1:]
+			var v float64
+			var err error
+			if rest, err = parseCmp(&r.ResolveOp, &v, rest); err != nil {
+				return Rule{}, fmt.Errorf("rule %s: resolve: %v", r.Name, err)
+			}
+			r.ResolveValue = &v
+		default:
+			return Rule{}, fmt.Errorf("rule %s: unexpected token %q", r.Name, rest[0])
+		}
+	}
+	if err := r.Validate(); err != nil {
+		return Rule{}, err
+	}
+	return r, nil
+}
+
+// parseCmp consumes `<op> <value>` from the token stream.
+func parseCmp(op *string, value *float64, rest []string) ([]string, error) {
+	if len(rest) < 2 || !validOp(rest[0]) {
+		return nil, fmt.Errorf("want `<op> <value>` (op: > >= < <=), got %q", strings.Join(rest, " "))
+	}
+	v, err := parseValue(rest[1])
+	if err != nil {
+		return nil, fmt.Errorf("bad value %q: %v", rest[1], err)
+	}
+	*op = rest[0]
+	*value = v
+	return rest[2:], nil
+}
+
+// parseValue accepts a float or a Go duration (durations become nanoseconds,
+// the scale of every fargo latency series).
+func parseValue(s string) (float64, error) {
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v, nil
+	}
+	if d, err := time.ParseDuration(s); err == nil {
+		return float64(d.Nanoseconds()), nil
+	}
+	return 0, fmt.Errorf("neither a number nor a duration")
+}

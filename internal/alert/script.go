@@ -1,0 +1,43 @@
+package alert
+
+import (
+	"fmt"
+
+	"fargo/internal/core"
+	"fargo/internal/script"
+)
+
+// Script integration: `on alert as $rule do ... end` (§4.3). The engine
+// registers itself as a script event source, so a layout rule can react to a
+// firing alert — typically by moving the implicated complet or invoking the
+// planner — the same way it reacts to a core failure. The source bound by
+// `as` is the alert rule's name; resolutions do not fire script rules (a
+// layout reaction to "back to normal" is rarely meaningful, and scripts that
+// need it can watch /cluster/alerts).
+//
+// Registration follows the planner's RegisterAction pattern: alert imports
+// script, never the reverse, so linking the alert engine into a binary is
+// what makes `on alert` available there.
+func init() {
+	err := script.RegisterEventSource("alert", func(rt script.Runtime, atCores []string, fire func(source string)) (func(), error) {
+		if len(atCores) > 0 {
+			return nil, fmt.Errorf("script: `on alert` listens to this core's alert engine; listenAt is not supported")
+		}
+		cp, ok := rt.(interface{ Core() *core.Core })
+		if !ok {
+			return nil, fmt.Errorf("script: `on alert` needs a core-backed runtime")
+		}
+		e, ok := For(cp.Core())
+		if !ok {
+			return nil, fmt.Errorf("script: `on alert` needs an alert engine on core %s (start one with fargo.StartAlerts or -alerts)", cp.Core().ID())
+		}
+		return e.Subscribe(func(ev Event) {
+			if ev.Firing {
+				fire(ev.Rule)
+			}
+		}), nil
+	})
+	if err != nil {
+		panic(err)
+	}
+}

@@ -166,6 +166,12 @@ type Options struct {
 	// layout timeline served under /cluster/ on the ops plane. Plain data for
 	// the same reason as Planner — core cannot import internal/observatory.
 	Observatory *ObservatoryConfig
+	// DisablePerMethodStats turns off the complet-granular per-method SLO
+	// instruments (latency histogram, call/error counters, in-flight gauge
+	// per hosted (complet, method)). They are on by default; the overhead
+	// benchmark (BenchmarkPerMethodInstrumentOverhead) uses this switch to
+	// measure their cost on the invoke hot path.
+	DisablePerMethodStats bool
 }
 
 // ObservatoryConfig enables the deployment observatory on a core built

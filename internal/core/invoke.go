@@ -100,7 +100,13 @@ func (c *Core) invokeRef(ctx context.Context, r *ref.Ref, method string, args []
 		return nil, err
 	}
 	c.bindDecoded(decoded)
-	c.met.invokeLatency.Observe(float64(time.Since(start).Nanoseconds()))
+	// A sampled caller stamps the latency bucket with its trace ID, so a
+	// slow bucket on /metrics points straight at a resolvable trace.
+	var traceID string
+	if sc, ok := trace.FromContext(ctx); ok && sc.Sampled {
+		traceID = sc.Trace.String()
+	}
+	c.met.invokeLatency.ObserveExemplar(float64(time.Since(start).Nanoseconds()), traceID)
 	return results, nil
 }
 
@@ -216,8 +222,10 @@ func (c *Core) invokeLocalFrom(ctx context.Context, target, source ids.CompletID
 	}
 
 	var sp *trace.Span
-	if trace.Sampled(ctx) {
+	var sampledTrace string
+	if sc, ok := trace.FromContext(ctx); ok && sc.Sampled {
 		_, sp = c.tracer.ChildSpan(ctx, "exec "+entry.typeName+"."+method)
+		sampledTrace = sc.Trace.String()
 	}
 	args, decoded, err := wire.DecodeArgs(argBytes)
 	if err != nil {
@@ -229,7 +237,16 @@ func (c *Core) invokeLocalFrom(ctx context.Context, target, source ids.CompletID
 	// Anchors passed as arguments arrive as references already (the
 	// encoder rejects raw anchors; see EncodeArgs callers), so args are
 	// ready for dispatch.
+	mm := c.mon.methodMeterFor(target, entry.typeName, method)
+	var execStart time.Time
+	if mm != nil {
+		mm.begin()
+		execStart = time.Now()
+	}
 	results, err := registry.Invoke(entry.anchor, method, args)
+	if mm != nil {
+		mm.end(time.Since(execStart), sampledTrace, err != nil)
+	}
 	c.mon.recordInvocation(source, target, entry.typeName, method, len(argBytes))
 	c.met.invokeLocal.Inc()
 	if err != nil {

@@ -155,6 +155,13 @@ type Monitor struct {
 	seq       ids.Sequencer
 	closed    bool
 
+	// Per-method SLO instruments (methodstats.go). Guarded by their own
+	// RWMutex: the invoke hot path takes only a read lock per call once a
+	// meter exists, and never contends with the profiling mutex above.
+	methodsMu  sync.RWMutex
+	methods    map[methodKey]*methodMeter
+	methodsOff bool
+
 	wg sync.WaitGroup
 }
 
@@ -185,7 +192,9 @@ func newMonitor(c *Core) *Monitor {
 		rateByDst: make(map[ids.CompletID]*stats.RateMeter),
 		pairs:     make(map[pairKey]*pairMeter),
 		countBy:   make(map[ids.CompletID]*stats.Counter),
+		methods:   make(map[methodKey]*methodMeter),
 	}
+	m.methodsOff = c.opts.DisablePerMethodStats
 	m.services[ServiceCompletLoad] = m.svcCompletLoad
 	m.services[ServiceMemory] = m.svcMemory
 	m.services[ServiceLatency] = m.svcLatency

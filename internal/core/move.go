@@ -476,6 +476,8 @@ func (c *Core) moveLocal(ctx context.Context, rootID ids.CompletID, dest ids.Cor
 		// complet identity, so rates survive relocation); the departing
 		// copies are captured while their W-locks block new invocations.
 		Meters: c.mon.exportMeters(pm.complets),
+		// Per-method SLO telemetry travels the same way (DESIGN.md §16).
+		MethodMeters: c.mon.exportMethodMeters(pm.complets),
 	})
 	if err != nil {
 		return fail(err)
@@ -573,6 +575,7 @@ func (c *Core) moveLocal(ctx context.Context, rootID ids.CompletID, dest ids.Cor
 	// (shipped with the bundle); dropping it here keeps every meter counted
 	// at exactly one core.
 	c.mon.dropMeters(pm.complets)
+	c.mon.dropMethodMeters(pm.complets)
 	for _, e := range locked {
 		c.remove(e.id, dest)
 		if cb, ok := e.anchor.(PostDeparture); ok {
@@ -897,6 +900,7 @@ func (c *Core) installBundleLocked(from ids.CoreID, req wire.MoveRequest, raw []
 	// identities, so rates observed before the move keep informing the
 	// layout planner here.
 	c.mon.importMeters(req.Meters)
+	c.mon.importMethodMeters(req.MethodMeters)
 
 	// Register carried names against the (tracking) references.
 	for name, idx := range req.Names {

@@ -68,6 +68,51 @@ func newCoreMetrics(reg *metrics.Registry) *coreMetrics {
 
 // --- stats query ------------------------------------------------------------
 
+// HistStatFromSnapshot mirrors a stats snapshot into the wire form, exemplars
+// included (wire stays free of stats types, so the mirror lives here).
+func HistStatFromSnapshot(h stats.HistogramSnapshot) wire.HistogramStat {
+	out := wire.HistogramStat{
+		Count: h.Count, Sum: h.Sum, P50: h.P50, P95: h.P95, P99: h.P99,
+		Bounds: h.Bounds, Buckets: h.Buckets,
+	}
+	if h.HasExemplars() {
+		out.ExemplarValues = make([]float64, len(h.Exemplars))
+		out.ExemplarTraces = make([]string, len(h.Exemplars))
+		out.ExemplarNanos = make([]int64, len(h.Exemplars))
+		for i, e := range h.Exemplars {
+			out.ExemplarValues[i] = e.Value
+			out.ExemplarTraces[i] = e.TraceID
+			out.ExemplarNanos[i] = e.UnixNanos
+		}
+	}
+	return out
+}
+
+// HistStatToSnapshot converts a wire histogram back to the stats form,
+// restoring any shipped exemplars.
+func HistStatToSnapshot(h wire.HistogramStat) stats.HistogramSnapshot {
+	out := stats.HistogramSnapshot{
+		Count: h.Count, Sum: h.Sum, P50: h.P50, P95: h.P95, P99: h.P99,
+		Bounds: h.Bounds, Buckets: h.Buckets,
+	}
+	if len(h.ExemplarTraces) == len(h.Buckets) && len(h.Buckets) > 0 {
+		out.Exemplars = make([]stats.Exemplar, len(h.ExemplarTraces))
+		for i, id := range h.ExemplarTraces {
+			if id == "" {
+				continue
+			}
+			out.Exemplars[i] = stats.Exemplar{TraceID: id}
+			if i < len(h.ExemplarValues) {
+				out.Exemplars[i].Value = h.ExemplarValues[i]
+			}
+			if i < len(h.ExemplarNanos) {
+				out.Exemplars[i].UnixNanos = h.ExemplarNanos[i]
+			}
+		}
+	}
+	return out
+}
+
 // statsReply snapshots this core's registry into the wire form.
 func (c *Core) statsReply() wire.StatsQueryReply {
 	snap := c.metrics.Snapshot()
@@ -78,10 +123,7 @@ func (c *Core) statsReply() wire.StatsQueryReply {
 		Histograms: make(map[string]wire.HistogramStat, len(snap.Histograms)),
 	}
 	for name, h := range snap.Histograms {
-		reply.Histograms[name] = wire.HistogramStat{
-			Count: h.Count, Sum: h.Sum, P50: h.P50, P95: h.P95, P99: h.P99,
-			Bounds: h.Bounds, Buckets: h.Buckets,
-		}
+		reply.Histograms[name] = HistStatFromSnapshot(h)
 	}
 	return reply
 }
@@ -139,10 +181,7 @@ func FormatStats(w io.Writer, reply wire.StatsQueryReply) {
 		Histograms: make(map[string]stats.HistogramSnapshot, len(reply.Histograms)),
 	}
 	for name, h := range reply.Histograms {
-		snap.Histograms[name] = stats.HistogramSnapshot{
-			Count: h.Count, Sum: h.Sum, P50: h.P50, P95: h.P95, P99: h.P99,
-			Bounds: h.Bounds, Buckets: h.Buckets,
-		}
+		snap.Histograms[name] = HistStatToSnapshot(h)
 	}
 	snap.WriteText(w)
 }
@@ -330,7 +369,41 @@ func (c *Core) obsReply(req wire.ObsQuery) wire.ObsQueryReply {
 	if req.Trace != 0 {
 		reply.Spans = c.traceReply(wire.TraceQuery{Trace: req.Trace}).Spans
 	}
+	if req.Methods {
+		reply.Methods = c.mon.MethodStats()
+	}
 	return reply
+}
+
+// MethodStatsAt fetches a core's per-method telemetry table (this core's own
+// when dest is self), sorted by descending call count.
+func (c *Core) MethodStatsAt(ctx context.Context, dest ids.CoreID) ([]wire.MethodStat, error) {
+	reply, err := c.ObsAtCtx(ctx, dest, wire.ObsQuery{Methods: true})
+	if err != nil {
+		return nil, err
+	}
+	return reply.Methods, nil
+}
+
+// FormatMethodStats renders a per-method telemetry table for the shell's
+// `top` command: hottest rows first.
+func FormatMethodStats(w io.Writer, rows []wire.MethodStat, max int) {
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "(no per-method telemetry yet)")
+		return
+	}
+	if max > 0 && max < len(rows) {
+		rows = rows[:max]
+	}
+	fmt.Fprintf(w, "%-14s %-24s %8s %6s %5s %10s %10s %10s\n",
+		"COMPLET", "METHOD", "CALLS", "ERRS", "INFL", "P50", "P95", "P99")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-24s %8d %6d %5d %10v %10v %10v\n",
+			r.Complet, r.TypeName+"."+r.Method, r.Calls, r.Errors, r.InFlight,
+			time.Duration(r.Latency.P50).Round(time.Microsecond),
+			time.Duration(r.Latency.P95).Round(time.Microsecond),
+			time.Duration(r.Latency.P99).Round(time.Microsecond))
+	}
 }
 
 // handleObsQuery serves the batched observability query (the observatory's

@@ -10,6 +10,7 @@ package demo
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"fargo/internal/core"
 	"fargo/internal/ref"
@@ -137,6 +138,16 @@ func (e *Echo) EchoBytes(b []byte) int { return len(b) }
 
 // Join concatenates arguments (multi-arg dispatch coverage).
 func (e *Echo) Join(parts []string, sep string) string { return strings.Join(parts, sep) }
+
+// Slow sleeps for ms milliseconds and returns it — a dialable latency fault
+// for SLO/alerting experiments (a burn-rate rule on invoke latency fires
+// while a workload calls Slow and resolves once it stops).
+func (e *Echo) Slow(ms int) int {
+	if ms > 0 {
+		time.Sleep(time.Duration(ms) * time.Millisecond)
+	}
+	return ms
+}
 
 // Hub is a complet that holds outgoing references with chosen relocation
 // semantics — the wiring workhorse of the experiment harness and shell

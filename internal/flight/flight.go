@@ -61,6 +61,11 @@ const (
 	// below the min-gain threshold, cooldown, capacity, or a failed
 	// actuation (Detail carries the reason).
 	KindPlanSkipped = "planSkipped"
+	// KindAlertFiring records an alert rule entering the firing state
+	// (Complet is the rule name, Detail the observed value and condition).
+	KindAlertFiring = "alertFiring"
+	// KindAlertResolved records a firing alert rule returning to normal.
+	KindAlertResolved = "alertResolved"
 )
 
 // Event is one recorded occurrence.

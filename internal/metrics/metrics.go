@@ -20,20 +20,108 @@ import (
 	"fargo/internal/stats"
 )
 
+// DefaultMaxLabeledSeries bounds how many distinct labeled series one
+// registry will hold. Labels multiply: per-method instruments mint a series
+// per (complet, method) pair, and a buggy or adversarial label value would
+// otherwise grow the registry — and every scrape and ObsQuery reply — without
+// bound. Unlabeled series are never capped; they come from a fixed set of
+// instrumentation sites.
+const DefaultMaxLabeledSeries = 2048
+
+// DroppedSeriesName is the counter that records labeled series rejected by
+// the cardinality cap. It registers on the first drop, so the very scrape
+// that is missing a capped series also shows why.
+const DroppedSeriesName = "metrics_dropped_series_total"
+
 // Registry holds one core's named instruments.
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*stats.Counter
-	gauges   map[string]*stats.Gauge
-	hists    map[string]*stats.Histogram
+	mu         sync.RWMutex
+	counters   map[string]*stats.Counter
+	gauges     map[string]*stats.Gauge
+	hists      map[string]*stats.Histogram
+	labeled    int // live labeled series across all three maps
+	maxLabeled int
+	dropped    *stats.Counter // the DroppedSeriesName counter (also in counters)
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*stats.Counter),
-		gauges:   make(map[string]*stats.Gauge),
-		hists:    make(map[string]*stats.Histogram),
+		counters:   make(map[string]*stats.Counter),
+		gauges:     make(map[string]*stats.Gauge),
+		hists:      make(map[string]*stats.Histogram),
+		maxLabeled: DefaultMaxLabeledSeries,
+		dropped:    &stats.Counter{},
+	}
+}
+
+// SetLabeledSeriesLimit replaces the labeled-series cardinality cap. n <= 0
+// restores the default. Already-registered series stay; the cap gates only
+// new registrations.
+func (r *Registry) SetLabeledSeriesLimit(n int) {
+	if r == nil {
+		return
+	}
+	if n <= 0 {
+		n = DefaultMaxLabeledSeries
+	}
+	r.mu.Lock()
+	r.maxLabeled = n
+	r.mu.Unlock()
+}
+
+// isLabeled reports whether a canonical name carries a label set.
+func isLabeled(name string) bool { return strings.IndexByte(name, '{') >= 0 }
+
+// admit decides (under r.mu) whether a new labeled series may register.
+// Rejections bump the dropped-series counter; the caller hands the
+// instrumented code a detached throwaway instead.
+func (r *Registry) admit(name string) bool {
+	if !isLabeled(name) {
+		return true
+	}
+	if r.labeled >= r.maxLabeled {
+		r.counters[DroppedSeriesName] = r.dropped
+		r.dropped.Inc()
+		return false
+	}
+	r.labeled++
+	return true
+}
+
+// Remove unregisters a series by name (canonicalized like registration), so
+// instruments scoped to a departed complet stop scraping here — the history
+// travels to the new host in the movement bundle instead of double-counting
+// in federation. Instruments already fetched keep working; they are simply
+// detached. Unknown names are a no-op.
+func (r *Registry) Remove(name string) {
+	if r == nil {
+		return
+	}
+	var err error
+	if name, err = canonicalName(name); err != nil {
+		return
+	}
+	if name == DroppedSeriesName {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	if _, ok := r.counters[name]; ok {
+		delete(r.counters, name)
+		n++
+	}
+	if _, ok := r.gauges[name]; ok {
+		delete(r.gauges, name)
+		n++
+	}
+	if _, ok := r.hists[name]; ok {
+		delete(r.hists, name)
+		n++
+	}
+	if isLabeled(name) {
+		r.labeled -= n
 	}
 }
 
@@ -63,6 +151,9 @@ func (r *Registry) Counter(name string) *stats.Counter {
 		return c
 	}
 	c = &stats.Counter{}
+	if !r.admit(name) {
+		return c
+	}
 	r.counters[name] = c
 	return c
 }
@@ -89,6 +180,9 @@ func (r *Registry) Gauge(name string) *stats.Gauge {
 		return g
 	}
 	g = &stats.Gauge{}
+	if !r.admit(name) {
+		return g
+	}
 	r.gauges[name] = g
 	return g
 }
@@ -117,6 +211,9 @@ func (r *Registry) Histogram(name string) *stats.Histogram {
 		return h
 	}
 	h = stats.NewLatencyHistogram()
+	if !r.admit(name) {
+		return h
+	}
 	r.hists[name] = h
 	return h
 }

@@ -24,18 +24,43 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 	type series struct {
 		full string // canonical series name including labels
 		base string
+		// key is the parsed, flattened label list (k1, v1, k2, v2, ...;
+		// keys ascending). Sorting on the decoded pairs rather than the raw
+		// quoted string keeps the order stable under value escaping: the
+		// rendering of `\"` or `\\` must not decide where a series lands.
+		key []string
 	}
 	group := func(names map[string]struct{}) (bases []string, byBase map[string][]series) {
 		byBase = make(map[string][]series)
 		for full := range names {
-			base, _, err := splitLabels(full)
+			base, labels, err := splitLabels(full)
 			if err != nil {
-				base = full
+				base, labels = full, nil
 			}
-			byBase[base] = append(byBase[base], series{full: full, base: base})
+			keys := make([]string, 0, len(labels))
+			for k := range labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			flat := make([]string, 0, 2*len(keys))
+			for _, k := range keys {
+				flat = append(flat, k, labels[k])
+			}
+			byBase[base] = append(byBase[base], series{full: full, base: base, key: flat})
 		}
 		for _, list := range byBase {
-			sort.Slice(list, func(i, j int) bool { return list[i].full < list[j].full })
+			sort.Slice(list, func(i, j int) bool {
+				a, b := list[i].key, list[j].key
+				for n := 0; n < len(a) && n < len(b); n++ {
+					if a[n] != b[n] {
+						return a[n] < b[n]
+					}
+				}
+				if len(a) != len(b) {
+					return len(a) < len(b)
+				}
+				return list[i].full < list[j].full
+			})
 		}
 		bases = make([]string, 0, len(byBase))
 		for b := range byBase {
@@ -103,6 +128,16 @@ func writePrometheusHistogram(w io.Writer, full string, s Snapshot) {
 		for i, bound := range h.Bounds {
 			cum += h.Buckets[i]
 			fmt.Fprintf(w, "%s %d\n", withLe(formatFloat(bound)), cum)
+			// Exemplars ride as OpenMetrics-style annotations on comment
+			// lines directly under their bucket. A 0.0.4 text parser skips
+			// every '#' line it does not understand, so the exposition stays
+			// valid for plain Prometheus scrapers while carrying the
+			// metric→trace link for anything that looks.
+			if i < len(h.Exemplars) && h.Exemplars[i].TraceID != "" {
+				e := h.Exemplars[i]
+				fmt.Fprintf(w, "# EXEMPLAR %s {trace_id=%q} %s %d\n",
+					withLe(formatFloat(bound)), e.TraceID, formatFloat(e.Value), e.UnixNanos)
+			}
 		}
 	}
 	fmt.Fprintf(w, "%s %d\n", withLe("+Inf"), h.Count)

@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The labeled-series cardinality cap: registrations beyond the cap get a
+// detached throwaway and bump metrics_dropped_series_total; unlabeled series
+// are never capped.
+func TestLabeledSeriesCardinalityCap(t *testing.T) {
+	r := NewRegistry()
+	r.SetLabeledSeriesLimit(4)
+	for i := 0; i < 8; i++ {
+		r.CounterWith("calls_total", Labels{"m": fmt.Sprintf("m%d", i)}).Inc()
+	}
+	s := r.Snapshot()
+	labeled := 0
+	for name := range s.Counters {
+		if strings.Contains(name, "{") {
+			labeled++
+		}
+	}
+	if labeled != 4 {
+		t.Fatalf("cap not enforced: %d labeled series live, want 4", labeled)
+	}
+	if got := s.Counters[DroppedSeriesName]; got != 4 {
+		t.Fatalf("%s = %d, want 4", DroppedSeriesName, got)
+	}
+	// Unlabeled registration is still open.
+	r.Counter("plain_total").Inc()
+	if _, ok := r.Snapshot().Counters["plain_total"]; !ok {
+		t.Fatalf("cap wrongly applied to an unlabeled series")
+	}
+	// Re-fetching an admitted series must not count against anything.
+	r.CounterWith("calls_total", Labels{"m": "m0"}).Inc()
+	if got := r.Snapshot().Counters[DroppedSeriesName]; got != 4 {
+		t.Fatalf("re-fetch of a live series dropped: counter = %d", got)
+	}
+}
+
+func TestRemoveFreesCardinality(t *testing.T) {
+	r := NewRegistry()
+	r.SetLabeledSeriesLimit(2)
+	r.HistogramWith("lat_ns", Labels{"m": "a"}).Observe(2000)
+	r.GaugeWith("inflight", Labels{"m": "a"}).Set(1)
+	// Cap is now full; a third labeled series is dropped.
+	r.CounterWith("calls_total", Labels{"m": "a"}).Inc()
+	if _, ok := r.Snapshot().Counters[JoinLabels("calls_total", Labels{"m": "a"})]; ok {
+		t.Fatalf("series admitted past the cap")
+	}
+	// Removing one frees a slot.
+	r.Remove(JoinLabels("lat_ns", Labels{"m": "a"}))
+	if _, ok := r.Snapshot().Histograms[JoinLabels("lat_ns", Labels{"m": "a"})]; ok {
+		t.Fatalf("Remove left the histogram registered")
+	}
+	r.CounterWith("calls_total", Labels{"m": "b"}).Inc()
+	if _, ok := r.Snapshot().Counters[JoinLabels("calls_total", Labels{"m": "b"})]; !ok {
+		t.Fatalf("slot not freed by Remove")
+	}
+}
+
+func TestRemoveNilAndUnknownSafe(t *testing.T) {
+	var r *Registry
+	r.Remove("anything")
+	r2 := NewRegistry()
+	r2.Remove("never_registered")
+	r2.Remove("not a valid name {")
+}
+
+// Label values must survive the join → exposition → split round trip even
+// with quotes, backslashes, newlines, and UTF-8 in them.
+func TestLabelValueEscapingRoundTrip(t *testing.T) {
+	values := []string{
+		`plain`,
+		`with space`,
+		`quote"inside`,
+		`back\slash`,
+		"new\nline",
+		`both"\and`,
+		`utf8 π complet→core`,
+		`trailing\`,
+		`{curly,braces}`,
+		`a="b"`,
+	}
+	for _, v := range values {
+		full := JoinLabels("m_total", Labels{"val": v, "k": "x"})
+		base, labels, err := splitLabels(full)
+		if err != nil {
+			t.Fatalf("splitLabels(%q): %v", full, err)
+		}
+		if base != "m_total" || labels["val"] != v || labels["k"] != "x" {
+			t.Fatalf("round trip mangled %q: base=%q labels=%v", v, base, labels)
+		}
+	}
+}
+
+// Exposition order for labeled series must be decided by decoded label pairs,
+// not by the escaped byte string, and must be deterministic.
+func TestPrometheusLabeledSeriesOrder(t *testing.T) {
+	r := NewRegistry()
+	// Escaped forms would sort `\"` (0x5c) after most printables even though
+	// the decoded value `"a` sorts first.
+	r.CounterWith("ord_total", Labels{"v": `"a`}).Inc()
+	r.CounterWith("ord_total", Labels{"v": `b`}).Inc()
+	r.CounterWith("ord_total", Labels{"v": `a`}).Inc()
+	r.Counter("ord_total").Inc() // no labels sorts before any labeled series
+	s := r.Snapshot()
+
+	var first strings.Builder
+	WritePrometheus(&first, s)
+	for i := 0; i < 5; i++ {
+		var again strings.Builder
+		WritePrometheus(&again, s)
+		if again.String() != first.String() {
+			t.Fatalf("exposition not deterministic")
+		}
+	}
+	var got []string
+	for _, line := range strings.Split(first.String(), "\n") {
+		if strings.HasPrefix(line, "ord_total") {
+			got = append(got, line[:strings.LastIndex(line, " ")])
+		}
+	}
+	want := []string{
+		`ord_total`,
+		`ord_total{v="\"a"}`,
+		`ord_total{v="a"}`,
+		`ord_total{v="b"}`,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("series lines = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("series %d = %q, want %q (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if !sort.StringsAreSorted([]string{got[2], got[3]}) {
+		t.Fatalf("labeled series unsorted: %v", got)
+	}
+}
+
+// Exemplars surface as '# EXEMPLAR' annotation lines directly under their
+// bucket, and only for stamped buckets.
+func TestPrometheusExemplarAnnotations(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramWith("lat_ns", Labels{"method": "Work"})
+	h.Observe(1500)
+	h.ObserveExemplar(3e6, "00000000000000ab")
+	var buf strings.Builder
+	WritePrometheus(&buf, r.Snapshot())
+	out := buf.String()
+
+	var ex []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# EXEMPLAR ") {
+			ex = append(ex, line)
+		}
+	}
+	if len(ex) != 1 {
+		t.Fatalf("want exactly 1 exemplar line, got %v\nfull:\n%s", ex, out)
+	}
+	if !strings.Contains(ex[0], `trace_id="00000000000000ab"`) {
+		t.Fatalf("exemplar line missing trace ID: %q", ex[0])
+	}
+	if !strings.Contains(ex[0], `lat_ns_bucket{`) || !strings.Contains(ex[0], `method="Work"`) {
+		t.Fatalf("exemplar line not tied to its labeled bucket series: %q", ex[0])
+	}
+	if !strings.Contains(ex[0], " 3e+06 ") {
+		t.Fatalf("exemplar line missing sample value: %q", ex[0])
+	}
+	// The annotation must sit immediately after the bucket it describes, and
+	// every non-comment line must still parse as exposition format.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	for i, line := range lines {
+		if strings.HasPrefix(line, "# EXEMPLAR ") {
+			if i == 0 || !strings.HasPrefix(lines[i-1], "lat_ns_bucket{") {
+				t.Fatalf("exemplar annotation not adjacent to its bucket:\n%s", out)
+			}
+			bucket := lines[i-1][:strings.LastIndex(lines[i-1], " ")]
+			if !strings.Contains(line, bucket) {
+				t.Fatalf("exemplar names %q, bucket above is %q", line, bucket)
+			}
+		}
+	}
+}

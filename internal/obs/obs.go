@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"time"
 
+	"fargo/internal/alert"
 	"fargo/internal/core"
 	"fargo/internal/flight"
 	"fargo/internal/layoutview"
@@ -85,6 +86,7 @@ func Start(c *core.Core, opts Options) (*Server, error) {
 	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/flight", s.handleFlight)
 	mux.HandleFunc("/plan", s.handlePlan)
+	mux.HandleFunc("/alerts", s.handleAlerts)
 	mux.HandleFunc("/cluster/", s.handleCluster)
 	mux.HandleFunc("/cluster", s.handleCluster)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -342,6 +344,27 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	writeJSONStatus(w, body, true)
 }
 
+// alertsBody is the JSON served by /alerts.
+type alertsBody struct {
+	Core    string             `json:"core"`
+	Enabled bool               `json:"enabled"`
+	Firing  []string           `json:"firing,omitempty"`
+	Rules   []alert.RuleStatus `json:"rules,omitempty"`
+}
+
+// handleAlerts serves the local alert engine's rule states: configuration,
+// current state machine position, last value, and firing counts. Cluster-wide
+// alert history lives under /cluster/alerts (the observatory's merged view).
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	body := alertsBody{Core: s.c.ID().String()}
+	if e, ok := alert.For(s.c); ok {
+		body.Enabled = true
+		body.Firing = e.Firing()
+		body.Rules = e.Status()
+	}
+	writeJSONStatus(w, body, true)
+}
+
 // handleCluster routes /cluster/* to the deployment observatory attached to
 // this core, when one is (observatory.Start, fargo.StartObservatory, the
 // shell's `cluster` command, fargo-monitor -web). Resolution happens per
@@ -370,7 +393,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"/trace         Chrome trace_event download",
 		"/flight        flight recorder ring (JSON; ?n= newest n)",
 		"/plan          layout planner status (JSON)",
-		"/cluster/      deployment observatory (HTML; /cluster/metrics, /cluster/timeline, /cluster/trace/{id})",
+		"/alerts        alert engine rule states (JSON)",
+		"/cluster/      deployment observatory (HTML; /cluster/metrics, /cluster/timeline, /cluster/alerts, /cluster/trace/{id})",
 		"/debug/pprof/  Go profiles",
 	} {
 		fmt.Fprintln(w, ep)

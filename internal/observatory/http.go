@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"fargo/internal/flight"
 	"fargo/internal/layoutview"
 	"fargo/internal/metrics"
 	"fargo/internal/trace"
@@ -24,6 +26,7 @@ import (
 //	/cluster/status     membership and staleness (JSON; partial view flag)
 //	/cluster/metrics    federated Prometheus exposition
 //	/cluster/timeline   merged timeline (JSON; ?n= newest n; ?follow=1 = SSE)
+//	/cluster/alerts     alert transitions across the deployment (JSON; ?follow=1 = SSE)
 //	/cluster/traces     merged trace listing (JSON)
 //	/cluster/trace/{id} stitched trace (text tree; ?format=chrome|json)
 //	/cluster/layout     per-member complet placement (JSON)
@@ -44,6 +47,8 @@ func (o *Observatory) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		o.serveMetrics(w, r)
 	case path == "/timeline":
 		o.serveTimeline(w, r)
+	case path == "/alerts":
+		o.serveAlerts(w, r)
 	case path == "/traces":
 		o.serveTraces(w, r)
 	case strings.HasPrefix(path, "/trace/"):
@@ -90,7 +95,7 @@ type timelineBody struct {
 
 func (o *Observatory) serveTimeline(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("follow") != "" || r.Header.Get("Accept") == "text/event-stream" {
-		o.serveTimelineSSE(w, r)
+		o.serveTimelineSSE(w, r, nil)
 		return
 	}
 	o.refreshForRead(r)
@@ -113,9 +118,12 @@ func (o *Observatory) serveTimeline(w http.ResponseWriter, r *http.Request) {
 
 // serveTimelineSSE streams the merged timeline as text/event-stream: the
 // retained backlog first (so a late viewer sees history), then every event
-// as it merges. While the stream is open the handler keeps the model fresh
-// itself, so SSE works with or without a background refresh loop.
-func (o *Observatory) serveTimelineSSE(w http.ResponseWriter, r *http.Request) {
+// as it merges. A non-nil keep predicate narrows the stream (the /cluster/
+// alerts feed keeps only alert transitions); the backlog replay bound and
+// the keepalive ticks apply either way. While the stream is open the handler
+// keeps the model fresh itself, so SSE works with or without a background
+// refresh loop.
+func (o *Observatory) serveTimelineSSE(w http.ResponseWriter, r *http.Request, keep func(Event) bool) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
@@ -134,6 +142,15 @@ func (o *Observatory) serveTimelineSSE(w http.ResponseWriter, r *http.Request) {
 			replay = n
 		}
 	}
+	if keep != nil {
+		kept := backlog[:0:0]
+		for _, ev := range backlog {
+			if keep(ev) {
+				kept = append(kept, ev)
+			}
+		}
+		backlog = kept
+	}
 	if len(backlog) > replay {
 		backlog = backlog[len(backlog)-replay:]
 	}
@@ -151,6 +168,9 @@ func (o *Observatory) serveTimelineSSE(w http.ResponseWriter, r *http.Request) {
 		case ev, ok := <-ch:
 			if !ok {
 				return // observatory stopped
+			}
+			if keep != nil && !keep(ev) {
+				continue
 			}
 			writeSSE(w, ev)
 			fl.Flush()
@@ -175,6 +195,90 @@ func writeSSE(w http.ResponseWriter, ev Event) {
 		return
 	}
 	fmt.Fprintf(w, "event: timeline\ndata: %s\n\n", data)
+}
+
+// isAlertEvent keeps the alert transitions out of the merged timeline. The
+// observatory deliberately does not import the alert engine (the engine sits
+// above the observatory and reads its federated model): alert state travels
+// the same path as every other layout event — a flight record at the member,
+// merged here — so /cluster/alerts works for rules evaluated on ANY member,
+// not just on the observatory's own core.
+func isAlertEvent(ev Event) bool {
+	return ev.Kind == flight.KindAlertFiring || ev.Kind == flight.KindAlertResolved
+}
+
+// alertsBody is the JSON served by /cluster/alerts.
+type alertsBody struct {
+	Core        string   `json:"core"`
+	Partial     bool     `json:"partial"`
+	Unreachable []string `json:"unreachable,omitempty"`
+	// Firing lists the rules currently firing deployment-wide, derived by
+	// replaying the retained alert transitions per (core, rule).
+	Firing []FiringAlert `json:"firing"`
+	// Events is the alert slice of the merged timeline, oldest first.
+	Events []Event `json:"events"`
+}
+
+// FiringAlert is one currently-firing rule in an alertsBody.
+type FiringAlert struct {
+	Core  string    `json:"core"`
+	Rule  string    `json:"rule"`
+	Since time.Time `json:"since"`
+}
+
+func (o *Observatory) serveAlerts(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("follow") != "" || r.Header.Get("Accept") == "text/event-stream" {
+		o.serveTimelineSSE(w, r, isAlertEvent)
+		return
+	}
+	o.refreshForRead(r)
+	max := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		max = n
+	}
+	st := o.Status()
+	body := alertsBody{
+		Core:        st.Core,
+		Partial:     st.Partial,
+		Unreachable: st.Unreachable,
+		Firing:      []FiringAlert{},
+		Events:      []Event{},
+	}
+	firing := make(map[string]FiringAlert) // key: core + "\x00" + rule
+	for _, ev := range o.Timeline(0) {
+		if !isAlertEvent(ev) {
+			continue
+		}
+		body.Events = append(body.Events, ev)
+		rule := ev.Detail
+		if i := strings.Index(rule, ":"); i >= 0 {
+			rule = rule[:i]
+		}
+		key := ev.Core + "\x00" + rule
+		if ev.Kind == flight.KindAlertFiring {
+			firing[key] = FiringAlert{Core: ev.Core, Rule: rule, Since: ev.At}
+		} else {
+			delete(firing, key)
+		}
+	}
+	if max > 0 && len(body.Events) > max {
+		body.Events = body.Events[len(body.Events)-max:]
+	}
+	for _, f := range firing {
+		body.Firing = append(body.Firing, f)
+	}
+	sort.Slice(body.Firing, func(i, j int) bool {
+		if body.Firing[i].Core != body.Firing[j].Core {
+			return body.Firing[i].Core < body.Firing[j].Core
+		}
+		return body.Firing[i].Rule < body.Firing[j].Rule
+	})
+	writeJSON(w, body)
 }
 
 // tracesBody is the JSON served by /cluster/traces.

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"fargo/internal/core"
 	"fargo/internal/ids"
 	"fargo/internal/metrics"
 	"fargo/internal/stats"
@@ -91,10 +92,10 @@ func (o *Observatory) ClusterSnapshot() metrics.Snapshot {
 			}
 		}
 		for name, h := range m.stats.Histograms {
-			snap := stats.HistogramSnapshot{
-				Count: h.Count, Sum: h.Sum, P50: h.P50, P95: h.P95, P99: h.P99,
-				Bounds: h.Bounds, Buckets: h.Buckets,
-			}
+			// Exemplars ride along (core.HistStatToSnapshot restores them),
+			// so a federated bucket still points at a trace some member can
+			// resolve via /cluster/trace/{id}.
+			snap := core.HistStatToSnapshot(h)
 			if labeled, err := metrics.WithLabel(name, "core", coreLabel); err == nil {
 				out.Histograms[labeled] = snap
 			}

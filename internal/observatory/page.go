@@ -50,7 +50,16 @@ const clusterPage = `<!DOCTYPE html>
   .kind.move, .kind.moveRecovered { color: #c7a3e8; }
   .kind.moveFailed, .kind.repairFailed, .kind.breakerOpen { color: #e07a7a; }
   .kind.repair, .kind.breakerClosed { color: #e8d27a; }
+  .kind.alertFiring { color: #e07a7a; }
+  .kind.alertResolved { color: #7fd1b9; }
   .detail { color: #8b97a8; }
+  #alerts { padding: 0 16px 8px; }
+  #alerts h2 { font-size: 13px; margin: 0 0 6px; color: #9ec1e8; }
+  #alerts .none { font-size: 12px; color: #5c6b80; }
+  .alertchip { display: inline-block; font-size: 12px; padding: 2px 10px; margin: 0 6px 6px 0;
+               border-radius: 10px; background: #3a2026; color: #f0b0b0;
+               border: 1px solid #a84848; font-weight: bold; }
+  .alertchip .c { color: #9ec1e8; font-weight: normal; }
 </style>
 </head>
 <body>
@@ -60,6 +69,10 @@ const clusterPage = `<!DOCTYPE html>
   <span class="partial" id="partial"></span>
 </header>
 <div id="layout"></div>
+<div id="alerts">
+  <h2>alerts</h2>
+  <div id="alert-chips"><span class="none">none firing</span></div>
+</div>
 <div id="tl-wrap">
   <h2>timeline</h2>
   <ul id="timeline"></ul>
@@ -103,16 +116,37 @@ const clusterPage = `<!DOCTYPE html>
       st.partial ? "PARTIAL VIEW: " + (st.unreachable || []).join(", ") + " unreachable" : "";
   }
 
+  function renderAlerts(body) {
+    var root = document.getElementById("alert-chips");
+    var firing = body.firing || [];
+    if (!firing.length) {
+      root.innerHTML = '<span class="none">none firing</span>';
+      return;
+    }
+    root.innerHTML = firing.map(function (f) {
+      return '<span class="alertchip">' + esc(f.rule) +
+             ' <span class="c">@ ' + esc(f.core) + "</span></span>";
+    }).join("");
+  }
+
   function poll() {
     fetch("/cluster/layout").then(function (r) { return r.json(); })
       .then(renderLayout).catch(function () {});
     fetch("/cluster/status").then(function (r) { return r.json(); })
       .then(renderStatus).catch(function () {});
   }
+  function pollAlerts() {
+    fetch("/cluster/alerts").then(function (r) { return r.json(); })
+      .then(renderAlerts).catch(function () {});
+  }
   poll();
+  pollAlerts();
   setInterval(poll, 2000);
 
   function addEvent(ev) {
+    // Alert transitions refresh the firing chips immediately instead of
+    // waiting for the next poll.
+    if (ev.kind === "alertFiring" || ev.kind === "alertResolved") pollAlerts();
     var li = document.createElement("li");
     var when = new Date(ev.at).toISOString().substr(11, 12);
     li.innerHTML = '<span class="merge">#' + ev.merge + "</span> " + when +

@@ -1,0 +1,225 @@
+package observatory
+
+// HTTP streaming behaviour of /cluster/timeline and /cluster/alerts: backlog
+// replay bounds, keepalive ticks, the alert-kind filter, and the guarantee
+// that a slow (or dead) subscriber never stalls the merge path.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fargo/internal/flight"
+)
+
+// collectSSE consumes an SSE stream until done reports satisfaction, failing
+// the test if the stream ends or the deadline passes first. It returns the
+// decoded timeline events and the number of keepalive tick comments seen.
+func collectSSE(t *testing.T, url string, deadline time.Duration, done func(events []Event, ticks int) bool) ([]Event, int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+
+	var events []Event
+	ticks := 0
+	buf := make([]byte, 4096)
+	var pending string
+	for {
+		if done(events, ticks) {
+			return events, ticks
+		}
+		n, err := resp.Body.Read(buf)
+		if n == 0 && err != nil {
+			t.Fatalf("sse stream ended (%v) before condition: %d event(s), %d tick(s)", err, len(events), ticks)
+		}
+		pending += string(buf[:n])
+		for {
+			nl := strings.IndexByte(pending, '\n')
+			if nl < 0 {
+				break
+			}
+			line := strings.TrimRight(pending[:nl], "\r")
+			pending = pending[nl+1:]
+			switch {
+			case strings.HasPrefix(line, "data: "):
+				var ev Event
+				if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+					t.Fatalf("bad SSE data line %q: %v", line, err)
+				}
+				events = append(events, ev)
+			case strings.HasPrefix(line, ": tick"):
+				ticks++
+			}
+		}
+	}
+}
+
+// recordN stamps n note events on the core's flight recorder with
+// recognizable details ("note-0" .. "note-{n-1}").
+func recordN(cl *cluster, core string, n int) {
+	fr := cl.core(core).Flight()
+	for i := 0; i < n; i++ {
+		fr.Record(flight.Event{Kind: "note", Detail: fmt.Sprintf("note-%d", i)})
+	}
+}
+
+// The backlog replayed to a late SSE viewer is bounded: default 64 newest
+// events, ?replay= overrides, and the bound counts events AFTER any kind
+// filter (an alerts viewer is never starved because moves dominated the
+// retained window).
+func TestTimelineSSEReplayBound(t *testing.T) {
+	cl := newCluster(t, 0, "a")
+	o, err := Start(cl.core("a"), Options{Cores: coreIDs("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Stop()
+
+	recordN(cl, "a", 80)
+	if err := o.Refresh(ctxFor(t)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(o)
+	defer srv.Close()
+
+	last := func(events []Event, _ int) bool {
+		return len(events) > 0 && events[len(events)-1].Detail == "note-79"
+	}
+
+	events, _ := collectSSE(t, srv.URL+"/cluster/timeline?follow=1&replay=5", 10*time.Second, last)
+	if len(events) != 5 || events[0].Detail != "note-75" {
+		t.Fatalf("replay=5 delivered %d event(s) starting at %q, want the newest 5 from note-75", len(events), events[0].Detail)
+	}
+
+	events, _ = collectSSE(t, srv.URL+"/cluster/timeline?follow=1", 10*time.Second, last)
+	if len(events) != 64 || events[0].Detail != "note-16" {
+		t.Fatalf("default replay delivered %d event(s) starting at %q, want 64 from note-16", len(events), events[0].Detail)
+	}
+}
+
+// An idle SSE connection receives comment keepalives on the StaleAfter
+// cadence — proxies don't cut the stream, and the handler's own
+// RefreshIfStale keeps the model live without a background loop.
+func TestTimelineSSEKeepalive(t *testing.T) {
+	cl := newCluster(t, 0, "a")
+	o, err := Start(cl.core("a"), Options{Cores: coreIDs("a"), StaleAfter: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Stop()
+	srv := httptest.NewServer(o)
+	defer srv.Close()
+
+	_, ticks := collectSSE(t, srv.URL+"/cluster/timeline?follow=1", 10*time.Second,
+		func(_ []Event, ticks int) bool { return ticks >= 2 })
+	if ticks < 2 {
+		t.Fatalf("ticks = %d, want >= 2", ticks)
+	}
+}
+
+// /cluster/alerts?follow=1 streams ONLY alert transitions: backlog and live
+// events of other kinds are filtered out.
+func TestAlertsSSEFiltersKinds(t *testing.T) {
+	cl := newCluster(t, 0, "a")
+	a := cl.core("a")
+	ctx := ctxFor(t)
+	o, err := Start(a, Options{Cores: coreIDs("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Stop()
+
+	a.Flight().Record(flight.Event{Kind: "note", Detail: "noise-before"})
+	a.Flight().Record(flight.Event{Kind: flight.KindAlertFiring, Detail: "slow-echo: p95 over bound"})
+	a.Flight().Record(flight.Event{Kind: "note", Detail: "noise-between"})
+	if err := o.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(o)
+	defer srv.Close()
+
+	got := make(chan []Event, 1)
+	go func() {
+		events, _ := collectSSE(t, srv.URL+"/cluster/alerts?follow=1", 15*time.Second,
+			func(events []Event, _ int) bool {
+				return len(events) > 0 && events[len(events)-1].Kind == flight.KindAlertResolved
+			})
+		got <- events
+	}()
+
+	// Let the viewer attach, then emit more noise and the resolution.
+	time.Sleep(100 * time.Millisecond)
+	a.Flight().Record(flight.Event{Kind: "note", Detail: "noise-after"})
+	a.Flight().Record(flight.Event{Kind: flight.KindAlertResolved, Detail: "slow-echo: resolved"})
+	if err := o.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case events := <-got:
+		if len(events) != 2 {
+			t.Fatalf("alerts stream delivered %d event(s), want exactly the 2 alert transitions: %+v", len(events), events)
+		}
+		if events[0].Kind != flight.KindAlertFiring || events[1].Kind != flight.KindAlertResolved {
+			t.Fatalf("alerts stream kinds = %s, %s", events[0].Kind, events[1].Kind)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("alerts SSE viewer never saw the resolution")
+	}
+}
+
+// A subscriber that never drains its channel loses events but NEVER stalls a
+// refresh — delivery is non-blocking by contract.
+func TestSlowSubscriberDoesNotBlockMerge(t *testing.T) {
+	cl := newCluster(t, 0, "a")
+	o, err := Start(cl.core("a"), Options{Cores: coreIDs("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Stop()
+
+	_, ch, cancel := o.Subscribe(1)
+	defer cancel()
+
+	recordN(cl, "a", 50)
+	doneRefresh := make(chan error, 1)
+	go func() { doneRefresh <- o.Refresh(ctxFor(t)) }()
+	select {
+	case err := <-doneRefresh:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("refresh blocked on an undrained subscriber")
+	}
+
+	notes := 0
+	for _, ev := range o.Timeline(0) {
+		if ev.Kind == "note" {
+			notes++
+		}
+	}
+	if notes != 50 {
+		t.Fatalf("merged timeline has %d note(s), want all 50 despite the stuck subscriber", notes)
+	}
+	if buffered := len(ch); buffered > 1 {
+		t.Fatalf("stuck subscriber buffered %d event(s), channel capacity is 1", buffered)
+	}
+}

@@ -1,0 +1,104 @@
+package script_test
+
+// The `on alert` trigger needs the alert engine, which the script package's
+// internal tests cannot import (alert itself imports script to register the
+// event source) — hence the external test package.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fargo/internal/alert"
+	"fargo/internal/core"
+	"fargo/internal/ids"
+	"fargo/internal/netsim"
+	"fargo/internal/registry"
+	"fargo/internal/script"
+	"fargo/internal/transport"
+)
+
+func newAlertTestCore(t *testing.T) *core.Core {
+	t.Helper()
+	net := netsim.NewNetwork(3)
+	tr, err := transport.NewSim(net, ids.CoreID("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.New(tr, registry.New(), core.Options{RequestTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = c.Shutdown(0)
+		net.Close()
+	})
+	return c
+}
+
+// A firing alert rule triggers `on alert` script rules with the alert's name
+// as the source — the §4.3 loop closed: SLO breach in, layout action out.
+func TestOnAlertRuleFires(t *testing.T) {
+	c := newAlertTestCore(t)
+	e, err := alert.Start(c, alert.Options{
+		Interval: 10 * time.Millisecond,
+		Rules: []alert.Rule{
+			{Name: "hot-shard", Cond: alert.CondThreshold, Series: "shard_load", Op: ">", Value: 100},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Stop()
+
+	var mu sync.Mutex
+	var logs []string
+	rt, err := script.NewCoreRuntime(c, func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		logs = append(logs, fmt.Sprintf(format, args...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := script.Run(`on alert firedby $rule do log $rule end`, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	c.Metrics().Gauge("shard_load").Set(500)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		hit := false
+		for _, l := range logs {
+			if strings.Contains(l, "hot-shard") {
+				hit = true
+			}
+		}
+		mu.Unlock()
+		if hit {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("`on alert` never fired; logs = %v", logs)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Arming `on alert` without an engine attached is a configuration error, not
+// a silent no-op.
+func TestOnAlertWithoutEngine(t *testing.T) {
+	c := newAlertTestCore(t)
+	rt, err := script.NewCoreRuntime(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := script.Run(`on alert do log "x" end`, rt); err == nil || !strings.Contains(err.Error(), "alert engine") {
+		t.Fatalf("Run without engine: err = %v, want alert-engine error", err)
+	}
+}

@@ -88,6 +88,44 @@ func lookupAction(name string) (ActionFunc, bool) {
 	return fn, ok
 }
 
+// EventSourceFunc is a registered extension event source: it arms one rule
+// subscription against a runtime-local feed (the alert engine registers
+// "alert" this way) and returns the cancel func. Mirrors RegisterAction on
+// the event side of a rule, so subsystems above the interpreter can add `on
+// <event>` triggers without the interpreter importing them.
+type EventSourceFunc func(rt Runtime, atCores []string, fire func(source string)) (func(), error)
+
+var eventSourceRegistry = struct {
+	sync.RWMutex
+	m map[string]EventSourceFunc
+}{m: make(map[string]EventSourceFunc)}
+
+// RegisterEventSource registers an extension event source under the given
+// event name, usable in scripts as `on name(...)`. Built-in event names are
+// reserved.
+func RegisterEventSource(name string, fn EventSourceFunc) error {
+	if name == "" || fn == nil {
+		return fmt.Errorf("script: event source name and func required")
+	}
+	if isBuiltinRuleEvent(name) {
+		return fmt.Errorf("script: event %q is reserved", name)
+	}
+	eventSourceRegistry.Lock()
+	defer eventSourceRegistry.Unlock()
+	if _, dup := eventSourceRegistry.m[name]; dup {
+		return fmt.Errorf("script: event source %q already registered", name)
+	}
+	eventSourceRegistry.m[name] = fn
+	return nil
+}
+
+func lookupEventSource(name string) (EventSourceFunc, bool) {
+	eventSourceRegistry.RLock()
+	defer eventSourceRegistry.RUnlock()
+	fn, ok := eventSourceRegistry.m[name]
+	return fn, ok
+}
+
 // defaultInterval is the measurement period of profiled rules without an
 // `every` qualifier.
 const defaultInterval = 250 * time.Millisecond
@@ -385,9 +423,9 @@ func isBuiltinRuleEvent(event string) bool {
 	case "shutdown", "coreShutdown", "completArrived", "completDeparted",
 		"unreachable", "coreUnreachable":
 		return true
-	default:
-		return false
 	}
+	_, ok := lookupEventSource(event)
+	return ok
 }
 
 // canonicalEvent maps script event names to runtime event names.

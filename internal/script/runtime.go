@@ -57,6 +57,12 @@ const (
 // listenAt names the cores to PROBE — the script daemon runs the heartbeat
 // itself (a crashed core cannot announce anything).
 func (r *CoreRuntime) SubscribeBuiltin(event string, atCores []string, fn func(source string)) (func(), error) {
+	// Registered event sources (e.g. the alert engine's "alert" event) take
+	// precedence: they tap runtime-local feeds rather than the distributed
+	// event mechanism.
+	if src, ok := lookupEventSource(event); ok {
+		return src(r, atCores, fn)
+	}
 	if event == core.EventCoreUnreachable {
 		if len(atCores) == 0 {
 			return nil, fmt.Errorf("script: `on unreachable` needs listenAt with the cores to probe")

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"fargo/internal/alert"
 	"fargo/internal/core"
 	"fargo/internal/ids"
 	"fargo/internal/metrics"
@@ -47,6 +48,8 @@ const Help = `commands:
   lookup <core> <name>           resolve a logical name
   profile <core> <svc> [args...] instant profiling measurement
   stats <core>                   metrics snapshot (counters, gauges, latency histograms)
+  top <core> [n]                 hottest (complet, method) telemetry rows by call count
+  alerts                         alert engine rule states on this shell's core
   health <core>                  liveness/readiness verdict and per-peer breaker state
   recovery <core>                move-journal and crash-recovery state (pending moves)
   plan status|run|dry-run        layout planner: status, one round, or a what-if proposal
@@ -216,6 +219,57 @@ func (s *Shell) Exec(line string) error {
 			return err
 		}
 		core.FormatStats(s.out, reply)
+		return nil
+	case "top":
+		if len(args) < 1 || len(args) > 2 {
+			return fmt.Errorf("usage: top <core> [n]")
+		}
+		max := 0
+		if len(args) == 2 {
+			n, err := strconv.Atoi(args[1])
+			if err != nil || n < 0 {
+				return fmt.Errorf("usage: top <core> [n]")
+			}
+			max = n
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		rows, err := s.c.MethodStatsAt(ctx, ids.CoreID(args[0]))
+		if err != nil {
+			return err
+		}
+		if len(rows) == 0 {
+			fmt.Fprintf(s.out, "core %s: no per-method telemetry (no invocations yet, or DisablePerMethodStats)\n", args[0])
+			return nil
+		}
+		core.FormatMethodStats(s.out, rows, max)
+		return nil
+	case "alerts":
+		if len(args) != 0 {
+			return fmt.Errorf("usage: alerts")
+		}
+		e, ok := alert.For(s.c)
+		if !ok {
+			fmt.Fprintln(s.out, "no alert engine on this core (start one with fargo.StartAlerts or -alerts)")
+			return nil
+		}
+		statuses := e.Status()
+		if len(statuses) == 0 {
+			fmt.Fprintln(s.out, "alert engine running with no rules")
+			return nil
+		}
+		for _, st := range statuses {
+			marker := " "
+			if st.State == alert.StateFiring || st.State == alert.StateResolving {
+				marker = "!"
+			}
+			presence := ""
+			if !st.Present {
+				presence = " (series absent)"
+			}
+			fmt.Fprintf(s.out, "%s %-20s %-10s value=%.4g firings=%d%s\n",
+				marker, st.Rule.Name, st.State, st.Value, st.Firings, presence)
+		}
 		return nil
 	case "health":
 		if len(args) != 1 {

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"fargo/internal/alert"
 	"fargo/internal/core"
 	"fargo/internal/demo"
 	"fargo/internal/ids"
@@ -312,5 +313,40 @@ func TestShellWatch(t *testing.T) {
 			t.Fatalf("no arrival event in output:\n%s", out.String())
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestShellTopAndAlerts(t *testing.T) {
+	cores := testDeployment(t, "admin", "worker")
+	s, out := newShell(t, cores["admin"])
+	execLines(t, s,
+		"new worker Message greetings",
+		"invoke worker/#1 Print",
+		"invoke worker/#1 Print",
+		"top worker",
+	)
+	got := out.String()
+	if !strings.Contains(got, "Print") || !strings.Contains(got, "Message") {
+		t.Fatalf("top worker output missing Print row:\n%s", got)
+	}
+
+	// Without an engine, `alerts` points at how to start one.
+	execLines(t, s, "alerts")
+	if !strings.Contains(out.String(), "no alert engine") {
+		t.Fatalf("alerts without engine:\n%s", out.String())
+	}
+
+	if _, err := alert.Start(cores["admin"], alert.Options{
+		Interval: -1, // shell drives nothing; Status is read from rule state
+		Rules: []alert.Rule{
+			{Name: "hot-shard", Cond: alert.CondThreshold, Series: "shard_load", Op: ">", Value: 100},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	execLines(t, s, "alerts")
+	got = out.String()
+	if !strings.Contains(got, "hot-shard") || !strings.Contains(got, "inactive") {
+		t.Fatalf("alerts with engine missing rule row:\n%s", got)
 	}
 }

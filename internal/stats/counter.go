@@ -40,6 +40,18 @@ func (g *Gauge) SetAt(v float64, at time.Time) {
 	g.v, g.at, g.set = v, at, true
 }
 
+// Add adjusts the gauge by delta at the current time and returns the new
+// value — the in-flight style of gauge (concurrent invocations of one
+// method), where Set from racing goroutines would lose updates.
+func (g *Gauge) Add(delta float64) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v += delta
+	g.at = time.Now()
+	g.set = true
+	return g.v
+}
+
 // Value returns the most recent value, when it was set, and whether any value
 // has been set.
 func (g *Gauge) Value() (v float64, at time.Time, ok bool) {

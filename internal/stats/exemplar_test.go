@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"testing"
+)
+
+func TestObserveExemplarStampsBucket(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(1500) // untraced sample, no exemplar
+	h.ObserveExemplar(1500, "00000000000000aa")
+	h.ObserveExemplar(3e6, "00000000000000bb")
+
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if !s.HasExemplars() {
+		t.Fatalf("snapshot has no exemplars")
+	}
+	if len(s.Exemplars) != len(s.Buckets) {
+		t.Fatalf("exemplars not parallel to buckets: %d vs %d", len(s.Exemplars), len(s.Buckets))
+	}
+	var got []Exemplar
+	for _, e := range s.Exemplars {
+		if e.TraceID != "" {
+			got = append(got, e)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 stamped buckets, got %+v", got)
+	}
+	if got[0].TraceID != "00000000000000aa" || got[0].Value != 1500 {
+		t.Fatalf("fast bucket exemplar wrong: %+v", got[0])
+	}
+	if got[1].TraceID != "00000000000000bb" || got[1].Value != 3e6 {
+		t.Fatalf("slow bucket exemplar wrong: %+v", got[1])
+	}
+}
+
+func TestObserveExemplarLastWriterWinsPerBucket(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.ObserveExemplar(2000, "old")
+	h.ObserveExemplar(2000, "new")
+	s := h.Snapshot()
+	for _, e := range s.Exemplars {
+		if e.TraceID == "old" {
+			t.Fatalf("stale exemplar survived: %+v", s.Exemplars)
+		}
+	}
+}
+
+func TestObserveExemplarEmptyTraceActsLikeObserve(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.ObserveExemplar(2000, "")
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count = %d, want 1", s.Count)
+	}
+	if s.Exemplars != nil {
+		t.Fatalf("empty trace ID must not stamp a bucket: %+v", s.Exemplars)
+	}
+}
+
+func TestAddSnapshotMergesCountsAndExemplars(t *testing.T) {
+	src := NewLatencyHistogram()
+	src.ObserveExemplar(2000, "moved")
+	src.Observe(5000)
+	snap := src.Snapshot()
+
+	dst := NewLatencyHistogram()
+	dst.Observe(9000)
+	if !dst.AddSnapshot(snap) {
+		t.Fatalf("AddSnapshot rejected a same-layout snapshot")
+	}
+	out := dst.Snapshot()
+	if out.Count != 3 {
+		t.Fatalf("merged count = %d, want 3", out.Count)
+	}
+	if want := 2000.0 + 5000 + 9000; out.Sum != want {
+		t.Fatalf("merged sum = %v, want %v", out.Sum, want)
+	}
+	found := false
+	for _, e := range out.Exemplars {
+		if e.TraceID == "moved" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("imported exemplar lost: %+v", out.Exemplars)
+	}
+
+	// A foreign layout must be refused untouched.
+	other, err := NewHistogram(10, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.Observe(20)
+	if dst.AddSnapshot(other.Snapshot()) {
+		t.Fatalf("AddSnapshot accepted a mismatched layout")
+	}
+	if got := dst.Snapshot().Count; got != 3 {
+		t.Fatalf("rejected AddSnapshot still mutated: count = %d", got)
+	}
+}
+
+func TestMergeHistogramSnapshotsKeepsNewestExemplar(t *testing.T) {
+	a := NewLatencyHistogram()
+	a.ObserveExemplar(2000, "a-trace")
+	sa := a.Snapshot()
+	sa.Exemplars[findStamped(t, sa)].UnixNanos = 100
+
+	b := NewLatencyHistogram()
+	b.ObserveExemplar(2000, "b-trace")
+	sb := b.Snapshot()
+	sb.Exemplars[findStamped(t, sb)].UnixNanos = 200
+
+	merged := MergeHistogramSnapshots([]HistogramSnapshot{sa, sb})
+	if merged.Count != 2 {
+		t.Fatalf("merged count = %d, want 2", merged.Count)
+	}
+	i := findStamped(t, merged)
+	if merged.Exemplars[i].TraceID != "b-trace" {
+		t.Fatalf("merge kept %q, want the newer b-trace", merged.Exemplars[i].TraceID)
+	}
+
+	// Parts without exemplars still merge, and must not invent any.
+	c := NewLatencyHistogram()
+	c.Observe(2000)
+	merged = MergeHistogramSnapshots([]HistogramSnapshot{c.Snapshot(), sa})
+	if got := merged.Exemplars[findStamped(t, merged)].TraceID; got != "a-trace" {
+		t.Fatalf("exemplar lost merging with an exemplar-free part: %q", got)
+	}
+}
+
+func TestMergeFallbackDropsExemplars(t *testing.T) {
+	a := NewLatencyHistogram()
+	a.ObserveExemplar(2000, "a-trace")
+	other, err := NewHistogram(10, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.Observe(20)
+	merged := MergeHistogramSnapshots([]HistogramSnapshot{a.Snapshot(), other.Snapshot()})
+	if merged.Bounds != nil || merged.Exemplars != nil {
+		t.Fatalf("layout-mismatch fallback must drop buckets and exemplars: %+v", merged)
+	}
+}
+
+func findStamped(t *testing.T, s HistogramSnapshot) int {
+	t.Helper()
+	for i, e := range s.Exemplars {
+		if e.TraceID != "" {
+			return i
+		}
+	}
+	t.Fatalf("no stamped exemplar in snapshot")
+	return -1
+}

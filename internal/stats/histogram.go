@@ -19,6 +19,19 @@ type Histogram struct {
 	counts []atomic.Uint64
 	count  atomic.Uint64
 	sum    atomic.Uint64 // math.Float64bits, updated by CAS
+	// exemplars holds at most one recent traced sample per bucket
+	// (last-writer-wins), linking the aggregate to a concrete trace.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one recorded observation to the trace that produced it, so a
+// histogram bucket on /metrics can point at a concrete slow request instead of
+// only an aggregate. UnixNanos orders exemplars when snapshots merge: the
+// newest sample wins per bucket.
+type Exemplar struct {
+	Value     float64
+	TraceID   string
+	UnixNanos int64
 }
 
 // NewHistogram builds a histogram whose first bucket covers (0, start] and
@@ -28,7 +41,11 @@ func NewHistogram(start, factor float64, n int) (*Histogram, error) {
 	if start <= 0 || factor <= 1 || n < 2 {
 		return nil, fmt.Errorf("stats: bad histogram shape (start=%v factor=%v n=%d)", start, factor, n)
 	}
-	h := &Histogram{bounds: make([]float64, n), counts: make([]atomic.Uint64, n)}
+	h := &Histogram{
+		bounds:    make([]float64, n),
+		counts:    make([]atomic.Uint64, n),
+		exemplars: make([]atomic.Pointer[Exemplar], n),
+	}
 	b := start
 	for i := 0; i < n; i++ {
 		h.bounds[i] = b
@@ -64,6 +81,25 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a duration as nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(float64(d.Nanoseconds())) }
 
+// ObserveExemplar records one measurement and, when traceID is non-empty,
+// stamps the sample's bucket with an exemplar pointing at that trace. The slot
+// is last-writer-wins: a bucket remembers its most recent traced sample, which
+// is exactly what an operator chasing "what was slow just now?" wants.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := h.bucket(v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, UnixNanos: time.Now().UnixNano()})
+	}
+}
+
 // bucket returns the index of the bucket v falls in; values above the last
 // bound clamp into the last bucket.
 func (h *Histogram) bucket(v float64) int {
@@ -97,6 +133,21 @@ type HistogramSnapshot struct {
 	// snapshots reconstructed from wire replies leave them nil.
 	Bounds  []float64
 	Buckets []uint64
+	// Exemplars is parallel to Buckets when present: slot i is the most
+	// recent traced sample that landed in bucket i (zero Exemplar — empty
+	// TraceID — when the bucket has none). Nil when the histogram carries no
+	// exemplars at all.
+	Exemplars []Exemplar
+}
+
+// HasExemplars reports whether any bucket carries a traced sample.
+func (s HistogramSnapshot) HasExemplars() bool {
+	for _, e := range s.Exemplars {
+		if e.TraceID != "" {
+			return true
+		}
+	}
+	return false
 }
 
 // Mean returns Sum/Count (0 when empty).
@@ -122,10 +173,55 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		Bounds:  append([]float64(nil), h.bounds...),
 		Buckets: counts,
 	}
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			if s.Exemplars == nil {
+				s.Exemplars = make([]Exemplar, len(h.counts))
+			}
+			s.Exemplars[i] = *e
+		}
+	}
 	s.P50 = quantile(h.bounds, counts, total, 0.50)
 	s.P95 = quantile(h.bounds, counts, total, 0.95)
 	s.P99 = quantile(h.bounds, counts, total, 0.99)
 	return s
+}
+
+// AddSnapshot folds a snapshot of another histogram with the same bucket
+// layout into this one: bucket counts and the running sum add, and any newer
+// exemplars replace the local ones. It is how per-method meters travel with a
+// complet across a move — the destination imports the departed history into
+// its live instruments. Returns false (and changes nothing) when the snapshot
+// carries a different layout or no buckets at all.
+func (h *Histogram) AddSnapshot(s HistogramSnapshot) bool {
+	if len(s.Buckets) != len(h.counts) || !sameBounds(s.Bounds, h.bounds) {
+		return false
+	}
+	var total uint64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		h.counts[i].Add(c)
+		total += c
+	}
+	h.count.Add(total)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+s.Sum)) {
+			break
+		}
+	}
+	for i := range s.Exemplars {
+		e := s.Exemplars[i]
+		if e.TraceID == "" {
+			continue
+		}
+		if cur := h.exemplars[i].Load(); cur == nil || cur.UnixNanos < e.UnixNanos {
+			h.exemplars[i].Store(&e)
+		}
+	}
+	return true
 }
 
 // Quantile estimates a single quantile q in [0,1].

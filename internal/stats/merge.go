@@ -32,12 +32,14 @@ func MergeHistogramSnapshots(parts []HistogramSnapshot) HistogramSnapshot {
 		case out.Bounds == nil:
 			out.Bounds = append([]float64(nil), p.Bounds...)
 			out.Buckets = append([]uint64(nil), p.Buckets...)
+			out.Exemplars = mergeExemplars(nil, p.Exemplars, len(p.Buckets))
 		case !sameBounds(out.Bounds, p.Bounds):
 			bucketsOK = false
 		default:
 			for i, c := range p.Buckets {
 				out.Buckets[i] += c
 			}
+			out.Exemplars = mergeExemplars(out.Exemplars, p.Exemplars, len(out.Buckets))
 		}
 	}
 	if bucketsOK && len(out.Bounds) > 0 {
@@ -46,7 +48,7 @@ func MergeHistogramSnapshots(parts []HistogramSnapshot) HistogramSnapshot {
 		out.P99 = quantile(out.Bounds, out.Buckets, out.Count, 0.99)
 		return out
 	}
-	out.Bounds, out.Buckets = nil, nil
+	out.Bounds, out.Buckets, out.Exemplars = nil, nil, nil
 	if out.Count > 0 {
 		for _, p := range parts {
 			w := float64(p.Count) / float64(out.Count)
@@ -56,6 +58,28 @@ func MergeHistogramSnapshots(parts []HistogramSnapshot) HistogramSnapshot {
 		}
 	}
 	return out
+}
+
+// mergeExemplars folds a part's per-bucket exemplars into the accumulated
+// slice: the newest traced sample (largest UnixNanos) wins each bucket, so
+// federation keeps pointing at a trace some member can still resolve. Returns
+// acc unchanged when the part carries no exemplars of the expected length.
+func mergeExemplars(acc, part []Exemplar, n int) []Exemplar {
+	if len(part) != n {
+		return acc
+	}
+	for i, e := range part {
+		if e.TraceID == "" {
+			continue
+		}
+		if acc == nil {
+			acc = make([]Exemplar, n)
+		}
+		if acc[i].TraceID == "" || acc[i].UnixNanos < e.UnixNanos {
+			acc[i] = e
+		}
+	}
+	return acc
 }
 
 func sameBounds(a, b []float64) bool {

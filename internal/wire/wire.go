@@ -230,6 +230,12 @@ type MoveRequest struct {
 	// The destination merges them into its monitor at install time; empty
 	// for bundles from cores predating the planner.
 	Meters []MeterState
+	// MethodMeters carries the per-method SLO instruments (latency
+	// histograms, call/error counts) of the moved complets, so method-level
+	// telemetry keyed on complet identity survives relocation the same way
+	// pair meters do. Empty for bundles from cores predating per-method
+	// instruments.
+	MethodMeters []MethodMeterState
 }
 
 // MeterState is the portable invocation-accounting state of one moved
@@ -248,6 +254,19 @@ type PairMeterState struct {
 	Src    ids.CompletID
 	Window uint64
 	Bytes  uint64
+}
+
+// MethodMeterState is the portable per-method telemetry of one moved complet
+// and one of its methods: lifetime call and error counts plus the full
+// latency distribution (with exemplars). The in-flight gauge does not travel
+// — in-flight invocations drain at the source before the bundle departs.
+type MethodMeterState struct {
+	Target   ids.CompletID
+	TypeName string
+	Method   string
+	Calls    uint64
+	Errors   uint64
+	Latency  HistogramStat
 }
 
 // MoveCommand asks the core owning Target to move it to Dest. Like
@@ -519,6 +538,13 @@ type HistogramStat struct {
 	// observatory (gob leaves absent fields zero).
 	Bounds  []float64
 	Buckets []uint64
+	// ExemplarValues/ExemplarTraces/ExemplarNanos ship per-bucket exemplars
+	// (parallel to Buckets; empty TraceID = no exemplar for that bucket), so
+	// the metric→trace link survives federation. Empty when the sender
+	// predates exemplars.
+	ExemplarValues []float64
+	ExemplarTraces []string
+	ExemplarNanos  []int64
 }
 
 // StatsQueryReply carries one core's metrics snapshot.
@@ -690,6 +716,21 @@ type ObsQuery struct {
 	// Trace, when nonzero, additionally fetches that trace's retained spans
 	// (for cluster-wide trace stitching).
 	Trace uint64
+	// Methods asks for the per-method telemetry table (complet-granular SLO
+	// instruments). False from queriers predating per-method instruments.
+	Methods bool
+}
+
+// MethodStat is one row of a core's per-method telemetry table: the live SLO
+// view of (complet, method) as served to shells (`top`) and the observatory.
+type MethodStat struct {
+	Complet  ids.CompletID
+	TypeName string
+	Method   string
+	Calls    uint64
+	Errors   uint64
+	InFlight int64
+	Latency  HistogramStat
 }
 
 // ObsQueryReply answers an ObsQuery. Slices of state the query did not select
@@ -702,7 +743,10 @@ type ObsQueryReply struct {
 	Flight *FlightQueryReply
 	Traces *TraceQueryReply
 	Spans  []TraceSpan
-	Err    string
+	// Methods is the per-method telemetry table when ObsQuery.Methods was
+	// set (nil otherwise), sorted by descending call count.
+	Methods []MethodStat
+	Err     string
 }
 
 // --- codec ------------------------------------------------------------------

@@ -19,7 +19,7 @@ OUT=${OUT:-BENCH_PR6.json}
 # reconstructable from any checkout. A missing artifact means a PR shipped
 # without committing its figures — fail loudly instead of silently thinning
 # the record. Extend this list when a new BENCH_PRn.json lands.
-EXPECTED_ARTIFACTS="BENCH_PR6.json BENCH_PR8.json BENCH_PR9.json"
+EXPECTED_ARTIFACTS="BENCH_PR6.json BENCH_PR8.json BENCH_PR9.json BENCH_PR10.json"
 missing=0
 for f in $EXPECTED_ARTIFACTS; do
     if [ ! -s "$f" ]; then
@@ -49,6 +49,29 @@ fi
 echo "== E1 TCP allocs/op: $allocs (baseline: $BASELINE_E1_ALLOCS)"
 if [ "$allocs" -gt "$BASELINE_E1_ALLOCS" ]; then
     echo "bench_regression: FAIL — $allocs allocs/op exceeds baseline $BASELINE_E1_ALLOCS" >&2
+    exit 1
+fi
+
+# Per-method SLO instrument gate (E16): the metered dispatch path may cost at
+# most MAX_METHOD_OVERHEAD times the unmetered one (instruments off via
+# Options.DisablePerMethodStats). The measured overhead is ~0.4%; the 10%
+# ceiling is the acceptance bound, so trips mean the hot path grew real work.
+MAX_METHOD_OVERHEAD=${MAX_METHOD_OVERHEAD:-1.10}
+echo "== bench: per-method instrument overhead (200x)"
+go test -run=NONE -bench=PerMethodInstrumentOverhead -benchtime=200x . | tee bench_pr10.out
+
+ratio=$(awk '
+/^BenchmarkPerMethodInstrumentOverhead\/off/ { for (i = 1; i < NF; i++) if ($(i+1) == "ns/op") off = $i }
+/^BenchmarkPerMethodInstrumentOverhead\/on/  { for (i = 1; i < NF; i++) if ($(i+1) == "ns/op") on = $i }
+END { if (off > 0 && on > 0) printf "%.4f", on / off }
+' bench_pr10.out)
+if [ -z "$ratio" ]; then
+    echo "bench_regression: PerMethodInstrumentOverhead produced no on/off ns/op pair" >&2
+    exit 1
+fi
+echo "== per-method instruments on/off ns/op ratio: $ratio (max: $MAX_METHOD_OVERHEAD)"
+if [ "$(awk -v r="$ratio" -v m="$MAX_METHOD_OVERHEAD" 'BEGIN { print (r > m) }')" = "1" ]; then
+    echo "bench_regression: FAIL — instrument overhead ratio $ratio exceeds $MAX_METHOD_OVERHEAD" >&2
     exit 1
 fi
 echo "bench_regression: OK"

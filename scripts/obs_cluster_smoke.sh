@@ -12,6 +12,12 @@
 #
 # RACE=1 builds the binaries under the race detector (the CI observatory job
 # does); PORT_BASE moves the fixed transport ports.
+#
+# ALERTS=1 adds the cluster alert phase (the CI telemetry job runs it): core a
+# also hosts the alert engine with a burn-rate SLO rule over the federated
+# cluster_invoke_latency_ns histogram, the workload gains a slow-method burst,
+# and the script asserts that the rule fires (alertFiring over the
+# /cluster/alerts SSE stream) and resolves once the burst is over.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,9 +45,20 @@ go build "${build_flags[@]}" -o "$workdir/fargo-shell" ./cmd/fargo-shell
 # its peer list includes the dead member d, so the cluster view must degrade
 # to a flagged partial view rather than fail. All cores sample every trace so
 # cross-core invocation chains leave shards on every hop.
+alert_flags=()
+if [ "${ALERTS:-0}" = "1" ]; then
+    # Burn-rate SLO over the federated latency histogram: fires when more
+    # than a fifth of the cluster's invokes in the trailing 10s ran over
+    # 50ms. The Slow burst blows it; the 10s window lets it resolve once
+    # the burst ends (slow samples evict, the rate decays to 0).
+    cat >"$workdir/alerts.rules" <<'EOF'
+alert slow-invokes burnrate cluster_invoke_latency_ns above 50ms > 0.2 window 10s
+EOF
+    alert_flags=(-alerts "$workdir/alerts.rules")
+fi
 "$workdir/fargo-core" -name a -listen "$A" -peer "b=$B" -peer "c=$C" -peer "d=$D" \
     -http 127.0.0.1:0 -observatory-on -trace-sample 1 \
-    -plan 500ms -plan-min-gain 0.05 >"$workdir/a.log" 2>&1 &
+    -plan 500ms -plan-min-gain 0.05 "${alert_flags[@]}" >"$workdir/a.log" 2>&1 &
 pids+=($!)
 "$workdir/fargo-core" -name b -listen "$B" -peer "a=$A" -peer "c=$C" \
     -trace-sample 1 >"$workdir/b.log" 2>&1 &
@@ -68,6 +85,12 @@ echo "obs-cluster-smoke: cluster view at $base/cluster/"
 curl -sS -N --max-time 60 "$base/cluster/timeline?follow=1&replay=512" \
     >"$workdir/sse.log" 2>/dev/null &
 pids+=($!)
+if [ "${ALERTS:-0}" = "1" ]; then
+    # The dedicated alerts stream must carry BOTH transitions of the rule.
+    curl -sS -N --max-time 300 "$base/cluster/alerts?follow=1&replay=512" \
+        >"$workdir/alerts_sse.log" 2>/dev/null &
+    pids+=($!)
+fi
 
 # Scripted workload. The Hub on b attaches the Message while it lives on a,
 # then the Message moves to c: the hub's now-stale ref makes its first call
@@ -81,6 +104,12 @@ pids+=($!)
     echo "setref b/#1 a/#1 link"
     echo "move a/#1 c"
     for _ in $(seq 1 60); do echo "invoke b/#1 CallAll Print"; done
+    if [ "${ALERTS:-0}" = "1" ]; then
+        # The SLO fault: a burst of 200ms invokes (~6s of wall time, several
+        # engine evaluations) that dominates the 10s burn-rate window.
+        echo "new c Echo"
+        for _ in $(seq 1 30); do echo "invoke c/#1 Slow 200"; done
+    fi
     echo "cluster status"
     echo "quit"
 } >"$workdir/shell.cmds"
@@ -116,7 +145,7 @@ fetch() {
 # core's series are present — then run the hard assertions once, for good
 # error output.
 metrics=""
-for _ in $(seq 1 30); do
+for _ in $(seq 1 60); do
     metrics=$(fetch /cluster/metrics)
     if echo "$metrics" | grep -q 'core="a"' &&
         echo "$metrics" | grep -q 'core="b"' &&
@@ -212,5 +241,50 @@ echo "obs-cluster-smoke: planApplied delivered over SSE"
 # --- the self-contained page -------------------------------------------------
 fetch /cluster/ | grep -q 'EventSource' || {
     echo "obs-cluster-smoke: /cluster/ page is not the live HTML view" >&2; exit 1; }
+
+# --- burn-rate alert fires and resolves (ALERTS=1) ---------------------------
+if [ "${ALERTS:-0}" = "1" ]; then
+    fired=""
+    for _ in $(seq 1 60); do
+        if grep -q '"kind":"alertFiring"' "$workdir/alerts_sse.log" 2>/dev/null &&
+            grep -q 'slow-invokes' "$workdir/alerts_sse.log"; then
+            fired=1
+            break
+        fi
+        sleep 0.5
+    done
+    if [ -z "$fired" ]; then
+        echo "obs-cluster-smoke: slow-invokes never fired on the /cluster/alerts stream" >&2
+        echo "--- alerts_sse.log:" >&2
+        cat "$workdir/alerts_sse.log" >&2 || true
+        echo "--- core a log tail:" >&2
+        tail -20 "$workdir/a.log" >&2 || true
+        exit 1
+    fi
+    echo "obs-cluster-smoke: burn-rate alert slow-invokes fired over SSE"
+
+    # The burst is over (the shell has quit); within roughly one window the
+    # slow samples fall out of the burn-rate ring and the rule must resolve.
+    resolved=""
+    for _ in $(seq 1 80); do
+        if grep -q '"kind":"alertResolved"' "$workdir/alerts_sse.log" 2>/dev/null; then
+            resolved=1
+            break
+        fi
+        sleep 0.5
+    done
+    if [ -z "$resolved" ]; then
+        echo "obs-cluster-smoke: slow-invokes never resolved on the /cluster/alerts stream" >&2
+        echo "--- alerts_sse.log:" >&2
+        cat "$workdir/alerts_sse.log" >&2 || true
+        fetch /cluster/alerts >&2 || true
+        exit 1
+    fi
+    echo "obs-cluster-smoke: burn-rate alert resolved after recovery"
+
+    fetch /cluster/alerts | grep -q 'slow-invokes' || {
+        echo "obs-cluster-smoke: /cluster/alerts summary does not record the rule" >&2; exit 1; }
+    echo "obs-cluster-smoke: /cluster/alerts ok (fired + resolved + summary)"
+fi
 
 echo "obs-cluster-smoke: all cluster surfaces healthy"
